@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Ablation: ACKwise pointer count. Sweeps k over {1, 2, 4, 8} for the
+ * sharing-heavy kernels and reports completion cycles and broadcast
+ * counts — quantifying how much the limited directory's broadcast
+ * fallback costs (Table II fixes k = 4).
+ */
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace crono;
+    const bench::Options opt = bench::parseOptions(argc, argv);
+    const core::WorkloadSet set(bench::simWorkloadConfig(opt));
+
+    std::printf("=== Ablation: ACKwise-k sharer pointers (64 threads) "
+                "===\n\n");
+    std::printf("%-12s %4s %14s %12s %12s\n", "benchmark", "k", "cycles",
+                "broadcasts", "invalidations");
+
+    for (auto id : {core::BenchmarkId::ssspDijk, core::BenchmarkId::bfs,
+                    core::BenchmarkId::pageRank,
+                    core::BenchmarkId::connComp}) {
+        for (int k : {1, 2, 4, 8}) {
+            sim::Config cfg = sim::Config::futuristic256();
+            cfg.ackwise_pointers = k;
+            sim::Machine machine(cfg);
+            core::runBenchmark(id, machine, 64, set.forBenchmark(id));
+            const auto& st = machine.lastStats();
+            std::printf("%-12s %4d %14llu %12llu %12llu\n",
+                        core::benchmarkName(id), k,
+                        static_cast<unsigned long long>(
+                            st.completion_cycles),
+                        static_cast<unsigned long long>(
+                            st.directory.broadcasts),
+                        static_cast<unsigned long long>(
+                            st.directory.invalidations));
+        }
+    }
+    return 0;
+}

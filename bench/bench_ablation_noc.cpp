@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation: on-chip network sensitivity. Sweeps hop latency (router
+ * pipeline depth) and memory-controller count for a network-bound
+ * kernel — quantifying the paper's claim that graph workloads stress
+ * the network far more than off-chip bandwidth.
+ */
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace crono;
+    const bench::Options opt = bench::parseOptions(argc, argv);
+    const core::WorkloadSet set(bench::simWorkloadConfig(opt));
+    const auto id = core::BenchmarkId::ssspDijk;
+    const core::Workload w = set.forBenchmark(id);
+
+    std::printf("=== Ablation: NoC and memory-bandwidth sensitivity "
+                "(SSSP_DIJK, 64 threads) ===\n\n");
+
+    std::printf("hop latency sweep (Table II: 2 cycles):\n");
+    std::printf("%8s %14s %14s\n", "hops", "cycles", "contention");
+    for (std::uint32_t hop : {1u, 2u, 4u, 8u}) {
+        sim::Config cfg = sim::Config::futuristic256();
+        cfg.hop_cycles = hop;
+        sim::Machine machine(cfg);
+        core::runBenchmark(id, machine, 64, w);
+        const auto& st = machine.lastStats();
+        std::printf("%8u %14llu %14llu\n", hop,
+                    static_cast<unsigned long long>(st.completion_cycles),
+                    static_cast<unsigned long long>(
+                        st.network.contention_cycles));
+    }
+
+    std::printf("\nrouting policy sweep (Section VII-B):\n");
+    std::printf("%8s %14s %14s\n", "policy", "cycles", "contention");
+    for (auto routing : {sim::Routing::xy, sim::Routing::yx,
+                         sim::Routing::o1turn}) {
+        sim::Config cfg = sim::Config::futuristic256();
+        cfg.routing = routing;
+        sim::Machine machine(cfg);
+        core::runBenchmark(id, machine, 64, w);
+        const auto& st = machine.lastStats();
+        const char* name = routing == sim::Routing::xy
+                               ? "xy"
+                               : routing == sim::Routing::yx ? "yx"
+                                                             : "o1turn";
+        std::printf("%8s %14llu %14llu\n", name,
+                    static_cast<unsigned long long>(st.completion_cycles),
+                    static_cast<unsigned long long>(
+                        st.network.contention_cycles));
+    }
+
+    std::printf("\nmemory controller sweep (Table II: 8 x 5 GB/s):\n");
+    std::printf("%8s %14s %14s\n", "ctrls", "cycles", "dram-queue");
+    for (int ctrls : {1, 2, 8, 16}) {
+        sim::Config cfg = sim::Config::futuristic256();
+        cfg.num_mem_controllers = ctrls;
+        sim::Machine machine(cfg);
+        core::runBenchmark(id, machine, 64, w);
+        const auto& st = machine.lastStats();
+        std::printf("%8d %14llu %14llu\n", ctrls,
+                    static_cast<unsigned long long>(st.completion_cycles),
+                    static_cast<unsigned long long>(
+                        st.dram.queue_cycles));
+    }
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Shared infrastructure for the experiment harnesses (one binary per
+ * paper table/figure). Each harness prints the same rows/series the
+ * paper reports; EXPERIMENTS.md records paper-vs-measured.
+ *
+ * Command line: every harness accepts
+ *   --quick        quarter-size inputs (CI-friendly)
+ *   --seed=N       generator seed (default 42)
+ */
+
+#ifndef CRONO_BENCH_BENCH_COMMON_H_
+#define CRONO_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/suite.h"
+#include "core/workloads.h"
+#include "sim/machine.h"
+
+namespace crono::bench {
+
+/** Parsed harness options. */
+struct Options {
+    bool quick = false;
+    std::uint64_t seed = 42;
+};
+
+inline Options
+parseOptions(int argc, char** argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            opt.quick = true;
+        } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+            opt.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+        }
+    }
+    return opt;
+}
+
+/** The workload sizes used for the simulator experiments. */
+inline core::WorkloadConfig
+simWorkloadConfig(const Options& opt,
+                  core::GraphKind kind = core::GraphKind::sparse)
+{
+    core::WorkloadConfig cfg;
+    cfg.kind = kind;
+    cfg.graph_vertices = opt.quick ? 2048 : 8192;
+    cfg.edges_per_vertex = 8;
+    cfg.matrix_vertices = opt.quick ? 64 : 192;
+    cfg.tsp_cities = opt.quick ? 9 : 12;
+    cfg.pr_iterations = 3;
+    cfg.comm_rounds = 6;
+    cfg.seed = opt.seed;
+    return cfg;
+}
+
+/** Simulated thread counts swept by Figure 1 (1..256). */
+inline std::vector<int>
+simThreadCounts(int max_threads = 256)
+{
+    std::vector<int> out;
+    for (int t = 1; t <= max_threads; t *= 2) {
+        out.push_back(t);
+    }
+    return out;
+}
+
+/** One point of a thread sweep. */
+struct SweepPoint {
+    int threads = 0;
+    sim::SimRunStats stats;
+    double variability = 0.0;
+};
+
+/** Run @p id on a fresh machine per thread count. */
+inline std::vector<SweepPoint>
+sweepSim(const sim::Config& cfg, core::BenchmarkId id,
+         const core::Workload& w, const std::vector<int>& threads)
+{
+    std::vector<SweepPoint> out;
+    sim::Machine machine(cfg);
+    for (int t : threads) {
+        const rt::RunInfo info = core::runBenchmark(id, machine, t, w);
+        out.push_back({t, machine.lastStats(), info.variability});
+    }
+    return out;
+}
+
+/** Index of the sweep point with the fewest completion cycles. */
+inline std::size_t
+bestPoint(const std::vector<SweepPoint>& sweep)
+{
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+        if (sweep[i].stats.completion_cycles <
+            sweep[best].stats.completion_cycles) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+inline void
+printBreakdownHeader()
+{
+    std::printf("%8s %12s %8s %8s %8s %8s %8s %8s %8s %6s\n", "threads",
+                "cycles", "speedup", "Compute", "L1-L2H", "L2Wait",
+                "L2Shar", "OffChip", "Sync", "Vari");
+}
+
+inline void
+printBreakdownRow(const SweepPoint& p, std::uint64_t base_cycles)
+{
+    const sim::Breakdown n = p.stats.breakdown.normalized();
+    std::printf(
+        "%8d %12llu %8.2f %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %6.2f\n",
+        p.threads,
+        static_cast<unsigned long long>(p.stats.completion_cycles),
+        static_cast<double>(base_cycles) /
+            static_cast<double>(p.stats.completion_cycles),
+        n[sim::Component::compute], n[sim::Component::l1ToL2Home],
+        n[sim::Component::l2HomeWaiting], n[sim::Component::l2HomeSharers],
+        n[sim::Component::l2HomeOffChip],
+        n[sim::Component::synchronization], p.variability);
+}
+
+} // namespace crono::bench
+
+#endif // CRONO_BENCH_BENCH_COMMON_H_

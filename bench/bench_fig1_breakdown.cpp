@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 1: normalized completion-time breakdowns for all CRONO
+ * benchmarks on the simulated 256-core in-order multicore, across
+ * thread counts 1..256, with the load-imbalance Variability metric
+ * and the best speedup over the sequential (1-thread) run.
+ *
+ * Also prints Table II (the architectural configuration) as a header.
+ */
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace crono;
+    const bench::Options opt = bench::parseOptions(argc, argv);
+
+    const sim::Config cfg = sim::Config::futuristic256();
+    std::printf("=== Figure 1: completion time breakdowns (simulator) "
+                "===\n\n%s\n",
+                cfg.describe().c_str());
+
+    const core::WorkloadConfig wc = bench::simWorkloadConfig(opt);
+    const core::WorkloadSet set(wc);
+    std::printf("sparse synthetic graph: %u vertices, %llu edge slots; "
+                "matrix: %u vertices; TSP: %u cities\n\n",
+                set.graph().numVertices(),
+                static_cast<unsigned long long>(set.graph().numEdges()),
+                set.matrix().numVertices(), set.cities().numVertices());
+
+    const auto threads = bench::simThreadCounts();
+    for (const auto& info : core::allBenchmarks()) {
+        std::printf("--- %s (%s) ---\n", info.name, info.parallelization);
+        bench::printBreakdownHeader();
+        const auto sweep = bench::sweepSim(
+            cfg, info.id, set.forBenchmark(info.id), threads);
+        const std::uint64_t base = sweep.front().stats.completion_cycles;
+        for (const auto& p : sweep) {
+            bench::printBreakdownRow(p, base);
+        }
+        const std::size_t best = bench::bestPoint(sweep);
+        std::printf("best speedup: %.2fx @ %d threads\n\n",
+                    static_cast<double>(base) /
+                        static_cast<double>(
+                            sweep[best].stats.completion_cycles),
+                    sweep[best].threads);
+    }
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 2: active vertices over normalized execution time for every
+ * CRONO benchmark. Both axes are normalized exactly as in the paper
+ * (active count by its peak, time into percent buckets); the series
+ * is rendered as a number row and a small ASCII sparkline.
+ */
+
+#include "bench/bench_common.h"
+
+#include "runtime/instrumentation.h"
+
+namespace {
+
+void
+printSeries(const char* name, const std::vector<double>& series)
+{
+    std::printf("%-12s", name);
+    for (double v : series) {
+        std::printf(" %4.2f", v);
+    }
+    std::printf("\n%-12s", "");
+    static const char* kGlyphs[] = {" ", ".", ":", "-", "=", "#"};
+    for (double v : series) {
+        const int level =
+            std::min(5, static_cast<int>(v * 5.999));
+        std::printf(" %4s", kGlyphs[level]);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace crono;
+    const bench::Options opt = bench::parseOptions(argc, argv);
+
+    std::printf("=== Figure 2: active vertices vs normalized time ===\n"
+                "(native execution, 8 threads; 20 time buckets,\n"
+                " values normalized to the per-benchmark peak)\n\n");
+
+    core::WorkloadConfig wc = bench::simWorkloadConfig(opt);
+    const core::WorkloadSet set(wc);
+    rt::NativeExecutor exec(8);
+    for (const auto& info : core::allBenchmarks()) {
+        rt::ActiveTracker tracker(1 << 15, 1);
+        core::runBenchmark(info.id, exec, 8, set.forBenchmark(info.id),
+                           &tracker);
+        printSeries(info.name, tracker.normalizedSeries(20));
+    }
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 3: private L1-D miss-rate breakdown (cold / capacity /
+ * sharing) at the thread count giving the highest speedup, per
+ * benchmark, on the simulated in-order multicore.
+ */
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace crono;
+    const bench::Options opt = bench::parseOptions(argc, argv);
+    const sim::Config cfg = sim::Config::futuristic256();
+    const core::WorkloadSet set(bench::simWorkloadConfig(opt));
+
+    std::printf("=== Figure 3: L1-D miss classification at best thread "
+                "count ===\n\n");
+    std::printf("%-12s %7s %9s %8s %8s %8s\n", "benchmark", "threads",
+                "miss%", "cold%", "capac%", "shar%");
+
+    const std::vector<int> sweep = {16, 64, 256};
+    for (const auto& info : core::allBenchmarks()) {
+        const auto points = bench::sweepSim(
+            cfg, info.id, set.forBenchmark(info.id), sweep);
+        const auto& best = points[bench::bestPoint(points)];
+        const sim::CacheStats& l1 = best.stats.l1d;
+        const auto pct = [&](sim::MissClass c) {
+            return 100.0 *
+                   static_cast<double>(
+                       l1.misses[static_cast<int>(c)]) /
+                   static_cast<double>(l1.accesses);
+        };
+        std::printf("%-12s %7d %8.2f%% %7.2f%% %7.2f%% %7.2f%%\n",
+                    info.name, best.threads, 100.0 * l1.missRate(),
+                    pct(sim::MissClass::cold),
+                    pct(sim::MissClass::capacity),
+                    pct(sim::MissClass::sharing));
+    }
+    return 0;
+}

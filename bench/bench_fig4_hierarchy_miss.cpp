@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Figure 4: cache-hierarchy miss rate (L2 misses / L1-D accesses, in
+ * percent) at the best thread count, per benchmark.
+ */
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace crono;
+    const bench::Options opt = bench::parseOptions(argc, argv);
+    const sim::Config cfg = sim::Config::futuristic256();
+    const core::WorkloadSet set(bench::simWorkloadConfig(opt));
+
+    std::printf("=== Figure 4: cache hierarchy miss rate at best thread "
+                "count ===\n\n");
+    std::printf("%-12s %7s %16s\n", "benchmark", "threads",
+                "hierarchy miss%");
+
+    const std::vector<int> sweep = {16, 64, 256};
+    for (const auto& info : core::allBenchmarks()) {
+        const auto points = bench::sweepSim(
+            cfg, info.id, set.forBenchmark(info.id), sweep);
+        const auto& best = points[bench::bestPoint(points)];
+        std::printf("%-12s %7d %15.3f%%\n", info.name, best.threads,
+                    100.0 * best.stats.cacheHierarchyMissRate());
+    }
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 6: normalized dynamic energy breakdown of the memory system
+ * (L1-I / L1-D / L2 / directory / routers / links / DRAM) per
+ * benchmark at the best thread count.
+ */
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace crono;
+    const bench::Options opt = bench::parseOptions(argc, argv);
+    const sim::Config cfg = sim::Config::futuristic256();
+    const core::WorkloadSet set(bench::simWorkloadConfig(opt));
+
+    std::printf("=== Figure 6: normalized dynamic energy breakdown ===\n"
+                "(11 nm-class per-event energies; DSENT/McPAT "
+                "stand-in)\n\n");
+    std::printf("%-12s %6s %6s %6s %6s %7s %6s %6s %9s\n", "benchmark",
+                "L1-I", "L1-D", "L2", "dir", "router", "link", "DRAM",
+                "network%");
+
+    const std::vector<int> sweep = {16, 64, 256};
+    double network_share_sum = 0.0;
+    for (const auto& info : core::allBenchmarks()) {
+        const auto points = bench::sweepSim(
+            cfg, info.id, set.forBenchmark(info.id), sweep);
+        const auto& best = points[bench::bestPoint(points)];
+        const sim::EnergyBreakdown& e = best.stats.energy;
+        const double total = e.total();
+        const double network = (e.router + e.link) / total;
+        network_share_sum += network;
+        std::printf(
+            "%-12s %6.3f %6.3f %6.3f %6.3f %7.3f %6.3f %6.3f %8.1f%%\n",
+            info.name, e.l1i / total, e.l1d / total, e.l2 / total,
+            e.directory / total, e.router / total, e.link / total,
+            e.dram / total, 100.0 * network);
+    }
+    std::printf("\naverage network (router+link) share: %.1f%% "
+                "(paper: ~75%%)\n",
+                100.0 * network_share_sum / core::kNumBenchmarks);
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 7: normalized completion-time breakdown at the best thread
+ * count on the out-of-order core configuration. The paper's point:
+ * OOO cores hide off-chip and streaming latency but not on-chip
+ * communication (waiting / sharers / synchronization remain).
+ */
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace crono;
+    const bench::Options opt = bench::parseOptions(argc, argv);
+    const sim::Config cfg =
+        sim::Config::futuristic256(sim::CoreType::outOfOrder);
+    const core::WorkloadSet set(bench::simWorkloadConfig(opt));
+
+    std::printf("=== Figure 7: OOO completion-time breakdown at best "
+                "thread count ===\n\n%s\n",
+                cfg.describe().c_str());
+    std::printf("%-12s %7s %8s %8s %8s %8s %8s %8s\n", "benchmark",
+                "threads", "Compute", "L1-L2H", "L2Wait", "L2Shar",
+                "OffChip", "Sync");
+
+    const std::vector<int> sweep = {16, 64, 256};
+    for (const auto& info : core::allBenchmarks()) {
+        const auto points = bench::sweepSim(
+            cfg, info.id, set.forBenchmark(info.id), sweep);
+        const auto& best = points[bench::bestPoint(points)];
+        const sim::Breakdown n = best.stats.breakdown.normalized();
+        std::printf(
+            "%-12s %7d %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+            info.name, best.threads, n[sim::Component::compute],
+            n[sim::Component::l1ToL2Home],
+            n[sim::Component::l2HomeWaiting],
+            n[sim::Component::l2HomeSharers],
+            n[sim::Component::l2HomeOffChip],
+            n[sim::Component::synchronization]);
+    }
+    return 0;
+}

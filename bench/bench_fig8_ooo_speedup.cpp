@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 8: speedup at the best thread count over the sequential
+ * (1-thread) run on the out-of-order core configuration. Branch-and-
+ * bound kernels (DFS, TSP) show smaller speedups than with in-order
+ * cores because the sequential OOO baseline improves.
+ */
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace crono;
+    const bench::Options opt = bench::parseOptions(argc, argv);
+    const core::WorkloadSet set(bench::simWorkloadConfig(opt));
+
+    std::printf("=== Figure 8: speedups over sequential OOO core ===\n\n");
+    std::printf("%-12s %14s %14s %9s %9s\n", "benchmark", "ooo-best",
+                "inorder-best", "ooo-thr", "io-thr");
+
+    const std::vector<int> sweep = {1, 16, 64, 256};
+    for (const auto& info : core::allBenchmarks()) {
+        const auto report = [&](sim::CoreType type, double* speedup,
+                                int* threads) {
+            const sim::Config cfg = sim::Config::futuristic256(type);
+            const auto points = bench::sweepSim(
+                cfg, info.id, set.forBenchmark(info.id), sweep);
+            const auto& best = points[bench::bestPoint(points)];
+            *speedup =
+                static_cast<double>(points[0].stats.completion_cycles) /
+                static_cast<double>(best.stats.completion_cycles);
+            *threads = best.threads;
+        };
+        double ooo = 0, in_order = 0;
+        int ooo_threads = 0, io_threads = 0;
+        report(sim::CoreType::outOfOrder, &ooo, &ooo_threads);
+        report(sim::CoreType::inOrder, &in_order, &io_threads);
+        std::printf("%-12s %13.2fx %13.2fx %9d %9d\n", info.name, ooo,
+                    in_order, ooo_threads, io_threads);
+    }
+    return 0;
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: native kernel throughput (edges
+ * per second per kernel) and the hot simulator components (cache
+ * lookup, mesh routing, memory-system transactions, fiber switch).
+ * These guard against performance regressions in the library itself
+ * rather than reproducing a paper figure.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/suite.h"
+#include "core/workloads.h"
+#include "sim/machine.h"
+
+namespace {
+
+using namespace crono;
+
+const graph::Graph&
+microGraph()
+{
+    static const graph::Graph g =
+        graph::generators::uniformRandom(4096, 32768, 32, 5);
+    return g;
+}
+
+void
+BM_NativeSssp(benchmark::State& state)
+{
+    const auto threads = static_cast<int>(state.range(0));
+    rt::NativeExecutor exec(threads);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::sssp(exec, threads, microGraph(), 0).dist.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(microGraph().numEdges()));
+}
+BENCHMARK(BM_NativeSssp)->Arg(1)->Arg(2)->Arg(4);
+
+void
+BM_NativeBfs(benchmark::State& state)
+{
+    const auto threads = static_cast<int>(state.range(0));
+    rt::NativeExecutor exec(threads);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::bfs(exec, threads, microGraph(), 0).reached);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(microGraph().numEdges()));
+}
+BENCHMARK(BM_NativeBfs)->Arg(1)->Arg(2)->Arg(4);
+
+void
+BM_NativeTriangleCount(benchmark::State& state)
+{
+    rt::NativeExecutor exec(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::triangleCount(exec, 2, microGraph()).total);
+    }
+}
+BENCHMARK(BM_NativeTriangleCount);
+
+void
+BM_NativePageRankIteration(benchmark::State& state)
+{
+    rt::NativeExecutor exec(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::pageRank(exec, 2, microGraph(), 1).rank.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(microGraph().numEdges()));
+}
+BENCHMARK(BM_NativePageRankIteration);
+
+void
+BM_SimCacheLookup(benchmark::State& state)
+{
+    sim::Config cfg;
+    sim::Cache cache(cfg.l1d, cfg.line_bytes);
+    for (sim::LineAddr line = 0; line < 512; ++line) {
+        cache.insert(line, sim::LineState::shared);
+    }
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.lookup(rng.nextBelow(512)));
+    }
+}
+BENCHMARK(BM_SimCacheLookup);
+
+void
+BM_SimMeshSend(benchmark::State& state)
+{
+    sim::Mesh mesh(sim::Config::futuristic256());
+    Rng rng(1);
+    std::uint64_t t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mesh.send(static_cast<int>(rng.nextBelow(256)),
+                      static_cast<int>(rng.nextBelow(256)), 512, t));
+        t += 20;
+    }
+}
+BENCHMARK(BM_SimMeshSend);
+
+void
+BM_SimMemoryAccess(benchmark::State& state)
+{
+    sim::MemorySystem mem(sim::Config::futuristic256());
+    Rng rng(1);
+    std::vector<std::uint8_t> data(1 << 20);
+    std::uint64_t t = 0;
+    for (auto _ : state) {
+        const auto addr = reinterpret_cast<std::uintptr_t>(
+            &data[rng.nextBelow(data.size())]);
+        benchmark::DoNotOptimize(
+            mem.access(static_cast<int>(rng.nextBelow(256)), addr, 8,
+                       rng.nextBelow(4) == 0, t));
+        t += 4;
+    }
+}
+BENCHMARK(BM_SimMemoryAccess);
+
+void
+BM_SimFiberSwitch(benchmark::State& state)
+{
+    sim::Fiber* handle = nullptr;
+    bool stop = false;
+    sim::Fiber fiber(
+        [&] {
+            while (!stop) {
+                handle->yieldToHost();
+            }
+        },
+        128 * 1024);
+    handle = &fiber;
+    for (auto _ : state) {
+        fiber.resume(); // one round trip = two context switches
+    }
+    stop = true;
+    fiber.resume();
+}
+BENCHMARK(BM_SimFiberSwitch);
+
+void
+BM_SimulatedBfsEndToEnd(benchmark::State& state)
+{
+    sim::Config cfg = sim::Config::futuristic256();
+    cfg.num_cores = 16;
+    sim::Machine machine(cfg);
+    const graph::Graph g =
+        graph::generators::uniformRandom(512, 2048, 16, 7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::bfs(machine, 16, g, 0).reached);
+    }
+}
+BENCHMARK(BM_SimulatedBfsEndToEnd);
+
+} // namespace
+
+BENCHMARK_MAIN();

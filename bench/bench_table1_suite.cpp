@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Table I: the benchmark registry — identifiers, categories and
+ * parallelization strategies — plus a one-run sanity line per kernel
+ * proving each entry executes.
+ */
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace crono;
+    const bench::Options opt = bench::parseOptions(argc, argv);
+
+    std::printf("=== Table I: benchmarks and parallelizations ===\n\n");
+    std::printf("%-12s %-18s %s\n", "Benchmark", "Category",
+                "Parallelization");
+    for (const auto& info : core::allBenchmarks()) {
+        std::printf("%-12s %-18s %s\n", info.name, info.category,
+                    info.parallelization);
+    }
+
+    core::WorkloadConfig wc = bench::simWorkloadConfig(opt);
+    wc.graph_vertices = 512;
+    wc.matrix_vertices = 24;
+    wc.tsp_cities = 7;
+    const core::WorkloadSet set(wc);
+    rt::NativeExecutor exec(4);
+    std::printf("\nsanity run (native, 4 threads):\n");
+    for (const auto& info : core::allBenchmarks()) {
+        const auto run = core::runBenchmark(info.id, exec, 4,
+                                            set.forBenchmark(info.id));
+        std::printf("  %-12s %8.2f ms  variability %.2f\n", info.name,
+                    run.time * 1e3, run.variability);
+    }
+    return 0;
+}

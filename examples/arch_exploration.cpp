@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Architectural design-space exploration — the use case CRONO exists
+ * for. Runs BFS on the simulated multicore while varying one design
+ * parameter at a time (L1 capacity, ACKwise pointers, hop latency)
+ * and prints how completion time and its breakdown respond.
+ *
+ *   $ ./examples/arch_exploration
+ */
+
+#include <cstdio>
+
+#include "core/bfs.h"
+#include "graph/generators.h"
+#include "sim/machine.h"
+
+namespace {
+
+using namespace crono;
+
+void
+report(const char* label, sim::Machine& machine, const graph::Graph& g)
+{
+    core::bfs(machine, 64, g, 0);
+    const sim::SimRunStats& st = machine.lastStats();
+    const sim::Breakdown n = st.breakdown.normalized();
+    std::printf("  %-24s %10llu cycles  miss %5.2f%%  "
+                "[comp %.2f net %.2f shar %.2f sync %.2f]\n",
+                label,
+                static_cast<unsigned long long>(st.completion_cycles),
+                100.0 * st.l1d.missRate(),
+                n[sim::Component::compute],
+                n[sim::Component::l1ToL2Home],
+                n[sim::Component::l2HomeSharers],
+                n[sim::Component::synchronization]);
+}
+
+} // namespace
+
+int
+main()
+{
+    const graph::Graph g =
+        graph::generators::uniformRandom(4096, 32768, 32, 3);
+    char label[64];
+
+    std::printf("BFS on 64 threads, 256 simulated cores\n");
+
+    std::printf("\nL1-D capacity sweep:\n");
+    for (std::uint32_t kb : {8u, 32u, 128u}) {
+        sim::Config cfg = sim::Config::futuristic256();
+        cfg.l1d.size_bytes = kb * 1024;
+        sim::Machine machine(cfg);
+        std::snprintf(label, sizeof(label), "L1-D %u KB", kb);
+        report(label, machine, g);
+    }
+
+    std::printf("\nACKwise pointer sweep:\n");
+    for (int k : {1, 4, 8}) {
+        sim::Config cfg = sim::Config::futuristic256();
+        cfg.ackwise_pointers = k;
+        sim::Machine machine(cfg);
+        std::snprintf(label, sizeof(label), "ACKwise-%d", k);
+        report(label, machine, g);
+    }
+
+    std::printf("\nnetwork hop-latency sweep:\n");
+    for (std::uint32_t hop : {1u, 2u, 4u}) {
+        sim::Config cfg = sim::Config::futuristic256();
+        cfg.hop_cycles = hop;
+        sim::Machine machine(cfg);
+        std::snprintf(label, sizeof(label), "%u-cycle hops", hop);
+        report(label, machine, g);
+    }
+
+    std::printf("\ncore model:\n");
+    for (auto type : {sim::CoreType::inOrder, sim::CoreType::outOfOrder}) {
+        sim::Machine machine(sim::Config::futuristic256(type));
+        report(type == sim::CoreType::inOrder ? "in-order"
+                                              : "out-of-order",
+               machine, g);
+    }
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Characterize any graph the way the paper characterizes its inputs:
+ * structural statistics, native timings for every applicable kernel,
+ * and a simulated architectural profile (breakdown, miss classes,
+ * network pressure, energy) at a chosen thread count.
+ *
+ *   $ ./examples/characterize sparse 4096        # generator families
+ *   $ ./examples/characterize road 16384
+ *   $ ./examples/characterize social 8192
+ *   $ ./examples/characterize file mygraph.el    # crono edge list
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/suite.h"
+#include "core/workloads.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+#include "sim/machine.h"
+
+namespace {
+
+using namespace crono;
+
+graph::Graph
+loadInput(int argc, char** argv)
+{
+    const std::string kind = argc > 1 ? argv[1] : "sparse";
+    if (kind == "file") {
+        if (argc < 3) {
+            std::fprintf(stderr, "usage: characterize file <path.el>\n");
+            std::exit(1);
+        }
+        return graph::io::loadEdgeList(argv[2]);
+    }
+    const auto n = static_cast<graph::VertexId>(
+        argc > 2 ? std::atoi(argv[2]) : 4096);
+    if (kind == "road") {
+        return core::makeGraph(core::GraphKind::road, n, 8, 7);
+    }
+    if (kind == "social") {
+        return core::makeGraph(core::GraphKind::social, n, 8, 7);
+    }
+    return core::makeGraph(core::GraphKind::sparse, n, 8, 7);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const graph::Graph g = loadInput(argc, argv);
+    std::printf("%s clustering=%.3f\n\n",
+                graph::formatStats("input", graph::computeStats(g))
+                    .c_str(),
+                graph::clusteringCoefficient(g));
+
+    // Native timings for the CSR kernels.
+    rt::NativeExecutor exec(4);
+    core::Workload w;
+    w.graph = &g;
+    w.pr_iterations = 5;
+    w.comm_rounds = 8;
+    std::printf("native (4 threads):\n");
+    for (const auto& info : core::allBenchmarks()) {
+        if (info.id == core::BenchmarkId::apsp ||
+            info.id == core::BenchmarkId::betwCent ||
+            info.id == core::BenchmarkId::tsp) {
+            continue; // matrix/city kernels don't apply to a CSR input
+        }
+        const auto run = core::runBenchmark(info.id, exec, 4, w);
+        std::printf("  %-12s %10.2f ms   variability %.2f\n", info.name,
+                    run.time * 1e3, run.variability);
+    }
+
+    // Simulated architectural profile of BFS + SSSP on 64 cores.
+    sim::Config cfg = sim::Config::futuristic256();
+    cfg.num_cores = 64;
+    sim::Machine machine(cfg);
+    std::printf("\nsimulated 64-core profile:\n");
+    for (auto id : {core::BenchmarkId::bfs, core::BenchmarkId::ssspDijk}) {
+        core::runBenchmark(id, machine, 64, w);
+        const auto& st = machine.lastStats();
+        const auto n = st.breakdown.normalized();
+        std::printf(
+            "  %-12s %10llu cycles  miss %5.2f%% (shar %4.1f%%)  "
+            "net %llu flit-hops  energy: %4.1f%% network\n",
+            core::benchmarkName(id),
+            static_cast<unsigned long long>(st.completion_cycles),
+            100.0 * st.l1d.missRate(),
+            100.0 * static_cast<double>(st.l1d.misses[2]) /
+                std::max<std::uint64_t>(st.l1d.accesses, 1),
+            static_cast<unsigned long long>(st.network.flit_hops),
+            100.0 * (st.energy.router + st.energy.link) /
+                st.energy.total());
+        std::printf(
+            "               comp %.2f l1l2 %.2f wait %.2f shar %.2f "
+            "off %.2f sync %.2f\n",
+            n[sim::Component::compute], n[sim::Component::l1ToL2Home],
+            n[sim::Component::l2HomeWaiting],
+            n[sim::Component::l2HomeSharers],
+            n[sim::Component::l2HomeOffChip],
+            n[sim::Component::synchronization]);
+    }
+    return 0;
+}

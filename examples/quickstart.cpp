@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Quickstart: build a graph, run two kernels natively, and run one on
+ * the simulated 256-core machine.
+ *
+ *   $ ./examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/bfs.h"
+#include "core/sssp.h"
+#include "graph/generators.h"
+#include "sim/machine.h"
+
+int
+main()
+{
+    using namespace crono;
+
+    // 1. Make a graph (or load one with graph::io::loadEdgeList).
+    const graph::Graph g =
+        graph::generators::uniformRandom(/*n=*/10000, /*m=*/80000,
+                                         /*max_weight=*/64, /*seed=*/1);
+    std::printf("graph: %u vertices, %llu edge slots\n", g.numVertices(),
+                static_cast<unsigned long long>(g.numEdges()));
+
+    // 2. Run kernels on real threads.
+    rt::NativeExecutor exec(4);
+    const core::BfsResult bfs = core::bfs(exec, 4, g, 0);
+    std::printf("BFS reached %llu vertices in %.2f ms\n",
+                static_cast<unsigned long long>(bfs.reached),
+                bfs.run.time * 1e3);
+
+    const core::SsspResult sssp = core::sssp(exec, 4, g, 0);
+    std::printf("SSSP: dist(0 -> 9999) = %llu (%llu rounds, %.2f ms)\n",
+                static_cast<unsigned long long>(sssp.dist[9999]),
+                static_cast<unsigned long long>(sssp.rounds),
+                sssp.run.time * 1e3);
+
+    // 3. Run the same kernel on the simulated futuristic multicore
+    //    and look at the architectural characterization.
+    sim::Config cfg = sim::Config::futuristic256();
+    cfg.num_cores = 64; // smaller machine keeps the demo snappy
+    sim::Machine machine(cfg);
+    const graph::Graph small =
+        graph::generators::uniformRandom(2048, 16384, 64, 1);
+    core::bfs(machine, 64, small, 0);
+    std::printf("\nsimulated BFS on 64 cores:\n%s",
+                machine.lastStats().describe().c_str());
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Path planning on a road network — the paper's self-driving-car
+ * motivation. Builds a road-network graph, plans a route with the
+ * parallel SSSP kernel, reconstructs the turn-by-turn path from the
+ * parent tree, and cross-checks with BFS hop counts.
+ *
+ *   $ ./examples/road_navigation [side=256]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/bfs.h"
+#include "core/sssp.h"
+#include "graph/generators.h"
+#include "graph/stats.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace crono;
+    const graph::VertexId side =
+        argc > 1 ? static_cast<graph::VertexId>(std::atoi(argv[1])) : 256;
+
+    const graph::Graph roads =
+        graph::generators::roadNetwork(side, side, /*seed=*/2026);
+    std::printf("%s\n",
+                graph::formatStats("road-network",
+                                   graph::computeStats(roads))
+                    .c_str());
+
+    // Plan from the "garage" (top-left) to the "office" (bottom-right).
+    const graph::VertexId start = 0;
+    const graph::VertexId goal = roads.numVertices() - 1;
+    rt::NativeExecutor exec(4);
+    const core::SsspResult plan = core::sssp(exec, 4, roads, start);
+
+    if (plan.dist[goal] == graph::kInfDist) {
+        std::printf("no route: the deleted road segments disconnected "
+                    "the goal; try another seed\n");
+        return 0;
+    }
+
+    // Reconstruct the route from the shortest-path tree.
+    std::vector<graph::VertexId> route;
+    for (graph::VertexId v = goal; v != start; v = plan.parent[v]) {
+        route.push_back(v);
+    }
+    route.push_back(start);
+
+    std::printf("route cost %llu over %zu waypoints (%.2f ms to plan)\n",
+                static_cast<unsigned long long>(plan.dist[goal]),
+                route.size(), plan.run.time * 1e3);
+    std::printf("first waypoints:");
+    for (std::size_t i = route.size(); i-- > 0 && route.size() - i <= 8;) {
+        std::printf(" %u", route[i]);
+    }
+    std::printf(" ...\n");
+
+    // Hop count lower-bounds the waypoint count (BFS cross-check).
+    const core::BfsResult hops = core::bfs(exec, 4, roads, start, goal);
+    std::printf("hop distance %u <= %zu route edges\n", hops.level[goal],
+                route.size() - 1);
+    return 0;
+}

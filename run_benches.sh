@@ -1,0 +1,18 @@
+#!/bin/bash
+# Regenerate every table and figure; see EXPERIMENTS.md for the index.
+set -u
+cd "$(dirname "$0")"
+for b in build/bench/bench_table1_suite build/bench/bench_fig1_breakdown \
+         build/bench/bench_fig2_active_vertices build/bench/bench_fig3_l1_miss \
+         build/bench/bench_fig4_hierarchy_miss build/bench/bench_fig5_vertex_scaling \
+         build/bench/bench_fig6_energy build/bench/bench_fig7_ooo_breakdown \
+         build/bench/bench_fig8_ooo_speedup build/bench/bench_fig9_real_machine \
+         build/bench/bench_table4_graphs build/bench/bench_ablation_ackwise \
+         build/bench/bench_ablation_locality build/bench/bench_ablation_noc; do
+  echo "================================================================"
+  echo "### $b $*"
+  "$b" "$@" || echo "FAILED: $b"
+  echo
+done
+echo "### build/bench/bench_micro (microbenchmarks)"
+build/bench/bench_micro --benchmark_min_time=0.2 || echo "FAILED: bench_micro"

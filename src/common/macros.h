@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Project-wide assertion and diagnostics macros.
+ *
+ * CRONO follows the gem5 convention of separating programmer errors
+ * (panic-style, abort) from user errors (fatal-style, clean exit with
+ * a message). Both always evaluate their condition, including in
+ * release builds, because the library is used as a measurement
+ * substrate and silent corruption would invalidate experiments.
+ */
+
+#ifndef CRONO_COMMON_MACROS_H_
+#define CRONO_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace crono {
+
+/** Terminate due to an internal invariant violation (a CRONO bug). */
+[[noreturn]] inline void
+panicImpl(const char* file, int line, const char* msg)
+{
+    std::fprintf(stderr, "crono panic: %s:%d: %s\n", file, line, msg);
+    std::abort();
+}
+
+/** Terminate due to unusable user input (configuration, arguments). */
+[[noreturn]] inline void
+fatalImpl(const char* file, int line, const char* msg)
+{
+    std::fprintf(stderr, "crono fatal: %s:%d: %s\n", file, line, msg);
+    std::exit(1);
+}
+
+} // namespace crono
+
+/** Abort if an internal invariant does not hold. Always enabled. */
+#define CRONO_ASSERT(cond, msg)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::crono::panicImpl(__FILE__, __LINE__, (msg));                  \
+        }                                                                   \
+    } while (0)
+
+/** Exit cleanly if a user-supplied precondition does not hold. */
+#define CRONO_REQUIRE(cond, msg)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::crono::fatalImpl(__FILE__, __LINE__, (msg));                  \
+        }                                                                   \
+    } while (0)
+
+#endif // CRONO_COMMON_MACROS_H_

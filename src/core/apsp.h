@@ -1,0 +1,154 @@
+/**
+ * @file
+ * All Pairs Shortest Path (Section III-2).
+ *
+ * Parallelization: vertex capture. Each thread atomically captures a
+ * source vertex, runs an O(V^2) single-source shortest-path solve over
+ * the adjacency-matrix representation using its own private distance
+ * and visited arrays (the paper notes these per-thread structures are
+ * what thrash the L1), then writes the finished row into the global
+ * distance matrix and captures the next source.
+ */
+
+#ifndef CRONO_CORE_APSP_H_
+#define CRONO_CORE_APSP_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/context.h"
+#include "graph/adjacency_matrix.h"
+#include "runtime/executor.h"
+#include "runtime/strategies.h"
+
+namespace crono::core {
+
+/** Dense all-pairs distance matrix. */
+struct ApspResult {
+    graph::VertexId n = 0;
+    AlignedVector<graph::Dist> dist; ///< row-major n x n
+    rt::RunInfo run;
+
+    graph::Dist
+    at(graph::VertexId s, graph::VertexId t) const
+    {
+        return dist[static_cast<std::size_t>(s) * n + t];
+    }
+};
+
+/** Shared APSP state. */
+template <class Ctx>
+struct ApspState {
+    ApspState(const graph::AdjacencyMatrix& matrix, int nthreads,
+              rt::ActiveTracker* tracker_in)
+        : m(matrix), n(matrix.numVertices()),
+          dist(static_cast<std::size_t>(n) * n, graph::kInfDist),
+          scratch(nthreads), tracker(tracker_in)
+    {
+        for (auto& sc : scratch) {
+            sc.dist.assign(n, graph::kInfDist);
+            sc.visited.assign(n, 0);
+        }
+    }
+
+    /** Private working set of one thread (deliberately L1-hungry). */
+    struct Scratch {
+        AlignedVector<graph::Dist> dist;
+        AlignedVector<std::uint8_t> visited;
+    };
+
+    const graph::AdjacencyMatrix& m;
+    graph::VertexId n;
+    AlignedVector<graph::Dist> dist;
+    std::vector<Scratch> scratch;
+    rt::CaptureCounter counter;
+    rt::ActiveTracker* tracker;
+};
+
+/**
+ * O(V^2) Dijkstra from @p src into the thread's scratch arrays; every
+ * matrix/scratch element access is modeled through @p ctx.
+ */
+template <class Ctx>
+void
+apspSolveSource(Ctx& ctx, ApspState<Ctx>& s, graph::VertexId src)
+{
+    auto& local = s.scratch[ctx.tid()];
+    const graph::VertexId n = s.n;
+
+    for (graph::VertexId v = 0; v < n; ++v) {
+        ctx.write(local.dist[v], graph::kInfDist);
+        ctx.write(local.visited[v], std::uint8_t{0});
+    }
+    ctx.write(local.dist[src], graph::Dist{0});
+
+    for (graph::VertexId iter = 0; iter < n; ++iter) {
+        // Select the nearest unvisited vertex by linear scan.
+        graph::VertexId u = graph::kNoVertex;
+        graph::Dist best = graph::kInfDist;
+        for (graph::VertexId v = 0; v < n; ++v) {
+            ctx.work(1);
+            if (ctx.read(local.visited[v]) == 0 &&
+                ctx.read(local.dist[v]) < best) {
+                best = ctx.read(local.dist[v]);
+                u = v;
+            }
+        }
+        if (u == graph::kNoVertex) {
+            break; // remaining vertices unreachable
+        }
+        ctx.write(local.visited[u], std::uint8_t{1});
+
+        // Relax the full adjacency-matrix row of u.
+        const graph::Weight* row = s.m.row(u).data();
+        for (graph::VertexId v = 0; v < n; ++v) {
+            const graph::Weight w = ctx.read(row[v]);
+            ctx.work(1);
+            if (w == graph::AdjacencyMatrix::kInfWeight) {
+                continue;
+            }
+            const graph::Dist cand = best + w;
+            if (cand < ctx.read(local.dist[v])) {
+                ctx.write(local.dist[v], cand);
+            }
+        }
+    }
+
+    // Publish the finished row; rows are disjoint so no locks needed.
+    graph::Dist* out = s.dist.data() + static_cast<std::size_t>(src) * n;
+    for (graph::VertexId v = 0; v < n; ++v) {
+        ctx.write(out[v], ctx.read(local.dist[v]));
+    }
+}
+
+template <class Ctx>
+void
+apspKernel(Ctx& ctx, ApspState<Ctx>& s)
+{
+    for (;;) {
+        const std::uint64_t src = rt::captureNext(ctx, s.counter, s.n);
+        if (src == rt::kCaptureDone) {
+            break;
+        }
+        trackAdd(s.tracker, 1);
+        apspSolveSource(ctx, s, static_cast<graph::VertexId>(src));
+        trackAdd(s.tracker, -1);
+    }
+}
+
+/** Run APSP over an adjacency matrix. */
+template <class Exec>
+ApspResult
+apsp(Exec& exec, int nthreads, const graph::AdjacencyMatrix& m,
+     rt::ActiveTracker* tracker = nullptr)
+{
+    using Ctx = typename Exec::Ctx;
+    ApspState<Ctx> state(m, nthreads, tracker);
+    rt::RunInfo info = exec.parallel(
+        nthreads, [&state](Ctx& ctx) { apspKernel(ctx, state); });
+    return ApspResult{state.n, std::move(state.dist), std::move(info)};
+}
+
+} // namespace crono::core
+
+#endif // CRONO_CORE_APSP_H_

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Betweenness Centrality (Section III-3).
+ *
+ * Parallelization: vertex capture for the APSP phase, then a barrier,
+ * then an outer-loop (statically divided) pass that, for every vertex
+ * v, counts the shortest paths passing through v by testing
+ * dist(s,t) == dist(s,v) + dist(v,t) over all pairs — the paper's
+ * formulation built directly on the APSP results. Centrality updates
+ * go through vertex locks as described in the paper.
+ */
+
+#ifndef CRONO_CORE_BETWEENNESS_H_
+#define CRONO_CORE_BETWEENNESS_H_
+
+#include <utility>
+
+#include "core/apsp.h"
+#include "runtime/partition.h"
+
+namespace crono::core {
+
+/** Per-vertex centrality counts plus the underlying APSP matrix. */
+struct BetweennessResult {
+    AlignedVector<std::uint64_t> centrality;
+    graph::VertexId n = 0;
+    rt::RunInfo run;
+};
+
+template <class Ctx>
+struct BetweennessState {
+    BetweennessState(const graph::AdjacencyMatrix& m, int nthreads,
+                     rt::ActiveTracker* tracker_in)
+        : apsp(m, nthreads, tracker_in),
+          centrality(m.numVertices(), 0),
+          locks(m.numVertices()), tracker(tracker_in)
+    {
+    }
+
+    ApspState<Ctx> apsp;
+    AlignedVector<std::uint64_t> centrality;
+    LockStripe<Ctx> locks;
+    rt::ActiveTracker* tracker;
+};
+
+template <class Ctx>
+void
+betweennessKernel(Ctx& ctx, BetweennessState<Ctx>& s)
+{
+    // Phase 1: all-pairs shortest paths (vertex capture).
+    apspKernel(ctx, s.apsp);
+    ctx.barrier();
+
+    // Phase 2: centrality accumulation (static outer-loop division).
+    // The end-of-run spike in Figure 2's BETW_CENT curve is this pass.
+    const graph::VertexId n = s.apsp.n;
+    const graph::Dist* dist = s.apsp.dist.data();
+    const rt::Range range =
+        rt::blockPartition(n, ctx.tid(), ctx.nthreads());
+    for (std::uint64_t vi = range.begin; vi < range.end; ++vi) {
+        const auto v = static_cast<graph::VertexId>(vi);
+        trackAdd(s.tracker, 1);
+        std::uint64_t through = 0;
+        const graph::Dist* row_v = dist + static_cast<std::size_t>(v) * n;
+        for (graph::VertexId a = 0; a < n; ++a) {
+            if (a == v) {
+                continue;
+            }
+            const graph::Dist d_av =
+                ctx.read(dist[static_cast<std::size_t>(a) * n + v]);
+            if (d_av == graph::kInfDist) {
+                continue;
+            }
+            const graph::Dist* row_a =
+                dist + static_cast<std::size_t>(a) * n;
+            for (graph::VertexId b = 0; b < n; ++b) {
+                ctx.work(1);
+                if (b == v || b == a) {
+                    continue;
+                }
+                const graph::Dist d_ab = ctx.read(row_a[b]);
+                const graph::Dist d_vb = ctx.read(row_v[b]);
+                if (d_ab != graph::kInfDist &&
+                    d_vb != graph::kInfDist && d_av + d_vb == d_ab) {
+                    ++through;
+                }
+            }
+        }
+        {
+            ScopedLock<Ctx> guard(ctx, s.locks.of(v));
+            ctx.write(s.centrality[v],
+                      ctx.read(s.centrality[v]) + through);
+        }
+        trackAdd(s.tracker, -1);
+    }
+}
+
+/** Run betweenness centrality over an adjacency matrix. */
+template <class Exec>
+BetweennessResult
+betweenness(Exec& exec, int nthreads, const graph::AdjacencyMatrix& m,
+            rt::ActiveTracker* tracker = nullptr)
+{
+    using Ctx = typename Exec::Ctx;
+    BetweennessState<Ctx> state(m, nthreads, tracker);
+    rt::RunInfo info = exec.parallel(
+        nthreads, [&state](Ctx& ctx) { betweennessKernel(ctx, state); });
+    return BetweennessResult{std::move(state.centrality), m.numVertices(),
+                             std::move(info)};
+}
+
+} // namespace crono::core
+
+#endif // CRONO_CORE_BETWEENNESS_H_

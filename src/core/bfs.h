@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Breadth First Search (Section III-4).
+ *
+ * Parallelization: graph division with a barrier per level hop.
+ * Per-vertex "active" flags mark the current level's frontier; each
+ * thread scans its static vertex block, expands its active vertices
+ * and claims undiscovered neighbors with an atomic flag. Optionally
+ * stops early once a target vertex is reached (the paper frames BFS
+ * as a search); by default traverses the whole component producing
+ * BFS levels and a parent tree.
+ */
+
+#ifndef CRONO_CORE_BFS_H_
+#define CRONO_CORE_BFS_H_
+
+#include <utility>
+
+#include "core/context.h"
+#include "graph/graph.h"
+#include "runtime/executor.h"
+#include "runtime/partition.h"
+
+namespace crono::core {
+
+/** Level not reached by the traversal. */
+inline constexpr std::uint32_t kNoLevel = ~std::uint32_t{0};
+
+/** BFS traversal output. */
+struct BfsResult {
+    AlignedVector<std::uint32_t> level;     ///< kNoLevel if unreached
+    AlignedVector<graph::VertexId> parent;  ///< kNoVertex if unreached
+    std::uint64_t reached = 0;              ///< vertices visited
+    bool found_target = false;
+    rt::RunInfo run;
+};
+
+/** Shared BFS state. */
+template <class Ctx>
+struct BfsState {
+    BfsState(const graph::Graph& graph, graph::VertexId source,
+             graph::VertexId target_in, rt::ActiveTracker* tracker_in)
+        : g(graph), level(graph.numVertices(), kNoLevel),
+          parent(graph.numVertices(), graph::kNoVertex),
+          claimed(graph.numVertices(), 0), target(target_in),
+          tracker(tracker_in)
+    {
+        CRONO_REQUIRE(source < graph.numVertices(), "bad BFS source");
+        active[0].assign(graph.numVertices(), 0);
+        active[1].assign(graph.numVertices(), 0);
+        level[source] = 0;
+        parent[source] = source;
+        claimed[source] = 1;
+        active[0][source] = 1;
+        discovered[0].value = 1;
+        trackAdd(tracker, 1);
+    }
+
+    const graph::Graph& g;
+    AlignedVector<std::uint32_t> level;
+    AlignedVector<graph::VertexId> parent;
+    AlignedVector<std::uint32_t> claimed;
+    /** Frontier flags, indexed by level parity. */
+    AlignedVector<std::uint32_t> active[2];
+    /** Frontier sizes, same parity indexing. */
+    Padded<std::uint64_t> discovered[2];
+    Padded<std::uint64_t> reached;
+    Padded<std::uint32_t> found;
+    graph::VertexId target;
+    rt::ActiveTracker* tracker;
+};
+
+template <class Ctx>
+void
+bfsKernel(Ctx& ctx, BfsState<Ctx>& s)
+{
+    const graph::EdgeId* offsets = s.g.rawOffsets().data();
+    const graph::VertexId* neighbors = s.g.rawNeighbors().data();
+    const rt::Range range =
+        rt::blockPartition(s.g.numVertices(), ctx.tid(), ctx.nthreads());
+
+    for (std::uint32_t depth = 0;; ++depth) {
+        std::uint32_t* cur = s.active[depth % 2].data();
+        std::uint32_t* nxt = s.active[(depth + 1) % 2].data();
+        std::uint64_t local_found = 0;
+
+        for (std::uint64_t vi = range.begin; vi < range.end; ++vi) {
+            const auto u = static_cast<graph::VertexId>(vi);
+            if (ctx.read(cur[u]) == 0) {
+                continue;
+            }
+            ctx.write(cur[u], 0u);
+            ctx.fetchAdd(s.reached.value, std::uint64_t{1});
+            trackAdd(s.tracker, -1);
+            if (u == s.target) {
+                ctx.write(s.found.value, 1u);
+            }
+            const graph::EdgeId beg = ctx.read(offsets[u]);
+            const graph::EdgeId end = ctx.read(offsets[u + 1]);
+            for (graph::EdgeId e = beg; e < end; ++e) {
+                const graph::VertexId v = ctx.read(neighbors[e]);
+                ctx.work(1);
+                if (ctx.read(s.claimed[v]) != 0) {
+                    continue;
+                }
+                if (ctx.fetchAdd(s.claimed[v], 1u) == 0) {
+                    ctx.write(s.level[v], depth + 1);
+                    ctx.write(s.parent[v], u);
+                    ctx.write(nxt[v], 1u);
+                    ++local_found;
+                    trackAdd(s.tracker, 1);
+                }
+            }
+        }
+        if (local_found > 0) {
+            ctx.fetchAdd(s.discovered[(depth + 1) % 2].value, local_found);
+        }
+        ctx.barrier();
+        const std::uint64_t next_front =
+            ctx.read(s.discovered[(depth + 1) % 2].value);
+        const bool stop = ctx.read(s.found.value) != 0;
+        if (ctx.tid() == 0) {
+            ctx.write(s.discovered[depth % 2].value, std::uint64_t{0});
+        }
+        ctx.barrier();
+        if (next_front == 0 || stop) {
+            break;
+        }
+    }
+}
+
+/**
+ * Run BFS from @p source. Pass @p target = graph::kNoVertex to
+ * traverse the full component.
+ */
+template <class Exec>
+BfsResult
+bfs(Exec& exec, int nthreads, const graph::Graph& g,
+    graph::VertexId source, graph::VertexId target = graph::kNoVertex,
+    rt::ActiveTracker* tracker = nullptr)
+{
+    using Ctx = typename Exec::Ctx;
+    BfsState<Ctx> state(g, source, target, tracker);
+    rt::RunInfo info = exec.parallel(
+        nthreads, [&state](Ctx& ctx) { bfsKernel(ctx, state); });
+    return BfsResult{std::move(state.level), std::move(state.parent),
+                     state.reached.value, state.found.value != 0,
+                     std::move(info)};
+}
+
+} // namespace crono::core
+
+#endif // CRONO_CORE_BFS_H_

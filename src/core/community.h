@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Community Detection (Section III-10): a parallel, bounded-heuristic
+ * Louvain-style modularity optimization.
+ *
+ * Parallelization (Table I: Vertex Capture & Graph Division): each
+ * round, threads capture vertices from a shared atomic cursor,
+ * computing for each the modularity gain of moving into each
+ * neighboring community from racily-read community aggregates (the
+ * paper's "bounded heuristic to relax the inherently sequential
+ * inter-vertex community dependencies" — staleness trades modularity
+ * accuracy for scalability). A move updates the two communities'
+ * aggregates under ordered locks. Rounds repeat until no vertex moves
+ * or the round bound is hit. This is the single-level refinement; the
+ * paper's characterization concerns this dominant phase.
+ */
+
+#ifndef CRONO_CORE_COMMUNITY_H_
+#define CRONO_CORE_COMMUNITY_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/context.h"
+#include "graph/graph.h"
+#include "runtime/executor.h"
+#include "runtime/partition.h"
+#include "runtime/strategies.h"
+
+namespace crono::core {
+
+/** Community assignment plus the achieved modularity. */
+struct CommunityResult {
+    AlignedVector<graph::VertexId> community;
+    double modularity = 0.0;
+    std::uint64_t rounds = 0;
+    std::uint64_t moves = 0;
+    rt::RunInfo run;
+};
+
+template <class Ctx>
+struct CommunityState {
+    CommunityState(const graph::Graph& graph, unsigned max_rounds_in,
+                   int nthreads, rt::ActiveTracker* tracker_in,
+                   const AlignedVector<double>* extra_weight_in = nullptr)
+        : g(graph), extraWeight(extra_weight_in),
+          community(graph.numVertices(), 0),
+          nodeWeight(graph.numVertices(), 0.0),
+          commTotal(graph.numVertices(), 0.0),
+          locks(graph.numVertices()), scratch(nthreads),
+          maxRounds(max_rounds_in), tracker(tracker_in)
+    {
+        for (auto& sc : scratch) {
+            sc.comm.assign(graph.maxDegree() + 1, 0);
+            sc.weight.assign(graph.maxDegree() + 1, 0.0);
+        }
+    }
+
+    /** Per-thread neighbor-community accumulator. */
+    struct Scratch {
+        AlignedVector<graph::VertexId> comm;
+        AlignedVector<double> weight;
+    };
+
+    const graph::Graph& g;
+    /** Optional per-vertex internal weight (2x collapsed self loops). */
+    const AlignedVector<double>* extraWeight;
+    AlignedVector<graph::VertexId> community;
+    AlignedVector<double> nodeWeight; ///< sum of incident edge weights
+    AlignedVector<double> commTotal;  ///< sum of members' nodeWeight
+    Padded<double> totalWeight;       ///< 2m (both edge directions)
+    /** Round-sweep capture cursors, indexed by round parity. */
+    rt::CaptureCounter cursor[2];
+    Padded<std::uint64_t> movesByParity[2];
+    Padded<std::uint64_t> totalMoves;
+    Padded<std::uint64_t> rounds;
+    LockStripe<Ctx> locks;
+    std::vector<Scratch> scratch;
+    unsigned maxRounds;
+    rt::ActiveTracker* tracker;
+};
+
+template <class Ctx>
+void
+communityKernel(Ctx& ctx, CommunityState<Ctx>& s)
+{
+    const graph::EdgeId* offsets = s.g.rawOffsets().data();
+    const graph::VertexId* neighbors = s.g.rawNeighbors().data();
+    const graph::Weight* weights = s.g.rawWeights().data();
+    const rt::Range range =
+        rt::blockPartition(s.g.numVertices(), ctx.tid(), ctx.nthreads());
+    auto& acc = s.scratch[ctx.tid()];
+
+    // Phase 1: singleton communities and weighted-degree aggregates.
+    double local_weight = 0.0;
+    for (std::uint64_t vi = range.begin; vi < range.end; ++vi) {
+        const auto v = static_cast<graph::VertexId>(vi);
+        double w_sum = 0.0;
+        const graph::EdgeId beg = ctx.read(offsets[v]);
+        const graph::EdgeId end = ctx.read(offsets[v + 1]);
+        for (graph::EdgeId e = beg; e < end; ++e) {
+            w_sum += static_cast<double>(ctx.read(weights[e]));
+            ctx.work(1);
+        }
+        if (s.extraWeight != nullptr) {
+            // Collapsed internal edges travel with the vertex: they
+            // count in its weighted degree and in 2m, keeping the
+            // coarse-level null model honest.
+            w_sum += ctx.read((*s.extraWeight)[v]);
+        }
+        ctx.write(s.community[v], v);
+        ctx.write(s.nodeWeight[v], w_sum);
+        ctx.write(s.commTotal[v], w_sum);
+        local_weight += w_sum;
+    }
+    ctx.fetchAdd(s.totalWeight.value, local_weight);
+    ctx.barrier();
+    const double two_m = ctx.read(s.totalWeight.value);
+    if (two_m == 0.0) {
+        return; // edgeless graph: everyone stays a singleton
+    }
+
+    // Phase 2: bounded local-move rounds.
+    std::int64_t last_active = 0;
+    for (std::uint64_t round = 0; round < s.maxRounds; ++round) {
+        Padded<std::uint64_t>& counter = s.movesByParity[round % 2];
+        std::uint64_t local_moves = 0;
+        for (;;) {
+            const std::uint64_t vi = rt::captureNext(
+                ctx, s.cursor[round % 2], s.g.numVertices());
+            if (vi == rt::kCaptureDone) {
+                break;
+            }
+            const auto v = static_cast<graph::VertexId>(vi);
+            const graph::VertexId cur = ctx.read(s.community[v]);
+            const double k_v = ctx.read(s.nodeWeight[v]);
+            const graph::EdgeId beg = ctx.read(offsets[v]);
+            const graph::EdgeId end = ctx.read(offsets[v + 1]);
+            if (beg == end) {
+                continue;
+            }
+
+            // Gather edge weight toward each neighboring community.
+            std::uint32_t ncomms = 0;
+            double k_in_cur = 0.0;
+            for (graph::EdgeId e = beg; e < end; ++e) {
+                const graph::VertexId u = ctx.read(neighbors[e]);
+                if (u == v) {
+                    continue;
+                }
+                const auto w = static_cast<double>(ctx.read(weights[e]));
+                const graph::VertexId c = ctx.read(s.community[u]);
+                if (c == cur) {
+                    k_in_cur += w;
+                    continue;
+                }
+                std::uint32_t slot = 0;
+                while (slot < ncomms && ctx.read(acc.comm[slot]) != c) {
+                    ctx.work(1);
+                    ++slot;
+                }
+                if (slot == ncomms) {
+                    ctx.write(acc.comm[slot], c);
+                    ctx.write(acc.weight[slot], w);
+                    ++ncomms;
+                } else {
+                    ctx.write(acc.weight[slot],
+                              ctx.read(acc.weight[slot]) + w);
+                }
+            }
+
+            // Score of staying (v's own weight removed from cur).
+            const double tot_cur = ctx.read(s.commTotal[cur]) - k_v;
+            const double stay = k_in_cur - k_v * tot_cur / two_m;
+            double best_gain = stay;
+            graph::VertexId best = cur;
+            for (std::uint32_t i = 0; i < ncomms; ++i) {
+                const graph::VertexId c = ctx.read(acc.comm[i]);
+                const double k_in = ctx.read(acc.weight[i]);
+                const double gain =
+                    k_in - k_v * ctx.read(s.commTotal[c]) / two_m;
+                ctx.work(3);
+                if (gain > best_gain + 1e-12) {
+                    best_gain = gain;
+                    best = c;
+                }
+            }
+
+            if (best != cur) {
+                // Move v: update both aggregates under ordered locks.
+                const std::uint64_t i1 = s.locks.indexOf(cur);
+                const std::uint64_t i2 = s.locks.indexOf(best);
+                typename Ctx::Mutex& first = s.locks.of(i1 < i2 ? cur : best);
+                typename Ctx::Mutex& second =
+                    s.locks.of(i1 < i2 ? best : cur);
+                ctx.lock(first);
+                if (i1 != i2) {
+                    ctx.lock(second);
+                }
+                ctx.write(s.commTotal[cur],
+                          ctx.read(s.commTotal[cur]) - k_v);
+                ctx.write(s.commTotal[best],
+                          ctx.read(s.commTotal[best]) + k_v);
+                ctx.write(s.community[v], best);
+                if (i1 != i2) {
+                    ctx.unlock(second);
+                }
+                ctx.unlock(first);
+                ++local_moves;
+            }
+        }
+        if (local_moves > 0) {
+            ctx.fetchAdd(counter.value, local_moves);
+            ctx.fetchAdd(s.totalMoves.value, local_moves);
+        }
+        ctx.barrier();
+        const std::uint64_t total = ctx.read(counter.value);
+        if (ctx.tid() == 0) {
+            ctx.write(s.movesByParity[(round + 1) % 2].value,
+                      std::uint64_t{0});
+            ctx.write(s.cursor[(round + 1) % 2].next, std::uint64_t{0});
+            ctx.write(s.rounds.value, round + 1);
+            trackAdd(s.tracker,
+                     static_cast<std::int64_t>(total) - last_active);
+            last_active = static_cast<std::int64_t>(total);
+        }
+        ctx.barrier();
+        if (total == 0) {
+            break;
+        }
+    }
+}
+
+/** Newman modularity of @p labels over @p g (host-side, for reports). */
+double communityModularity(const graph::Graph& g,
+                           const AlignedVector<graph::VertexId>& labels);
+
+/**
+ * Collapse @p g under @p labels: one coarse vertex per distinct label,
+ * parallel inter-community edges summed (host-side; used between
+ * levels of the hierarchical algorithm). @p dense_of receives the
+ * label -> coarse-vertex mapping.
+ */
+graph::Graph coarsenByCommunities(
+    const graph::Graph& g, const AlignedVector<graph::VertexId>& labels,
+    std::vector<graph::VertexId>* dense_of,
+    AlignedVector<double>* internal_weight = nullptr);
+
+/** Run bounded-heuristic Louvain community detection. */
+template <class Exec>
+CommunityResult
+communityDetection(Exec& exec, int nthreads, const graph::Graph& g,
+                   unsigned max_rounds = 16,
+                   rt::ActiveTracker* tracker = nullptr,
+                   const AlignedVector<double>* extra_weight = nullptr)
+{
+    using Ctx = typename Exec::Ctx;
+    CommunityState<Ctx> state(g, max_rounds, nthreads, tracker,
+                              extra_weight);
+    rt::RunInfo info = exec.parallel(
+        nthreads, [&state](Ctx& ctx) { communityKernel(ctx, state); });
+    CommunityResult result;
+    result.modularity = communityModularity(g, state.community);
+    result.community = std::move(state.community);
+    result.rounds = state.rounds.value;
+    result.moves = state.totalMoves.value;
+    result.run = std::move(info);
+    return result;
+}
+
+/**
+ * Full hierarchical Louvain: run local-move levels, collapsing the
+ * graph between levels (communities become vertices, parallel edges
+ * sum), until a level makes no moves or @p max_levels is reached --
+ * the complete structure of the algorithm the paper's COMM kernel is
+ * derived from. Final labels are expressed over the original
+ * vertices, each community named by its smallest member; modularity
+ * is evaluated on the original graph.
+ *
+ * Collapsed intra-community weight travels with each supernode as an
+ * "internal weight" contribution to its weighted degree and to 2m
+ * (the Graph type has no self loops), so coarse-level move decisions
+ * use the correct null model. The reported modularity is evaluated
+ * exactly on the original graph.
+ */
+template <class Exec>
+CommunityResult
+communityDetectionHierarchical(Exec& exec, int nthreads,
+                               const graph::Graph& g,
+                               unsigned max_rounds = 16,
+                               unsigned max_levels = 4,
+                               rt::ActiveTracker* tracker = nullptr)
+{
+    CommunityResult level = communityDetection(exec, nthreads, g,
+                                               max_rounds, tracker);
+    // projection[v]: v's community, as a vertex id of `current`.
+    AlignedVector<graph::VertexId> projection = level.community;
+    CommunityResult result;
+    result.rounds = level.rounds;
+    result.moves = level.moves;
+    result.run = std::move(level.run);
+
+    graph::Graph current = g; // owned copy collapsed level by level
+    AlignedVector<double> extra; // internal weight per coarse vertex
+    for (unsigned depth = 1; depth < max_levels && level.moves > 0;
+         ++depth) {
+        std::vector<graph::VertexId> dense_of;
+        AlignedVector<double> internal;
+        graph::Graph coarse = coarsenByCommunities(
+            current, level.community, &dense_of, &internal);
+        if (coarse.numVertices() >= current.numVertices() ||
+            coarse.numEdges() == 0) {
+            break; // no further collapse possible
+        }
+        // Collapsed vertices inherit their members' internal weight.
+        if (!extra.empty()) {
+            for (graph::VertexId v = 0; v < current.numVertices(); ++v) {
+                internal[dense_of[level.community[v]]] += extra[v];
+            }
+        }
+        extra = std::move(internal);
+        // Re-express the original-vertex projection in coarse ids.
+        for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+            projection[v] = dense_of[projection[v]];
+        }
+        current = std::move(coarse);
+        level = communityDetection(exec, nthreads, current, max_rounds,
+                                   tracker, &extra);
+        for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+            projection[v] = level.community[projection[v]];
+        }
+        result.rounds += level.rounds;
+        result.moves += level.moves;
+        result.run.time += level.run.time;
+    }
+
+    // Name each final community by its smallest original member.
+    AlignedVector<graph::VertexId> representative(g.numVertices(),
+                                                  graph::kNoVertex);
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        graph::VertexId& rep = representative[projection[v]];
+        if (rep == graph::kNoVertex || v < rep) {
+            rep = v;
+        }
+    }
+    result.community.resize(g.numVertices());
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        result.community[v] = representative[projection[v]];
+    }
+    result.modularity = communityModularity(g, result.community);
+    return result;
+}
+
+} // namespace crono::core
+
+#endif // CRONO_CORE_COMMUNITY_H_

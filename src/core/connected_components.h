@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Connected Components (Section III-7).
+ *
+ * Parallelization: graph division with barriered phases. Labels are
+ * initialized to vertex ids, then iteratively lowered to the minimum
+ * label among each vertex's neighborhood under per-vertex locks until
+ * a round makes no change; vertices sharing a final label form one
+ * component. The init / propagate / converge phases separated by
+ * barriers produce the sinusoidal active-vertex pattern of Figure 2.
+ */
+
+#ifndef CRONO_CORE_CONNECTED_COMPONENTS_H_
+#define CRONO_CORE_CONNECTED_COMPONENTS_H_
+
+#include <utility>
+
+#include "core/context.h"
+#include "graph/graph.h"
+#include "runtime/executor.h"
+#include "runtime/partition.h"
+
+namespace crono::core {
+
+/** Component labeling: label[v] is the smallest vertex id reachable. */
+struct ConnectedComponentsResult {
+    AlignedVector<graph::VertexId> label;
+    std::uint64_t num_components = 0;
+    std::uint64_t rounds = 0;
+    rt::RunInfo run;
+};
+
+template <class Ctx>
+struct ConnectedComponentsState {
+    ConnectedComponentsState(const graph::Graph& graph,
+                             rt::ActiveTracker* tracker_in)
+        : g(graph), label(graph.numVertices(), 0),
+          locks(graph.numVertices()), tracker(tracker_in)
+    {
+    }
+
+    const graph::Graph& g;
+    AlignedVector<graph::VertexId> label;
+    /** Changed-counters indexed by round parity (see kernel). */
+    Padded<std::uint64_t> changed[2];
+    Padded<std::uint64_t> rounds;
+    LockStripe<Ctx> locks;
+    rt::ActiveTracker* tracker;
+};
+
+template <class Ctx>
+void
+connectedComponentsKernel(Ctx& ctx, ConnectedComponentsState<Ctx>& s)
+{
+    const graph::EdgeId* offsets = s.g.rawOffsets().data();
+    const graph::VertexId* neighbors = s.g.rawNeighbors().data();
+    const rt::Range range =
+        rt::blockPartition(s.g.numVertices(), ctx.tid(), ctx.nthreads());
+
+    // Phase 1: initialize labels (each vertex its own region label).
+    for (std::uint64_t v = range.begin; v < range.end; ++v) {
+        ctx.write(s.label[v], static_cast<graph::VertexId>(v));
+    }
+    ctx.barrier();
+
+    // Phase 2: iterate min-label propagation to a fixpoint. The two
+    // parity-indexed counters make the convergence test race-free
+    // with only two barriers per round: while round r's counter is
+    // being read, round r+1's counter (already zeroed during round
+    // r-1) is untouched.
+    std::int64_t last_active = 0;
+    for (std::uint64_t round = 0;; ++round) {
+        Padded<std::uint64_t>& counter = s.changed[round % 2];
+        std::uint64_t local_changes = 0;
+        for (std::uint64_t vi = range.begin; vi < range.end; ++vi) {
+            const auto v = static_cast<graph::VertexId>(vi);
+            const graph::VertexId lv = ctx.read(s.label[v]);
+            graph::VertexId best = lv;
+            const graph::EdgeId beg = ctx.read(offsets[v]);
+            const graph::EdgeId end = ctx.read(offsets[v + 1]);
+            for (graph::EdgeId e = beg; e < end; ++e) {
+                const graph::VertexId u = ctx.read(neighbors[e]);
+                const graph::VertexId lu = ctx.read(s.label[u]);
+                ctx.work(1);
+                if (lu < best) {
+                    best = lu;
+                }
+            }
+            if (best < lv) {
+                ScopedLock<Ctx> guard(ctx, s.locks.of(v));
+                if (best < ctx.read(s.label[v])) {
+                    ctx.write(s.label[v], best);
+                    ++local_changes;
+                }
+            }
+        }
+        if (local_changes > 0) {
+            ctx.fetchAdd(counter.value, local_changes);
+        }
+        ctx.barrier();
+        const std::uint64_t total = ctx.read(counter.value);
+        if (ctx.tid() == 0) {
+            ctx.write(s.changed[(round + 1) % 2].value, std::uint64_t{0});
+            ctx.write(s.rounds.value, round + 1);
+            trackAdd(s.tracker,
+                     static_cast<std::int64_t>(total) - last_active);
+            last_active = static_cast<std::int64_t>(total);
+        }
+        ctx.barrier();
+        if (total == 0) {
+            break;
+        }
+    }
+}
+
+/** Run connected components; also reports the component count. */
+template <class Exec>
+ConnectedComponentsResult
+connectedComponents(Exec& exec, int nthreads, const graph::Graph& g,
+                    rt::ActiveTracker* tracker = nullptr)
+{
+    using Ctx = typename Exec::Ctx;
+    ConnectedComponentsState<Ctx> state(g, tracker);
+    rt::RunInfo info = exec.parallel(nthreads, [&state](Ctx& ctx) {
+        connectedComponentsKernel(ctx, state);
+    });
+    ConnectedComponentsResult result;
+    result.num_components = 0;
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        if (state.label[v] == v) {
+            ++result.num_components;
+        }
+    }
+    result.label = std::move(state.label);
+    result.rounds = state.rounds.value;
+    result.run = std::move(info);
+    return result;
+}
+
+} // namespace crono::core
+
+#endif // CRONO_CORE_CONNECTED_COMPONENTS_H_

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Depth First Search (Section III-5).
+ *
+ * Parallelization: branch-level. A shared branch stack holds subtree
+ * roots; each thread pops a branch and explores it depth-first with a
+ * private stack, claiming vertices through atomic flags. Extra
+ * branches discovered along the way are donated to the shared stack
+ * while it is shallow, which is the only way DFS exposes parallelism
+ * — matching the paper's observation that DFS scales worst of the
+ * suite (heavy vertex-level dependencies, high L2Home-Sharers time).
+ */
+
+#ifndef CRONO_CORE_DFS_H_
+#define CRONO_CORE_DFS_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/context.h"
+#include "graph/graph.h"
+#include "runtime/executor.h"
+
+namespace crono::core {
+
+/** Visit order not assigned (vertex unreached). */
+inline constexpr std::uint64_t kNotVisited = ~std::uint64_t{0};
+
+/** DFS traversal output. */
+struct DfsResult {
+    AlignedVector<std::uint64_t> order;     ///< visit sequence number
+    AlignedVector<graph::VertexId> parent;  ///< discovery tree
+    std::uint64_t visited = 0;
+    bool found_target = false;
+    rt::RunInfo run;
+};
+
+template <class Ctx>
+struct DfsState {
+    DfsState(const graph::Graph& graph, graph::VertexId source,
+             graph::VertexId target_in, rt::ActiveTracker* tracker_in)
+        : g(graph), order(graph.numVertices(), kNotVisited),
+          parent(graph.numVertices(), graph::kNoVertex),
+          claimed(graph.numVertices(), 0),
+          sharedStack(graph.numVertices()), target(target_in),
+          tracker(tracker_in)
+    {
+        CRONO_REQUIRE(source < graph.numVertices(), "bad DFS source");
+        // The source is pre-claimed and seeded as the first branch.
+        claimed[source] = 1;
+        parent[source] = source;
+        sharedStack[0] = source;
+        stackTop.value = 1;
+        trackAdd(tracker, 1);
+    }
+
+    const graph::Graph& g;
+    AlignedVector<std::uint64_t> order;
+    AlignedVector<graph::VertexId> parent;
+    AlignedVector<std::uint32_t> claimed;
+    AlignedVector<graph::VertexId> sharedStack;
+    Padded<std::uint64_t> stackTop;
+    Padded<std::uint64_t> working;     ///< threads holding a branch
+    Padded<std::uint64_t> visitCounter;
+    Padded<std::uint32_t> found;
+    typename Ctx::Mutex stackLock;
+    graph::VertexId target;
+    rt::ActiveTracker* tracker;
+};
+
+/**
+ * Pop a branch root; increments `working` under the same lock so the
+ * empty+idle termination test is race-free.
+ * @return the branch root, or kNoVertex with *done set appropriately.
+ */
+template <class Ctx>
+graph::VertexId
+dfsPopBranch(Ctx& ctx, DfsState<Ctx>& s, bool* done)
+{
+    ScopedLock<Ctx> guard(ctx, s.stackLock);
+    const std::uint64_t top = ctx.read(s.stackTop.value);
+    if (top > 0) {
+        const graph::VertexId v = ctx.read(s.sharedStack[top - 1]);
+        ctx.write(s.stackTop.value, top - 1);
+        ctx.write(s.working.value, ctx.read(s.working.value) + 1);
+        *done = false;
+        return v;
+    }
+    // No work and nobody who could create more: the traversal is over.
+    *done = ctx.read(s.working.value) == 0;
+    return graph::kNoVertex;
+}
+
+template <class Ctx>
+void
+dfsKernel(Ctx& ctx, DfsState<Ctx>& s)
+{
+    const graph::EdgeId* offsets = s.g.rawOffsets().data();
+    const graph::VertexId* neighbors = s.g.rawNeighbors().data();
+    // Donate branches while the shared stack is shallower than this.
+    const std::uint64_t donate_below =
+        4 * static_cast<std::uint64_t>(ctx.nthreads());
+
+    std::vector<graph::VertexId> local; // private DFS stack
+    for (;;) {
+        if (ctx.read(s.found.value) != 0) {
+            break; // target reached somewhere
+        }
+        bool done = false;
+        const graph::VertexId root = dfsPopBranch(ctx, s, &done);
+        if (root == graph::kNoVertex) {
+            if (done) {
+                break;
+            }
+            ctx.work(8); // idle poll
+            continue;
+        }
+
+        local.push_back(root);
+        while (!local.empty() && ctx.read(s.found.value) == 0) {
+            const graph::VertexId v = local.back();
+            local.pop_back();
+            ctx.work(2);
+            const std::uint64_t seq =
+                ctx.fetchAdd(s.visitCounter.value, std::uint64_t{1});
+            ctx.write(s.order[v], seq);
+            trackAdd(s.tracker, -1);
+            if (v == s.target) {
+                ctx.write(s.found.value, 1u);
+                break;
+            }
+            const graph::EdgeId beg = ctx.read(offsets[v]);
+            const graph::EdgeId end = ctx.read(offsets[v + 1]);
+            bool first_child = true;
+            for (graph::EdgeId e = beg; e < end; ++e) {
+                const graph::VertexId u = ctx.read(neighbors[e]);
+                ctx.work(1);
+                if (ctx.read(s.claimed[u]) != 0 ||
+                    ctx.fetchAdd(s.claimed[u], 1u) != 0) {
+                    continue;
+                }
+                ctx.write(s.parent[u], v);
+                trackAdd(s.tracker, 1);
+                // Deepen along the first child; donate later siblings
+                // while other threads may be starving.
+                if (!first_child &&
+                    ctx.read(s.stackTop.value) < donate_below) {
+                    ScopedLock<Ctx> guard(ctx, s.stackLock);
+                    const std::uint64_t top = ctx.read(s.stackTop.value);
+                    ctx.write(s.sharedStack[top], u);
+                    ctx.write(s.stackTop.value, top + 1);
+                } else {
+                    local.push_back(u);
+                    first_child = false;
+                }
+            }
+        }
+        local.clear(); // branch finished (or aborted on found)
+
+        ScopedLock<Ctx> guard(ctx, s.stackLock);
+        ctx.write(s.working.value, ctx.read(s.working.value) - 1);
+    }
+}
+
+/**
+ * Run parallel DFS from @p source; stops early if @p target is found.
+ */
+template <class Exec>
+DfsResult
+dfs(Exec& exec, int nthreads, const graph::Graph& g,
+    graph::VertexId source, graph::VertexId target = graph::kNoVertex,
+    rt::ActiveTracker* tracker = nullptr)
+{
+    using Ctx = typename Exec::Ctx;
+    DfsState<Ctx> state(g, source, target, tracker);
+    rt::RunInfo info = exec.parallel(
+        nthreads, [&state](Ctx& ctx) { dfsKernel(ctx, state); });
+    return DfsResult{std::move(state.order), std::move(state.parent),
+                     state.visitCounter.value, state.found.value != 0,
+                     std::move(info)};
+}
+
+} // namespace crono::core
+
+#endif // CRONO_CORE_DFS_H_

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * PageRank (Section III-9), exact per-iteration version of Equation 1:
+ *
+ *   PR_{t+1}(i) = r + (1 - r) * sum_j PR_t(j) / degree(j)
+ *
+ * over neighbors j of i (r = probability of a random page visit).
+ *
+ * Parallelization (Table I: Vertex Capture & Graph Division): in the
+ * scatter phase threads dynamically *capture* vertices from a shared
+ * atomic cursor and push each captured vertex's contribution to its
+ * neighbors' accumulators under per-vertex atomic locks ("threads may
+ * converge on common neighbors from their given vertices"); the
+ * update phase is statically divided. The capture counter's cache
+ * line ping-pongs between all threads — the fine-grain communication
+ * the paper attributes PageRank's weak scaling to. Iterations are
+ * separated by barriers.
+ */
+
+#ifndef CRONO_CORE_PAGERANK_H_
+#define CRONO_CORE_PAGERANK_H_
+
+#include <utility>
+
+#include "core/context.h"
+#include "graph/graph.h"
+#include "runtime/executor.h"
+#include "runtime/partition.h"
+#include "runtime/strategies.h"
+
+namespace crono::core {
+
+/** Rank vector after a fixed number of exact iterations. */
+struct PageRankResult {
+    AlignedVector<double> rank;
+    unsigned iterations = 0;
+    rt::RunInfo run;
+};
+
+template <class Ctx>
+struct PageRankState {
+    PageRankState(const graph::Graph& graph, unsigned iterations_in,
+                  double damping, rt::ActiveTracker* tracker_in)
+        : g(graph), rank(graph.numVertices(), 0.0),
+          incoming(graph.numVertices(), 0.0),
+          locks(graph.numVertices()), iterations(iterations_in),
+          r(damping), tracker(tracker_in)
+    {
+        CRONO_REQUIRE(damping > 0.0 && damping < 1.0,
+                      "damping must be in (0, 1)");
+    }
+
+    const graph::Graph& g;
+    AlignedVector<double> rank;
+    AlignedVector<double> incoming; ///< scatter accumulators
+    /** Scatter-phase capture cursors, indexed by iteration parity. */
+    rt::CaptureCounter cursor[2];
+    LockStripe<Ctx> locks;
+    unsigned iterations;
+    double r;
+    rt::ActiveTracker* tracker;
+};
+
+template <class Ctx>
+void
+pageRankKernel(Ctx& ctx, PageRankState<Ctx>& s)
+{
+    const graph::EdgeId* offsets = s.g.rawOffsets().data();
+    const graph::VertexId* neighbors = s.g.rawNeighbors().data();
+    const graph::VertexId n = s.g.numVertices();
+    const rt::Range range =
+        rt::blockPartition(n, ctx.tid(), ctx.nthreads());
+
+    // Initialize: uniform probability, clean accumulators.
+    const double uniform = 1.0 / static_cast<double>(n);
+    for (std::uint64_t v = range.begin; v < range.end; ++v) {
+        ctx.write(s.rank[v], uniform);
+        ctx.write(s.incoming[v], 0.0);
+    }
+    ctx.barrier();
+
+    for (unsigned it = 0; it < s.iterations; ++it) {
+        // Scatter phase: capture vertices dynamically and push
+        // PR(v)/degree(v) to every neighbor.
+        for (;;) {
+            const std::uint64_t vi =
+                rt::captureNext(ctx, s.cursor[it % 2], n);
+            if (vi == rt::kCaptureDone) {
+                break;
+            }
+            const auto v = static_cast<graph::VertexId>(vi);
+            trackAdd(s.tracker, 1);
+            const graph::EdgeId beg = ctx.read(offsets[v]);
+            const graph::EdgeId end = ctx.read(offsets[v + 1]);
+            if (beg == end) {
+                continue; // isolated page contributes nothing
+            }
+            const double share = ctx.read(s.rank[v]) /
+                                 static_cast<double>(end - beg);
+            ctx.work(2);
+            for (graph::EdgeId e = beg; e < end; ++e) {
+                const graph::VertexId u = ctx.read(neighbors[e]);
+                ScopedLock<Ctx> guard(ctx, s.locks.of(u));
+                ctx.write(s.incoming[u], ctx.read(s.incoming[u]) + share);
+            }
+        }
+        ctx.barrier();
+
+        // Update phase (graph division): apply Equation 1 and reset
+        // the accumulators. Thread 0 also rearms the next iteration's
+        // capture cursor; the trailing barrier orders it before use.
+        // The paper's formulation uses the unscaled random-visit term
+        // r; we use the probability-conserving r/N variant so ranks
+        // remain a distribution (sum = 1 on degree>=1 graphs).
+        for (std::uint64_t vi = range.begin; vi < range.end; ++vi) {
+            const auto v = static_cast<graph::VertexId>(vi);
+            const double in = ctx.read(s.incoming[v]);
+            ctx.write(s.rank[v],
+                      s.r * uniform + (1.0 - s.r) * in);
+            ctx.write(s.incoming[v], 0.0);
+            ctx.work(3);
+            trackAdd(s.tracker, -1);
+        }
+        if (ctx.tid() == 0) {
+            ctx.write(s.cursor[(it + 1) % 2].next, std::uint64_t{0});
+        }
+        ctx.barrier();
+    }
+}
+
+/**
+ * Run PageRank for @p iterations exact iterations.
+ *
+ * @param damping the paper's r (random-visit probability), default 0.15
+ */
+template <class Exec>
+PageRankResult
+pageRank(Exec& exec, int nthreads, const graph::Graph& g,
+         unsigned iterations = 10, double damping = 0.15,
+         rt::ActiveTracker* tracker = nullptr)
+{
+    using Ctx = typename Exec::Ctx;
+    PageRankState<Ctx> state(g, iterations, damping, tracker);
+    rt::RunInfo info = exec.parallel(
+        nthreads, [&state](Ctx& ctx) { pageRankKernel(ctx, state); });
+    return PageRankResult{std::move(state.rank), iterations,
+                          std::move(info)};
+}
+
+} // namespace crono::core
+
+#endif // CRONO_CORE_PAGERANK_H_

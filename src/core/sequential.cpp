@@ -1,0 +1,340 @@
+#include "core/sequential.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "common/macros.h"
+#include "core/community.h"
+#include "graph/builder.h"
+
+#include <unordered_map>
+
+namespace crono::core::seq {
+
+std::vector<graph::Dist>
+sssp(const graph::Graph& g, graph::VertexId source)
+{
+    CRONO_REQUIRE(source < g.numVertices(), "bad source");
+    std::vector<graph::Dist> dist(g.numVertices(), graph::kInfDist);
+    using Item = std::pair<graph::Dist, graph::VertexId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+    dist[source] = 0;
+    pq.push({0, source});
+    while (!pq.empty()) {
+        const auto [d, u] = pq.top();
+        pq.pop();
+        if (d != dist[u]) {
+            continue; // stale entry
+        }
+        auto ns = g.neighbors(u);
+        auto ws = g.weights(u);
+        for (std::size_t i = 0; i < ns.size(); ++i) {
+            const graph::Dist cand = d + ws[i];
+            if (cand < dist[ns[i]]) {
+                dist[ns[i]] = cand;
+                pq.push({cand, ns[i]});
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<std::uint32_t>
+bfsLevels(const graph::Graph& g, graph::VertexId source)
+{
+    std::vector<std::uint32_t> level(g.numVertices(), ~std::uint32_t{0});
+    std::deque<graph::VertexId> queue;
+    level[source] = 0;
+    queue.push_back(source);
+    while (!queue.empty()) {
+        const graph::VertexId u = queue.front();
+        queue.pop_front();
+        for (graph::VertexId v : g.neighbors(u)) {
+            if (level[v] == ~std::uint32_t{0}) {
+                level[v] = level[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    return level;
+}
+
+std::uint64_t
+reachableCount(const graph::Graph& g, graph::VertexId source)
+{
+    const auto levels = bfsLevels(g, source);
+    return static_cast<std::uint64_t>(std::count_if(
+        levels.begin(), levels.end(),
+        [](std::uint32_t l) { return l != ~std::uint32_t{0}; }));
+}
+
+std::vector<graph::Dist>
+apsp(const graph::AdjacencyMatrix& m)
+{
+    const graph::VertexId n = m.numVertices();
+    std::vector<graph::Dist> dist(static_cast<std::size_t>(n) * n,
+                                  graph::kInfDist);
+    auto at = [&](graph::VertexId i, graph::VertexId j) -> graph::Dist& {
+        return dist[static_cast<std::size_t>(i) * n + j];
+    };
+    for (graph::VertexId i = 0; i < n; ++i) {
+        at(i, i) = 0;
+        for (graph::VertexId j = 0; j < n; ++j) {
+            const graph::Weight w = m.at(i, j);
+            if (i != j && w != graph::AdjacencyMatrix::kInfWeight) {
+                at(i, j) = std::min<graph::Dist>(at(i, j), w);
+            }
+        }
+    }
+    for (graph::VertexId k = 0; k < n; ++k) {
+        for (graph::VertexId i = 0; i < n; ++i) {
+            if (at(i, k) == graph::kInfDist) {
+                continue;
+            }
+            for (graph::VertexId j = 0; j < n; ++j) {
+                if (at(k, j) == graph::kInfDist) {
+                    continue;
+                }
+                at(i, j) = std::min(at(i, j), at(i, k) + at(k, j));
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<std::uint64_t>
+betweenness(const graph::AdjacencyMatrix& m)
+{
+    const graph::VertexId n = m.numVertices();
+    const auto dist = apsp(m);
+    auto at = [&](graph::VertexId i, graph::VertexId j) {
+        return dist[static_cast<std::size_t>(i) * n + j];
+    };
+    std::vector<std::uint64_t> central(n, 0);
+    for (graph::VertexId v = 0; v < n; ++v) {
+        for (graph::VertexId a = 0; a < n; ++a) {
+            if (a == v || at(a, v) == graph::kInfDist) {
+                continue;
+            }
+            for (graph::VertexId b = 0; b < n; ++b) {
+                if (b == v || b == a) {
+                    continue;
+                }
+                if (at(a, b) != graph::kInfDist &&
+                    at(v, b) != graph::kInfDist &&
+                    at(a, v) + at(v, b) == at(a, b)) {
+                    ++central[v];
+                }
+            }
+        }
+    }
+    return central;
+}
+
+namespace {
+
+void
+tspSearchSeq(const graph::AdjacencyMatrix& m, std::uint32_t visited,
+             graph::VertexId cur, std::uint64_t cost, unsigned depth,
+             std::uint64_t* best)
+{
+    const graph::VertexId n = m.numVertices();
+    if (cost >= *best) {
+        return;
+    }
+    if (depth == n) {
+        *best = std::min(*best, cost + m.at(cur, 0));
+        return;
+    }
+    for (graph::VertexId next = 1; next < n; ++next) {
+        if (!(visited & (1u << next))) {
+            tspSearchSeq(m, visited | (1u << next), next,
+                         cost + m.at(cur, next), depth + 1, best);
+        }
+    }
+}
+
+} // namespace
+
+std::uint64_t
+tspCost(const graph::AdjacencyMatrix& cities)
+{
+    CRONO_REQUIRE(cities.numVertices() >= 2 && cities.numVertices() <= 16,
+                  "sequential TSP supports 2..16 cities");
+    std::uint64_t best = ~std::uint64_t{0};
+    tspSearchSeq(cities, 1u, 0, 0, 1, &best);
+    return best;
+}
+
+std::vector<graph::VertexId>
+componentLabels(const graph::Graph& g)
+{
+    const graph::VertexId n = g.numVertices();
+    std::vector<graph::VertexId> label(n, graph::kNoVertex);
+    std::vector<graph::VertexId> stack;
+    for (graph::VertexId v = 0; v < n; ++v) {
+        if (label[v] != graph::kNoVertex) {
+            continue;
+        }
+        // v is the smallest unvisited id, hence its component's min.
+        label[v] = v;
+        stack.push_back(v);
+        while (!stack.empty()) {
+            const graph::VertexId u = stack.back();
+            stack.pop_back();
+            for (graph::VertexId w : g.neighbors(u)) {
+                if (label[w] == graph::kNoVertex) {
+                    label[w] = v;
+                    stack.push_back(w);
+                }
+            }
+        }
+    }
+    return label;
+}
+
+std::uint64_t
+triangleCount(const graph::Graph& g)
+{
+    std::uint64_t total = 0;
+    for (graph::VertexId a = 0; a < g.numVertices(); ++a) {
+        auto ns = g.neighbors(a);
+        for (std::size_t i = 0; i < ns.size(); ++i) {
+            if (ns[i] <= a) {
+                continue;
+            }
+            for (std::size_t j = i + 1; j < ns.size(); ++j) {
+                if (ns[j] > ns[i] && g.hasEdge(ns[i], ns[j])) {
+                    ++total;
+                }
+            }
+        }
+    }
+    return total;
+}
+
+std::vector<double>
+pageRank(const graph::Graph& g, unsigned iterations, double damping)
+{
+    const graph::VertexId n = g.numVertices();
+    std::vector<double> rank(n, 1.0 / n);
+    std::vector<double> incoming(n, 0.0);
+    for (unsigned it = 0; it < iterations; ++it) {
+        std::fill(incoming.begin(), incoming.end(), 0.0);
+        for (graph::VertexId v = 0; v < n; ++v) {
+            const auto deg = g.degree(v);
+            if (deg == 0) {
+                continue;
+            }
+            const double share = rank[v] / static_cast<double>(deg);
+            for (graph::VertexId u : g.neighbors(v)) {
+                incoming[u] += share;
+            }
+        }
+        for (graph::VertexId v = 0; v < n; ++v) {
+            rank[v] = damping / n + (1.0 - damping) * incoming[v];
+        }
+    }
+    return rank;
+}
+
+} // namespace crono::core::seq
+
+namespace crono::core {
+
+double
+communityModularity(const graph::Graph& g,
+                    const AlignedVector<graph::VertexId>& labels)
+{
+    std::uint64_t weight_sum = 0;
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        for (graph::Weight w : g.weights(v)) {
+            weight_sum += w;
+        }
+    }
+    const double two_m = static_cast<double>(weight_sum);
+    if (two_m == 0.0) {
+        return 0.0;
+    }
+
+    // Q = sum_c [ in_c / 2m - (tot_c / 2m)^2 ]
+    std::vector<double> in_c(g.numVertices(), 0.0);
+    std::vector<double> tot_c(g.numVertices(), 0.0);
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        auto ns = g.neighbors(v);
+        auto ws = g.weights(v);
+        for (std::size_t i = 0; i < ns.size(); ++i) {
+            tot_c[labels[v]] += ws[i];
+            if (labels[ns[i]] == labels[v]) {
+                in_c[labels[v]] += ws[i];
+            }
+        }
+    }
+    double q = 0.0;
+    for (graph::VertexId c = 0; c < g.numVertices(); ++c) {
+        q += in_c[c] / two_m - (tot_c[c] / two_m) * (tot_c[c] / two_m);
+    }
+    return q;
+}
+
+graph::Graph
+coarsenByCommunities(const graph::Graph& g,
+                     const AlignedVector<graph::VertexId>& labels,
+                     std::vector<graph::VertexId>* dense_of,
+                     AlignedVector<double>* internal_weight)
+{
+    CRONO_ASSERT(labels.size() == g.numVertices(),
+                 "label/vertex count mismatch");
+    // Compact the label space.
+    dense_of->assign(g.numVertices(), graph::kNoVertex);
+    graph::VertexId next = 0;
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        graph::VertexId& slot = (*dense_of)[labels[v]];
+        if (slot == graph::kNoVertex) {
+            slot = next++;
+        }
+    }
+
+    // Sum parallel inter-community edges (each logical edge appears
+    // twice in the CSR; accumulate the lower-id direction once) and
+    // collect intra-community weight (both directions, i.e. 2x the
+    // logical internal weight -- the supernode "self loop").
+    if (internal_weight != nullptr) {
+        internal_weight->assign(next, 0.0);
+    }
+    std::unordered_map<std::uint64_t, std::uint64_t> weight_sum;
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        const graph::VertexId cv = (*dense_of)[labels[v]];
+        auto ns = g.neighbors(v);
+        auto ws = g.weights(v);
+        for (std::size_t i = 0; i < ns.size(); ++i) {
+            const graph::VertexId cu = (*dense_of)[labels[ns[i]]];
+            if (cv == cu) {
+                if (internal_weight != nullptr) {
+                    (*internal_weight)[cv] += ws[i];
+                }
+                continue;
+            }
+            if (cv > cu) {
+                continue; // mirrored direction
+            }
+            const std::uint64_t key =
+                (static_cast<std::uint64_t>(cv) << 32) | cu;
+            weight_sum[key] += ws[i];
+        }
+    }
+
+    graph::GraphBuilder builder(next, /*undirected=*/true);
+    constexpr std::uint64_t kMaxWeight = ~graph::Weight{0} >> 1;
+    for (const auto& [key, w] : weight_sum) {
+        builder.addEdge(static_cast<graph::VertexId>(key >> 32),
+                        static_cast<graph::VertexId>(key & 0xffffffffu),
+                        static_cast<graph::Weight>(
+                            std::min<std::uint64_t>(w, kMaxWeight)));
+    }
+    return std::move(builder).build(
+        graph::GraphBuilder::DedupPolicy::keepAll);
+}
+
+} // namespace crono::core

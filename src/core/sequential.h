@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Sequential reference implementations of every CRONO kernel.
+ *
+ * These are textbook single-threaded algorithms (binary-heap
+ * Dijkstra, queue BFS, stack DFS, Floyd-Warshall, exhaustive TSP,
+ * flood-fill components, brute-force triangles/betweenness, dense
+ * power iteration). The test suite validates every parallel kernel —
+ * native and simulated — against them, and they document the intended
+ * semantics of each parallel result.
+ */
+
+#ifndef CRONO_CORE_SEQUENTIAL_H_
+#define CRONO_CORE_SEQUENTIAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/adjacency_matrix.h"
+#include "graph/graph.h"
+
+namespace crono::core::seq {
+
+/** Dijkstra with a binary heap. dist[v] == kInfDist if unreachable. */
+std::vector<graph::Dist> sssp(const graph::Graph& g,
+                              graph::VertexId source);
+
+/** BFS levels (hop counts); kNoLevel-equivalent is ~0u. */
+std::vector<std::uint32_t> bfsLevels(const graph::Graph& g,
+                                     graph::VertexId source);
+
+/** Vertices reachable from @p source (including it). */
+std::uint64_t reachableCount(const graph::Graph& g,
+                             graph::VertexId source);
+
+/** Floyd-Warshall over a dense matrix. Row-major n x n result. */
+std::vector<graph::Dist> apsp(const graph::AdjacencyMatrix& m);
+
+/**
+ * Betweenness counts with the paper's APSP-based definition: for each
+ * v, the number of ordered pairs (a, b), a != v != b, with
+ * dist(a,b) == dist(a,v) + dist(v,b).
+ */
+std::vector<std::uint64_t> betweenness(const graph::AdjacencyMatrix& m);
+
+/** Exact optimal TSP tour cost by branch and bound (n <= 16). */
+std::uint64_t tspCost(const graph::AdjacencyMatrix& cities);
+
+/** Component label of every vertex (smallest member id). */
+std::vector<graph::VertexId> componentLabels(const graph::Graph& g);
+
+/** Total number of triangles. */
+std::uint64_t triangleCount(const graph::Graph& g);
+
+/** PageRank matching core::pageRank's update rule exactly. */
+std::vector<double> pageRank(const graph::Graph& g, unsigned iterations,
+                             double damping);
+
+} // namespace crono::core::seq
+
+#endif // CRONO_CORE_SEQUENTIAL_H_

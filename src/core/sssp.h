@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Single Source Shortest Path (SSSP_DIJK), Section III-1 of the paper.
+ *
+ * Parallelization: graph division over dynamically opened pareto
+ * fronts. The algorithm is label-correcting: per-vertex "active"
+ * flags mark the current pareto front; every round each thread scans
+ * its static vertex block, relaxes the neighbors of its active
+ * vertices (path costs updated under per-vertex locks), and marks
+ * improved vertices active for the next round. Rounds are separated
+ * by barriers; the front swells and then dwindles exactly as
+ * Figure 2 shows. (CRONO's released kernels use this flag-scan
+ * structure rather than a shared worklist — it has no serializing
+ * global queue, only the fine-grain sharing the paper measures.)
+ */
+
+#ifndef CRONO_CORE_SSSP_H_
+#define CRONO_CORE_SSSP_H_
+
+#include <utility>
+
+#include "core/context.h"
+#include "graph/graph.h"
+#include "runtime/executor.h"
+#include "runtime/partition.h"
+
+namespace crono::core {
+
+/** Shortest-path tree from one source. */
+struct SsspResult {
+    AlignedVector<graph::Dist> dist;        ///< kInfDist if unreachable
+    AlignedVector<graph::VertexId> parent;  ///< kNoVertex if none
+    std::uint64_t rounds = 0;
+    rt::RunInfo run;
+};
+
+/** Shared state of one SSSP run (template over the context type). */
+template <class Ctx>
+struct SsspState {
+    SsspState(const graph::Graph& graph, graph::VertexId source,
+              rt::ActiveTracker* tracker_in)
+        : g(graph), dist(graph.numVertices(), graph::kInfDist),
+          parent(graph.numVertices(), graph::kNoVertex),
+          locks(graph.numVertices()), tracker(tracker_in)
+    {
+        CRONO_REQUIRE(source < graph.numVertices(), "bad SSSP source");
+        active[0].assign(graph.numVertices(), 0);
+        active[1].assign(graph.numVertices(), 0);
+        dist[source] = 0;
+        parent[source] = source;
+        active[0][source] = 1;
+        enqueued[0].value = 1;
+        trackAdd(tracker, 1);
+    }
+
+    const graph::Graph& g;
+    AlignedVector<graph::Dist> dist;
+    AlignedVector<graph::VertexId> parent;
+    /** Pareto-front membership flags, indexed by round parity. */
+    AlignedVector<std::uint32_t> active[2];
+    /** Front sizes, same parity indexing (for termination). */
+    Padded<std::uint64_t> enqueued[2];
+    Padded<std::uint64_t> rounds;
+    LockStripe<Ctx> locks;
+    rt::ActiveTracker* tracker;
+};
+
+/** Kernel body; all threads execute this with the shared state. */
+template <class Ctx>
+void
+ssspKernel(Ctx& ctx, SsspState<Ctx>& s)
+{
+    const graph::EdgeId* offsets = s.g.rawOffsets().data();
+    const graph::VertexId* neighbors = s.g.rawNeighbors().data();
+    const graph::Weight* weights = s.g.rawWeights().data();
+    const rt::Range range =
+        rt::blockPartition(s.g.numVertices(), ctx.tid(), ctx.nthreads());
+
+    for (std::uint64_t round = 0;; ++round) {
+        std::uint32_t* cur = s.active[round % 2].data();
+        std::uint32_t* nxt = s.active[(round + 1) % 2].data();
+        std::uint64_t local_enqueued = 0;
+
+        for (std::uint64_t vi = range.begin; vi < range.end; ++vi) {
+            const auto u = static_cast<graph::VertexId>(vi);
+            if (ctx.read(cur[u]) == 0) {
+                continue;
+            }
+            ctx.write(cur[u], 0u);
+            trackAdd(s.tracker, -1);
+            const graph::Dist du = ctx.read(s.dist[u]);
+            const graph::EdgeId beg = ctx.read(offsets[u]);
+            const graph::EdgeId end = ctx.read(offsets[u + 1]);
+            for (graph::EdgeId e = beg; e < end; ++e) {
+                const graph::VertexId v = ctx.read(neighbors[e]);
+                const graph::Weight w = ctx.read(weights[e]);
+                const graph::Dist cand = du + w;
+                ctx.work(2); // index arithmetic + compare
+                if (cand >= ctx.read(s.dist[v])) {
+                    continue;
+                }
+                ScopedLock<Ctx> guard(ctx, s.locks.of(v));
+                if (cand < ctx.read(s.dist[v])) {
+                    ctx.write(s.dist[v], cand);
+                    ctx.write(s.parent[v], u);
+                    if (ctx.read(nxt[v]) == 0) {
+                        ctx.write(nxt[v], 1u);
+                        ++local_enqueued;
+                        trackAdd(s.tracker, 1);
+                    }
+                }
+            }
+        }
+        if (local_enqueued > 0) {
+            ctx.fetchAdd(s.enqueued[(round + 1) % 2].value,
+                         local_enqueued);
+        }
+        ctx.barrier();
+        const std::uint64_t next_front =
+            ctx.read(s.enqueued[(round + 1) % 2].value);
+        if (ctx.tid() == 0) {
+            // Round r+1 accumulates into this parity slot; the reset
+            // completes before the second barrier releases anyone.
+            ctx.write(s.enqueued[round % 2].value, std::uint64_t{0});
+            ctx.write(s.rounds.value, round + 1);
+        }
+        ctx.barrier();
+        if (next_front == 0) {
+            break;
+        }
+    }
+}
+
+/**
+ * Run SSSP on @p exec with @p nthreads threads.
+ *
+ * @param tracker optional active-vertices instrumentation (Figure 2)
+ */
+template <class Exec>
+SsspResult
+sssp(Exec& exec, int nthreads, const graph::Graph& g,
+     graph::VertexId source, rt::ActiveTracker* tracker = nullptr)
+{
+    using Ctx = typename Exec::Ctx;
+    SsspState<Ctx> state(g, source, tracker);
+    rt::RunInfo info = exec.parallel(
+        nthreads, [&state](Ctx& ctx) { ssspKernel(ctx, state); });
+    return SsspResult{std::move(state.dist), std::move(state.parent),
+                      state.rounds.value, std::move(info)};
+}
+
+} // namespace crono::core
+
+#endif // CRONO_CORE_SSSP_H_

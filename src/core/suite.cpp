@@ -1,0 +1,46 @@
+#include "core/suite.h"
+
+namespace crono::core {
+
+namespace {
+
+constexpr BenchmarkInfo kRegistry[kNumBenchmarks] = {
+    {BenchmarkId::ssspDijk, "SSSP_DIJK", "Path Planning",
+     "Graph Division"},
+    {BenchmarkId::apsp, "APSP", "Path Planning", "Vertex Capture"},
+    {BenchmarkId::betwCent, "BETW_CENT", "Path Planning",
+     "Vertex Capture & Outer Loop"},
+    {BenchmarkId::bfs, "BFS", "Search", "Graph Division"},
+    {BenchmarkId::dfs, "DFS", "Search", "Branch and Bound"},
+    {BenchmarkId::tsp, "TSP", "Search", "Branch and Bound"},
+    {BenchmarkId::connComp, "CONN_COMP", "Graph Processing",
+     "Graph Division"},
+    {BenchmarkId::triCnt, "TRI_CNT", "Graph Processing",
+     "Vertex Capture & Graph Division"},
+    {BenchmarkId::pageRank, "PageRank", "Graph Processing",
+     "Vertex Capture & Graph Division"},
+    {BenchmarkId::comm, "COMM", "Graph Processing",
+     "Vertex Capture & Graph Division"},
+};
+
+} // namespace
+
+std::span<const BenchmarkInfo>
+allBenchmarks()
+{
+    return {kRegistry, kNumBenchmarks};
+}
+
+const BenchmarkInfo&
+benchmarkInfo(BenchmarkId id)
+{
+    return kRegistry[static_cast<int>(id)];
+}
+
+const char*
+benchmarkName(BenchmarkId id)
+{
+    return benchmarkInfo(id).name;
+}
+
+} // namespace crono::core

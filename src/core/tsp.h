@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Travelling Salesman Problem (Section III-6).
+ *
+ * Parallelization: branch and bound. The tour starts at city 0;
+ * first-level branches (the choice of second city) are designated
+ * statically and captured by threads through an atomic counter. Each
+ * thread searches its branch depth-first, pruning against a global
+ * best-cost bound that is read racily on the hot path and improved
+ * under an atomic lock — exactly the scheme the paper describes.
+ * Threads whose branch cost exceeds the bound abandon the branch and
+ * capture the next one.
+ */
+
+#ifndef CRONO_CORE_TSP_H_
+#define CRONO_CORE_TSP_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/context.h"
+#include "graph/adjacency_matrix.h"
+#include "runtime/executor.h"
+#include "runtime/strategies.h"
+
+namespace crono::core {
+
+/** Optimal (exact) tour over the input cities. */
+struct TspResult {
+    std::uint64_t cost = 0;
+    std::vector<graph::VertexId> tour; ///< starts at city 0
+    rt::RunInfo run;
+};
+
+template <class Ctx>
+struct TspState {
+    TspState(const graph::AdjacencyMatrix& cities_in,
+             rt::ActiveTracker* tracker_in)
+        : cities(cities_in), n(cities_in.numVertices()),
+          bestTour(cities_in.numVertices(), graph::kNoVertex),
+          tracker(tracker_in)
+    {
+        CRONO_REQUIRE(n >= 2 && n <= 30, "TSP supports 2..30 cities");
+    }
+
+    const graph::AdjacencyMatrix& cities;
+    graph::VertexId n;
+    rt::GlobalBound<Ctx> bound;
+    AlignedVector<graph::VertexId> bestTour;
+    typename Ctx::Mutex bestLock;
+    rt::CaptureCounter counter;
+    rt::ActiveTracker* tracker;
+};
+
+/** Recursive branch-and-bound search below a fixed tour prefix. */
+template <class Ctx>
+void
+tspSearch(Ctx& ctx, TspState<Ctx>& s, std::vector<graph::VertexId>& path,
+          std::uint32_t visited_mask, std::uint64_t cost)
+{
+    ctx.work(2);
+    // Prune: the racy bound read can only be stale-high, which merely
+    // delays pruning.
+    if (cost >= s.bound.current(ctx)) {
+        return;
+    }
+    const graph::VertexId cur = path.back();
+    if (path.size() == s.n) {
+        const std::uint64_t total =
+            cost + ctx.read(s.cities.row(cur)[0]); // close the tour
+        if (s.bound.tryImprove(ctx, total)) {
+            ScopedLock<Ctx> guard(ctx, s.bestLock);
+            // Re-check under the lock: a concurrent improvement past
+            // `total` must not be overwritten by this (worse) tour.
+            if (ctx.read(s.bound.value) == total) {
+                for (graph::VertexId i = 0; i < s.n; ++i) {
+                    ctx.write(s.bestTour[i], path[i]);
+                }
+            }
+        }
+        return;
+    }
+    for (graph::VertexId next = 1; next < s.n; ++next) {
+        if (visited_mask & (1u << next)) {
+            continue;
+        }
+        const graph::Weight d = ctx.read(s.cities.row(cur)[next]);
+        path.push_back(next);
+        tspSearch(ctx, s, path, visited_mask | (1u << next), cost + d);
+        path.pop_back();
+    }
+}
+
+template <class Ctx>
+void
+tspKernel(Ctx& ctx, TspState<Ctx>& s)
+{
+    std::vector<graph::VertexId> path;
+    path.reserve(s.n);
+    if (s.n < 4) {
+        // Too few cities for two-level branches: solve on one thread.
+        if (ctx.tid() == 0) {
+            path.push_back(0);
+            tspSearch(ctx, s, path, 1u, 0);
+        }
+        return;
+    }
+    // Branches are designated statically at two levels (the choice of
+    // second and third city) so there are (n-1)(n-2) of them — enough
+    // for high thread counts to find work even as the bound prunes
+    // whole branches.
+    const std::uint64_t num_branches =
+        static_cast<std::uint64_t>(s.n - 1) * (s.n - 2);
+    for (;;) {
+        const std::uint64_t branch =
+            rt::captureNext(ctx, s.counter, num_branches);
+        if (branch == rt::kCaptureDone) {
+            break;
+        }
+        trackAdd(s.tracker, 1);
+        const auto second =
+            static_cast<graph::VertexId>(branch / (s.n - 2) + 1);
+        auto third = static_cast<graph::VertexId>(branch % (s.n - 2) + 1);
+        if (third >= second) {
+            ++third; // skip the second city's slot
+        }
+        path.clear();
+        path.push_back(0);
+        path.push_back(second);
+        path.push_back(third);
+        const std::uint64_t d =
+            static_cast<std::uint64_t>(ctx.read(s.cities.row(0)[second])) +
+            ctx.read(s.cities.row(second)[third]);
+        tspSearch(ctx, s, path,
+                  (1u << 0) | (1u << second) | (1u << third), d);
+        trackAdd(s.tracker, -1);
+    }
+}
+
+/** Solve TSP exactly over a symmetric distance matrix. */
+template <class Exec>
+TspResult
+tsp(Exec& exec, int nthreads, const graph::AdjacencyMatrix& cities,
+    rt::ActiveTracker* tracker = nullptr)
+{
+    using Ctx = typename Exec::Ctx;
+    TspState<Ctx> state(cities, tracker);
+    rt::RunInfo info = exec.parallel(
+        nthreads, [&state](Ctx& ctx) { tspKernel(ctx, state); });
+    TspResult result;
+    result.cost = state.bound.value;
+    result.tour.assign(state.bestTour.begin(), state.bestTour.end());
+    result.run = std::move(info);
+    return result;
+}
+
+} // namespace crono::core
+
+#endif // CRONO_CORE_TSP_H_

@@ -1,0 +1,77 @@
+#include "core/workloads.h"
+
+#include <cmath>
+
+namespace crono::core {
+
+namespace gen = graph::generators;
+
+const char*
+graphKindName(GraphKind kind)
+{
+    switch (kind) {
+      case GraphKind::sparse:
+        return "sparse";
+      case GraphKind::road:
+        return "road";
+      case GraphKind::social:
+        return "social";
+    }
+    return "?";
+}
+
+graph::Graph
+makeGraph(GraphKind kind, graph::VertexId vertices,
+          graph::EdgeId edges_per_vertex, std::uint64_t seed)
+{
+    switch (kind) {
+      case GraphKind::sparse:
+        return gen::uniformRandom(
+            vertices, static_cast<graph::EdgeId>(vertices) *
+                          edges_per_vertex,
+            /*max_weight=*/64, seed);
+      case GraphKind::road: {
+        const auto side = static_cast<graph::VertexId>(
+            std::lround(std::sqrt(static_cast<double>(vertices))));
+        return gen::roadNetwork(std::max<graph::VertexId>(side, 2),
+                                std::max<graph::VertexId>(side, 2), seed);
+      }
+      case GraphKind::social: {
+        unsigned scale = 1;
+        while ((graph::VertexId{1} << scale) < vertices) {
+            ++scale;
+        }
+        return gen::socialNetwork(
+            scale, static_cast<unsigned>(edges_per_vertex), seed);
+      }
+    }
+    CRONO_ASSERT(false, "unknown graph kind");
+    return gen::path(2);
+}
+
+WorkloadSet::WorkloadSet(const WorkloadConfig& cfg)
+    : cfg_(cfg),
+      graph_(makeGraph(cfg.kind, cfg.graph_vertices, cfg.edges_per_vertex,
+                       cfg.seed)),
+      matrix_(graph::AdjacencyMatrix(gen::uniformRandom(
+          cfg.matrix_vertices,
+          static_cast<graph::EdgeId>(cfg.matrix_vertices) * 8,
+          /*max_weight=*/64, cfg.seed + 1))),
+      cities_(gen::tspCities(cfg.tsp_cities, cfg.seed + 2))
+{
+}
+
+Workload
+WorkloadSet::forBenchmark(BenchmarkId) const
+{
+    Workload w;
+    w.graph = &graph_;
+    w.matrix = &matrix_;
+    w.cities = &cities_;
+    w.source = 0;
+    w.pr_iterations = cfg_.pr_iterations;
+    w.comm_rounds = cfg_.comm_rounds;
+    return w;
+}
+
+} // namespace crono::core

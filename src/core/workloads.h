@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Owning workload bundles: Table III's input catalog, scaled.
+ *
+ * A WorkloadSet owns one CSR graph (for the eight list-based kernels),
+ * one adjacency matrix (APSP / BETW_CENT) and one city matrix (TSP),
+ * and hands out per-benchmark Workload views. GraphKind selects the
+ * paper's input families (synthetic sparse, road network, social
+ * network).
+ */
+
+#ifndef CRONO_CORE_WORKLOADS_H_
+#define CRONO_CORE_WORKLOADS_H_
+
+#include <memory>
+#include <string>
+
+#include "core/suite.h"
+#include "graph/generators.h"
+
+namespace crono::core {
+
+/** Input family, mirroring Table III. */
+enum class GraphKind {
+    sparse, ///< GTgraph-style uniform random
+    road,   ///< perturbed lattice (SNAP road-network stand-in)
+    social, ///< R-MAT power law (Facebook stand-in)
+};
+
+/** Printable name of a GraphKind. */
+const char* graphKindName(GraphKind kind);
+
+/** Sizing knobs for a WorkloadSet. */
+struct WorkloadConfig {
+    GraphKind kind = GraphKind::sparse;
+    graph::VertexId graph_vertices = 16384;
+    graph::EdgeId edges_per_vertex = 16; ///< sparse/social edge factor
+    graph::VertexId matrix_vertices = 96;
+    graph::VertexId tsp_cities = 10;
+    unsigned pr_iterations = 5;
+    unsigned comm_rounds = 8;
+    std::uint64_t seed = 42;
+};
+
+/** Owns the inputs for one configuration of the full suite. */
+class WorkloadSet {
+  public:
+    explicit WorkloadSet(const WorkloadConfig& cfg);
+
+    /** Workload view appropriate for benchmark @p id. */
+    Workload forBenchmark(BenchmarkId id) const;
+
+    const graph::Graph& graph() const { return graph_; }
+    const graph::AdjacencyMatrix& matrix() const { return matrix_; }
+    const graph::AdjacencyMatrix& cities() const { return cities_; }
+    const WorkloadConfig& config() const { return cfg_; }
+
+  private:
+    WorkloadConfig cfg_;
+    graph::Graph graph_;
+    graph::AdjacencyMatrix matrix_;
+    graph::AdjacencyMatrix cities_;
+};
+
+/** Build the CSR graph of @p kind at the requested size. */
+graph::Graph makeGraph(GraphKind kind, graph::VertexId vertices,
+                       graph::EdgeId edges_per_vertex, std::uint64_t seed);
+
+} // namespace crono::core
+
+#endif // CRONO_CORE_WORKLOADS_H_

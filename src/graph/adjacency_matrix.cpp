@@ -1,0 +1,24 @@
+#include "graph/adjacency_matrix.h"
+
+#include <algorithm>
+
+namespace crono::graph {
+
+AdjacencyMatrix::AdjacencyMatrix(VertexId n)
+    : cells_(static_cast<std::size_t>(n) * n, kInfWeight), n_(n)
+{
+}
+
+AdjacencyMatrix::AdjacencyMatrix(const Graph& g)
+    : AdjacencyMatrix(g.numVertices())
+{
+    for (VertexId v = 0; v < n_; ++v) {
+        auto ns = g.neighbors(v);
+        auto ws = g.weights(v);
+        for (std::size_t i = 0; i < ns.size(); ++i) {
+            set(v, ns[i], std::min(at(v, ns[i]), ws[i]));
+        }
+    }
+}
+
+} // namespace crono::graph

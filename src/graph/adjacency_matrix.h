@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Dense adjacency-matrix representation.
+ *
+ * The paper's APSP and BETW_CENT benchmarks use an adjacency matrix
+ * (Section IV-F) because every thread repeatedly scans full rows; the
+ * matrix is cache-line aligned and row-major so one row is a
+ * contiguous streaming access.
+ */
+
+#ifndef CRONO_GRAPH_ADJACENCY_MATRIX_H_
+#define CRONO_GRAPH_ADJACENCY_MATRIX_H_
+
+#include <span>
+
+#include "graph/graph.h"
+
+namespace crono::graph {
+
+/**
+ * Row-major V x V matrix of edge weights; kInfWeight marks "no edge".
+ */
+class AdjacencyMatrix {
+  public:
+    /** Sentinel for absent edges. */
+    static constexpr Weight kInfWeight = ~Weight{0};
+
+    /** All-disconnected matrix of @p n vertices. */
+    explicit AdjacencyMatrix(VertexId n);
+
+    /** Densify a CSR graph (parallel edges collapse to min weight). */
+    explicit AdjacencyMatrix(const Graph& g);
+
+    VertexId numVertices() const { return n_; }
+
+    /** Weight of edge v -> u, or kInfWeight. */
+    Weight
+    at(VertexId v, VertexId u) const
+    {
+        return cells_[static_cast<std::size_t>(v) * n_ + u];
+    }
+
+    /** Set weight of edge v -> u. */
+    void
+    set(VertexId v, VertexId u, Weight w)
+    {
+        cells_[static_cast<std::size_t>(v) * n_ + u] = w;
+    }
+
+    /** Full row of @p v, for streaming scans. */
+    std::span<const Weight>
+    row(VertexId v) const
+    {
+        return {cells_.data() + static_cast<std::size_t>(v) * n_, n_};
+    }
+
+  private:
+    AlignedVector<Weight> cells_;
+    VertexId n_;
+};
+
+} // namespace crono::graph
+
+#endif // CRONO_GRAPH_ADJACENCY_MATRIX_H_

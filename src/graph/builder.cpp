@@ -1,0 +1,76 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace crono::graph {
+
+GraphBuilder::GraphBuilder(VertexId num_vertices, bool undirected)
+    : numVertices_(num_vertices), undirected_(undirected)
+{
+}
+
+void
+GraphBuilder::addEdge(VertexId src, VertexId dst, Weight weight)
+{
+    CRONO_ASSERT(src < numVertices_ && dst < numVertices_,
+                 "edge endpoint out of range");
+    if (src == dst) {
+        return;
+    }
+    edges_.push_back({src, dst, weight});
+}
+
+Graph
+GraphBuilder::build(DedupPolicy policy) &&
+{
+    std::vector<Edge> all = std::move(edges_);
+    if (undirected_) {
+        const std::size_t n = all.size();
+        all.reserve(2 * n);
+        for (std::size_t i = 0; i < n; ++i) {
+            all.push_back({all[i].dst, all[i].src, all[i].weight});
+        }
+    }
+
+    auto key_less = [](const Edge& a, const Edge& b) {
+        return std::pair(a.src, a.dst) < std::pair(b.src, b.dst);
+    };
+    auto weight_then_key = [&](const Edge& a, const Edge& b) {
+        if (std::pair(a.src, a.dst) != std::pair(b.src, b.dst)) {
+            return key_less(a, b);
+        }
+        return a.weight < b.weight;
+    };
+    std::sort(all.begin(), all.end(), weight_then_key);
+    if (policy == DedupPolicy::keepMin) {
+        // After the sort the min-weight copy of each (src, dst) comes
+        // first, so unique() keeps exactly that copy.
+        auto same_key = [](const Edge& a, const Edge& b) {
+            return a.src == b.src && a.dst == b.dst;
+        };
+        all.erase(std::unique(all.begin(), all.end(), same_key), all.end());
+    }
+
+    AlignedVector<EdgeId> offsets(numVertices_ + 1, 0);
+    for (const Edge& e : all) {
+        ++offsets[e.src + 1];
+    }
+    for (VertexId v = 0; v < numVertices_; ++v) {
+        offsets[v + 1] += offsets[v];
+    }
+
+    AlignedVector<VertexId> neighbors(all.size());
+    AlignedVector<Weight> weights(all.size());
+    AlignedVector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+    for (const Edge& e : all) {
+        EdgeId slot = cursor[e.src]++;
+        neighbors[slot] = e.dst;
+        weights[slot] = e.weight;
+    }
+
+    return Graph(std::move(offsets), std::move(neighbors),
+                 std::move(weights), undirected_);
+}
+
+} // namespace crono::graph

@@ -1,0 +1,207 @@
+#include "graph/generators.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "graph/builder.h"
+
+namespace crono::graph::generators {
+
+Graph
+uniformRandom(VertexId n, EdgeId m, Weight max_weight, std::uint64_t seed)
+{
+    CRONO_REQUIRE(n >= 2, "uniformRandom needs >= 2 vertices");
+    CRONO_REQUIRE(max_weight >= 1, "max_weight must be >= 1");
+    Rng rng(seed);
+    GraphBuilder b(n, /*undirected=*/true);
+    for (EdgeId i = 0; i < m; ++i) {
+        auto src = static_cast<VertexId>(rng.nextBelow(n));
+        auto dst = static_cast<VertexId>(rng.nextBelow(n));
+        auto w = static_cast<Weight>(rng.nextInRange(1, max_weight));
+        b.addEdge(src, dst, w);
+    }
+    return std::move(b).build();
+}
+
+Graph
+roadNetwork(VertexId width, VertexId height, std::uint64_t seed)
+{
+    CRONO_REQUIRE(width >= 2 && height >= 2, "road grid must be >= 2x2");
+    Rng rng(seed);
+    const VertexId n = width * height;
+    GraphBuilder b(n, /*undirected=*/true);
+    auto id = [width](VertexId x, VertexId y) { return y * width + x; };
+
+    // Lattice edges with distance-like weights; delete ~20% of them to
+    // break the regularity (real road grids have missing segments),
+    // which brings the average degree down toward SNAP's ~2.6.
+    for (VertexId y = 0; y < height; ++y) {
+        for (VertexId x = 0; x < width; ++x) {
+            auto w = [&] {
+                return static_cast<Weight>(rng.nextInRange(1, 100));
+            };
+            if (x + 1 < width && rng.nextDouble() >= 0.20) {
+                b.addEdge(id(x, y), id(x + 1, y), w());
+            }
+            if (y + 1 < height && rng.nextDouble() >= 0.20) {
+                b.addEdge(id(x, y), id(x, y + 1), w());
+            }
+        }
+    }
+
+    // Sparse long-range "highways": one per ~256 vertices.
+    const EdgeId highways = n / 256 + 1;
+    for (EdgeId i = 0; i < highways; ++i) {
+        auto a = static_cast<VertexId>(rng.nextBelow(n));
+        auto c = static_cast<VertexId>(rng.nextBelow(n));
+        b.addEdge(a, c, static_cast<Weight>(rng.nextInRange(50, 400)));
+    }
+    return std::move(b).build();
+}
+
+Graph
+socialNetwork(unsigned scale, unsigned edge_factor, std::uint64_t seed)
+{
+    CRONO_REQUIRE(scale >= 2 && scale <= 28, "socialNetwork scale in [2,28]");
+    Rng rng(seed);
+    const VertexId n = VertexId{1} << scale;
+    const EdgeId m = static_cast<EdgeId>(n) * edge_factor;
+    // Standard R-MAT recursion with mild parameter noise per level so
+    // the degree distribution is smooth rather than strictly fractal.
+    constexpr double a = 0.57, bq = 0.19, cq = 0.19;
+    GraphBuilder b(n, /*undirected=*/true);
+    for (EdgeId i = 0; i < m; ++i) {
+        VertexId src = 0, dst = 0;
+        for (unsigned level = 0; level < scale; ++level) {
+            const double noise = 0.9 + 0.2 * rng.nextDouble();
+            const double p = rng.nextDouble();
+            const double aa = a * noise;
+            const double ab = aa + bq;
+            const double ac = ab + cq;
+            VertexId bit = VertexId{1} << (scale - 1 - level);
+            if (p < aa) {
+                // top-left quadrant: no bits set
+            } else if (p < ab) {
+                dst |= bit;
+            } else if (p < ac) {
+                src |= bit;
+            } else {
+                src |= bit;
+                dst |= bit;
+            }
+        }
+        b.addEdge(src, dst, static_cast<Weight>(rng.nextInRange(1, 64)));
+    }
+    return std::move(b).build();
+}
+
+AdjacencyMatrix
+tspCities(VertexId n, std::uint64_t seed)
+{
+    CRONO_REQUIRE(n >= 2, "tspCities needs >= 2 cities");
+    Rng rng(seed);
+    std::vector<std::pair<double, double>> pts;
+    pts.reserve(n);
+    for (VertexId i = 0; i < n; ++i) {
+        pts.emplace_back(rng.nextDouble() * 1000.0,
+                         rng.nextDouble() * 1000.0);
+    }
+    AdjacencyMatrix m(n);
+    for (VertexId i = 0; i < n; ++i) {
+        m.set(i, i, 0);
+        for (VertexId j = i + 1; j < n; ++j) {
+            const double dx = pts[i].first - pts[j].first;
+            const double dy = pts[i].second - pts[j].second;
+            auto d = static_cast<Weight>(std::lround(
+                         std::sqrt(dx * dx + dy * dy))) + 1;
+            m.set(i, j, d);
+            m.set(j, i, d);
+        }
+    }
+    return m;
+}
+
+Graph
+path(VertexId n)
+{
+    GraphBuilder b(n, true);
+    for (VertexId v = 0; v + 1 < n; ++v) {
+        b.addEdge(v, v + 1, 1);
+    }
+    return std::move(b).build();
+}
+
+Graph
+ring(VertexId n)
+{
+    CRONO_REQUIRE(n >= 3, "ring needs >= 3 vertices");
+    GraphBuilder b(n, true);
+    for (VertexId v = 0; v < n; ++v) {
+        b.addEdge(v, (v + 1) % n, 1);
+    }
+    return std::move(b).build();
+}
+
+Graph
+star(VertexId n)
+{
+    CRONO_REQUIRE(n >= 2, "star needs >= 2 vertices");
+    GraphBuilder b(n, true);
+    for (VertexId v = 1; v < n; ++v) {
+        b.addEdge(0, v, 1);
+    }
+    return std::move(b).build();
+}
+
+Graph
+complete(VertexId n)
+{
+    GraphBuilder b(n, true);
+    for (VertexId i = 0; i < n; ++i) {
+        for (VertexId j = i + 1; j < n; ++j) {
+            b.addEdge(i, j, 1);
+        }
+    }
+    return std::move(b).build();
+}
+
+Graph
+grid(VertexId width, VertexId height)
+{
+    GraphBuilder b(width * height, true);
+    auto id = [width](VertexId x, VertexId y) { return y * width + x; };
+    for (VertexId y = 0; y < height; ++y) {
+        for (VertexId x = 0; x < width; ++x) {
+            if (x + 1 < width) {
+                b.addEdge(id(x, y), id(x + 1, y), 1);
+            }
+            if (y + 1 < height) {
+                b.addEdge(id(x, y), id(x, y + 1), 1);
+            }
+        }
+    }
+    return std::move(b).build();
+}
+
+Graph
+cliqueChain(VertexId blocks, VertexId block_size, bool link_blocks)
+{
+    CRONO_REQUIRE(blocks >= 1 && block_size >= 1, "empty cliqueChain");
+    const VertexId n = blocks * block_size;
+    GraphBuilder b(n, true);
+    for (VertexId k = 0; k < blocks; ++k) {
+        const VertexId base = k * block_size;
+        for (VertexId i = 0; i < block_size; ++i) {
+            for (VertexId j = i + 1; j < block_size; ++j) {
+                b.addEdge(base + i, base + j, 1);
+            }
+        }
+        if (link_blocks && k + 1 < blocks) {
+            b.addEdge(base, base + block_size, 1);
+        }
+    }
+    return std::move(b).build();
+}
+
+} // namespace crono::graph::generators

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Synthetic graph generators.
+ *
+ * These replace the paper's inputs (Table III):
+ *  - uniformRandom: the GTgraph-style "Sparse" synthetic input
+ *    (n vertices, m uniformly random edges).
+ *  - roadNetwork: stands in for the SNAP TX/PA/CA road networks —
+ *    a perturbed planar lattice with average degree ~2.6, long
+ *    diameter and strong locality.
+ *  - socialNetwork: stands in for the SNAP Facebook graph — an R-MAT
+ *    power-law generator with heavy degree skew.
+ *  - tspCities: the "32 Cities" TSP input, random points on a plane.
+ * Plus small regular topologies used by the test suite.
+ *
+ * Every generator is deterministic in its seed.
+ */
+
+#ifndef CRONO_GRAPH_GENERATORS_H_
+#define CRONO_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/adjacency_matrix.h"
+#include "graph/graph.h"
+
+namespace crono::graph::generators {
+
+/**
+ * GTgraph-style uniform random graph.
+ *
+ * @param n          vertices
+ * @param m          logical (undirected) edges to attempt; self loops
+ *                   and duplicates are dropped, so the result can have
+ *                   slightly fewer
+ * @param max_weight weights are uniform in [1, max_weight]
+ */
+Graph uniformRandom(VertexId n, EdgeId m, Weight max_weight,
+                    std::uint64_t seed);
+
+/**
+ * Road-network-like graph: a width x height lattice whose edges carry
+ * distance-like weights; a fraction of lattice edges is deleted and a
+ * small number of long "highway" shortcuts is added.
+ *
+ * Average degree lands near the 2.6 of the SNAP road networks.
+ */
+Graph roadNetwork(VertexId width, VertexId height, std::uint64_t seed);
+
+/**
+ * Social-network-like graph via R-MAT (a=0.57, b=c=0.19, d=0.05).
+ *
+ * @param scale        log2 of the vertex count
+ * @param edge_factor  logical edges per vertex (Facebook ~ 14)
+ */
+Graph socialNetwork(unsigned scale, unsigned edge_factor,
+                    std::uint64_t seed);
+
+/** Complete symmetric distance matrix of @p n random planar cities. */
+AdjacencyMatrix tspCities(VertexId n, std::uint64_t seed);
+
+/** Unweighted-ish (weight 1) path 0-1-2-...-(n-1). */
+Graph path(VertexId n);
+
+/** Cycle of n vertices, weight 1. */
+Graph ring(VertexId n);
+
+/** Star: vertex 0 connected to all others, weight 1. */
+Graph star(VertexId n);
+
+/** Complete graph with unit weights. */
+Graph complete(VertexId n);
+
+/** Pure w x h lattice, unit weights (deterministic, connected). */
+Graph grid(VertexId width, VertexId height);
+
+/**
+ * A graph of `blocks` disjoint cliques of size `block_size`, used by
+ * connected-components and community tests (ground truth is known).
+ */
+Graph cliqueChain(VertexId blocks, VertexId block_size,
+                  bool link_blocks = false);
+
+} // namespace crono::graph::generators
+
+#endif // CRONO_GRAPH_GENERATORS_H_

@@ -1,0 +1,48 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace crono::graph {
+
+Graph::Graph(AlignedVector<EdgeId> offsets, AlignedVector<VertexId> neighbors,
+             AlignedVector<Weight> weights, bool undirected)
+    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)),
+      weights_(std::move(weights)),
+      numVertices_(offsets_.empty()
+                       ? 0
+                       : static_cast<VertexId>(offsets_.size() - 1)),
+      undirected_(undirected)
+{
+    CRONO_ASSERT(!offsets_.empty(), "CSR offsets must have >= 1 entry");
+    CRONO_ASSERT(offsets_.front() == 0, "CSR offsets must start at 0");
+    CRONO_ASSERT(offsets_.back() == neighbors_.size(),
+                 "CSR offsets must end at edge count");
+    CRONO_ASSERT(weights_.size() == neighbors_.size(),
+                 "weights and neighbors must be parallel arrays");
+    CRONO_ASSERT(std::is_sorted(offsets_.begin(), offsets_.end()),
+                 "CSR offsets must be monotone");
+    for (VertexId t : neighbors_) {
+        CRONO_ASSERT(t < numVertices_, "neighbor id out of range");
+    }
+}
+
+bool
+Graph::hasEdge(VertexId v, VertexId u) const
+{
+    CRONO_ASSERT(v < numVertices_ && u < numVertices_,
+                 "hasEdge vertex out of range");
+    auto ns = neighbors(v);
+    return std::find(ns.begin(), ns.end(), u) != ns.end();
+}
+
+EdgeId
+Graph::maxDegree() const
+{
+    EdgeId best = 0;
+    for (VertexId v = 0; v < numVertices_; ++v) {
+        best = std::max(best, degree(v));
+    }
+    return best;
+}
+
+} // namespace crono::graph

@@ -1,0 +1,158 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "graph/builder.h"
+
+namespace crono::graph::io {
+
+namespace {
+
+[[noreturn]] void
+badInput(const std::string& what)
+{
+    throw std::runtime_error("crono graph io: " + what);
+}
+
+std::ifstream
+openOrThrow(const std::string& file_path)
+{
+    std::ifstream in(file_path);
+    if (!in) {
+        badInput("cannot open " + file_path);
+    }
+    return in;
+}
+
+} // namespace
+
+void
+writeEdgeList(std::ostream& out, const Graph& g)
+{
+    out << "el " << g.numVertices() << ' ' << (g.undirected() ? 1 : 0)
+        << '\n';
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        auto ns = g.neighbors(v);
+        auto ws = g.weights(v);
+        for (std::size_t i = 0; i < ns.size(); ++i) {
+            // For undirected graphs each logical edge is stored twice;
+            // emit it once, from its lower endpoint.
+            if (g.undirected() && ns[i] < v) {
+                continue;
+            }
+            out << v << ' ' << ns[i] << ' ' << ws[i] << '\n';
+        }
+    }
+}
+
+Graph
+readEdgeList(std::istream& in)
+{
+    std::string line;
+    std::string tag;
+    VertexId n = 0;
+    int undirected = 1;
+    bool have_header = false;
+    GraphBuilder builder(0, true);
+
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') {
+            continue;
+        }
+        std::istringstream ls(line);
+        if (!have_header) {
+            if (!(ls >> tag >> n >> undirected) || tag != "el") {
+                badInput("expected 'el <n> <undirected>' header");
+            }
+            builder = GraphBuilder(n, undirected != 0);
+            have_header = true;
+            continue;
+        }
+        VertexId src, dst;
+        Weight w;
+        if (!(ls >> src >> dst >> w)) {
+            badInput("bad edge line: " + line);
+        }
+        if (src >= n || dst >= n) {
+            badInput("edge endpoint out of range: " + line);
+        }
+        builder.addEdge(src, dst, w);
+    }
+    if (!have_header) {
+        badInput("missing header");
+    }
+    return std::move(builder).build(GraphBuilder::DedupPolicy::keepAll);
+}
+
+Graph
+readDimacs(std::istream& in)
+{
+    std::string line;
+    VertexId n = 0;
+    bool have_problem = false;
+    GraphBuilder builder(0, true);
+
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == 'c') {
+            continue;
+        }
+        std::istringstream ls(line);
+        char kind;
+        ls >> kind;
+        if (kind == 'p') {
+            std::string sp;
+            EdgeId m;
+            if (!(ls >> sp >> n >> m) || sp != "sp") {
+                badInput("bad DIMACS problem line: " + line);
+            }
+            builder = GraphBuilder(n, true);
+            have_problem = true;
+        } else if (kind == 'a') {
+            if (!have_problem) {
+                badInput("arc before problem line");
+            }
+            VertexId src, dst;
+            Weight w;
+            if (!(ls >> src >> dst >> w) || src == 0 || dst == 0 ||
+                src > n || dst > n) {
+                badInput("bad DIMACS arc line: " + line);
+            }
+            builder.addEdge(src - 1, dst - 1, w);
+        } else {
+            badInput("unknown DIMACS line: " + line);
+        }
+    }
+    if (!have_problem) {
+        badInput("missing DIMACS problem line");
+    }
+    return std::move(builder).build();
+}
+
+void
+saveEdgeList(const std::string& file_path, const Graph& g)
+{
+    std::ofstream out(file_path);
+    if (!out) {
+        badInput("cannot write " + file_path);
+    }
+    writeEdgeList(out, g);
+}
+
+Graph
+loadEdgeList(const std::string& file_path)
+{
+    auto in = openOrThrow(file_path);
+    return readEdgeList(in);
+}
+
+Graph
+loadDimacs(const std::string& file_path)
+{
+    auto in = openOrThrow(file_path);
+    return readDimacs(in);
+}
+
+} // namespace crono::graph::io

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Graph text I/O.
+ *
+ * Two formats:
+ *  - Weighted edge list ("crono el"): header line `el <n> <undirected>`
+ *    then one `src dst weight` triple per line. Comment lines start
+ *    with '#'. This matches how the SNAP datasets the paper uses are
+ *    distributed (plain edge lists), so real inputs can be dropped in.
+ *  - DIMACS shortest-path format (`p sp <n> <m>` / `a u v w` lines,
+ *    1-indexed), the standard distribution format for the road
+ *    networks the paper evaluates.
+ */
+
+#ifndef CRONO_GRAPH_IO_H_
+#define CRONO_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace crono::graph::io {
+
+/** Write @p g as a crono edge list. */
+void writeEdgeList(std::ostream& out, const Graph& g);
+
+/** Parse a crono edge list. Throws std::runtime_error on bad input. */
+Graph readEdgeList(std::istream& in);
+
+/** Parse a DIMACS .gr shortest-path file (undirected result). */
+Graph readDimacs(std::istream& in);
+
+/** Convenience file wrappers. */
+void saveEdgeList(const std::string& file_path, const Graph& g);
+Graph loadEdgeList(const std::string& file_path);
+Graph loadDimacs(const std::string& file_path);
+
+} // namespace crono::graph::io
+
+#endif // CRONO_GRAPH_IO_H_

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Structural graph statistics, used by the Table III catalog printout
+ * and by tests validating the generators' degree structure.
+ */
+
+#ifndef CRONO_GRAPH_STATS_H_
+#define CRONO_GRAPH_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace crono::graph {
+
+/** Summary statistics of one graph. */
+struct GraphStats {
+    VertexId num_vertices = 0;
+    EdgeId num_edge_slots = 0;    ///< directed slots (2x undirected edges)
+    double avg_degree = 0.0;
+    EdgeId max_degree = 0;
+    VertexId isolated_vertices = 0;
+    VertexId num_components = 0;
+    VertexId largest_component = 0;
+    /** Gini coefficient of the degree distribution (0 = regular). */
+    double degree_gini = 0.0;
+};
+
+/** Compute all summary statistics (O(V + E) plus a sort). */
+GraphStats computeStats(const Graph& g);
+
+/** Histogram of degrees: index d holds #vertices of degree d. */
+std::vector<EdgeId> degreeHistogram(const Graph& g);
+
+/** One-line human-readable rendering of stats. */
+std::string formatStats(const std::string& name, const GraphStats& s);
+
+/**
+ * Global clustering coefficient: 3 x triangles / open-or-closed
+ * wedges (0 if the graph has no wedge). Exact; O(sum degree^2 log).
+ */
+double clusteringCoefficient(const Graph& g);
+
+} // namespace crono::graph
+
+#endif // CRONO_GRAPH_STATS_H_

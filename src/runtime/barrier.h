@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Sense-reversing centralized barrier.
+ *
+ * Kernels separate phases (e.g. label-set / label-update in connected
+ * components) with barriers. A sense-reversing barrier is reusable
+ * with no re-initialization between episodes and issues exactly one
+ * RMW per participant per episode.
+ */
+
+#ifndef CRONO_RUNTIME_BARRIER_H_
+#define CRONO_RUNTIME_BARRIER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "common/macros.h"
+
+namespace crono::rt {
+
+/** Reusable barrier for a fixed number of participants. */
+class Barrier {
+  public:
+    explicit Barrier(int participants) : participants_(participants)
+    {
+        CRONO_ASSERT(participants >= 1, "barrier needs >= 1 participant");
+    }
+
+    Barrier(const Barrier&) = delete;
+    Barrier& operator=(const Barrier&) = delete;
+
+    /**
+     * Block until all participants arrive.
+     *
+     * Each thread keeps its own sense in thread-local fashion via the
+     * per-call flip: callers must all use the same Barrier object for
+     * every episode, which the executor guarantees.
+     */
+    void
+    arriveAndWait()
+    {
+        const std::uint32_t my_epoch = epoch_.load(std::memory_order_relaxed);
+        if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            participants_) {
+            arrived_.store(0, std::memory_order_relaxed);
+            epoch_.fetch_add(1, std::memory_order_release);
+        } else {
+            while (epoch_.load(std::memory_order_acquire) == my_epoch) {
+                std::this_thread::yield();
+            }
+        }
+    }
+
+  private:
+    std::atomic<int> arrived_{0};
+    std::atomic<std::uint32_t> epoch_{0};
+    int participants_;
+};
+
+} // namespace crono::rt
+
+#endif // CRONO_RUNTIME_BARRIER_H_

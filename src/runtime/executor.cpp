@@ -1,0 +1,105 @@
+#include "runtime/executor.h"
+
+#include <chrono>
+
+#include "common/macros.h"
+#include "runtime/instrumentation.h"
+
+namespace crono::rt {
+
+NativeExecutor::NativeExecutor(int max_threads) : maxThreads_(max_threads)
+{
+    CRONO_REQUIRE(max_threads >= 1, "executor needs >= 1 thread");
+    workers_.reserve(max_threads);
+    for (int t = 0; t < max_threads; ++t) {
+        workers_.emplace_back([this, t] { workerLoop(t); });
+    }
+}
+
+NativeExecutor::~NativeExecutor()
+{
+    {
+        std::lock_guard<std::mutex> g(mutex_);
+        shutdown_ = true;
+        ++generation_;
+    }
+    startCv_.notify_all();
+    for (auto& w : workers_) {
+        w.join();
+    }
+}
+
+RunInfo
+NativeExecutor::parallel(int nthreads, std::function<void(NativeCtx&)> body)
+{
+    CRONO_REQUIRE(nthreads >= 1 && nthreads <= maxThreads_,
+                  "nthreads out of range for this executor");
+    Barrier barrier(nthreads);
+    std::vector<std::uint64_t> ops(nthreads, 0);
+
+    const auto start = std::chrono::steady_clock::now();
+    {
+        std::lock_guard<std::mutex> g(mutex_);
+        body_ = &body;
+        jobBarrier_ = &barrier;
+        opsOut_ = &ops;
+        jobThreads_ = nthreads;
+        pendingWorkers_ = nthreads;
+        ++generation_;
+    }
+    startCv_.notify_all();
+    {
+        std::unique_lock<std::mutex> g(mutex_);
+        doneCv_.wait(g, [this] { return pendingWorkers_ == 0; });
+        body_ = nullptr;
+    }
+    const auto stop = std::chrono::steady_clock::now();
+
+    RunInfo info;
+    info.time = std::chrono::duration<double>(stop - start).count();
+    info.thread_ops = std::move(ops);
+    info.variability = variability(info.thread_ops);
+    return info;
+}
+
+void
+NativeExecutor::workerLoop(int tid)
+{
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        std::function<void(NativeCtx&)>* body = nullptr;
+        Barrier* barrier = nullptr;
+        std::vector<std::uint64_t>* ops_out = nullptr;
+        int nthreads = 0;
+        {
+            std::unique_lock<std::mutex> g(mutex_);
+            startCv_.wait(g, [&] {
+                return shutdown_ || generation_ != seen_generation;
+            });
+            if (shutdown_) {
+                return;
+            }
+            seen_generation = generation_;
+            if (tid >= jobThreads_) {
+                continue; // not a participant this round
+            }
+            body = body_;
+            barrier = jobBarrier_;
+            ops_out = opsOut_;
+            nthreads = jobThreads_;
+        }
+
+        NativeCtx ctx(tid, nthreads, barrier);
+        (*body)(ctx);
+        (*ops_out)[tid] = ctx.ops();
+
+        {
+            std::lock_guard<std::mutex> g(mutex_);
+            if (--pendingWorkers_ == 0) {
+                doneCv_.notify_all();
+            }
+        }
+    }
+}
+
+} // namespace crono::rt

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * NativeExecutor: a persistent worker pool that runs kernel bodies
+ * across real threads and reports wall time plus per-thread
+ * instruction counts.
+ */
+
+#ifndef CRONO_RUNTIME_EXECUTOR_H_
+#define CRONO_RUNTIME_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/native_context.h"
+
+namespace crono::rt {
+
+/** Outcome of one parallel region. */
+struct RunInfo {
+    /** Wall-clock seconds (native) or simulated cycles (simulator). */
+    double time = 0.0;
+    /** Per-thread instruction-count proxies (ops). */
+    std::vector<std::uint64_t> thread_ops;
+    /** Load-imbalance metric, Equation 2 of the paper. */
+    double variability = 0.0;
+};
+
+/**
+ * Pool of persistent worker threads executing parallel regions.
+ *
+ * Satisfies the Executor concept used by the kernel drivers:
+ *   using Ctx = ...;
+ *   RunInfo parallel(int nthreads, function<void(Ctx&)> body);
+ *
+ * Regions may not nest. Worker 0..nthreads-1 each invoke the body
+ * exactly once with their own context.
+ */
+class NativeExecutor {
+  public:
+    using Ctx = NativeCtx;
+
+    /** @param max_threads upper bound for nthreads in parallel(). */
+    explicit NativeExecutor(int max_threads);
+    ~NativeExecutor();
+
+    NativeExecutor(const NativeExecutor&) = delete;
+    NativeExecutor& operator=(const NativeExecutor&) = delete;
+
+    int maxThreads() const { return maxThreads_; }
+
+    /** Run @p body on @p nthreads workers; blocks until all finish. */
+    RunInfo parallel(int nthreads, std::function<void(NativeCtx&)> body);
+
+  private:
+    void workerLoop(int tid);
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable startCv_;
+    std::condition_variable doneCv_;
+
+    // Current job, valid while generation_ is odd-stepped per run.
+    std::function<void(NativeCtx&)>* body_ = nullptr;
+    Barrier* jobBarrier_ = nullptr;
+    std::vector<std::uint64_t>* opsOut_ = nullptr;
+    int jobThreads_ = 0;
+    int pendingWorkers_ = 0;
+    std::uint64_t generation_ = 0;
+    bool shutdown_ = false;
+    int maxThreads_;
+};
+
+} // namespace crono::rt
+
+#endif // CRONO_RUNTIME_EXECUTOR_H_

@@ -1,0 +1,104 @@
+#include "runtime/instrumentation.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace crono::rt {
+
+double
+variability(const std::vector<std::uint64_t>& thread_ops)
+{
+    if (thread_ops.empty()) {
+        return 0.0;
+    }
+    const auto [mn, mx] =
+        std::minmax_element(thread_ops.begin(), thread_ops.end());
+    if (*mx == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(*mx - *mn) / static_cast<double>(*mx);
+}
+
+ActiveTracker::ActiveTracker(std::size_t max_samples, std::uint64_t stride)
+    : maxSamples_(max_samples), stride_(stride)
+{
+    CRONO_ASSERT(max_samples >= 16, "tracker needs >= 16 sample slots");
+    CRONO_ASSERT(stride >= 1, "stride must be >= 1");
+    samples_.reserve(max_samples);
+}
+
+void
+ActiveTracker::add(std::int64_t delta)
+{
+    const std::int64_t now =
+        active_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    const std::uint64_t seq =
+        events_.fetch_add(1, std::memory_order_relaxed);
+
+    lock_.lock();
+    if (seq % stride_ == 0) {
+        if (samples_.size() == maxSamples_) {
+            // Compact: keep every other sample, double the stride.
+            for (std::size_t i = 0; 2 * i < samples_.size(); ++i) {
+                samples_[i] = samples_[2 * i];
+            }
+            samples_.resize(samples_.size() / 2);
+            stride_ *= 2;
+        }
+        if (seq % stride_ == 0) {
+            samples_.push_back({seq, now});
+        }
+    }
+    lock_.unlock();
+}
+
+std::vector<ActiveTracker::Sample>
+ActiveTracker::samples() const
+{
+    lock_.lock();
+    auto copy = samples_;
+    lock_.unlock();
+    std::sort(copy.begin(), copy.end(),
+              [](const Sample& a, const Sample& b) {
+                  return a.event < b.event;
+              });
+    return copy;
+}
+
+std::vector<double>
+ActiveTracker::normalizedSeries(std::size_t buckets) const
+{
+    CRONO_ASSERT(buckets >= 1, "need >= 1 bucket");
+    const auto samps = samples();
+    std::vector<double> out(buckets, 0.0);
+    if (samps.empty()) {
+        return out;
+    }
+    const std::uint64_t total = events();
+    std::vector<double> sums(buckets, 0.0);
+    std::vector<std::uint64_t> counts(buckets, 0);
+    std::int64_t peak = 1;
+    for (const Sample& s : samps) {
+        peak = std::max(peak, s.active);
+        std::size_t bucket = total <= 1
+                                 ? 0
+                                 : static_cast<std::size_t>(
+                                       (s.event * buckets) / total);
+        bucket = std::min(bucket, buckets - 1);
+        sums[bucket] += static_cast<double>(std::max<std::int64_t>(
+            s.active, 0));
+        ++counts[bucket];
+    }
+    double last = 0.0;
+    for (std::size_t i = 0; i < buckets; ++i) {
+        if (counts[i] > 0) {
+            last = sums[i] / static_cast<double>(counts[i]) /
+                   static_cast<double>(peak);
+        }
+        out[i] = last;
+    }
+    return out;
+}
+
+} // namespace crono::rt

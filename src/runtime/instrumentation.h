@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Workload instrumentation: load-imbalance metric and the active-
+ * vertices trace behind Figure 2 of the paper.
+ */
+
+#ifndef CRONO_RUNTIME_INSTRUMENTATION_H_
+#define CRONO_RUNTIME_INSTRUMENTATION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "runtime/spinlock.h"
+
+namespace crono::rt {
+
+/**
+ * Load-imbalance "Variability" metric, Equation 2 of the paper:
+ * (max - min) / max over per-thread instruction counts.
+ * Returns 0 for empty input or all-zero counts.
+ */
+double variability(const std::vector<std::uint64_t>& thread_ops);
+
+/**
+ * Event-ordered trace of the number of "active vertices".
+ *
+ * Kernels call add()/sub() as vertices become live work; the tracker
+ * samples the running count every @p stride events into a bounded
+ * buffer (compacting by doubling the stride when full). The event
+ * sequence number serves as the execution-time axis: Figure 2 plots
+ * both axes normalized, so only ordering matters.
+ *
+ * Thread-safe; negligible overhead when no tracker is attached to a
+ * kernel (kernels hold a nullable pointer).
+ */
+class ActiveTracker {
+  public:
+    /** One recorded observation. */
+    struct Sample {
+        std::uint64_t event;   ///< event sequence number
+        std::int64_t active;   ///< active-vertex count after the event
+    };
+
+    explicit ActiveTracker(std::size_t max_samples = 16384,
+                           std::uint64_t stride = 1);
+
+    /** Record @p delta newly active vertices (may be negative). */
+    void add(std::int64_t delta);
+
+    /** Convenience for add(-delta). */
+    void sub(std::int64_t delta) { add(-delta); }
+
+    /** Total events observed. */
+    std::uint64_t events() const
+    {
+        return events_.load(std::memory_order_relaxed);
+    }
+
+    /** Copy of the recorded samples, in event order. */
+    std::vector<Sample> samples() const;
+
+    /**
+     * The Figure 2 series: @p buckets values in [0, 1], the mean
+     * active count of each normalized-time bucket divided by the
+     * maximum observed count.
+     */
+    std::vector<double> normalizedSeries(std::size_t buckets) const;
+
+  private:
+    mutable Spinlock lock_;
+    std::vector<Sample> samples_;
+    std::size_t maxSamples_;
+    std::uint64_t stride_;
+    std::atomic<std::int64_t> active_{0};
+    std::atomic<std::uint64_t> events_{0};
+};
+
+} // namespace crono::rt
+
+#endif // CRONO_RUNTIME_INSTRUMENTATION_H_

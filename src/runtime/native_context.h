@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Native (real-threads) implementation of the ExecutionContext
+ * concept that all CRONO kernels are templated over.
+ *
+ * The concept (see core/context.h for the full contract):
+ *   - tid() / nthreads()
+ *   - read(ref) / write(ref, v) / fetchAdd(ref, d): shared-memory
+ *     accesses. Native: (atomic) machine accesses. Simulator: routed
+ *     through the modeled memory hierarchy.
+ *   - work(n): n units of pure compute.
+ *   - Mutex, lock(), unlock(), barrier(): synchronization.
+ *   - ops(): per-thread instruction-count proxy for the Variability
+ *     load-imbalance metric.
+ */
+
+#ifndef CRONO_RUNTIME_NATIVE_CONTEXT_H_
+#define CRONO_RUNTIME_NATIVE_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+#include "runtime/barrier.h"
+#include "runtime/spinlock.h"
+
+namespace crono::rt {
+
+/** ExecutionContext over real threads; one instance per thread. */
+class NativeCtx {
+  public:
+    using Mutex = Spinlock;
+
+    NativeCtx(int tid, int nthreads, Barrier* barrier)
+        : barrier_(barrier), tid_(tid), nthreads_(nthreads)
+    {
+    }
+
+    int tid() const { return tid_; }
+    int nthreads() const { return nthreads_; }
+
+    /** Shared read. Atomic (relaxed) for scalar T, plain otherwise. */
+    template <class T>
+    T
+    read(const T& ref)
+    {
+        ++ops_;
+        if constexpr (atomicCapable<T>) {
+            return std::atomic_ref<const T>(ref).load(
+                std::memory_order_relaxed);
+        } else {
+            return ref;
+        }
+    }
+
+    /** Shared write. Atomic (relaxed) for scalar T, plain otherwise. */
+    template <class T>
+    void
+    write(T& ref, T value)
+    {
+        ++ops_;
+        if constexpr (atomicCapable<T>) {
+            std::atomic_ref<T>(ref).store(value, std::memory_order_relaxed);
+        } else {
+            ref = value;
+        }
+    }
+
+    /** Atomic fetch-add on a shared counter; returns the old value. */
+    template <class T>
+    T
+    fetchAdd(T& ref, T delta)
+    {
+        static_assert(atomicCapable<T>, "fetchAdd needs an atomic scalar");
+        ++ops_;
+        return std::atomic_ref<T>(ref).fetch_add(
+            delta, std::memory_order_acq_rel);
+    }
+
+    /** Account @p n units of pure computation. */
+    void work(std::uint64_t n) { ops_ += n; }
+
+    void
+    lock(Mutex& m)
+    {
+        ++ops_;
+        m.lock();
+        // Pairing note: reads of data written under the lock are
+        // ordered by the lock's acquire/release.
+    }
+
+    void
+    unlock(Mutex& m)
+    {
+        ++ops_;
+        m.unlock();
+    }
+
+    void
+    barrier()
+    {
+        ++ops_;
+        barrier_->arriveAndWait();
+    }
+
+    /** Instruction-count proxy accumulated by this thread. */
+    std::uint64_t ops() const { return ops_; }
+
+  private:
+    template <class T>
+    static constexpr bool atomicCapable =
+        std::is_trivially_copyable_v<T> && (sizeof(T) <= 8) &&
+        std::atomic_ref<std::remove_const_t<T>>::is_always_lock_free;
+
+    Barrier* barrier_;
+    std::uint64_t ops_ = 0;
+    int tid_;
+    int nthreads_;
+};
+
+} // namespace crono::rt
+
+#endif // CRONO_RUNTIME_NATIVE_CONTEXT_H_

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Graph-division partitioners.
+ *
+ * "Graph division" (Table I) statically splits the vertex range among
+ * threads. Two flavors are provided: contiguous blocks (good locality
+ * for lattice-like graphs) and cyclic striping (better balance for
+ * skewed degree distributions).
+ */
+
+#ifndef CRONO_RUNTIME_PARTITION_H_
+#define CRONO_RUNTIME_PARTITION_H_
+
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace crono::rt {
+
+/** Half-open index range [begin, end). */
+struct Range {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+
+    std::uint64_t size() const { return end - begin; }
+    bool empty() const { return begin == end; }
+
+    friend bool operator==(const Range&, const Range&) = default;
+};
+
+/**
+ * Contiguous block owned by thread @p tid out of @p nthreads over
+ * [0, total). Remainder elements go to the lowest-numbered threads so
+ * block sizes differ by at most one.
+ */
+inline Range
+blockPartition(std::uint64_t total, int tid, int nthreads)
+{
+    CRONO_ASSERT(nthreads >= 1 && tid >= 0 && tid < nthreads,
+                 "bad partition arguments");
+    const std::uint64_t base = total / nthreads;
+    const std::uint64_t extra = total % nthreads;
+    const auto t = static_cast<std::uint64_t>(tid);
+    const std::uint64_t begin = t * base + (t < extra ? t : extra);
+    return {begin, begin + base + (t < extra ? 1 : 0)};
+}
+
+/**
+ * Visit the cyclic stripe {tid, tid + nthreads, ...} of [0, total).
+ * @param fn callable taking the element index
+ */
+template <class Fn>
+void
+cyclicPartition(std::uint64_t total, int tid, int nthreads, Fn&& fn)
+{
+    for (std::uint64_t i = static_cast<std::uint64_t>(tid); i < total;
+         i += static_cast<std::uint64_t>(nthreads)) {
+        fn(i);
+    }
+}
+
+} // namespace crono::rt
+
+#endif // CRONO_RUNTIME_PARTITION_H_

@@ -1,0 +1,124 @@
+#include "sim/cache.h"
+
+#include "common/macros.h"
+
+namespace crono::sim {
+
+Cache::Cache(const CacheConfig& cfg, std::uint32_t line_bytes)
+    : numSets_(cfg.numSets(line_bytes))
+{
+    CRONO_REQUIRE(numSets_ >= 1, "cache must have >= 1 set");
+    CRONO_REQUIRE((numSets_ & (numSets_ - 1)) == 0,
+                  "number of sets must be a power of two");
+    sets_.resize(numSets_);
+    for (auto& s : sets_) {
+        s.resize(cfg.associativity);
+    }
+}
+
+std::vector<Cache::Way>&
+Cache::setOf(LineAddr line)
+{
+    return sets_[line & (numSets_ - 1)];
+}
+
+Cache::Way*
+Cache::find(LineAddr line)
+{
+    for (Way& w : setOf(line)) {
+        if (w.state != LineState::invalid && w.line == line) {
+            return &w;
+        }
+    }
+    return nullptr;
+}
+
+const Cache::Way*
+Cache::find(LineAddr line) const
+{
+    return const_cast<Cache*>(this)->find(line);
+}
+
+LineState
+Cache::lookup(LineAddr line)
+{
+    Way* w = find(line);
+    if (w == nullptr) {
+        return LineState::invalid;
+    }
+    w->lru = ++useClock_;
+    return w->state;
+}
+
+LineState
+Cache::peek(LineAddr line) const
+{
+    const Way* w = find(line);
+    return w ? w->state : LineState::invalid;
+}
+
+Cache::Victim
+Cache::insert(LineAddr line, LineState state)
+{
+    CRONO_ASSERT(state != LineState::invalid, "cannot insert invalid line");
+    CRONO_ASSERT(find(line) == nullptr, "double insert of cached line");
+    auto& set = setOf(line);
+
+    Way* target = nullptr;
+    for (Way& w : set) {
+        if (w.state == LineState::invalid) {
+            target = &w;
+            break;
+        }
+        if (target == nullptr || w.lru < target->lru) {
+            target = &w;
+        }
+    }
+
+    Victim victim;
+    if (target->state != LineState::invalid) {
+        victim = {true, target->line, target->state};
+    }
+    target->line = line;
+    target->state = state;
+    target->lru = ++useClock_;
+    return victim;
+}
+
+void
+Cache::setState(LineAddr line, LineState state)
+{
+    Way* w = find(line);
+    CRONO_ASSERT(w != nullptr, "setState on absent line");
+    CRONO_ASSERT(state != LineState::invalid,
+                 "use invalidate() to drop a line");
+    w->state = state;
+}
+
+LineState
+Cache::invalidate(LineAddr line)
+{
+    Way* w = find(line);
+    if (w == nullptr) {
+        return LineState::invalid;
+    }
+    const LineState prior = w->state;
+    w->state = LineState::invalid;
+    return prior;
+}
+
+std::size_t
+Cache::occupancy() const
+{
+    std::size_t n = 0;
+    for (const auto& set : sets_) {
+        for (const Way& w : set) {
+            if (w.state != LineState::invalid) {
+                ++n;
+            }
+        }
+    }
+    return n;
+}
+
+} // namespace crono::sim

@@ -1,0 +1,79 @@
+#include "sim/config.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace crono::sim {
+
+Config
+Config::futuristic256(CoreType core)
+{
+    Config c;
+    c.core_type = core;
+    c.name = core == CoreType::inOrder ? "futuristic-256-inorder"
+                                       : "futuristic-256-ooo";
+    return c;
+}
+
+Config
+Config::realMachine()
+{
+    Config c;
+    c.name = "i7-4790-like";
+    c.num_cores = 8; // 4 cores x 2-way hyperthreading
+    c.core_type = CoreType::outOfOrder;
+    c.l2 = CacheConfig{1024 * 1024, 16, 12}; // 8 MB shared / 8 contexts
+    c.num_mem_controllers = 2;
+    c.dram_latency_cycles = 60;
+    c.dram_bytes_per_cycle = 12.0;
+    c.hop_cycles = 1; // small on-die interconnect
+    // Software threads beyond the 8 contexts are timesliced; slices
+    // follow the scheduler quantum with a visible per-switch cost.
+    c.scheduler_quantum = 2000;
+    c.context_switch_cycles = 200;
+    return c;
+}
+
+int
+Config::meshWidth() const
+{
+    int w = 1;
+    while (w * w < num_cores) {
+        ++w;
+    }
+    return w;
+}
+
+std::string
+Config::describe() const
+{
+    std::ostringstream os;
+    os << "Configuration: " << name << "\n"
+       << "  cores                " << num_cores << " @ 1 GHz, "
+       << (core_type == CoreType::inOrder ? "in-order" : "out-of-order")
+       << " single-issue\n";
+    if (core_type == CoreType::outOfOrder) {
+        os << "  reorder buffer       " << ooo.rob_size << "\n"
+           << "  load/store queue     " << ooo.load_queue << "/"
+           << ooo.store_queue << "\n";
+    }
+    os << "  L1-I per core        " << l1i.size_bytes / 1024 << " KB, "
+       << l1i.associativity << "-way, " << l1i.access_cycles << " cycle\n"
+       << "  L1-D per core        " << l1d.size_bytes / 1024 << " KB, "
+       << l1d.associativity << "-way, " << l1d.access_cycles << " cycle\n"
+       << "  L2 per core          " << l2.size_bytes / 1024 << " KB, "
+       << l2.associativity << "-way, " << l2.access_cycles
+       << " cycle, inclusive NUCA\n"
+       << "  cache line           " << line_bytes << " bytes\n"
+       << "  directory            invalidation MESI, ACKwise"
+       << ackwise_pointers << "\n"
+       << "  memory controllers   " << num_mem_controllers << " x "
+       << dram_bytes_per_cycle << " GB/s, " << dram_latency_cycles
+       << " ns DRAM\n"
+       << "  network              " << meshWidth() << "x" << meshWidth()
+       << " mesh, XY routing, " << hop_cycles << "-cycle hops, "
+       << flit_bits << "-bit flits, link contention\n";
+    return os.str();
+}
+
+} // namespace crono::sim

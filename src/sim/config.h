@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Architectural configuration of the simulated multicore.
+ *
+ * Defaults reproduce Table II of the CRONO paper: 256 cores at 1 GHz,
+ * single-issue pipelines (in-order or out-of-order memory), 32 KB
+ * 4-way L1-I/L1-D (1 cycle), 256 KB 8-way inclusive NUCA L2 slice per
+ * core (8 cycles), ACKwise-4 invalidation directory, 8 memory
+ * controllers (5 GB/s, 100 ns), electrical 2-D mesh with XY routing,
+ * 2-cycle hops, 64-bit flits and link-contention-only modeling.
+ */
+
+#ifndef CRONO_SIM_CONFIG_H_
+#define CRONO_SIM_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace crono::sim {
+
+/** NoC routing policy (Section VII-B discusses oblivious routing). */
+enum class Routing {
+    xy,      ///< dimension-ordered X then Y (Table II default)
+    yx,      ///< dimension-ordered Y then X
+    o1turn,  ///< O1TURN-style oblivious: alternate XY/YX per message
+};
+
+/** Core timing model selector. */
+enum class CoreType {
+    inOrder,     ///< stall-on-use, one instruction per cycle
+    outOfOrder,  ///< ROB/LSQ-windowed memory-latency overlap
+};
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig {
+    std::uint32_t size_bytes;
+    std::uint32_t associativity;
+    std::uint32_t access_cycles;
+
+    std::uint32_t numSets(std::uint32_t line_bytes) const
+    {
+        return size_bytes / (line_bytes * associativity);
+    }
+};
+
+/** Out-of-order window sizes (Table II). */
+struct OooConfig {
+    std::uint32_t rob_size = 168;
+    std::uint32_t load_queue = 64;
+    std::uint32_t store_queue = 48;
+};
+
+/** Full machine description. */
+struct Config {
+    /** Human-readable preset name (for report headers). */
+    std::string name = "futuristic-256";
+
+    int num_cores = 256;
+    CoreType core_type = CoreType::inOrder;
+    OooConfig ooo;
+
+    std::uint32_t line_bytes = 64;
+    CacheConfig l1i{32 * 1024, 4, 1};
+    CacheConfig l1d{32 * 1024, 4, 1};
+    CacheConfig l2{256 * 1024, 8, 8};
+
+    /** ACKwise-k precise sharer pointers before broadcast fallback. */
+    int ackwise_pointers = 4;
+
+    /**
+     * Allow private L1 caching of data lines. Disabling it models the
+     * "remote access only" extreme of the locality-aware coherence
+     * discussion in Section VII-A: every access is serviced at the L2
+     * home, eliminating invalidation traffic at the cost of network
+     * round trips on every reference.
+     */
+    bool l1_allocation = true;
+
+    /**
+     * Locality-aware adaptive coherence (Kurian et al., discussed in
+     * Section VII-A): when > 0, a core's accesses to a line are
+     * serviced remotely at the L2 home until the home has observed
+     * this many accesses by that core; only then is the line granted
+     * for private L1 caching. 0 disables the adaptation (classic
+     * MESI). Requires l1_allocation == true to have any effect.
+     */
+    std::uint32_t locality_threshold = 0;
+
+    int num_mem_controllers = 8;
+    std::uint32_t dram_latency_cycles = 100;     ///< 100 ns @ 1 GHz
+    double dram_bytes_per_cycle = 5.0;           ///< 5 GB/s @ 1 GHz
+
+    std::uint32_t hop_cycles = 2;                ///< 1 router + 1 link
+    std::uint32_t flit_bits = 64;
+    Routing routing = Routing::xy;
+    std::uint32_t control_message_bits = 64;     ///< coherence requests/acks
+    /** Data message payload is one cache line + a header flit. */
+
+    /** Lock/barrier release notification latency (cycles). */
+    std::uint32_t sync_notify_cycles = 20;
+
+    /** Extra cycles charged when a core switches between fibers. */
+    std::uint32_t context_switch_cycles = 1000;
+
+    /** Lax-synchronization quantum for the fiber scheduler (cycles). */
+    std::uint32_t scheduler_quantum = 200;
+
+    /** Stack bytes per simulated thread. */
+    std::size_t fiber_stack_bytes = 512 * 1024;
+
+    /** Table II configuration with the requested core model. */
+    static Config futuristic256(CoreType core = CoreType::inOrder);
+
+    /**
+     * The paper's real-machine stand-in: an Intel i7-4790-like
+     * organization — 8 hardware contexts (4 cores x 2-way SMT), OOO,
+     * 1 MB of shared cache per context (8 MB total), faster DRAM.
+     * Software threads beyond 8 are multiplexed with a context-switch
+     * penalty, mirroring Section VI's observation that speedups drop
+     * at 16 threads.
+     */
+    static Config realMachine();
+
+    /** Multi-line human-readable dump (Table II style). */
+    std::string describe() const;
+
+    /** Mesh edge length (smallest square covering num_cores). */
+    int meshWidth() const;
+};
+
+} // namespace crono::sim
+
+#endif // CRONO_SIM_CONFIG_H_

@@ -1,0 +1,115 @@
+#include "sim/core_model.h"
+
+#include "common/macros.h"
+
+namespace crono::sim {
+
+std::unique_ptr<CoreModel>
+CoreModel::create(const Config& cfg)
+{
+    if (cfg.core_type == CoreType::inOrder) {
+        return std::make_unique<InOrderCore>();
+    }
+    return std::make_unique<OutOfOrderCore>(cfg.ooo);
+}
+
+OutOfOrderCore::OutOfOrderCore(const OooConfig& cfg)
+    : loadRing_(cfg.load_queue), storeRing_(cfg.store_queue),
+      robCapacity_(cfg.rob_size)
+{
+    CRONO_REQUIRE(cfg.rob_size >= 1 && cfg.load_queue >= 1 &&
+                      cfg.store_queue >= 1,
+                  "OOO window sizes must be >= 1");
+}
+
+void
+OutOfOrderCore::addCompute(std::uint64_t n)
+{
+    CoreModel::addCompute(n);
+    seq_ += n;
+    // Drop ops that have both completed and left the window; keeps the
+    // in-flight deque short across long compute stretches.
+    while (!inflight_.empty() && inflight_.front().completion <= now_ &&
+           inflight_.front().seq + robCapacity_ <= seq_) {
+        inflight_.pop_front();
+    }
+}
+
+void
+OutOfOrderCore::addAccess(bool is_store, const AccessLatency& lat)
+{
+    addCompute(1); // the issue slot and L1 access
+    std::uint64_t issue = now_;
+    issue = retireBeyondWindow(issue);
+    issue = enforceQueue(is_store ? storeRing_ : loadRing_,
+                         is_store ? storeSeq_ : loadSeq_, issue, lat);
+    if (issue > now_) {
+        now_ = issue;
+    }
+    inflight_.push_back(Slot{seq_, now_ + lat.total(), lat, is_store});
+}
+
+std::uint64_t
+OutOfOrderCore::retireBeyondWindow(std::uint64_t issue)
+{
+    while (!inflight_.empty() &&
+           inflight_.front().seq + robCapacity_ <= seq_) {
+        const Slot s = inflight_.front();
+        inflight_.pop_front();
+        if (s.completion > issue) {
+            chargeStall(s, s.completion - issue);
+            issue = s.completion;
+        }
+    }
+    return issue;
+}
+
+std::uint64_t
+OutOfOrderCore::enforceQueue(std::vector<Slot>& ring, std::uint64_t& seq,
+                             std::uint64_t issue, const AccessLatency& lat)
+{
+    Slot& slot = ring[seq % ring.size()];
+    if (seq >= ring.size() && slot.completion > issue) {
+        // Queue full: wait for its oldest entry to free.
+        chargeStall(slot, slot.completion - issue);
+        issue = slot.completion;
+    }
+    slot = Slot{seq, issue + lat.total(), lat, false};
+    ++seq;
+    return issue;
+}
+
+void
+OutOfOrderCore::chargeStall(const Slot& blocker, std::uint64_t stall)
+{
+    const std::uint64_t lat_total = blocker.lat.total();
+    if (lat_total == 0) {
+        bd_[Component::compute] += static_cast<double>(stall);
+        return;
+    }
+    chargeAccess(blocker.lat,
+                 static_cast<double>(stall) / static_cast<double>(lat_total));
+}
+
+void
+OutOfOrderCore::drain()
+{
+    while (!inflight_.empty()) {
+        const Slot s = inflight_.front();
+        inflight_.pop_front();
+        if (s.completion > now_) {
+            chargeStall(s, s.completion - now_);
+            now_ = s.completion;
+        }
+    }
+    // Ring entries are a subset of inflight_ timing-wise, but stale
+    // completions must not gate the next region after a drain.
+    for (Slot& s : loadRing_) {
+        s.completion = 0;
+    }
+    for (Slot& s : storeRing_) {
+        s.completion = 0;
+    }
+}
+
+} // namespace crono::sim

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Per-thread core timing models.
+ *
+ * Both models are single-issue (Table II). The in-order model stalls
+ * the pipeline for the full latency of every memory access. The
+ * out-of-order model lets memory latency overlap with subsequent
+ * instructions, bounded by the reorder-buffer and load/store-queue
+ * windows: an instruction cannot issue while an instruction ROB or
+ * more positions older is still outstanding (and at most LQ loads /
+ * SQ stores may be in flight), so isolated misses hide completely
+ * while bursts of misses expose stalls — reproducing the paper's
+ * finding that OOO cores cannot hide on-chip communication in graph
+ * workloads.
+ */
+
+#ifndef CRONO_SIM_CORE_MODEL_H_
+#define CRONO_SIM_CORE_MODEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/stats.h"
+
+namespace crono::sim {
+
+/** Latency decomposition of one memory access beyond the L1 hit. */
+struct AccessLatency {
+    std::uint64_t l1_to_l2 = 0;
+    std::uint64_t waiting = 0;
+    std::uint64_t sharers = 0;
+    std::uint64_t offchip = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return l1_to_l2 + waiting + sharers + offchip;
+    }
+};
+
+/** Abstract per-thread pipeline clock with component accounting. */
+class CoreModel {
+  public:
+    virtual ~CoreModel() = default;
+
+    /** Current local cycle of this thread. */
+    std::uint64_t now() const { return now_; }
+
+    /** Accumulated cycle breakdown of this thread. */
+    const Breakdown& breakdown() const { return bd_; }
+
+    /** Advance by @p n single-cycle compute instructions. */
+    virtual void
+    addCompute(std::uint64_t n)
+    {
+        now_ += n;
+        bd_[Component::compute] += static_cast<double>(n);
+    }
+
+    /**
+     * Issue one memory instruction whose hierarchy latency beyond the
+     * 1-cycle L1 access is @p lat.
+     */
+    virtual void addAccess(bool is_store, const AccessLatency& lat) = 0;
+
+    /** Wait for all outstanding memory operations (fence semantics). */
+    virtual void drain() {}
+
+    /**
+     * Block until @p until, charging the gap to @p component
+     * (synchronization wait, timesharing delay, ...).
+     */
+    void
+    waitUntil(std::uint64_t until, Component component)
+    {
+        if (until > now_) {
+            bd_[component] += static_cast<double>(until - now_);
+            now_ = until;
+        }
+    }
+
+    /** Factory for the configured model type. */
+    static std::unique_ptr<CoreModel> create(const Config& cfg);
+
+  protected:
+    void
+    chargeAccess(const AccessLatency& lat, double scale)
+    {
+        bd_[Component::l1ToL2Home] += scale * lat.l1_to_l2;
+        bd_[Component::l2HomeWaiting] += scale * lat.waiting;
+        bd_[Component::l2HomeSharers] += scale * lat.sharers;
+        bd_[Component::l2HomeOffChip] += scale * lat.offchip;
+    }
+
+    std::uint64_t now_ = 0;
+    Breakdown bd_;
+};
+
+/** Stall-on-use single-issue pipeline. */
+class InOrderCore final : public CoreModel {
+  public:
+    void
+    addAccess(bool, const AccessLatency& lat) override
+    {
+        addCompute(1);            // the L1 access / pipeline slot
+        now_ += lat.total();
+        chargeAccess(lat, 1.0);
+    }
+};
+
+/** ROB/LSQ-windowed overlap model. */
+class OutOfOrderCore final : public CoreModel {
+  public:
+    explicit OutOfOrderCore(const OooConfig& cfg);
+
+    void addCompute(std::uint64_t n) override;
+    void addAccess(bool is_store, const AccessLatency& lat) override;
+    void drain() override;
+
+    /** Memory ops not yet retired (exposed for tests). */
+    std::size_t inflightOps() const { return inflight_.size(); }
+
+  private:
+    /** One outstanding memory instruction. */
+    struct Slot {
+        std::uint64_t seq;
+        std::uint64_t completion;
+        AccessLatency lat; // component mix for stall attribution
+        bool is_store;
+    };
+
+    /** Retire ops that left the ROB window, stalling if incomplete. */
+    std::uint64_t retireBeyondWindow(std::uint64_t issue);
+    /**
+     * Enforce LQ/SQ occupancy at @p issue: entries allocate and free
+     * in program order, so a new load waits for the load LQ positions
+     * earlier (a ring buffer lookup, O(1)).
+     */
+    std::uint64_t enforceQueue(std::vector<Slot>& ring,
+                               std::uint64_t& seq, std::uint64_t issue,
+                               const AccessLatency& lat);
+    /** Charge @p stall cycles in @p blocker's component proportions. */
+    void chargeStall(const Slot& blocker, std::uint64_t stall);
+
+    std::deque<Slot> inflight_;       // ROB window (memory ops only)
+    std::vector<Slot> loadRing_;      // LQ, indexed by loadSeq_ % LQ
+    std::vector<Slot> storeRing_;     // SQ, indexed by storeSeq_ % SQ
+    std::uint64_t seq_ = 0;
+    std::uint64_t loadSeq_ = 0;
+    std::uint64_t storeSeq_ = 0;
+    std::uint64_t robCapacity_;
+};
+
+} // namespace crono::sim
+
+#endif // CRONO_SIM_CORE_MODEL_H_

@@ -1,0 +1,59 @@
+#include "sim/dram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace crono::sim {
+
+Dram::Dram(const Config& cfg)
+    : numControllers_(static_cast<std::size_t>(cfg.num_mem_controllers)),
+      latency_(cfg.dram_latency_cycles)
+{
+    CRONO_REQUIRE(cfg.num_mem_controllers >= 1, "need >= 1 controller");
+    CRONO_REQUIRE(cfg.dram_bytes_per_cycle > 0, "bandwidth must be > 0");
+    windows_.assign(numControllers_ * kWindowRing, Window{});
+    serviceCycles_ = static_cast<std::uint32_t>(std::ceil(
+        static_cast<double>(cfg.line_bytes) / cfg.dram_bytes_per_cycle));
+
+    // Spread controllers evenly over the mesh nodes.
+    nodes_.resize(cfg.num_mem_controllers);
+    for (int i = 0; i < cfg.num_mem_controllers; ++i) {
+        nodes_[i] = static_cast<int>(
+            (static_cast<std::int64_t>(i) * cfg.num_cores) /
+            cfg.num_mem_controllers);
+    }
+}
+
+int
+Dram::controllerNode(LineAddr line) const
+{
+    return nodes_[line % numControllers_];
+}
+
+std::uint64_t
+Dram::access(LineAddr line, std::uint64_t start)
+{
+    // Windowed bandwidth model (see Mesh::linkDelay for rationale):
+    // each controller serves kWindowCycles of service time per window;
+    // overflow queues past the window.
+    const std::size_t ctrl = line % numControllers_;
+    const std::uint64_t epoch = start / kWindowCycles;
+    Window& w = windows_[ctrl * kWindowRing + (epoch % kWindowRing)];
+    if (w.epoch != epoch) {
+        w.epoch = epoch;
+        w.busy = 0;
+    }
+    const std::uint64_t occupied = w.busy;
+    w.busy += serviceCycles_;
+    std::uint64_t queue = 0;
+    if (occupied + serviceCycles_ > kWindowCycles) {
+        queue = occupied + serviceCycles_ - kWindowCycles;
+    }
+    stats_.queue_cycles += queue;
+    ++stats_.accesses;
+    return start + queue + latency_;
+}
+
+} // namespace crono::sim

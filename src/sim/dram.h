@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Off-chip memory: N controllers spread along the mesh, each with a
+ * fixed access latency and a finite-bandwidth service queue
+ * (Table II: 8 controllers, 5 GB/s each, 100 ns).
+ */
+
+#ifndef CRONO_SIM_DRAM_H_
+#define CRONO_SIM_DRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cache.h"
+#include "sim/config.h"
+#include "sim/stats.h"
+
+namespace crono::sim {
+
+/** The set of memory controllers. */
+class Dram {
+  public:
+    explicit Dram(const Config& cfg);
+
+    /** Mesh node the controller for @p line attaches to. */
+    int controllerNode(LineAddr line) const;
+
+    /**
+     * Service one cache-line access beginning at @p start.
+     * Queueing for controller bandwidth is charged before the fixed
+     * DRAM latency. @return completion cycle.
+     */
+    std::uint64_t access(LineAddr line, std::uint64_t start);
+
+    const DramStats& stats() const { return stats_; }
+
+    /** Bandwidth-accounting window width in cycles. */
+    static constexpr std::uint64_t kWindowCycles = 512;
+    /** Number of windows retained per controller. */
+    static constexpr std::size_t kWindowRing = 16;
+
+  private:
+    /** One time-window of service occupancy on a controller. */
+    struct Window {
+        std::uint64_t epoch = ~std::uint64_t{0};
+        std::uint64_t busy = 0; ///< service cycles booked in window
+    };
+
+    std::vector<Window> windows_; // [controller][epoch % kWindowRing]
+    std::vector<int> nodes_;      // mesh node per controller
+    std::size_t numControllers_;
+    DramStats stats_;
+    std::uint32_t latency_;
+    std::uint32_t serviceCycles_; // line_bytes / bytes_per_cycle
+};
+
+} // namespace crono::sim
+
+#endif // CRONO_SIM_DRAM_H_

@@ -1,0 +1,22 @@
+#include "sim/energy.h"
+
+namespace crono::sim {
+
+EnergyBreakdown
+computeEnergy(const EnergyParams& p, std::uint64_t l1i_accesses,
+              const CacheStats& l1d, const CacheStats& l2,
+              const DirectoryStats& dir, const NetworkStats& net,
+              const DramStats& dram)
+{
+    EnergyBreakdown e;
+    e.l1i = p.l1i_access_pj * static_cast<double>(l1i_accesses);
+    e.l1d = p.l1d_access_pj * static_cast<double>(l1d.accesses);
+    e.l2 = p.l2_access_pj * static_cast<double>(l2.accesses);
+    e.directory = p.directory_access_pj * static_cast<double>(dir.lookups);
+    e.router = p.router_per_flit_hop_pj * static_cast<double>(net.flit_hops);
+    e.link = p.link_per_flit_hop_pj * static_cast<double>(net.flit_hops);
+    e.dram = p.dram_access_pj * static_cast<double>(dram.accesses);
+    return e;
+}
+
+} // namespace crono::sim

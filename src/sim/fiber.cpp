@@ -1,0 +1,67 @@
+#include "sim/fiber.h"
+
+#include "common/macros.h"
+
+namespace crono::sim {
+
+namespace {
+
+// The fiber being resumed right now. The simulator is single-host-
+// threaded by construction, but thread_local keeps this safe even if
+// two Machines run on different host threads.
+thread_local Fiber* t_current_fiber = nullptr;
+
+} // namespace
+
+Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes)
+    : entry_(std::move(entry)), stack_(new char[stack_bytes])
+{
+    CRONO_REQUIRE(stack_bytes >= 64 * 1024, "fiber stack too small");
+    CRONO_ASSERT(getcontext(&context_) == 0, "getcontext failed");
+    context_.uc_stack.ss_sp = stack_.get();
+    context_.uc_stack.ss_size = stack_bytes;
+    context_.uc_link = nullptr; // trampoline switches back explicitly
+    makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline),
+                0);
+}
+
+Fiber::~Fiber()
+{
+    // A fiber destroyed while suspended simply abandons its stack
+    // frame; the owning Machine only destroys fibers after run() has
+    // completed them, so this is a no-op in practice.
+}
+
+void
+Fiber::resume()
+{
+    CRONO_ASSERT(!finished_, "resume of finished fiber");
+    Fiber* previous = t_current_fiber;
+    t_current_fiber = this;
+    started_ = true;
+    CRONO_ASSERT(swapcontext(&hostContext_, &context_) == 0,
+                 "swapcontext into fiber failed");
+    t_current_fiber = previous;
+}
+
+void
+Fiber::yieldToHost()
+{
+    CRONO_ASSERT(t_current_fiber == this, "yield from foreign context");
+    CRONO_ASSERT(swapcontext(&context_, &hostContext_) == 0,
+                 "swapcontext to host failed");
+}
+
+void
+Fiber::trampoline()
+{
+    Fiber* self = t_current_fiber;
+    CRONO_ASSERT(self != nullptr, "trampoline without current fiber");
+    self->entry_();
+    self->finished_ = true;
+    // Final switch back to the host; never returns here again.
+    CRONO_ASSERT(swapcontext(&self->context_, &self->hostContext_) == 0,
+                 "final swapcontext failed");
+}
+
+} // namespace crono::sim

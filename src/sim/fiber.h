@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Cooperative fibers (ucontext-based) for direct-execution simulation.
+ *
+ * Each simulated thread runs its kernel body on a fiber; the scheduler
+ * switches fibers on the single host thread. This is what makes the
+ * whole simulation deterministic: exactly one fiber executes at any
+ * instant, so simulated shared memory needs no host synchronization
+ * and the interleaving is fixed by the scheduler's time ordering.
+ */
+
+#ifndef CRONO_SIM_FIBER_H_
+#define CRONO_SIM_FIBER_H_
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace crono::sim {
+
+/**
+ * One suspendable execution context with its own stack.
+ *
+ * Lifecycle: constructed with an entry function; resume() runs it
+ * until it calls yieldToHost() or returns; finished() reports
+ * completion. Must always be resumed from the same host thread.
+ */
+class Fiber {
+  public:
+    /**
+     * @param entry       body to run on the fiber
+     * @param stack_bytes stack size for the fiber
+     */
+    Fiber(std::function<void()> entry, std::size_t stack_bytes);
+    ~Fiber();
+
+    Fiber(const Fiber&) = delete;
+    Fiber& operator=(const Fiber&) = delete;
+
+    /** Switch from the host context into the fiber. @pre !finished() */
+    void resume();
+
+    /** Switch from the fiber back to the host. Call only on-fiber. */
+    void yieldToHost();
+
+    /** True once the entry function has returned. */
+    bool finished() const { return finished_; }
+
+  private:
+    static void trampoline();
+
+    std::function<void()> entry_;
+    std::unique_ptr<char[]> stack_;
+    ucontext_t context_;
+    ucontext_t hostContext_;
+    bool started_ = false;
+    bool finished_ = false;
+};
+
+} // namespace crono::sim
+
+#endif // CRONO_SIM_FIBER_H_

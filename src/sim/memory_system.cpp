@@ -1,0 +1,427 @@
+#include "sim/memory_system.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace crono::sim {
+
+MemorySystem::MemorySystem(const Config& cfg)
+    : mesh_(cfg), dram_(cfg), numCores_(cfg.num_cores),
+      lineBytes_(cfg.line_bytes), l2Cycles_(cfg.l2.access_cycles),
+      ctlBits_(cfg.control_message_bits), dataBits_(cfg.line_bytes * 8)
+{
+    nodes_.reserve(numCores_);
+    for (int i = 0; i < numCores_; ++i) {
+        nodes_.emplace_back(cfg);
+    }
+    ackwiseK_ = cfg.ackwise_pointers;
+    l1Allocation_ = cfg.l1_allocation;
+    localityThreshold_ = cfg.locality_threshold;
+}
+
+LineState
+MemorySystem::l1State(int core, LineAddr line) const
+{
+    return nodes_[core].l1d.peek(line);
+}
+
+DirState
+MemorySystem::dirState(LineAddr line) const
+{
+    const Node& h = nodes_[homeOf(line)];
+    auto it = h.dir.find(line);
+    return it == h.dir.end() ? DirState::uncached : it->second.state;
+}
+
+LineAddr
+MemorySystem::translateLine(std::uintptr_t host_line)
+{
+    auto [it, inserted] = lineMap_.try_emplace(host_line, nextLine_);
+    if (inserted) {
+        ++nextLine_;
+    }
+    return it->second;
+}
+
+AccessLatency
+MemorySystem::access(int core, std::uintptr_t host_addr, std::uint32_t size,
+                     bool is_store, std::uint64_t start)
+{
+    CRONO_ASSERT(size >= 1, "zero-size access");
+    // Translate each touched host line independently.
+    const std::uintptr_t host_first = host_addr / lineBytes_;
+    const std::uintptr_t host_last = (host_addr + size - 1) / lineBytes_;
+    AccessLatency total;
+    for (std::uintptr_t host_line = host_first; host_line <= host_last;
+         ++host_line) {
+        const LineAddr line = translateLine(host_line);
+        const AccessLatency part = accessLine(core, line, is_store, start);
+        total.l1_to_l2 += part.l1_to_l2;
+        total.waiting += part.waiting;
+        total.sharers += part.sharers;
+        total.offchip += part.offchip;
+    }
+    return total;
+}
+
+AccessLatency
+MemorySystem::accessLine(int core, LineAddr line, bool is_store,
+                         std::uint64_t start)
+{
+    Node& me = nodes_[core];
+    ++l1d_.accesses;
+
+    if (!l1Allocation_) {
+        return remoteAccessLine(core, line, is_store, start);
+    }
+    if (localityThreshold_ > 0 && me.l1d.peek(line) == LineState::invalid) {
+        // Locality-aware adaptation: stay in remote-access mode until
+        // the home has seen enough reuse from this core to justify a
+        // private copy (low-locality data never thrashes the L1 or
+        // generates invalidation storms).
+        std::uint32_t& count =
+            nodes_[homeOf(line)].reuse[line][core];
+        if (++count <= localityThreshold_) {
+            return remoteAccessLine(core, line, is_store, start);
+        }
+        count = 0; // granted: restart the observation window
+    }
+
+    const LineState l1_state = me.l1d.lookup(line);
+    bool upgrade = false;
+    if (l1_state != LineState::invalid) {
+        if (!is_store || l1_state == LineState::modified ||
+            l1_state == LineState::exclusive) {
+            if (is_store && l1_state == LineState::exclusive) {
+                me.l1d.setState(line, LineState::modified);
+            }
+            ++l1d_.hits;
+            return {};
+        }
+        // Store to a Shared line: coherence upgrade, counted as a hit.
+        ++l1d_.hits;
+        upgrade = true;
+    } else {
+        auto hist = me.l1History.find(line);
+        const MissClass cls =
+            hist == me.l1History.end() ? MissClass::cold : hist->second;
+        ++l1d_.misses[static_cast<int>(cls)];
+    }
+
+    const int home = homeOf(line);
+    Node& h = nodes_[home];
+    AccessLatency lat;
+
+    // Request to the home slice.
+    std::uint64_t t = mesh_.send(core, home, ctlBits_, start);
+    lat.l1_to_l2 += t - start;
+
+    // Serialize against an in-flight transaction on the same line.
+    if (auto busy = h.busyUntil.find(line);
+        busy != h.busyUntil.end() && busy->second > t) {
+        lat.waiting += busy->second - t;
+        t = busy->second;
+    }
+
+    // First access to the L2 slice (tag + data + directory).
+    ++dirStats_.lookups;
+    ++l2_.accesses;
+    t += l2Cycles_;
+    lat.l1_to_l2 += l2Cycles_;
+
+    LineState l2_state = h.l2.lookup(line);
+    if (l2_state == LineState::invalid) {
+        // Fetch the line from DRAM through this slice's controller.
+        ++l2_.misses[static_cast<int>(h.l2Seen.count(line)
+                                          ? MissClass::capacity
+                                          : MissClass::cold)];
+        h.l2Seen.insert(line);
+        const int ctrl = dram_.controllerNode(line);
+        const std::uint64_t t_req = mesh_.send(home, ctrl, ctlBits_, t);
+        const std::uint64_t t_mem = dram_.access(line, t_req);
+        const std::uint64_t t_back = mesh_.send(ctrl, home, dataBits_, t_mem);
+        lat.offchip += t_back - t;
+        t = t_back;
+        const Cache::Victim victim = h.l2.insert(line, LineState::shared);
+        evictL2Line(h, home, victim, t);
+        h.dir.emplace(line, DirEntry(ackwiseK_));
+    } else {
+        ++l2_.hits;
+    }
+
+    auto dir_it = h.dir.find(line);
+    CRONO_ASSERT(dir_it != h.dir.end(), "L2 line without directory entry");
+    DirEntry& de = dir_it->second;
+
+    LineState grant;
+    switch (de.state) {
+      case DirState::uncached:
+        CRONO_ASSERT(!upgrade, "upgrade on uncached line");
+        grant = is_store ? LineState::modified : LineState::exclusive;
+        de.state = DirState::exclusive;
+        de.owner = core;
+        break;
+
+      case DirState::shared:
+        if (!is_store) {
+            CRONO_ASSERT(!upgrade, "read upgrade is impossible");
+            de.sharers.add(core);
+            grant = LineState::shared;
+        } else {
+            const std::uint64_t done = invalidateSharers(
+                de, line, home, core, t, MissClass::sharing);
+            lat.sharers += done - t;
+            t = done;
+            de.sharers.clear();
+            de.state = DirState::exclusive;
+            de.owner = core;
+            grant = LineState::modified;
+        }
+        break;
+
+      case DirState::exclusive: {
+        CRONO_ASSERT(de.owner != core,
+                     "requester cannot be the registered owner");
+        const std::uint64_t done =
+            recallOwner(h, de, line, home, /*invalidate_owner=*/is_store, t);
+        lat.sharers += done - t;
+        t = done;
+        if (is_store) {
+            de.owner = core;
+            grant = LineState::modified;
+        } else {
+            const int prev_owner = de.owner;
+            de.state = DirState::shared;
+            de.owner = -1;
+            de.sharers.clear();
+            de.sharers.add(prev_owner);
+            de.sharers.add(core);
+            grant = LineState::shared;
+        }
+        break;
+      }
+
+      default:
+        CRONO_ASSERT(false, "bad directory state");
+        grant = LineState::shared;
+    }
+
+    // Home is busy with this line until it sends the reply.
+    h.busyUntil[line] = t;
+
+    // Reply to the requester (data, or just an ack for upgrades).
+    const std::uint64_t t_reply =
+        mesh_.send(home, core, upgrade ? ctlBits_ : dataBits_, t);
+    lat.l1_to_l2 += t_reply - t;
+
+    if (upgrade) {
+        me.l1d.setState(line, LineState::modified);
+    } else {
+        const Cache::Victim victim = me.l1d.insert(line, grant);
+        evictL1Line(core, victim, t_reply);
+    }
+    return lat;
+}
+
+AccessLatency
+MemorySystem::remoteAccessLine(int core, LineAddr line, bool is_store,
+                               std::uint64_t start)
+{
+    // Remote-access mode: no private caching, every reference is a
+    // round trip to the home slice; the directory never tracks
+    // sharers, so there is no invalidation traffic at all.
+    (void)is_store;
+    ++l1d_.misses[static_cast<int>(MissClass::cold)];
+    const int home = homeOf(line);
+    Node& h = nodes_[home];
+    AccessLatency lat;
+
+    std::uint64_t t = mesh_.send(core, home, ctlBits_, start);
+    lat.l1_to_l2 += t - start;
+    if (auto busy = h.busyUntil.find(line);
+        busy != h.busyUntil.end() && busy->second > t) {
+        lat.waiting += busy->second - t;
+        t = busy->second;
+    }
+    ++dirStats_.lookups;
+    ++l2_.accesses;
+    t += l2Cycles_;
+    lat.l1_to_l2 += l2Cycles_;
+
+    if (h.l2.lookup(line) == LineState::invalid) {
+        ++l2_.misses[static_cast<int>(h.l2Seen.count(line)
+                                          ? MissClass::capacity
+                                          : MissClass::cold)];
+        h.l2Seen.insert(line);
+        const int ctrl = dram_.controllerNode(line);
+        const std::uint64_t t_req = mesh_.send(home, ctrl, ctlBits_, t);
+        const std::uint64_t t_mem = dram_.access(line, t_req);
+        const std::uint64_t t_back =
+            mesh_.send(ctrl, home, dataBits_, t_mem);
+        lat.offchip += t_back - t;
+        t = t_back;
+        const Cache::Victim victim = h.l2.insert(line, LineState::shared);
+        evictL2Line(h, home, victim, t);
+        h.dir.emplace(line, DirEntry(ackwiseK_));
+    } else {
+        ++l2_.hits;
+    }
+    h.busyUntil[line] = t;
+    const std::uint64_t t_reply = mesh_.send(home, core, ctlBits_, t);
+    lat.l1_to_l2 += t_reply - t;
+    return lat;
+}
+
+std::uint64_t
+MemorySystem::invalidateSharers(DirEntry& de, LineAddr line,
+                                int home, int except, std::uint64_t t,
+                                MissClass reason)
+{
+    std::uint64_t done = t;
+    auto invalidate_one = [&](int s) {
+        if (s == except) {
+            return;
+        }
+        Node& sharer = nodes_[s];
+        if (sharer.l1d.invalidate(line) != LineState::invalid) {
+            sharer.l1History[line] = reason;
+            ++dirStats_.invalidations;
+        }
+        const std::uint64_t t_inv = mesh_.send(home, s, ctlBits_, t);
+        const std::uint64_t t_ack = mesh_.send(s, home, ctlBits_, t_inv + 1);
+        done = std::max(done, t_ack);
+    };
+
+    if (de.sharers.overflowed()) {
+        // Identities lost: broadcast to every core and collect acks.
+        ++dirStats_.broadcasts;
+        for (int s = 0; s < numCores_; ++s) {
+            invalidate_one(s);
+        }
+    } else {
+        for (int s : de.sharers.pointers()) {
+            invalidate_one(s);
+        }
+    }
+    return done;
+}
+
+std::uint64_t
+MemorySystem::recallOwner(Node& h, DirEntry& de, LineAddr line, int home,
+                          bool invalidate_owner, std::uint64_t t)
+{
+    const int owner = de.owner;
+    Node& o = nodes_[owner];
+    const std::uint64_t t_fwd = mesh_.send(home, owner, ctlBits_, t);
+
+    const LineState owner_state = o.l1d.peek(line);
+    CRONO_ASSERT(owner_state == LineState::modified ||
+                     owner_state == LineState::exclusive,
+                 "registered owner does not hold the line");
+    if (owner_state == LineState::modified) {
+        ++dirStats_.write_backs;
+        h.l2.setState(line, LineState::modified); // slice copy now dirty
+    }
+    if (invalidate_owner) {
+        o.l1d.invalidate(line);
+        o.l1History[line] = MissClass::sharing;
+        ++dirStats_.invalidations;
+    } else {
+        o.l1d.setState(line, LineState::shared);
+    }
+    // Owner responds with the line (synchronous write-back).
+    return mesh_.send(owner, home, dataBits_, t_fwd + 1);
+}
+
+void
+MemorySystem::evictL2Line(Node& h, int home, const Cache::Victim& victim,
+                          std::uint64_t t)
+{
+    if (!victim.valid) {
+        return;
+    }
+    auto dir_it = h.dir.find(victim.line);
+    CRONO_ASSERT(dir_it != h.dir.end(), "L2 victim without directory entry");
+    DirEntry& de = dir_it->second;
+
+    bool dirty = victim.state == LineState::modified;
+    if (de.state == DirState::exclusive) {
+        // Pull the owner's copy back before dropping the line.
+        const int owner = de.owner;
+        Node& o = nodes_[owner];
+        mesh_.send(home, owner, ctlBits_, t);
+        mesh_.send(owner, home, dataBits_, t + 1);
+        if (o.l1d.peek(victim.line) == LineState::modified) {
+            dirty = true;
+            ++dirStats_.write_backs;
+        }
+        o.l1d.invalidate(victim.line);
+        o.l1History[victim.line] = MissClass::capacity;
+        ++dirStats_.invalidations;
+    } else if (de.state == DirState::shared) {
+        // Inclusive L2: back-invalidate every L1 sharer.
+        const bool overflowed = de.sharers.overflowed();
+        for (int s = 0; s < numCores_; ++s) {
+            if (!overflowed && !de.sharers.contains(s)) {
+                continue;
+            }
+            Node& sharer = nodes_[s];
+            if (sharer.l1d.invalidate(victim.line) != LineState::invalid) {
+                sharer.l1History[victim.line] = MissClass::capacity;
+                ++dirStats_.invalidations;
+                mesh_.send(home, s, ctlBits_, t);
+                mesh_.send(s, home, ctlBits_, t + 1);
+            }
+        }
+        if (overflowed) {
+            ++dirStats_.broadcasts;
+        }
+    }
+    if (dirty) {
+        // Write the line back to memory (bandwidth occupancy only).
+        mesh_.send(home, dram_.controllerNode(victim.line), dataBits_, t);
+        dram_.access(victim.line, t);
+    }
+    h.dir.erase(dir_it);
+    h.busyUntil.erase(victim.line);
+}
+
+void
+MemorySystem::evictL1Line(int core, const Cache::Victim& victim,
+                          std::uint64_t t)
+{
+    if (!victim.valid) {
+        return;
+    }
+    Node& me = nodes_[core];
+    me.l1History[victim.line] = MissClass::capacity;
+
+    const int home = homeOf(victim.line);
+    Node& h = nodes_[home];
+    auto dir_it = h.dir.find(victim.line);
+    CRONO_ASSERT(dir_it != h.dir.end(),
+                 "L1 victim without home directory entry");
+    DirEntry& de = dir_it->second;
+
+    // Non-silent eviction: tell the home so sharer sets stay precise.
+    const bool dirty = victim.state == LineState::modified;
+    mesh_.send(core, home, dirty ? dataBits_ : ctlBits_, t);
+    if (dirty) {
+        ++dirStats_.write_backs;
+        h.l2.setState(victim.line, LineState::modified);
+    }
+
+    if (de.state == DirState::exclusive) {
+        CRONO_ASSERT(de.owner == core, "exclusive victim from non-owner");
+        de.state = DirState::uncached;
+        de.owner = -1;
+    } else {
+        de.sharers.remove(core);
+        if (de.sharers.empty()) {
+            de.state = DirState::uncached;
+        }
+    }
+}
+
+} // namespace crono::sim

@@ -1,0 +1,119 @@
+#include "sim/noc.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/macros.h"
+
+namespace crono::sim {
+
+Mesh::Mesh(const Config& cfg)
+    : routing_(cfg.routing), width_(cfg.meshWidth()),
+      numCores_(cfg.num_cores), hopCycles_(cfg.hop_cycles),
+      flitBits_(cfg.flit_bits)
+{
+    // 4 outgoing directions per node (E/W/S/N), flattened; each link
+    // carries a ring of time-windowed flit counters for contention.
+    const std::size_t links =
+        static_cast<std::size_t>(width_) * width_ * 4;
+    windows_.assign(links * kWindowRing, Window{});
+}
+
+int
+Mesh::hops(int src, int dst) const
+{
+    const int sx = src % width_, sy = src / width_;
+    const int dx = dst % width_, dy = dst / width_;
+    return std::abs(sx - dx) + std::abs(sy - dy);
+}
+
+std::size_t
+Mesh::linkIndex(int node, int next) const
+{
+    const int diff = next - node;
+    int dir;
+    if (diff == 1) {
+        dir = 0; // east
+    } else if (diff == -1) {
+        dir = 1; // west
+    } else if (diff == width_) {
+        dir = 2; // south
+    } else {
+        CRONO_ASSERT(diff == -width_, "non-adjacent mesh hop");
+        dir = 3; // north
+    }
+    return static_cast<std::size_t>(node) * 4 + dir;
+}
+
+std::uint64_t
+Mesh::linkDelay(std::size_t link, std::uint64_t t, std::uint32_t flits)
+{
+    // Windowed contention: each link serializes one flit per cycle, so
+    // a W-cycle window carries at most W flits. A crossing records its
+    // flits in the window of its timestamp; flits beyond the window's
+    // capacity are delayed past the end of the window. This stays
+    // causally stable under the scheduler's bounded timestamp skew
+    // (unlike a next-free-time reservation, which lets a future-dated
+    // message starve earlier-dated ones).
+    const std::uint64_t epoch = t / kWindowCycles;
+    Window& w = windows_[link * kWindowRing + (epoch % kWindowRing)];
+    if (w.epoch != epoch) {
+        w.epoch = epoch;
+        w.flits = 0;
+    }
+    const std::uint64_t occupied = w.flits;
+    w.flits += flits;
+    if (occupied + flits <= kWindowCycles) {
+        return 0;
+    }
+    // Overflow: this message queues behind the window's excess.
+    return occupied + flits - kWindowCycles;
+}
+
+std::uint64_t
+Mesh::send(int src, int dst, std::uint32_t payload_bits,
+           std::uint64_t depart_time)
+{
+    CRONO_ASSERT(src >= 0 && src < numCores_ && dst >= 0 &&
+                     dst < numCores_,
+                 "mesh endpoint out of range");
+    if (src == dst) {
+        return depart_time; // local: never enters the network
+    }
+    const std::uint32_t total_bits = payload_bits + flitBits_; // + header
+    const std::uint32_t flits = (total_bits + flitBits_ - 1) / flitBits_;
+
+    ++stats_.messages;
+    stats_.flits += flits;
+
+    // Dimension-ordered walk; O1TURN alternates the leading
+    // dimension per message, spreading load over both minimal routes.
+    bool x_first = routing_ != Routing::yx;
+    if (routing_ == Routing::o1turn) {
+        x_first = (messageParity_++ % 2) == 0;
+    }
+    std::uint64_t t = depart_time;
+    int node = src;
+    const int dx = dst % width_, dy = dst / width_;
+    while (node != dst) {
+        int next;
+        const int nx = node % width_, ny = node / width_;
+        const bool move_x =
+            nx != dx && (x_first || ny == dy);
+        if (move_x) {
+            next = node + (dx > nx ? 1 : -1);
+        } else {
+            next = node + (dy > ny ? width_ : -width_);
+        }
+        const std::size_t link = linkIndex(node, next);
+        const std::uint64_t queue = linkDelay(link, t, flits);
+        stats_.contention_cycles += queue;
+        t += queue + hopCycles_;
+        stats_.flit_hops += flits;
+        node = next;
+    }
+    // Tail flits arrive behind the head.
+    return t + (flits - 1);
+}
+
+} // namespace crono::sim

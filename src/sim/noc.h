@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Electrical 2-D mesh network-on-chip with XY dimension-ordered
+ * routing, per Table II: 2-cycle hops (1 router + 1 link), 64-bit
+ * flits, link contention only (infinite input buffers).
+ */
+
+#ifndef CRONO_SIM_NOC_H_
+#define CRONO_SIM_NOC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/stats.h"
+
+namespace crono::sim {
+
+/** 2-D mesh interconnect. Core i sits at (i % width, i / width). */
+class Mesh {
+  public:
+    explicit Mesh(const Config& cfg);
+
+    /** Hop count of the XY route from @p src to @p dst. */
+    int hops(int src, int dst) const;
+
+    /**
+     * Send a message, modeling per-link serialization and contention.
+     *
+     * @param src/dst     node ids
+     * @param payload_bits message size excluding the header flit
+     * @param depart_time  cycle the message leaves @p src
+     * @return arrival cycle at @p dst (== depart_time if src == dst)
+     */
+    std::uint64_t send(int src, int dst, std::uint32_t payload_bits,
+                       std::uint64_t depart_time);
+
+    /** Counters accumulated by send(). */
+    const NetworkStats& stats() const { return stats_; }
+    NetworkStats& stats() { return stats_; }
+
+    /** Contention window width in cycles (== flit capacity). */
+    static constexpr std::uint64_t kWindowCycles = 64;
+    /** Number of windows retained per link. */
+    static constexpr std::size_t kWindowRing = 32;
+
+  private:
+    /** Directed link leaving @p node toward @p next. */
+    std::size_t linkIndex(int node, int next) const;
+
+    /** Queueing delay for @p flits crossing @p link at time @p t. */
+    std::uint64_t linkDelay(std::size_t link, std::uint64_t t,
+                            std::uint32_t flits);
+
+    /** One time-window of flit occupancy on a link. */
+    struct Window {
+        std::uint64_t epoch = ~std::uint64_t{0};
+        std::uint64_t flits = 0;
+    };
+
+    std::vector<Window> windows_; // [link][epoch % kWindowRing]
+    NetworkStats stats_;
+    Routing routing_;
+    std::uint64_t messageParity_ = 0; // O1TURN alternation
+    int width_;
+    int numCores_;
+    std::uint32_t hopCycles_;
+    std::uint32_t flitBits_;
+};
+
+} // namespace crono::sim
+
+#endif // CRONO_SIM_NOC_H_

@@ -1,0 +1,137 @@
+#include "sim/stats.h"
+
+#include <sstream>
+
+namespace crono::sim {
+
+const char*
+componentName(Component c)
+{
+    switch (c) {
+      case Component::compute:
+        return "Compute";
+      case Component::l1ToL2Home:
+        return "L1Cache-L2Home";
+      case Component::l2HomeWaiting:
+        return "L2Home-Waiting";
+      case Component::l2HomeSharers:
+        return "L2Home-Sharers";
+      case Component::l2HomeOffChip:
+        return "L2Home-OffChip";
+      case Component::synchronization:
+        return "Synchronization";
+    }
+    return "?";
+}
+
+double
+Breakdown::total() const
+{
+    double sum = 0;
+    for (double c : cycles) {
+        sum += c;
+    }
+    return sum;
+}
+
+Breakdown&
+Breakdown::operator+=(const Breakdown& other)
+{
+    for (int i = 0; i < kNumComponents; ++i) {
+        cycles[i] += other.cycles[i];
+    }
+    return *this;
+}
+
+Breakdown
+Breakdown::normalized() const
+{
+    Breakdown out;
+    const double t = total();
+    if (t > 0) {
+        for (int i = 0; i < kNumComponents; ++i) {
+            out.cycles[i] = cycles[i] / t;
+        }
+    }
+    return out;
+}
+
+CacheStats&
+CacheStats::operator+=(const CacheStats& o)
+{
+    accesses += o.accesses;
+    hits += o.hits;
+    for (int i = 0; i < 3; ++i) {
+        misses[i] += o.misses[i];
+    }
+    return *this;
+}
+
+NetworkStats&
+NetworkStats::operator+=(const NetworkStats& o)
+{
+    messages += o.messages;
+    flits += o.flits;
+    flit_hops += o.flit_hops;
+    contention_cycles += o.contention_cycles;
+    return *this;
+}
+
+DramStats&
+DramStats::operator+=(const DramStats& o)
+{
+    accesses += o.accesses;
+    queue_cycles += o.queue_cycles;
+    return *this;
+}
+
+DirectoryStats&
+DirectoryStats::operator+=(const DirectoryStats& o)
+{
+    lookups += o.lookups;
+    invalidations += o.invalidations;
+    broadcasts += o.broadcasts;
+    write_backs += o.write_backs;
+    return *this;
+}
+
+EnergyBreakdown&
+EnergyBreakdown::operator+=(const EnergyBreakdown& o)
+{
+    l1i += o.l1i;
+    l1d += o.l1d;
+    l2 += o.l2;
+    directory += o.directory;
+    router += o.router;
+    link += o.link;
+    dram += o.dram;
+    return *this;
+}
+
+std::string
+SimRunStats::describe() const
+{
+    std::ostringstream os;
+    os << "completion cycles: " << completion_cycles << "\n";
+    const Breakdown n = breakdown.normalized();
+    os << "breakdown:";
+    for (int i = 0; i < kNumComponents; ++i) {
+        os << ' ' << componentName(static_cast<Component>(i)) << '='
+           << n.cycles[i];
+    }
+    os << "\nL1D: accesses=" << l1d.accesses << " hits=" << l1d.hits
+       << " cold=" << l1d.misses[0] << " capacity=" << l1d.misses[1]
+       << " sharing=" << l1d.misses[2]
+       << "\nL2: accesses=" << l2.accesses << " misses=" << l2.totalMisses()
+       << " hierarchy-miss-rate=" << cacheHierarchyMissRate()
+       << "\nnetwork: msgs=" << network.messages
+       << " flit-hops=" << network.flit_hops
+       << " contention=" << network.contention_cycles
+       << "\ndram: accesses=" << dram.accesses
+       << " queue-cycles=" << dram.queue_cycles
+       << "\ndirectory: invalidations=" << directory.invalidations
+       << " broadcasts=" << directory.broadcasts << "\n";
+    return os.str();
+}
+
+} // namespace crono::sim

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Synchronization objects for simulated threads.
+ *
+ * A SimMutex carries a modeled memory word: every acquire/release
+ * performs an RMW access on that word's cache line, so lock transfer
+ * generates real coherence traffic (invalidations, sharing misses,
+ * network messages) in the simulated hierarchy — the paper's
+ * "synchronization and data sharing" bottleneck emerges from the
+ * model rather than being asserted. Blocking time is charged to the
+ * Synchronization component by the Machine.
+ */
+
+#ifndef CRONO_SIM_SYNC_H_
+#define CRONO_SIM_SYNC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned.h"
+
+namespace crono::sim {
+
+/** Mutex for simulated threads; the Machine implements its semantics. */
+struct SimMutex {
+    /** Modeled lock word; its address anchors the coherence traffic. */
+    alignas(kCacheLineBytes) std::uint64_t word = 0;
+
+    bool held = false;
+    int holder = -1;              ///< owning fiber id
+    std::vector<int> waiters;     ///< FIFO of blocked fiber ids
+
+    SimMutex() = default;
+    SimMutex(const SimMutex&) = delete;
+    SimMutex& operator=(const SimMutex&) = delete;
+    SimMutex(SimMutex&&) = delete;
+};
+
+} // namespace crono::sim
+
+#endif // CRONO_SIM_SYNC_H_

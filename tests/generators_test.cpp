@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Generator tests: determinism in the seed, structural properties of
+ * each input family (Table III stand-ins), and the stats module.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/stats.h"
+
+namespace crono::graph {
+namespace {
+
+namespace gen = generators;
+
+TEST(Generators, UniformRandomDeterministicInSeed)
+{
+    const Graph a = gen::uniformRandom(500, 2000, 32, 9);
+    const Graph b = gen::uniformRandom(500, 2000, 32, 9);
+    ASSERT_EQ(a.numEdges(), b.numEdges());
+    EXPECT_EQ(a.rawNeighbors(), b.rawNeighbors());
+    EXPECT_EQ(a.rawWeights(), b.rawWeights());
+}
+
+TEST(Generators, UniformRandomDiffersAcrossSeeds)
+{
+    const Graph a = gen::uniformRandom(500, 2000, 32, 9);
+    const Graph b = gen::uniformRandom(500, 2000, 32, 10);
+    EXPECT_NE(a.rawNeighbors(), b.rawNeighbors());
+}
+
+TEST(Generators, UniformRandomSizeAndWeights)
+{
+    const Graph g = gen::uniformRandom(1000, 8000, 16, 3);
+    EXPECT_EQ(g.numVertices(), 1000u);
+    // Self loops and duplicates are dropped: at most 2 * 8000 slots.
+    EXPECT_LE(g.numEdges(), 16000u);
+    EXPECT_GE(g.numEdges(), 14000u); // few collisions at this density
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        for (Weight w : g.weights(v)) {
+            EXPECT_GE(w, 1u);
+            EXPECT_LE(w, 16u);
+        }
+    }
+}
+
+TEST(Generators, RoadNetworkMatchesSnapDegreeProfile)
+{
+    const Graph g = gen::roadNetwork(64, 64, 11);
+    const GraphStats s = computeStats(g);
+    // SNAP road networks: avg degree ~2.6, tiny max degree, near-zero
+    // degree skew. The lattice stand-in must reproduce that profile.
+    EXPECT_GT(s.avg_degree, 2.0);
+    EXPECT_LT(s.avg_degree, 3.6);
+    EXPECT_LE(s.max_degree, 8u);
+    EXPECT_LT(s.degree_gini, 0.35);
+}
+
+TEST(Generators, RoadNetworkDeterministic)
+{
+    const Graph a = gen::roadNetwork(32, 32, 5);
+    const Graph b = gen::roadNetwork(32, 32, 5);
+    EXPECT_EQ(a.rawNeighbors(), b.rawNeighbors());
+}
+
+TEST(Generators, SocialNetworkIsSkewed)
+{
+    const Graph g = gen::socialNetwork(12, 14, 17);
+    const GraphStats s = computeStats(g);
+    EXPECT_EQ(g.numVertices(), 4096u);
+    // Power-law stand-in: heavy maximum degree, high Gini coefficient
+    // (the Facebook graph's skew is what drives its Table IV edge).
+    EXPECT_GT(s.max_degree, 30 * static_cast<EdgeId>(s.avg_degree));
+    EXPECT_GT(s.degree_gini, 0.45);
+}
+
+TEST(Generators, SocialNetworkDeterministic)
+{
+    const Graph a = gen::socialNetwork(10, 8, 5);
+    const Graph b = gen::socialNetwork(10, 8, 5);
+    EXPECT_EQ(a.rawNeighbors(), b.rawNeighbors());
+}
+
+TEST(Generators, TspCitiesSymmetricWithZeroDiagonal)
+{
+    const AdjacencyMatrix m = gen::tspCities(16, 23);
+    for (VertexId i = 0; i < 16; ++i) {
+        EXPECT_EQ(m.at(i, i), 0u);
+        for (VertexId j = 0; j < 16; ++j) {
+            EXPECT_EQ(m.at(i, j), m.at(j, i));
+            if (i != j) {
+                EXPECT_GE(m.at(i, j), 1u);
+            }
+        }
+    }
+}
+
+TEST(Generators, TspCitiesRespectTriangleInequalityApproximately)
+{
+    // Euclidean distances rounded to integers: the triangle inequality
+    // can be violated by at most the rounding error (2).
+    const AdjacencyMatrix m = gen::tspCities(12, 7);
+    for (VertexId a = 0; a < 12; ++a) {
+        for (VertexId b = 0; b < 12; ++b) {
+            for (VertexId c = 0; c < 12; ++c) {
+                EXPECT_LE(m.at(a, c), m.at(a, b) + m.at(b, c) + 2u);
+            }
+        }
+    }
+}
+
+TEST(Generators, PathRingStarCompleteShapes)
+{
+    const Graph p = gen::path(5);
+    EXPECT_EQ(p.numEdges(), 8u);
+    EXPECT_EQ(p.degree(0), 1u);
+    EXPECT_EQ(p.degree(2), 2u);
+
+    const Graph r = gen::ring(6);
+    for (VertexId v = 0; v < 6; ++v) {
+        EXPECT_EQ(r.degree(v), 2u);
+    }
+
+    const Graph s = gen::star(7);
+    EXPECT_EQ(s.degree(0), 6u);
+    for (VertexId v = 1; v < 7; ++v) {
+        EXPECT_EQ(s.degree(v), 1u);
+    }
+
+    const Graph k = gen::complete(5);
+    for (VertexId v = 0; v < 5; ++v) {
+        EXPECT_EQ(k.degree(v), 4u);
+    }
+}
+
+TEST(Generators, GridIsConnectedLattice)
+{
+    const Graph g = gen::grid(4, 3);
+    EXPECT_EQ(g.numVertices(), 12u);
+    const GraphStats s = computeStats(g);
+    EXPECT_EQ(s.num_components, 1u);
+    EXPECT_EQ(s.max_degree, 4u);
+}
+
+TEST(Generators, CliqueChainComponents)
+{
+    const Graph g = gen::cliqueChain(4, 5, /*link_blocks=*/false);
+    const GraphStats s = computeStats(g);
+    EXPECT_EQ(s.num_components, 4u);
+    EXPECT_EQ(s.largest_component, 5u);
+
+    const Graph linked = gen::cliqueChain(4, 5, /*link_blocks=*/true);
+    EXPECT_EQ(computeStats(linked).num_components, 1u);
+}
+
+TEST(Stats, DegreeHistogramSumsToVertices)
+{
+    const Graph g = gen::uniformRandom(300, 900, 8, 2);
+    const auto hist = degreeHistogram(g);
+    EdgeId total = 0;
+    for (EdgeId count : hist) {
+        total += count;
+    }
+    EXPECT_EQ(total, g.numVertices());
+}
+
+TEST(Stats, RegularGraphHasZeroGini)
+{
+    const GraphStats s = computeStats(gen::ring(32));
+    EXPECT_DOUBLE_EQ(s.degree_gini, 0.0);
+    EXPECT_EQ(s.isolated_vertices, 0u);
+}
+
+TEST(Stats, ClusteringCoefficientKnownValues)
+{
+    // Complete graph: every wedge closes. Ring/star: none do.
+    EXPECT_DOUBLE_EQ(clusteringCoefficient(gen::complete(8)), 1.0);
+    EXPECT_DOUBLE_EQ(clusteringCoefficient(gen::ring(12)), 0.0);
+    EXPECT_DOUBLE_EQ(clusteringCoefficient(gen::star(12)), 0.0);
+    EXPECT_DOUBLE_EQ(
+        clusteringCoefficient(gen::cliqueChain(3, 5, false)), 1.0);
+}
+
+TEST(Stats, SocialGraphClustersMoreThanRandom)
+{
+    const double social =
+        clusteringCoefficient(gen::socialNetwork(10, 8, 3));
+    const double random =
+        clusteringCoefficient(gen::uniformRandom(1024, 8192, 8, 3));
+    EXPECT_GT(social, random);
+}
+
+TEST(Stats, FormatContainsName)
+{
+    const GraphStats s = computeStats(gen::ring(8));
+    EXPECT_NE(formatStats("ring8", s).find("ring8"), std::string::npos);
+}
+
+} // namespace
+} // namespace crono::graph

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests for the graph substrate: CSR construction, the builder's
+ * mirroring/dedup policies, and the dense adjacency matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/adjacency_matrix.h"
+#include "graph/builder.h"
+#include "graph/graph.h"
+
+namespace crono::graph {
+namespace {
+
+Graph
+triangleGraph()
+{
+    GraphBuilder b(3, true);
+    b.addEdge(0, 1, 5);
+    b.addEdge(1, 2, 7);
+    b.addEdge(0, 2, 9);
+    return std::move(b).build();
+}
+
+TEST(GraphBuilder, MirrorsUndirectedEdges)
+{
+    const Graph g = triangleGraph();
+    EXPECT_EQ(g.numVertices(), 3u);
+    EXPECT_EQ(g.numEdges(), 6u); // 3 logical edges, both directions
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(1, 0));
+    EXPECT_TRUE(g.undirected());
+}
+
+TEST(GraphBuilder, DirectedKeepsSingleDirection)
+{
+    GraphBuilder b(3, /*undirected=*/false);
+    b.addEdge(0, 1, 5);
+    const Graph g = std::move(b).build();
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_FALSE(g.hasEdge(1, 0));
+    EXPECT_FALSE(g.undirected());
+}
+
+TEST(GraphBuilder, DropsSelfLoops)
+{
+    GraphBuilder b(2, true);
+    b.addEdge(0, 0, 1);
+    b.addEdge(0, 1, 2);
+    const Graph g = std::move(b).build();
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_FALSE(g.hasEdge(0, 0));
+}
+
+TEST(GraphBuilder, DedupKeepsMinWeight)
+{
+    GraphBuilder b(2, true);
+    b.addEdge(0, 1, 9);
+    b.addEdge(0, 1, 3);
+    b.addEdge(1, 0, 7);
+    const Graph g = std::move(b).build(GraphBuilder::DedupPolicy::keepMin);
+    ASSERT_EQ(g.degree(0), 1u);
+    EXPECT_EQ(g.weights(0)[0], 3u);
+    EXPECT_EQ(g.weights(1)[0], 3u); // mirror also deduped to min
+}
+
+TEST(GraphBuilder, KeepAllRetainsParallelEdges)
+{
+    GraphBuilder b(2, true);
+    b.addEdge(0, 1, 9);
+    b.addEdge(0, 1, 3);
+    const Graph g = std::move(b).build(GraphBuilder::DedupPolicy::keepAll);
+    EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(GraphBuilder, EmptyGraph)
+{
+    GraphBuilder b(5, true);
+    const Graph g = std::move(b).build();
+    EXPECT_EQ(g.numVertices(), 5u);
+    EXPECT_EQ(g.numEdges(), 0u);
+    EXPECT_EQ(g.maxDegree(), 0u);
+    for (VertexId v = 0; v < 5; ++v) {
+        EXPECT_TRUE(g.neighbors(v).empty());
+    }
+}
+
+TEST(Graph, AdjacencyListsAreSorted)
+{
+    GraphBuilder b(6, true);
+    b.addEdge(0, 5, 1);
+    b.addEdge(0, 2, 1);
+    b.addEdge(0, 4, 1);
+    b.addEdge(0, 1, 1);
+    const Graph g = std::move(b).build();
+    auto ns = g.neighbors(0);
+    EXPECT_TRUE(std::is_sorted(ns.begin(), ns.end()));
+}
+
+TEST(Graph, DegreeAndSpansAgree)
+{
+    const Graph g = triangleGraph();
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        EXPECT_EQ(g.degree(v), g.neighbors(v).size());
+        EXPECT_EQ(g.weights(v).size(), g.neighbors(v).size());
+    }
+    EXPECT_EQ(g.maxDegree(), 2u);
+}
+
+TEST(Graph, EdgeSlotAccessorsMatchSpans)
+{
+    const Graph g = triangleGraph();
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        auto ns = g.neighbors(v);
+        auto ws = g.weights(v);
+        for (std::size_t i = 0; i < ns.size(); ++i) {
+            const EdgeId e = g.firstEdge(v) + i;
+            EXPECT_EQ(g.edgeTarget(e), ns[i]);
+            EXPECT_EQ(g.edgeWeight(e), ws[i]);
+        }
+    }
+}
+
+TEST(Graph, WeightsFollowSameSlotAsNeighbors)
+{
+    const Graph g = triangleGraph();
+    auto ns = g.neighbors(1);
+    auto ws = g.weights(1);
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+        if (ns[i] == 0) {
+            EXPECT_EQ(ws[i], 5u);
+        } else {
+            EXPECT_EQ(ws[i], 7u);
+        }
+    }
+}
+
+TEST(Graph, RawArraysConsistentWithAccessors)
+{
+    const Graph g = triangleGraph();
+    EXPECT_EQ(g.rawOffsets().size(), g.numVertices() + 1u);
+    EXPECT_EQ(g.rawNeighbors().size(), g.numEdges());
+    EXPECT_EQ(g.rawWeights().size(), g.numEdges());
+    EXPECT_EQ(g.rawOffsets().back(), g.numEdges());
+}
+
+TEST(AdjacencyMatrix, DefaultIsDisconnected)
+{
+    AdjacencyMatrix m(4);
+    for (VertexId i = 0; i < 4; ++i) {
+        for (VertexId j = 0; j < 4; ++j) {
+            EXPECT_EQ(m.at(i, j), AdjacencyMatrix::kInfWeight);
+        }
+    }
+}
+
+TEST(AdjacencyMatrix, SetAndGet)
+{
+    AdjacencyMatrix m(3);
+    m.set(0, 2, 17);
+    EXPECT_EQ(m.at(0, 2), 17u);
+    EXPECT_EQ(m.at(2, 0), AdjacencyMatrix::kInfWeight); // not symmetric
+}
+
+TEST(AdjacencyMatrix, FromGraphDensifies)
+{
+    const AdjacencyMatrix m(triangleGraph());
+    EXPECT_EQ(m.at(0, 1), 5u);
+    EXPECT_EQ(m.at(1, 0), 5u);
+    EXPECT_EQ(m.at(1, 2), 7u);
+    EXPECT_EQ(m.at(0, 2), 9u);
+    EXPECT_EQ(m.at(0, 0), AdjacencyMatrix::kInfWeight);
+}
+
+TEST(AdjacencyMatrix, FromGraphKeepsMinOfParallelEdges)
+{
+    GraphBuilder b(2, true);
+    b.addEdge(0, 1, 9);
+    b.addEdge(0, 1, 3);
+    const Graph g = std::move(b).build(GraphBuilder::DedupPolicy::keepAll);
+    const AdjacencyMatrix m(g);
+    EXPECT_EQ(m.at(0, 1), 3u);
+}
+
+TEST(AdjacencyMatrix, RowSpansMatchCells)
+{
+    const AdjacencyMatrix m(triangleGraph());
+    for (VertexId v = 0; v < 3; ++v) {
+        auto row = m.row(v);
+        ASSERT_EQ(row.size(), 3u);
+        for (VertexId u = 0; u < 3; ++u) {
+            EXPECT_EQ(row[u], m.at(v, u));
+        }
+    }
+}
+
+TEST(Aligned, VectorsStartOnCacheLines)
+{
+    AlignedVector<Dist> v(100);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) %
+                  kCacheLineBytes,
+              0u);
+    AlignedVector<std::uint32_t> w(100);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w.data()) %
+                  kCacheLineBytes,
+              0u);
+}
+
+TEST(Aligned, PaddedOccupiesFullLine)
+{
+    EXPECT_EQ(sizeof(Padded<std::uint64_t>), kCacheLineBytes);
+    EXPECT_EQ(alignof(Padded<std::uint64_t>), kCacheLineBytes);
+}
+
+} // namespace
+} // namespace crono::graph

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Cross-module integration tests: native and simulated executions of
+ * the whole suite agree functionally; simulator statistics satisfy
+ * their global invariants; the active-vertices instrumentation and
+ * the workload catalog compose with the kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sequential.h"
+#include "core/suite.h"
+#include "core/workloads.h"
+#include "sim/machine.h"
+#include "tests/kernel_test_util.h"
+
+namespace crono {
+namespace {
+
+TEST(Integration, NativeAndSimulatedSsspAgree)
+{
+    const graph::Graph g = graph::generators::uniformRandom(400, 1600, 24, 21);
+    rt::NativeExecutor exec(4);
+    sim::Machine machine(test::smallSimConfig());
+    const auto native = core::sssp(exec, 4, g, 3);
+    const auto simulated = core::sssp(machine, 8, g, 3);
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        ASSERT_EQ(native.dist[v], simulated.dist[v]);
+    }
+}
+
+TEST(Integration, StatsInvariantsAcrossSuite)
+{
+    core::WorkloadConfig wc;
+    wc.graph_vertices = 256;
+    wc.edges_per_vertex = 6;
+    wc.matrix_vertices = 20;
+    wc.tsp_cities = 6;
+    wc.pr_iterations = 2;
+    wc.comm_rounds = 3;
+    const core::WorkloadSet set(wc);
+    sim::Machine machine(test::smallSimConfig());
+
+    for (const auto& info : core::allBenchmarks()) {
+        core::runBenchmark(info.id, machine, 8,
+                           set.forBenchmark(info.id));
+        const sim::SimRunStats& st = machine.lastStats();
+
+        // Cache accounting: hits + misses == accesses.
+        EXPECT_EQ(st.l1d.hits + st.l1d.totalMisses(), st.l1d.accesses)
+            << info.name;
+        EXPECT_EQ(st.l2.hits + st.l2.totalMisses(), st.l2.accesses)
+            << info.name;
+        // Every L1 miss consults the home slice at least once.
+        EXPECT_GE(st.l2.accesses, st.l1d.totalMisses()) << info.name;
+        // Every L2 miss goes off chip exactly once (plus write-backs).
+        EXPECT_GE(st.dram.accesses, st.l2.totalMisses()) << info.name;
+        // Flit conservation: flit-hops >= flits (>= 1 hop per message).
+        EXPECT_GE(st.network.flit_hops, st.network.flits) << info.name;
+        // Breakdown covers each thread's clock: summed breakdown must
+        // be at least the completion time (threads end near-together).
+        EXPECT_GE(st.breakdown.total() * 1.05 + 1000.0,
+                  static_cast<double>(st.completion_cycles))
+            << info.name;
+        // Energy buckets are populated consistently with the counters.
+        EXPECT_GT(st.energy.l1d, 0.0) << info.name;
+        EXPECT_EQ(st.energy.dram > 0.0, st.dram.accesses > 0)
+            << info.name;
+    }
+}
+
+TEST(Integration, NormalizedBreakdownSumsToOne)
+{
+    const graph::Graph g = test::makeGraph("sparse");
+    sim::Machine machine(test::smallSimConfig());
+    core::bfs(machine, 8, g, 0);
+    const sim::Breakdown n = machine.lastStats().breakdown.normalized();
+    double sum = 0;
+    for (int i = 0; i < sim::kNumComponents; ++i) {
+        sum += n.cycles[i];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Integration, MoreThreadsShiftTimeTowardCommunication)
+{
+    // The paper's core finding: at high thread counts communication
+    // (sharing + synchronization) grows relative to compute.
+    const graph::Graph g =
+        graph::generators::uniformRandom(1024, 8192, 32, 5);
+    sim::Config cfg = sim::Config::futuristic256();
+    cfg.num_cores = 64;
+    sim::Machine machine(cfg);
+
+    core::sssp(machine, 1, g, 0);
+    const sim::Breakdown one = machine.lastStats().breakdown.normalized();
+    core::sssp(machine, 64, g, 0);
+    const sim::Breakdown many =
+        machine.lastStats().breakdown.normalized();
+
+    const auto comm = [](const sim::Breakdown& b) {
+        return b[sim::Component::l2HomeSharers] +
+               b[sim::Component::synchronization] +
+               b[sim::Component::l2HomeWaiting];
+    };
+    EXPECT_GT(comm(many), comm(one));
+}
+
+TEST(Integration, ScalableKernelActuallyScales)
+{
+    // APSP is the paper's best scaler; at 16 sources per thread the
+    // simulated speedup must be clearly superlinear-free but strong.
+    const auto m = graph::AdjacencyMatrix(
+        graph::generators::uniformRandom(64, 512, 16, 9));
+    sim::Config cfg = sim::Config::futuristic256();
+    cfg.num_cores = 16;
+    sim::Machine machine(cfg);
+    core::apsp(machine, 1, m);
+    const auto seq = machine.lastStats().completion_cycles;
+    core::apsp(machine, 16, m);
+    const auto par = machine.lastStats().completion_cycles;
+    EXPECT_GT(static_cast<double>(seq) / par, 4.0);
+}
+
+TEST(Integration, ActiveTrackerSeesParetoFront)
+{
+    const graph::Graph g = test::makeGraph("road");
+    rt::ActiveTracker tracker(4096, 1);
+    rt::NativeExecutor exec(4);
+    core::sssp(exec, 4, g, 0, &tracker);
+    EXPECT_GT(tracker.events(), g.numVertices());
+    const auto series = tracker.normalizedSeries(20);
+    // The pareto front opens (rises from the single source) and
+    // dwindles to zero at the end.
+    EXPECT_LT(series.front(), 1.0);
+    EXPECT_LE(series.back(), 0.2);
+    double peak = 0;
+    for (double v : series) {
+        peak = std::max(peak, v);
+    }
+    EXPECT_GT(peak, 0.5);
+}
+
+TEST(Integration, WorkloadSetProvidesAllInputs)
+{
+    core::WorkloadConfig wc;
+    wc.graph_vertices = 128;
+    wc.matrix_vertices = 12;
+    wc.tsp_cities = 5;
+    for (core::GraphKind kind :
+         {core::GraphKind::sparse, core::GraphKind::road,
+          core::GraphKind::social}) {
+        wc.kind = kind;
+        const core::WorkloadSet set(wc);
+        EXPECT_GE(set.graph().numVertices(), 100u)
+            << core::graphKindName(kind);
+        const core::Workload w =
+            set.forBenchmark(core::BenchmarkId::ssspDijk);
+        EXPECT_NE(w.graph, nullptr);
+        EXPECT_NE(w.matrix, nullptr);
+        EXPECT_NE(w.cities, nullptr);
+    }
+}
+
+TEST(Integration, RegistryMatchesTableOne)
+{
+    ASSERT_EQ(core::allBenchmarks().size(),
+              static_cast<std::size_t>(core::kNumBenchmarks));
+    EXPECT_STREQ(core::benchmarkName(core::BenchmarkId::ssspDijk),
+                 "SSSP_DIJK");
+    EXPECT_STREQ(core::benchmarkInfo(core::BenchmarkId::tsp)
+                     .parallelization,
+                 "Branch and Bound");
+    EXPECT_STREQ(core::benchmarkInfo(core::BenchmarkId::comm).category,
+                 "Graph Processing");
+}
+
+TEST(Integration, OooConfigRunsWholeSuite)
+{
+    core::WorkloadConfig wc;
+    wc.graph_vertices = 128;
+    wc.edges_per_vertex = 4;
+    wc.matrix_vertices = 12;
+    wc.tsp_cities = 5;
+    wc.pr_iterations = 2;
+    wc.comm_rounds = 2;
+    const core::WorkloadSet set(wc);
+    sim::Config cfg = sim::Config::futuristic256(sim::CoreType::outOfOrder);
+    cfg.num_cores = 8;
+    sim::Machine machine(cfg);
+    for (const auto& info : core::allBenchmarks()) {
+        const auto run = core::runBenchmark(info.id, machine, 8,
+                                            set.forBenchmark(info.id));
+        EXPECT_GT(run.time, 0.0) << info.name;
+    }
+}
+
+} // namespace
+} // namespace crono

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Graph I/O tests: edge-list round trips, DIMACS parsing, and error
+ * handling for malformed inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+
+namespace crono::graph {
+namespace {
+
+namespace gen = generators;
+
+bool
+sameGraph(const Graph& a, const Graph& b)
+{
+    return a.numVertices() == b.numVertices() &&
+           a.rawOffsets() == b.rawOffsets() &&
+           a.rawNeighbors() == b.rawNeighbors() &&
+           a.rawWeights() == b.rawWeights();
+}
+
+TEST(GraphIo, EdgeListRoundTripSmall)
+{
+    const Graph g = gen::ring(8);
+    std::stringstream s;
+    io::writeEdgeList(s, g);
+    const Graph back = io::readEdgeList(s);
+    EXPECT_TRUE(sameGraph(g, back));
+}
+
+TEST(GraphIo, EdgeListRoundTripRandom)
+{
+    const Graph g = gen::uniformRandom(200, 1000, 50, 4);
+    std::stringstream s;
+    io::writeEdgeList(s, g);
+    const Graph back = io::readEdgeList(s);
+    EXPECT_TRUE(sameGraph(g, back));
+}
+
+TEST(GraphIo, EdgeListSkipsComments)
+{
+    std::stringstream s("# a comment\nel 3 1\n# another\n0 1 5\n1 2 6\n");
+    const Graph g = io::readEdgeList(s);
+    EXPECT_EQ(g.numVertices(), 3u);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(2, 1));
+}
+
+TEST(GraphIo, EdgeListDirectedHeader)
+{
+    std::stringstream s("el 3 0\n0 1 5\n");
+    const Graph g = io::readEdgeList(s);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_FALSE(g.hasEdge(1, 0));
+}
+
+TEST(GraphIo, EdgeListRejectsMissingHeader)
+{
+    std::stringstream s("0 1 5\n");
+    EXPECT_THROW(io::readEdgeList(s), std::runtime_error);
+}
+
+TEST(GraphIo, EdgeListRejectsOutOfRangeVertex)
+{
+    std::stringstream s("el 3 1\n0 9 5\n");
+    EXPECT_THROW(io::readEdgeList(s), std::runtime_error);
+}
+
+TEST(GraphIo, EdgeListRejectsMalformedEdge)
+{
+    std::stringstream s("el 3 1\n0 zebra 5\n");
+    EXPECT_THROW(io::readEdgeList(s), std::runtime_error);
+}
+
+TEST(GraphIo, DimacsParsesOneIndexedArcs)
+{
+    std::stringstream s("c road network fragment\n"
+                        "p sp 4 3\n"
+                        "a 1 2 10\n"
+                        "a 2 3 20\n"
+                        "a 3 4 30\n");
+    const Graph g = io::readDimacs(s);
+    EXPECT_EQ(g.numVertices(), 4u);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(3, 2));
+    EXPECT_EQ(g.weights(0)[0], 10u);
+}
+
+TEST(GraphIo, DimacsRejectsArcBeforeProblem)
+{
+    std::stringstream s("a 1 2 10\n");
+    EXPECT_THROW(io::readDimacs(s), std::runtime_error);
+}
+
+TEST(GraphIo, DimacsRejectsZeroIndexedArc)
+{
+    std::stringstream s("p sp 4 1\na 0 2 10\n");
+    EXPECT_THROW(io::readDimacs(s), std::runtime_error);
+}
+
+TEST(GraphIo, DimacsRejectsUnknownLine)
+{
+    std::stringstream s("p sp 2 1\nq 1 2 3\n");
+    EXPECT_THROW(io::readDimacs(s), std::runtime_error);
+}
+
+TEST(GraphIo, FileRoundTrip)
+{
+    const Graph g = gen::grid(5, 5);
+    const std::string path = ::testing::TempDir() + "crono_io_test.el";
+    io::saveEdgeList(path, g);
+    const Graph back = io::loadEdgeList(path);
+    EXPECT_TRUE(sameGraph(g, back));
+}
+
+TEST(GraphIo, LoadMissingFileThrows)
+{
+    EXPECT_THROW(io::loadEdgeList("/nonexistent/road.el"),
+                 std::runtime_error);
+    EXPECT_THROW(io::loadDimacs("/nonexistent/road.gr"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace crono::graph

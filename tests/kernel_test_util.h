@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared fixtures for the kernel test suites: a catalog of small test
+ * graphs and parameter generators for (graph, thread-count) sweeps.
+ */
+
+#ifndef CRONO_TESTS_KERNEL_TEST_UTIL_H_
+#define CRONO_TESTS_KERNEL_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "runtime/executor.h"
+#include "sim/machine.h"
+
+namespace crono::test {
+
+/** Named test-graph factory. */
+inline graph::Graph
+makeGraph(const std::string& name)
+{
+    namespace gen = graph::generators;
+    if (name == "path") {
+        return gen::path(40);
+    }
+    if (name == "ring") {
+        return gen::ring(37);
+    }
+    if (name == "star") {
+        return gen::star(50);
+    }
+    if (name == "grid") {
+        return gen::grid(8, 7);
+    }
+    if (name == "complete") {
+        return gen::complete(12);
+    }
+    if (name == "cliques") {
+        return gen::cliqueChain(5, 6, false);
+    }
+    if (name == "linked-cliques") {
+        return gen::cliqueChain(5, 6, true);
+    }
+    if (name == "sparse") {
+        return gen::uniformRandom(300, 1200, 32, 11);
+    }
+    if (name == "road") {
+        return gen::roadNetwork(18, 18, 13);
+    }
+    if (name == "social") {
+        return gen::socialNetwork(8, 6, 17);
+    }
+    ADD_FAILURE() << "unknown graph " << name;
+    return gen::path(2);
+}
+
+/** All catalog names (dense coverage for parameterized suites). */
+inline std::vector<std::string>
+allGraphNames()
+{
+    return {"path",    "ring",   "star",           "grid",
+            "complete", "cliques", "linked-cliques", "sparse",
+            "road",    "social"};
+}
+
+/** (graph name, thread count) parameter. */
+using GraphThreads = std::tuple<std::string, int>;
+
+inline std::string
+graphThreadsName(const ::testing::TestParamInfo<GraphThreads>& info)
+{
+    std::string name = std::get<0>(info.param) + "_t" +
+                       std::to_string(std::get<1>(info.param));
+    for (char& c : name) {
+        if (c == '-') {
+            c = '_'; // gtest parameter names must be alphanumeric
+        }
+    }
+    return name;
+}
+
+/** A small simulated machine for kernel-on-simulator checks. */
+inline sim::Config
+smallSimConfig()
+{
+    sim::Config cfg = sim::Config::futuristic256();
+    cfg.num_cores = 8;
+    return cfg;
+}
+
+} // namespace crono::test
+
+#endif // CRONO_TESTS_KERNEL_TEST_UTIL_H_

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Cross-kernel consistency properties on randomized inputs: different
+ * kernels constrain each other's results (BFS vs DFS vs connected
+ * components vs SSSP vs triangles), so agreement across many random
+ * seeds is a strong end-to-end correctness signal that needs no
+ * hand-computed expectations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/bfs.h"
+#include "core/community.h"
+#include "core/connected_components.h"
+#include "core/dfs.h"
+#include "core/pagerank.h"
+#include "core/sssp.h"
+#include "core/triangle_count.h"
+#include "graph/generators.h"
+#include "runtime/executor.h"
+
+namespace crono {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {
+  protected:
+    graph::Graph
+    randomGraph() const
+    {
+        // Vary shape with the seed: size, density and weight range.
+        const std::uint64_t seed = GetParam();
+        const auto n =
+            static_cast<graph::VertexId>(100 + (seed * 37) % 400);
+        const auto m = static_cast<graph::EdgeId>(n) *
+                       (2 + (seed * 13) % 6);
+        const auto w = static_cast<graph::Weight>(1 + (seed * 7) % 60);
+        return graph::generators::uniformRandom(n, m, w, seed);
+    }
+};
+
+TEST_P(SeedSweep, BfsDfsAndComponentsAgreeOnReachability)
+{
+    const graph::Graph g = randomGraph();
+    rt::NativeExecutor exec(4);
+    const auto bfs = core::bfs(exec, 4, g, 0);
+    const auto dfs = core::dfs(exec, 4, g, 0);
+    const auto cc = core::connectedComponents(exec, 4, g);
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        const bool bfs_reached = bfs.level[v] != core::kNoLevel;
+        const bool dfs_reached = dfs.order[v] != core::kNotVisited;
+        const bool same_component = cc.label[v] == cc.label[0];
+        EXPECT_EQ(bfs_reached, dfs_reached) << "v " << v;
+        EXPECT_EQ(bfs_reached, same_component) << "v " << v;
+    }
+    EXPECT_EQ(bfs.reached, dfs.visited);
+}
+
+TEST_P(SeedSweep, SsspReachabilityMatchesBfsAndBoundsHold)
+{
+    const graph::Graph g = randomGraph();
+    rt::NativeExecutor exec(4);
+    const auto sssp = core::sssp(exec, 4, g, 0);
+    const auto bfs = core::bfs(exec, 4, g, 0);
+    graph::Weight max_w = 1;
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        for (graph::Weight w : g.weights(v)) {
+            max_w = std::max(max_w, w);
+        }
+    }
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        const bool reached = bfs.level[v] != core::kNoLevel;
+        EXPECT_EQ(sssp.dist[v] != graph::kInfDist, reached) << v;
+        if (reached) {
+            // Weighted distance bounded by hops x max weight, and at
+            // least the hop count (weights >= 1).
+            EXPECT_LE(sssp.dist[v],
+                      static_cast<graph::Dist>(bfs.level[v]) * max_w);
+            EXPECT_GE(sssp.dist[v], bfs.level[v]);
+        }
+    }
+}
+
+TEST_P(SeedSweep, ComponentsPartitionTheGraph)
+{
+    const graph::Graph g = randomGraph();
+    rt::NativeExecutor exec(4);
+    const auto cc = core::connectedComponents(exec, 4, g);
+    // Each label is the minimum vertex id of its class.
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        EXPECT_LE(cc.label[v], v);
+        EXPECT_EQ(cc.label[cc.label[v]], cc.label[v]); // root is fixed
+    }
+}
+
+TEST_P(SeedSweep, TriangleCountInvariantUnderThreadCount)
+{
+    const graph::Graph g = randomGraph();
+    rt::NativeExecutor exec(8);
+    const auto one = core::triangleCount(exec, 1, g);
+    const auto eight = core::triangleCount(exec, 8, g);
+    EXPECT_EQ(one.total, eight.total);
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        EXPECT_EQ(one.per_vertex[v], eight.per_vertex[v]);
+    }
+}
+
+TEST_P(SeedSweep, PageRankMassNeverExceedsOne)
+{
+    const graph::Graph g = randomGraph();
+    rt::NativeExecutor exec(4);
+    const auto pr = core::pageRank(exec, 4, g, 6);
+    double sum = 0.0;
+    for (double r : pr.rank) {
+        EXPECT_GE(r, 0.0);
+        sum += r;
+    }
+    // Isolated vertices leak mass, so the sum is at most 1.
+    EXPECT_LE(sum, 1.0 + 1e-9);
+}
+
+TEST_P(SeedSweep, CommunityPartitionRespectsComponents)
+{
+    const graph::Graph g = randomGraph();
+    rt::NativeExecutor exec(4);
+    const auto comm = core::communityDetection(exec, 4, g, 8);
+    const auto cc = core::connectedComponents(exec, 4, g);
+    // A community can never span two connected components: members of
+    // one community must share a component label.
+    std::vector<graph::VertexId> comm_component(g.numVertices(),
+                                                graph::kNoVertex);
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        const graph::VertexId c = comm.community[v];
+        if (comm_component[c] == graph::kNoVertex) {
+            comm_component[c] = cc.label[v];
+        } else {
+            EXPECT_EQ(comm_component[c], cc.label[v]) << "v " << v;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace
+} // namespace crono

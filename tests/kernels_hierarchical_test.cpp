@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Hierarchical (multi-level) Louvain tests: graph coarsening
+ * invariants and the full algorithm's behaviour vs the single level.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/community.h"
+#include "graph/builder.h"
+#include "core/connected_components.h"
+#include "graph/generators.h"
+#include "runtime/executor.h"
+#include "sim/machine.h"
+
+namespace crono {
+namespace {
+
+namespace gen = graph::generators;
+
+TEST(Coarsen, CollapsesCommunitiesAndSumsWeights)
+{
+    // A 4-cycle with labels {0,0,1,1}: collapses to two vertices
+    // joined by the two crossing edges (weights 1 + 1 = 2).
+    graph::GraphBuilder b(4, true);
+    b.addEdge(0, 1, 5); // intra community 0
+    b.addEdge(2, 3, 7); // intra community 1
+    b.addEdge(1, 2, 1); // crossing
+    b.addEdge(3, 0, 1); // crossing
+    const graph::Graph g = std::move(b).build();
+    AlignedVector<graph::VertexId> labels = {0, 0, 2, 2};
+
+    std::vector<graph::VertexId> dense;
+    const graph::Graph coarse =
+        core::coarsenByCommunities(g, labels, &dense);
+    ASSERT_EQ(coarse.numVertices(), 2u);
+    ASSERT_EQ(coarse.numEdges(), 2u); // one logical edge, mirrored
+    EXPECT_EQ(coarse.weights(0)[0], 2u);
+    EXPECT_EQ(dense[0], 0u);
+    EXPECT_EQ(dense[2], 1u);
+}
+
+TEST(Coarsen, SingletonLabelsReproduceTopology)
+{
+    const graph::Graph g = gen::grid(4, 4);
+    AlignedVector<graph::VertexId> labels(g.numVertices());
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        labels[v] = v;
+    }
+    std::vector<graph::VertexId> dense;
+    const graph::Graph coarse =
+        core::coarsenByCommunities(g, labels, &dense);
+    EXPECT_EQ(coarse.numVertices(), g.numVertices());
+    EXPECT_EQ(coarse.numEdges(), g.numEdges());
+}
+
+TEST(Coarsen, AllOneLabelGivesEdgelessPoint)
+{
+    const graph::Graph g = gen::complete(6);
+    AlignedVector<graph::VertexId> labels(6, 3);
+    std::vector<graph::VertexId> dense;
+    const graph::Graph coarse =
+        core::coarsenByCommunities(g, labels, &dense);
+    EXPECT_EQ(coarse.numVertices(), 1u);
+    EXPECT_EQ(coarse.numEdges(), 0u);
+}
+
+TEST(Hierarchical, RecoversPlantedCliquesExactly)
+{
+    const graph::Graph g = gen::cliqueChain(5, 6, false);
+    rt::NativeExecutor exec(4);
+    const auto result =
+        core::communityDetectionHierarchical(exec, 4, g, 16, 4);
+    EXPECT_NEAR(result.modularity, 0.8, 1e-9);
+    for (graph::VertexId k = 0; k < 5; ++k) {
+        for (graph::VertexId i = 0; i < 6; ++i) {
+            EXPECT_EQ(result.community[k * 6 + i], k * 6);
+        }
+    }
+}
+
+TEST(Hierarchical, AtLeastMatchesSingleLevelOnModularGraphs)
+{
+    for (std::uint64_t seed : {3u, 9u, 27u}) {
+        const graph::Graph g = gen::socialNetwork(9, 6, seed);
+        rt::NativeExecutor exec(4);
+        const double single =
+            core::communityDetection(exec, 4, g, 16).modularity;
+        const double multi =
+            core::communityDetectionHierarchical(exec, 4, g, 16, 4)
+                .modularity;
+        // Coarse levels only merge; allow a small heuristic slack.
+        EXPECT_GE(multi, single - 0.02) << "seed " << seed;
+    }
+}
+
+TEST(Hierarchical, LabelsAreSmallestMembersAndRespectComponents)
+{
+    const graph::Graph g = gen::uniformRandom(300, 900, 16, 5);
+    rt::NativeExecutor exec(4);
+    const auto result =
+        core::communityDetectionHierarchical(exec, 4, g, 12, 3);
+    const auto cc = core::connectedComponents(exec, 4, g);
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        const graph::VertexId c = result.community[v];
+        ASSERT_LT(c, g.numVertices());
+        EXPECT_LE(c, v); // named by smallest member
+        EXPECT_EQ(result.community[c], c);
+        // Communities never span connected components.
+        EXPECT_EQ(cc.label[c], cc.label[v]);
+    }
+}
+
+TEST(Hierarchical, RunsOnSimulator)
+{
+    const graph::Graph g = gen::cliqueChain(4, 5, true);
+    sim::Config cfg = sim::Config::futuristic256();
+    cfg.num_cores = 8;
+    sim::Machine machine(cfg);
+    const auto result =
+        core::communityDetectionHierarchical(machine, 8, g, 12, 3);
+    EXPECT_GT(result.modularity, 0.5);
+}
+
+} // namespace
+} // namespace crono

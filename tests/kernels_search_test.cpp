@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Search kernel tests: BFS levels and parent trees, DFS traversal
+ * invariants under branch parallelism, TSP optimality against
+ * exhaustive search.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/bfs.h"
+#include "core/dfs.h"
+#include "core/sequential.h"
+#include "core/tsp.h"
+#include "tests/kernel_test_util.h"
+
+namespace crono {
+namespace {
+
+using test::GraphThreads;
+
+class BfsParamTest : public ::testing::TestWithParam<GraphThreads> {};
+
+TEST_P(BfsParamTest, LevelsMatchSequentialBfs)
+{
+    const auto [name, threads] = GetParam();
+    const graph::Graph g = test::makeGraph(name);
+    rt::NativeExecutor exec(threads);
+    const auto result = core::bfs(exec, threads, g, 0);
+    const auto expect = core::seq::bfsLevels(g, 0);
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        ASSERT_EQ(result.level[v], expect[v]) << name << " v " << v;
+    }
+}
+
+TEST_P(BfsParamTest, ParentEdgesDropOneLevel)
+{
+    const auto [name, threads] = GetParam();
+    const graph::Graph g = test::makeGraph(name);
+    rt::NativeExecutor exec(threads);
+    const auto result = core::bfs(exec, threads, g, 0);
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        if (v == 0 || result.level[v] == core::kNoLevel) {
+            continue;
+        }
+        const graph::VertexId p = result.parent[v];
+        ASSERT_NE(p, graph::kNoVertex);
+        EXPECT_TRUE(g.hasEdge(p, v)) << name << " v " << v;
+        EXPECT_EQ(result.level[p] + 1, result.level[v]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, BfsParamTest,
+    ::testing::Combine(::testing::Values("path", "ring", "star", "grid",
+                                         "cliques", "sparse", "road",
+                                         "social"),
+                       ::testing::Values(1, 2, 4, 8)),
+    test::graphThreadsName);
+
+TEST(Bfs, ReachedCountsComponent)
+{
+    const graph::Graph g = test::makeGraph("cliques");
+    rt::NativeExecutor exec(4);
+    const auto result = core::bfs(exec, 4, g, 0);
+    EXPECT_EQ(result.reached, core::seq::reachableCount(g, 0));
+    EXPECT_EQ(result.reached, 6u); // one clique of the chain
+}
+
+TEST(Bfs, TargetStopsTraversalEarly)
+{
+    const graph::Graph g = graph::generators::path(1000);
+    rt::NativeExecutor exec(4);
+    const auto with_target = core::bfs(exec, 4, g, 0, 10);
+    EXPECT_TRUE(with_target.found_target);
+    // The frontier past the target is never expanded.
+    EXPECT_LT(with_target.reached, 1000u);
+    EXPECT_EQ(with_target.level[10], 10u);
+}
+
+TEST(Bfs, MissingTargetTraversesComponent)
+{
+    const graph::Graph g = test::makeGraph("cliques");
+    rt::NativeExecutor exec(2);
+    const auto result = core::bfs(exec, 2, g, 0, 29); // other clique
+    EXPECT_FALSE(result.found_target);
+    EXPECT_EQ(result.reached, 6u);
+}
+
+TEST(Bfs, SimulatorMatchesNative)
+{
+    const graph::Graph g = test::makeGraph("social");
+    sim::Machine machine(test::smallSimConfig());
+    const auto sim_result = core::bfs(machine, 8, g, 0);
+    const auto expect = core::seq::bfsLevels(g, 0);
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        ASSERT_EQ(sim_result.level[v], expect[v]);
+    }
+}
+
+class DfsParamTest : public ::testing::TestWithParam<GraphThreads> {};
+
+TEST_P(DfsParamTest, VisitsComponentExactlyOnce)
+{
+    const auto [name, threads] = GetParam();
+    const graph::Graph g = test::makeGraph(name);
+    rt::NativeExecutor exec(threads);
+    const auto result = core::dfs(exec, threads, g, 0);
+    // Every reachable vertex visited exactly once, no others.
+    const auto levels = core::seq::bfsLevels(g, 0);
+    std::uint64_t reachable = 0;
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        if (levels[v] != ~std::uint32_t{0}) {
+            ++reachable;
+            EXPECT_NE(result.order[v], core::kNotVisited)
+                << name << " v " << v;
+        } else {
+            EXPECT_EQ(result.order[v], core::kNotVisited)
+                << name << " v " << v;
+        }
+    }
+    EXPECT_EQ(result.visited, reachable);
+}
+
+TEST_P(DfsParamTest, VisitOrderIsAPermutation)
+{
+    const auto [name, threads] = GetParam();
+    const graph::Graph g = test::makeGraph(name);
+    rt::NativeExecutor exec(threads);
+    const auto result = core::dfs(exec, threads, g, 0);
+    std::vector<std::uint64_t> orders;
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        if (result.order[v] != core::kNotVisited) {
+            orders.push_back(result.order[v]);
+        }
+    }
+    std::sort(orders.begin(), orders.end());
+    for (std::size_t i = 0; i < orders.size(); ++i) {
+        ASSERT_EQ(orders[i], i) << name;
+    }
+}
+
+TEST_P(DfsParamTest, ParentEdgesExist)
+{
+    const auto [name, threads] = GetParam();
+    const graph::Graph g = test::makeGraph(name);
+    rt::NativeExecutor exec(threads);
+    const auto result = core::dfs(exec, threads, g, 0);
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        if (v == 0 || result.parent[v] == graph::kNoVertex) {
+            continue;
+        }
+        EXPECT_TRUE(g.hasEdge(result.parent[v], v)) << name << " " << v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, DfsParamTest,
+    ::testing::Combine(::testing::Values("path", "ring", "star", "grid",
+                                         "cliques", "sparse", "road"),
+                       ::testing::Values(1, 2, 4, 8)),
+    test::graphThreadsName);
+
+TEST(Dfs, FindsTarget)
+{
+    const graph::Graph g = test::makeGraph("grid");
+    rt::NativeExecutor exec(4);
+    const auto result = core::dfs(exec, 4, g, 0, 37);
+    EXPECT_TRUE(result.found_target);
+}
+
+TEST(Dfs, TargetInOtherComponentNotFound)
+{
+    const graph::Graph g = test::makeGraph("cliques");
+    rt::NativeExecutor exec(4);
+    const auto result = core::dfs(exec, 4, g, 0, 29);
+    EXPECT_FALSE(result.found_target);
+}
+
+TEST(Dfs, SimulatorTraversalIsValid)
+{
+    const graph::Graph g = test::makeGraph("sparse");
+    sim::Machine machine(test::smallSimConfig());
+    const auto result = core::dfs(machine, 8, g, 0);
+    EXPECT_EQ(result.visited, core::seq::reachableCount(g, 0));
+}
+
+class TspParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TspParamTest, FindsOptimalTourAcrossCitiesAndThreads)
+{
+    const int threads = GetParam();
+    for (graph::VertexId n : {2u, 3u, 5u, 8u, 10u}) {
+        const auto cities = graph::generators::tspCities(n, 70 + n);
+        rt::NativeExecutor exec(threads);
+        const auto result = core::tsp(exec, threads, cities);
+        EXPECT_EQ(result.cost, core::seq::tspCost(cities))
+            << n << " cities";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, TspParamTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(Tsp, TourIsValidPermutationWithMatchingCost)
+{
+    const auto cities = graph::generators::tspCities(9, 3);
+    rt::NativeExecutor exec(4);
+    const auto result = core::tsp(exec, 4, cities);
+    ASSERT_EQ(result.tour.size(), 9u);
+    EXPECT_EQ(result.tour[0], 0u);
+    std::vector<graph::VertexId> sorted = result.tour;
+    std::sort(sorted.begin(), sorted.end());
+    for (graph::VertexId i = 0; i < 9; ++i) {
+        EXPECT_EQ(sorted[i], i);
+    }
+    std::uint64_t cost = 0;
+    for (std::size_t i = 0; i < result.tour.size(); ++i) {
+        cost += cities.at(result.tour[i],
+                          result.tour[(i + 1) % result.tour.size()]);
+    }
+    EXPECT_EQ(cost, result.cost);
+}
+
+TEST(Tsp, SimulatorFindsOptimum)
+{
+    const auto cities = graph::generators::tspCities(8, 5);
+    sim::Machine machine(test::smallSimConfig());
+    const auto result = core::tsp(machine, 8, cities);
+    EXPECT_EQ(result.cost, core::seq::tspCost(cities));
+}
+
+} // namespace
+} // namespace crono

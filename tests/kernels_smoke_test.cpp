@@ -1,0 +1,112 @@
+/**
+ * @file
+ * End-to-end smoke tests: every kernel runs on the native executor
+ * and on the simulated machine, and both agree with the sequential
+ * references. Deeper per-kernel suites live in kernels_*_test.cpp.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sequential.h"
+#include "core/suite.h"
+#include "core/workloads.h"
+#include "sim/machine.h"
+
+namespace crono {
+namespace {
+
+using core::BenchmarkId;
+namespace gen = graph::generators;
+
+graph::Graph
+testGraph()
+{
+    return gen::uniformRandom(200, 800, 32, 7);
+}
+
+sim::Config
+smallSim()
+{
+    sim::Config cfg = sim::Config::futuristic256();
+    cfg.num_cores = 16;
+    return cfg;
+}
+
+TEST(SmokeNative, SsspMatchesDijkstra)
+{
+    const auto g = testGraph();
+    rt::NativeExecutor exec(4);
+    const auto result = core::sssp(exec, 4, g, 0);
+    const auto expect = core::seq::sssp(g, 0);
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        EXPECT_EQ(result.dist[v], expect[v]) << "vertex " << v;
+    }
+}
+
+TEST(SmokeSim, SsspMatchesDijkstra)
+{
+    const auto g = testGraph();
+    sim::Machine machine(smallSim());
+    const auto result = core::sssp(machine, 8, g, 0);
+    const auto expect = core::seq::sssp(g, 0);
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        EXPECT_EQ(result.dist[v], expect[v]) << "vertex " << v;
+    }
+    EXPECT_GT(machine.lastStats().completion_cycles, 0u);
+}
+
+TEST(SmokeNative, AllBenchmarksRun)
+{
+    core::WorkloadConfig cfg;
+    cfg.graph_vertices = 256;
+    cfg.edges_per_vertex = 6;
+    cfg.matrix_vertices = 24;
+    cfg.tsp_cities = 7;
+    cfg.pr_iterations = 3;
+    cfg.comm_rounds = 4;
+    const core::WorkloadSet set(cfg);
+    rt::NativeExecutor exec(4);
+    for (const auto& info : core::allBenchmarks()) {
+        const auto run = core::runBenchmark(info.id, exec, 4,
+                                            set.forBenchmark(info.id));
+        EXPECT_EQ(run.thread_ops.size(), 4u) << info.name;
+        EXPECT_GT(run.thread_ops[0], 0u) << info.name;
+    }
+}
+
+TEST(SmokeSim, AllBenchmarksRun)
+{
+    core::WorkloadConfig cfg;
+    cfg.graph_vertices = 128;
+    cfg.edges_per_vertex = 4;
+    cfg.matrix_vertices = 16;
+    cfg.tsp_cities = 6;
+    cfg.pr_iterations = 2;
+    cfg.comm_rounds = 3;
+    const core::WorkloadSet set(cfg);
+    sim::Machine machine(smallSim());
+    for (const auto& info : core::allBenchmarks()) {
+        const auto run = core::runBenchmark(info.id, machine, 8,
+                                            set.forBenchmark(info.id));
+        EXPECT_GT(run.time, 0.0) << info.name;
+        const auto& st = machine.lastStats();
+        EXPECT_GT(st.l1d.accesses, 0u) << info.name;
+        // The breakdown must account for (at least) the completion
+        // time summed across threads.
+        EXPECT_GT(st.breakdown.total(), 0.0) << info.name;
+    }
+}
+
+TEST(SmokeSim, DeterministicCycles)
+{
+    const auto g = gen::uniformRandom(128, 512, 16, 3);
+    sim::Machine machine(smallSim());
+    core::sssp(machine, 8, g, 0);
+    const auto first = machine.lastStats().completion_cycles;
+    core::sssp(machine, 8, g, 0);
+    const auto second = machine.lastStats().completion_cycles;
+    EXPECT_EQ(first, second);
+}
+
+} // namespace
+} // namespace crono

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests of the ablation knobs and the architectural sensitivities the
+ * experiments rely on: remote-access mode stays functionally correct
+ * and eliminates invalidations; ACKwise-k and hop latency move timing
+ * the right way; the OOO core never loses to in-order on streaming
+ * work; the workload catalog composes with the registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sequential.h"
+#include "core/suite.h"
+#include "core/workloads.h"
+#include "sim/machine.h"
+
+namespace crono {
+namespace {
+
+graph::Graph
+testGraph()
+{
+    return graph::generators::uniformRandom(512, 4096, 32, 3);
+}
+
+TEST(RemoteAccessMode, ResultsStayCorrect)
+{
+    sim::Config cfg = sim::Config::futuristic256();
+    cfg.num_cores = 16;
+    cfg.l1_allocation = false;
+    sim::Machine machine(cfg);
+    const graph::Graph g = testGraph();
+    const auto result = core::sssp(machine, 16, g, 0);
+    const auto expect = core::seq::sssp(g, 0);
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        ASSERT_EQ(result.dist[v], expect[v]);
+    }
+}
+
+TEST(RemoteAccessMode, NoInvalidationTraffic)
+{
+    sim::Config cfg = sim::Config::futuristic256();
+    cfg.num_cores = 16;
+    cfg.l1_allocation = false;
+    sim::Machine machine(cfg);
+    core::pageRank(machine, 16, testGraph(), 2);
+    const auto& st = machine.lastStats();
+    EXPECT_EQ(st.directory.invalidations, 0u);
+    EXPECT_EQ(st.directory.broadcasts, 0u);
+    EXPECT_EQ(st.l1d.hits, 0u); // nothing is privately cached
+}
+
+TEST(RemoteAccessMode, PrivateCachingWinsOnPrivateData)
+{
+    // APSP's per-thread scratch is high-locality: forbidding private
+    // caching must slow it down substantially.
+    const graph::AdjacencyMatrix m(
+        graph::generators::uniformRandom(48, 400, 16, 4));
+    sim::Config base = sim::Config::futuristic256();
+    base.num_cores = 8;
+    sim::Config remote = base;
+    remote.l1_allocation = false;
+
+    sim::Machine with_l1(base);
+    core::apsp(with_l1, 8, m);
+    sim::Machine without_l1(remote);
+    core::apsp(without_l1, 8, m);
+    EXPECT_GT(without_l1.lastStats().completion_cycles,
+              2 * with_l1.lastStats().completion_cycles);
+}
+
+TEST(AckwiseSweep, FewerPointersMeanMoreBroadcasts)
+{
+    const graph::Graph g = testGraph();
+    std::uint64_t broadcasts_k1 = 0, broadcasts_k8 = 0;
+    for (int k : {1, 8}) {
+        sim::Config cfg = sim::Config::futuristic256();
+        cfg.num_cores = 32;
+        cfg.ackwise_pointers = k;
+        sim::Machine machine(cfg);
+        core::sssp(machine, 32, g, 0);
+        (k == 1 ? broadcasts_k1 : broadcasts_k8) =
+            machine.lastStats().directory.broadcasts;
+    }
+    EXPECT_GT(broadcasts_k1, broadcasts_k8);
+}
+
+TEST(HopLatency, TimingRespondsMonotonically)
+{
+    const graph::Graph g = testGraph();
+    std::uint64_t previous = 0;
+    for (std::uint32_t hop : {1u, 2u, 4u}) {
+        sim::Config cfg = sim::Config::futuristic256();
+        cfg.num_cores = 32;
+        cfg.hop_cycles = hop;
+        sim::Machine machine(cfg);
+        core::bfs(machine, 32, g, 0);
+        const std::uint64_t cycles =
+            machine.lastStats().completion_cycles;
+        EXPECT_GT(cycles, previous);
+        previous = cycles;
+    }
+}
+
+TEST(CoreTypes, OooNeverSlowerOnStreamingScan)
+{
+    // A pure streaming scan (APSP row sweeps) is the best case for
+    // the windowed overlap model.
+    const graph::AdjacencyMatrix m(
+        graph::generators::uniformRandom(64, 512, 16, 9));
+    std::uint64_t in_order = 0, ooo = 0;
+    for (auto type : {sim::CoreType::inOrder, sim::CoreType::outOfOrder}) {
+        sim::Config cfg = sim::Config::futuristic256(type);
+        cfg.num_cores = 8;
+        sim::Machine machine(cfg);
+        core::apsp(machine, 8, m);
+        (type == sim::CoreType::inOrder ? in_order : ooo) =
+            machine.lastStats().completion_cycles;
+    }
+    EXPECT_LT(ooo, in_order);
+}
+
+TEST(EnergyParams, OverridesPropagate)
+{
+    sim::Config cfg = sim::Config::futuristic256();
+    cfg.num_cores = 8;
+    sim::Machine machine(cfg);
+    machine.energyParams().dram_access_pj = 0.0;
+    core::bfs(machine, 8, testGraph(), 0);
+    EXPECT_DOUBLE_EQ(machine.lastStats().energy.dram, 0.0);
+    EXPECT_GT(machine.lastStats().energy.l1d, 0.0);
+}
+
+TEST(Workloads, GraphFamiliesDifferStructurally)
+{
+    using core::GraphKind;
+    const graph::Graph road = core::makeGraph(GraphKind::road, 1024, 8, 1);
+    const graph::Graph social =
+        core::makeGraph(GraphKind::social, 1024, 8, 1);
+    // Road: bounded degree; social: heavy-tailed.
+    EXPECT_LE(road.maxDegree(), 8u);
+    EXPECT_GT(social.maxDegree(), 40u);
+    EXPECT_STREQ(core::graphKindName(GraphKind::road), "road");
+    EXPECT_STREQ(core::graphKindName(GraphKind::social), "social");
+    EXPECT_STREQ(core::graphKindName(GraphKind::sparse), "sparse");
+}
+
+TEST(Workloads, RunBenchmarkHonorsTracker)
+{
+    core::WorkloadConfig wc;
+    wc.graph_vertices = 256;
+    wc.matrix_vertices = 16;
+    wc.tsp_cities = 6;
+    const core::WorkloadSet set(wc);
+    rt::NativeExecutor exec(2);
+    rt::ActiveTracker tracker;
+    core::runBenchmark(core::BenchmarkId::ssspDijk, exec, 2,
+                       set.forBenchmark(core::BenchmarkId::ssspDijk),
+                       &tracker);
+    EXPECT_GT(tracker.events(), 0u);
+}
+
+} // namespace
+} // namespace crono

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Set-associative cache model tests: lookup, LRU replacement,
+ * eviction reporting, and state maintenance.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.h"
+
+namespace crono::sim {
+namespace {
+
+CacheConfig
+tinyConfig()
+{
+    // 4 sets x 2 ways x 64 B lines = 512 B.
+    return CacheConfig{512, 2, 1};
+}
+
+TEST(Cache, GeometryFromConfig)
+{
+    Cache c(tinyConfig(), 64);
+    EXPECT_EQ(c.numSets(), 4u);
+    const Config table2; // Table II defaults
+    Cache l1(table2.l1d, table2.line_bytes);
+    EXPECT_EQ(l1.numSets(), 128u); // 32 KB / (64 B x 4 ways)
+    Cache l2(table2.l2, table2.line_bytes);
+    EXPECT_EQ(l2.numSets(), 512u); // 256 KB / (64 B x 8 ways)
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(tinyConfig(), 64);
+    EXPECT_EQ(c.lookup(100), LineState::invalid);
+    c.insert(100, LineState::shared);
+    EXPECT_EQ(c.lookup(100), LineState::shared);
+}
+
+TEST(Cache, PeekDoesNotTouchLru)
+{
+    Cache c(tinyConfig(), 64);
+    // Same set: lines 0, 4, 8 (4 sets).
+    c.insert(0, LineState::shared);
+    c.insert(4, LineState::shared);
+    // peek(0) must not refresh line 0; lookup(4) makes 0 the LRU.
+    EXPECT_EQ(c.peek(0), LineState::shared);
+    c.lookup(4);
+    c.lookup(0); // now 4 is LRU
+    const auto victim = c.insert(8, LineState::shared);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_EQ(victim.line, 4u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    Cache c(tinyConfig(), 64);
+    c.insert(0, LineState::shared);
+    c.insert(4, LineState::shared);
+    c.lookup(0); // 4 becomes LRU
+    const auto victim = c.insert(8, LineState::modified);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_EQ(victim.line, 4u);
+    EXPECT_EQ(victim.state, LineState::shared);
+    EXPECT_EQ(c.peek(0), LineState::shared);
+    EXPECT_EQ(c.peek(8), LineState::modified);
+}
+
+TEST(Cache, InsertPrefersInvalidWay)
+{
+    Cache c(tinyConfig(), 64);
+    c.insert(0, LineState::shared);
+    c.insert(4, LineState::shared);
+    c.invalidate(0);
+    const auto victim = c.insert(8, LineState::shared);
+    EXPECT_FALSE(victim.valid); // reused the invalidated way
+    EXPECT_EQ(c.peek(4), LineState::shared);
+}
+
+TEST(Cache, DifferentSetsDoNotConflict)
+{
+    Cache c(tinyConfig(), 64);
+    for (LineAddr line = 0; line < 8; ++line) {
+        EXPECT_FALSE(c.insert(line, LineState::shared).valid)
+            << "line " << line;
+    }
+    EXPECT_EQ(c.occupancy(), 8u);
+}
+
+TEST(Cache, SetStateTransitions)
+{
+    Cache c(tinyConfig(), 64);
+    c.insert(3, LineState::exclusive);
+    c.setState(3, LineState::modified);
+    EXPECT_EQ(c.peek(3), LineState::modified);
+    c.setState(3, LineState::shared);
+    EXPECT_EQ(c.peek(3), LineState::shared);
+}
+
+TEST(Cache, InvalidateReturnsPriorState)
+{
+    Cache c(tinyConfig(), 64);
+    c.insert(3, LineState::modified);
+    EXPECT_EQ(c.invalidate(3), LineState::modified);
+    EXPECT_EQ(c.invalidate(3), LineState::invalid); // already gone
+    EXPECT_EQ(c.peek(3), LineState::invalid);
+}
+
+TEST(Cache, OccupancyTracksContents)
+{
+    Cache c(tinyConfig(), 64);
+    EXPECT_EQ(c.occupancy(), 0u);
+    c.insert(1, LineState::shared);
+    c.insert(2, LineState::shared);
+    EXPECT_EQ(c.occupancy(), 2u);
+    c.invalidate(1);
+    EXPECT_EQ(c.occupancy(), 1u);
+}
+
+TEST(Cache, FullCacheKeepsCapacity)
+{
+    Cache c(tinyConfig(), 64);
+    for (LineAddr line = 0; line < 100; ++line) {
+        c.insert(line, LineState::shared);
+    }
+    EXPECT_EQ(c.occupancy(), 8u); // 4 sets x 2 ways
+}
+
+} // namespace
+} // namespace crono::sim

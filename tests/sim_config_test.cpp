@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Configuration, statistics-arithmetic and energy-model unit tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.h"
+#include "sim/energy.h"
+#include "sim/stats.h"
+
+namespace crono::sim {
+namespace {
+
+TEST(Config, Futuristic256MatchesTableTwo)
+{
+    const Config c = Config::futuristic256();
+    EXPECT_EQ(c.num_cores, 256);
+    EXPECT_EQ(c.core_type, CoreType::inOrder);
+    EXPECT_EQ(c.l1d.size_bytes, 32u * 1024);
+    EXPECT_EQ(c.l1d.associativity, 4u);
+    EXPECT_EQ(c.l1d.access_cycles, 1u);
+    EXPECT_EQ(c.l2.size_bytes, 256u * 1024);
+    EXPECT_EQ(c.l2.associativity, 8u);
+    EXPECT_EQ(c.l2.access_cycles, 8u);
+    EXPECT_EQ(c.ackwise_pointers, 4);
+    EXPECT_EQ(c.num_mem_controllers, 8);
+    EXPECT_EQ(c.dram_latency_cycles, 100u);
+    EXPECT_DOUBLE_EQ(c.dram_bytes_per_cycle, 5.0);
+    EXPECT_EQ(c.hop_cycles, 2u);
+    EXPECT_EQ(c.flit_bits, 64u);
+    EXPECT_EQ(c.ooo.rob_size, 168u);
+    EXPECT_EQ(c.ooo.load_queue, 64u);
+    EXPECT_EQ(c.ooo.store_queue, 48u);
+    EXPECT_TRUE(c.l1_allocation);
+}
+
+TEST(Config, OooPresetSwitchesCoreType)
+{
+    const Config c = Config::futuristic256(CoreType::outOfOrder);
+    EXPECT_EQ(c.core_type, CoreType::outOfOrder);
+    EXPECT_NE(c.name.find("ooo"), std::string::npos);
+}
+
+TEST(Config, RealMachinePreset)
+{
+    const Config c = Config::realMachine();
+    EXPECT_EQ(c.num_cores, 8); // 4 cores x 2-way SMT
+    EXPECT_EQ(c.core_type, CoreType::outOfOrder);
+    EXPECT_GT(c.l2.size_bytes, Config().l2.size_bytes);
+    EXPECT_LT(c.dram_latency_cycles, 100u);
+}
+
+TEST(Config, MeshWidthCoversCores)
+{
+    Config c;
+    c.num_cores = 256;
+    EXPECT_EQ(c.meshWidth(), 16);
+    c.num_cores = 64;
+    EXPECT_EQ(c.meshWidth(), 8);
+    c.num_cores = 5;
+    EXPECT_EQ(c.meshWidth(), 3);
+    c.num_cores = 1;
+    EXPECT_EQ(c.meshWidth(), 1);
+}
+
+TEST(Config, DescribeMentionsKeyParameters)
+{
+    const std::string d = Config::futuristic256().describe();
+    EXPECT_NE(d.find("256"), std::string::npos);
+    EXPECT_NE(d.find("ACKwise4"), std::string::npos);
+    EXPECT_NE(d.find("16x16 mesh"), std::string::npos);
+}
+
+TEST(CacheConfigTest, SetArithmetic)
+{
+    const CacheConfig c{32 * 1024, 4, 1};
+    EXPECT_EQ(c.numSets(64), 128u);
+}
+
+TEST(Breakdown, ArithmeticAndNormalization)
+{
+    Breakdown a;
+    a[Component::compute] = 30;
+    a[Component::synchronization] = 10;
+    Breakdown b;
+    b[Component::compute] = 10;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.total(), 50.0);
+    const Breakdown n = a.normalized();
+    EXPECT_DOUBLE_EQ(n[Component::compute], 0.8);
+    EXPECT_DOUBLE_EQ(n[Component::synchronization], 0.2);
+}
+
+TEST(Breakdown, NormalizeEmptyIsZero)
+{
+    const Breakdown n = Breakdown{}.normalized();
+    EXPECT_DOUBLE_EQ(n.total(), 0.0);
+}
+
+TEST(StatsArithmetic, CacheStatsAccumulate)
+{
+    CacheStats a;
+    a.accesses = 100;
+    a.hits = 80;
+    a.misses[0] = 5;
+    a.misses[1] = 10;
+    a.misses[2] = 5;
+    CacheStats b = a;
+    b += a;
+    EXPECT_EQ(b.accesses, 200u);
+    EXPECT_EQ(b.totalMisses(), 40u);
+    EXPECT_DOUBLE_EQ(a.missRate(), 0.2);
+    EXPECT_DOUBLE_EQ(CacheStats{}.missRate(), 0.0);
+}
+
+TEST(StatsArithmetic, ComponentNamesMatchPaper)
+{
+    EXPECT_STREQ(componentName(Component::compute), "Compute");
+    EXPECT_STREQ(componentName(Component::l1ToL2Home), "L1Cache-L2Home");
+    EXPECT_STREQ(componentName(Component::l2HomeWaiting),
+                 "L2Home-Waiting");
+    EXPECT_STREQ(componentName(Component::l2HomeSharers),
+                 "L2Home-Sharers");
+    EXPECT_STREQ(componentName(Component::l2HomeOffChip),
+                 "L2Home-OffChip");
+    EXPECT_STREQ(componentName(Component::synchronization),
+                 "Synchronization");
+}
+
+TEST(Energy, BucketsScaleWithCounters)
+{
+    EnergyParams p;
+    CacheStats l1d;
+    l1d.accesses = 1000;
+    CacheStats l2;
+    l2.accesses = 100;
+    DirectoryStats dir;
+    dir.lookups = 100;
+    NetworkStats net;
+    net.flit_hops = 5000;
+    DramStats dram;
+    dram.accesses = 10;
+    const EnergyBreakdown e =
+        computeEnergy(p, 2000, l1d, l2, dir, net, dram);
+    EXPECT_DOUBLE_EQ(e.l1i, 2000 * p.l1i_access_pj);
+    EXPECT_DOUBLE_EQ(e.l1d, 1000 * p.l1d_access_pj);
+    EXPECT_DOUBLE_EQ(e.l2, 100 * p.l2_access_pj);
+    EXPECT_DOUBLE_EQ(e.directory, 100 * p.directory_access_pj);
+    EXPECT_DOUBLE_EQ(e.router, 5000 * p.router_per_flit_hop_pj);
+    EXPECT_DOUBLE_EQ(e.link, 5000 * p.link_per_flit_hop_pj);
+    EXPECT_DOUBLE_EQ(e.dram, 10 * p.dram_access_pj);
+    EXPECT_GT(e.total(), 0.0);
+}
+
+TEST(Energy, ZeroCountersGiveZeroEnergy)
+{
+    const EnergyBreakdown e = computeEnergy(
+        EnergyParams{}, 0, CacheStats{}, CacheStats{}, DirectoryStats{},
+        NetworkStats{}, DramStats{});
+    EXPECT_DOUBLE_EQ(e.total(), 0.0);
+}
+
+TEST(StatsReport, DescribeIsComplete)
+{
+    SimRunStats st;
+    st.completion_cycles = 1234;
+    st.l1d.accesses = 10;
+    const std::string d = st.describe();
+    EXPECT_NE(d.find("1234"), std::string::npos);
+    EXPECT_NE(d.find("L1D"), std::string::npos);
+    EXPECT_NE(d.find("network"), std::string::npos);
+}
+
+} // namespace
+} // namespace crono::sim

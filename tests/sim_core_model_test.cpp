@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Core timing-model tests: the in-order stall-on-use pipeline and the
+ * ROB/LSQ-windowed out-of-order overlap model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/core_model.h"
+
+namespace crono::sim {
+namespace {
+
+AccessLatency
+missLatency(std::uint64_t cycles)
+{
+    AccessLatency lat;
+    lat.l1_to_l2 = cycles;
+    return lat;
+}
+
+TEST(InOrder, ComputeAdvancesOneCyclePerInstruction)
+{
+    InOrderCore core;
+    core.addCompute(100);
+    EXPECT_EQ(core.now(), 100u);
+    EXPECT_DOUBLE_EQ(core.breakdown()[Component::compute], 100.0);
+}
+
+TEST(InOrder, StallsFullAccessLatency)
+{
+    InOrderCore core;
+    core.addAccess(false, missLatency(50));
+    // 1 cycle issue/L1 + 50 cycles hierarchy.
+    EXPECT_EQ(core.now(), 51u);
+    EXPECT_DOUBLE_EQ(core.breakdown()[Component::l1ToL2Home], 50.0);
+}
+
+TEST(InOrder, ComponentsAccumulateSeparately)
+{
+    InOrderCore core;
+    AccessLatency lat;
+    lat.l1_to_l2 = 10;
+    lat.waiting = 20;
+    lat.sharers = 30;
+    lat.offchip = 40;
+    core.addAccess(true, lat);
+    EXPECT_EQ(core.now(), 101u);
+    EXPECT_DOUBLE_EQ(core.breakdown()[Component::l2HomeWaiting], 20.0);
+    EXPECT_DOUBLE_EQ(core.breakdown()[Component::l2HomeSharers], 30.0);
+    EXPECT_DOUBLE_EQ(core.breakdown()[Component::l2HomeOffChip], 40.0);
+}
+
+TEST(InOrder, WaitUntilChargesRequestedComponent)
+{
+    InOrderCore core;
+    core.addCompute(10);
+    core.waitUntil(100, Component::synchronization);
+    EXPECT_EQ(core.now(), 100u);
+    EXPECT_DOUBLE_EQ(core.breakdown()[Component::synchronization], 90.0);
+    // Waiting into the past is a no-op.
+    core.waitUntil(50, Component::synchronization);
+    EXPECT_EQ(core.now(), 100u);
+}
+
+OooConfig
+smallOoo()
+{
+    OooConfig cfg;
+    cfg.rob_size = 8;
+    cfg.load_queue = 4;
+    cfg.store_queue = 2;
+    return cfg;
+}
+
+TEST(OutOfOrder, IsolatedMissHidesCompletely)
+{
+    OutOfOrderCore core(smallOoo());
+    core.addAccess(false, missLatency(100));
+    // Only the 1-cycle issue slot is charged; the miss overlaps.
+    EXPECT_EQ(core.now(), 1u);
+    EXPECT_DOUBLE_EQ(core.breakdown()[Component::l1ToL2Home], 0.0);
+}
+
+TEST(OutOfOrder, DrainExposesOutstandingLatency)
+{
+    OutOfOrderCore core(smallOoo());
+    core.addAccess(false, missLatency(100));
+    core.drain();
+    EXPECT_EQ(core.now(), 101u);
+    EXPECT_DOUBLE_EQ(core.breakdown()[Component::l1ToL2Home], 100.0);
+    EXPECT_EQ(core.inflightOps(), 0u);
+}
+
+TEST(OutOfOrder, RobWindowGatesDistantInstructions)
+{
+    OutOfOrderCore core(smallOoo()); // ROB = 8
+    core.addAccess(false, missLatency(1000));
+    // 7 more instructions fit in the window without stalling...
+    core.addCompute(7);
+    EXPECT_EQ(core.now(), 8u);
+    // ...but the 9th instruction must wait for the miss to retire.
+    core.addAccess(false, missLatency(0));
+    EXPECT_GE(core.now(), 1001u);
+    EXPECT_GT(core.breakdown()[Component::l1ToL2Home], 900.0);
+}
+
+TEST(OutOfOrder, LoadQueueLimitsOutstandingLoads)
+{
+    OutOfOrderCore core(smallOoo()); // LQ = 4
+    for (int i = 0; i < 4; ++i) {
+        core.addAccess(false, missLatency(1000));
+    }
+    EXPECT_EQ(core.now(), 4u); // all four overlap
+    core.addAccess(false, missLatency(1000));
+    // The fifth load waits for the first to complete (issued at 1).
+    EXPECT_GE(core.now(), 1001u);
+}
+
+TEST(OutOfOrder, StoreQueueIndependentOfLoadQueue)
+{
+    OutOfOrderCore core(smallOoo()); // SQ = 2
+    core.addAccess(true, missLatency(1000));
+    core.addAccess(true, missLatency(1000));
+    EXPECT_EQ(core.now(), 2u);
+    core.addAccess(true, missLatency(10));
+    EXPECT_GE(core.now(), 1001u); // third store gated by SQ
+}
+
+TEST(OutOfOrder, MixedLatencyAttributionFollowsBlocker)
+{
+    OutOfOrderCore core(smallOoo());
+    AccessLatency lat;
+    lat.sharers = 500; // an invalidation-bound access
+    core.addAccess(false, lat);
+    core.drain();
+    EXPECT_DOUBLE_EQ(core.breakdown()[Component::l2HomeSharers], 500.0);
+    EXPECT_DOUBLE_EQ(core.breakdown()[Component::l1ToL2Home], 0.0);
+}
+
+TEST(OutOfOrder, LongComputeRetiresWindow)
+{
+    OutOfOrderCore core(smallOoo());
+    core.addAccess(false, missLatency(50));
+    core.addCompute(100); // far exceeds the miss latency and the ROB
+    const std::uint64_t before = core.now();
+    core.addAccess(false, missLatency(0));
+    // No stall: the earlier miss completed during the compute stretch.
+    EXPECT_EQ(core.now(), before + 1);
+}
+
+TEST(OutOfOrder, FactoryPicksConfiguredModel)
+{
+    Config cfg = Config::futuristic256(CoreType::outOfOrder);
+    auto core = CoreModel::create(cfg);
+    core->addAccess(false, missLatency(100));
+    EXPECT_EQ(core->now(), 1u); // hidden => OOO model
+
+    cfg.core_type = CoreType::inOrder;
+    auto in_order = CoreModel::create(cfg);
+    in_order->addAccess(false, missLatency(100));
+    EXPECT_EQ(in_order->now(), 101u);
+}
+
+} // namespace
+} // namespace crono::sim

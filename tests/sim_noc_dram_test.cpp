@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Interconnect and DRAM model tests: XY hop counts, latency
+ * composition, windowed link contention (including stability under
+ * out-of-order timestamps), controller placement and bandwidth
+ * queueing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/dram.h"
+#include "sim/noc.h"
+
+namespace crono::sim {
+namespace {
+
+Config
+cfg16()
+{
+    Config c = Config::futuristic256(); // 16 x 16 mesh
+    return c;
+}
+
+TEST(Mesh, HopCountsAreManhattan)
+{
+    Mesh mesh(cfg16());
+    EXPECT_EQ(mesh.hops(0, 0), 0);
+    EXPECT_EQ(mesh.hops(0, 1), 1);
+    EXPECT_EQ(mesh.hops(0, 16), 1);   // one row down
+    EXPECT_EQ(mesh.hops(0, 17), 2);   // diagonal neighbor
+    EXPECT_EQ(mesh.hops(0, 255), 30); // corner to corner: 15 + 15
+    EXPECT_EQ(mesh.hops(255, 0), 30);
+}
+
+TEST(Mesh, LocalDeliveryIsFreeAndUncounted)
+{
+    Mesh mesh(cfg16());
+    EXPECT_EQ(mesh.send(5, 5, 512, 1000), 1000u);
+    EXPECT_EQ(mesh.stats().messages, 0u);
+    EXPECT_EQ(mesh.stats().flits, 0u);
+}
+
+TEST(Mesh, UncontendedLatencyIsHopsTimesHopCyclesPlusSerialization)
+{
+    Mesh mesh(cfg16());
+    // 1-flit-payload control message: (64+64)/64 = 2 flits.
+    // 0 -> 3: 3 hops x 2 cycles + (2 - 1) tail = 7.
+    EXPECT_EQ(mesh.send(0, 3, 64, 0), 7u);
+    // Data message 512 bits: 9 flits; 1 hop: 2 + 8 = 10.
+    EXPECT_EQ(mesh.send(0, 1, 512, 100), 110u);
+}
+
+TEST(Mesh, CountsFlitHopsAndMessages)
+{
+    Mesh mesh(cfg16());
+    mesh.send(0, 3, 512, 0); // 9 flits x 3 hops
+    EXPECT_EQ(mesh.stats().messages, 1u);
+    EXPECT_EQ(mesh.stats().flits, 9u);
+    EXPECT_EQ(mesh.stats().flit_hops, 27u);
+}
+
+TEST(Mesh, SaturatedLinkQueues)
+{
+    Mesh mesh(cfg16());
+    // Blast one link: 9-flit messages at 1/cycle exceed the link's
+    // 1 flit/cycle capacity, so contention must accumulate.
+    for (std::uint64_t t = 0; t < 64; ++t) {
+        mesh.send(0, 1, 512, t);
+    }
+    EXPECT_GT(mesh.stats().contention_cycles, 100u);
+}
+
+TEST(Mesh, LightLoadSeesNoContention)
+{
+    Mesh mesh(cfg16());
+    for (std::uint64_t t = 0; t < 20000; t += 100) {
+        mesh.send(0, 15, 512, t);
+    }
+    EXPECT_EQ(mesh.stats().contention_cycles, 0u);
+}
+
+TEST(Mesh, StableUnderOutOfOrderTimestamps)
+{
+    // The lax-synchronized scheduler presents accesses slightly out of
+    // time order; the windowed contention model must not let a
+    // future-dated message starve earlier ones (the next-free-pointer
+    // pathology).
+    Mesh mesh(cfg16());
+    crono::Rng rng(7);
+    std::uint64_t worst = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const auto a = static_cast<int>(rng.nextBelow(256));
+        const auto b = static_cast<int>(rng.nextBelow(256));
+        // Timestamps jitter by +-200 cycles around a slow ramp.
+        const std::uint64_t t = 1000 + 2 * i + rng.nextBelow(400);
+        const std::uint64_t arrival = mesh.send(a, b, 512, t);
+        worst = std::max(worst, arrival - t);
+    }
+    // Diameter 30 x 2 cycles + 8 tail = 68 uncontended; allow modest
+    // queueing but nothing runaway.
+    EXPECT_LT(worst, 500u);
+}
+
+TEST(Mesh, DistinctPathsDoNotInterfere)
+{
+    Mesh mesh(cfg16());
+    // Row 0 traffic and row 15 traffic share no links under XY.
+    for (std::uint64_t t = 0; t < 64; ++t) {
+        mesh.send(0, 15, 512, t);
+    }
+    const std::uint64_t row0 = mesh.stats().contention_cycles;
+    for (std::uint64_t t = 0; t < 64; ++t) {
+        const std::uint64_t arrival = mesh.send(240, 255, 512, t);
+        (void)arrival;
+    }
+    // Row 15 suffers its own contention but started fresh: the delta
+    // equals what row 0 experienced alone.
+    EXPECT_EQ(mesh.stats().contention_cycles, 2 * row0);
+}
+
+TEST(Dram, ControllersSpreadAcrossMesh)
+{
+    Dram dram(cfg16());
+    // 8 controllers over 256 nodes: nodes 0, 32, 64, ..., 224.
+    bool saw_nonzero = false;
+    for (LineAddr line = 0; line < 8; ++line) {
+        const int node = dram.controllerNode(line);
+        EXPECT_EQ(node % 32, 0);
+        saw_nonzero |= node != 0;
+    }
+    EXPECT_TRUE(saw_nonzero);
+}
+
+TEST(Dram, FixedLatencyWhenIdle)
+{
+    Dram dram(cfg16());
+    EXPECT_EQ(dram.access(0, 1000), 1100u); // 100-cycle DRAM
+    EXPECT_EQ(dram.stats().accesses, 1u);
+    EXPECT_EQ(dram.stats().queue_cycles, 0u);
+}
+
+TEST(Dram, BandwidthQueueingKicksInUnderLoad)
+{
+    Dram dram(cfg16());
+    // 64 B / 5 B-per-cycle = 13 service cycles per access. Hitting one
+    // controller every cycle oversubscribes it.
+    std::uint64_t last = 0;
+    for (std::uint64_t t = 0; t < 100; ++t) {
+        last = dram.access(0, t); // line 0 -> controller 0
+    }
+    EXPECT_GT(dram.stats().queue_cycles, 0u);
+    EXPECT_GT(last, 199u); // later accesses pushed past fixed latency
+}
+
+TEST(Dram, IndependentControllersDoNotQueue)
+{
+    Dram dram(cfg16());
+    for (std::uint64_t t = 0; t < 8; ++t) {
+        dram.access(t, 0); // lines 0..7 -> 8 distinct controllers
+    }
+    EXPECT_EQ(dram.stats().queue_cycles, 0u);
+}
+
+} // namespace
+} // namespace crono::sim
