@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ackwise.dir/bench_ablation_ackwise.cpp.o"
+  "CMakeFiles/bench_ablation_ackwise.dir/bench_ablation_ackwise.cpp.o.d"
+  "bench_ablation_ackwise"
+  "bench_ablation_ackwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ackwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

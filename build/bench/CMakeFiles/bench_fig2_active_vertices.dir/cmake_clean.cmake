@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_active_vertices.dir/bench_fig2_active_vertices.cpp.o"
+  "CMakeFiles/bench_fig2_active_vertices.dir/bench_fig2_active_vertices.cpp.o.d"
+  "bench_fig2_active_vertices"
+  "bench_fig2_active_vertices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_active_vertices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

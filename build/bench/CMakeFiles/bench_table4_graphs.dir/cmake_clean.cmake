@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_graphs.dir/bench_table4_graphs.cpp.o"
+  "CMakeFiles/bench_table4_graphs.dir/bench_table4_graphs.cpp.o.d"
+  "bench_table4_graphs"
+  "bench_table4_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_exploration.dir/arch_exploration.cpp.o"
+  "CMakeFiles/arch_exploration.dir/arch_exploration.cpp.o.d"
+  "arch_exploration"
+  "arch_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/sequential.cpp" "src/core/CMakeFiles/crono_core.dir/sequential.cpp.o" "gcc" "src/core/CMakeFiles/crono_core.dir/sequential.cpp.o.d"
+  "/root/repo/src/core/suite.cpp" "src/core/CMakeFiles/crono_core.dir/suite.cpp.o" "gcc" "src/core/CMakeFiles/crono_core.dir/suite.cpp.o.d"
+  "/root/repo/src/core/workloads.cpp" "src/core/CMakeFiles/crono_core.dir/workloads.cpp.o" "gcc" "src/core/CMakeFiles/crono_core.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/crono_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/crono_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/crono_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

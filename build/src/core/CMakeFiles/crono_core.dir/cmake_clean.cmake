@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crono_core.dir/sequential.cpp.o"
+  "CMakeFiles/crono_core.dir/sequential.cpp.o.d"
+  "CMakeFiles/crono_core.dir/suite.cpp.o"
+  "CMakeFiles/crono_core.dir/suite.cpp.o.d"
+  "CMakeFiles/crono_core.dir/workloads.cpp.o"
+  "CMakeFiles/crono_core.dir/workloads.cpp.o.d"
+  "libcrono_core.a"
+  "libcrono_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crono_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crono_graph.dir/adjacency_matrix.cpp.o"
+  "CMakeFiles/crono_graph.dir/adjacency_matrix.cpp.o.d"
+  "CMakeFiles/crono_graph.dir/builder.cpp.o"
+  "CMakeFiles/crono_graph.dir/builder.cpp.o.d"
+  "CMakeFiles/crono_graph.dir/generators.cpp.o"
+  "CMakeFiles/crono_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/crono_graph.dir/graph.cpp.o"
+  "CMakeFiles/crono_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/crono_graph.dir/io.cpp.o"
+  "CMakeFiles/crono_graph.dir/io.cpp.o.d"
+  "CMakeFiles/crono_graph.dir/stats.cpp.o"
+  "CMakeFiles/crono_graph.dir/stats.cpp.o.d"
+  "libcrono_graph.a"
+  "libcrono_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crono_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crono_runtime.dir/executor.cpp.o"
+  "CMakeFiles/crono_runtime.dir/executor.cpp.o.d"
+  "CMakeFiles/crono_runtime.dir/instrumentation.cpp.o"
+  "CMakeFiles/crono_runtime.dir/instrumentation.cpp.o.d"
+  "libcrono_runtime.a"
+  "libcrono_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crono_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

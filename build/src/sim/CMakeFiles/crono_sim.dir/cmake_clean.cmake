@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crono_sim.dir/cache.cpp.o"
+  "CMakeFiles/crono_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/crono_sim.dir/config.cpp.o"
+  "CMakeFiles/crono_sim.dir/config.cpp.o.d"
+  "CMakeFiles/crono_sim.dir/core_model.cpp.o"
+  "CMakeFiles/crono_sim.dir/core_model.cpp.o.d"
+  "CMakeFiles/crono_sim.dir/dram.cpp.o"
+  "CMakeFiles/crono_sim.dir/dram.cpp.o.d"
+  "CMakeFiles/crono_sim.dir/energy.cpp.o"
+  "CMakeFiles/crono_sim.dir/energy.cpp.o.d"
+  "CMakeFiles/crono_sim.dir/fiber.cpp.o"
+  "CMakeFiles/crono_sim.dir/fiber.cpp.o.d"
+  "CMakeFiles/crono_sim.dir/machine.cpp.o"
+  "CMakeFiles/crono_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/crono_sim.dir/memory_system.cpp.o"
+  "CMakeFiles/crono_sim.dir/memory_system.cpp.o.d"
+  "CMakeFiles/crono_sim.dir/noc.cpp.o"
+  "CMakeFiles/crono_sim.dir/noc.cpp.o.d"
+  "CMakeFiles/crono_sim.dir/stats.cpp.o"
+  "CMakeFiles/crono_sim.dir/stats.cpp.o.d"
+  "libcrono_sim.a"
+  "libcrono_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crono_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

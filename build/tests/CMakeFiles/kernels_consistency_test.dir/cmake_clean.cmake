@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_consistency_test.dir/kernels_consistency_test.cpp.o"
+  "CMakeFiles/kernels_consistency_test.dir/kernels_consistency_test.cpp.o.d"
+  "kernels_consistency_test"
+  "kernels_consistency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

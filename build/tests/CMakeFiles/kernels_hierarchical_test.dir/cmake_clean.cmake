@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_hierarchical_test.dir/kernels_hierarchical_test.cpp.o"
+  "CMakeFiles/kernels_hierarchical_test.dir/kernels_hierarchical_test.cpp.o.d"
+  "kernels_hierarchical_test"
+  "kernels_hierarchical_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_hierarchical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_path_test.dir/kernels_path_test.cpp.o"
+  "CMakeFiles/kernels_path_test.dir/kernels_path_test.cpp.o.d"
+  "kernels_path_test"
+  "kernels_path_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_search_test.dir/kernels_search_test.cpp.o"
+  "CMakeFiles/kernels_search_test.dir/kernels_search_test.cpp.o.d"
+  "kernels_search_test"
+  "kernels_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_ablation_test.dir/sim_ablation_test.cpp.o"
+  "CMakeFiles/sim_ablation_test.dir/sim_ablation_test.cpp.o.d"
+  "sim_ablation_test"
+  "sim_ablation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_ablation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_directory_test.dir/sim_directory_test.cpp.o"
+  "CMakeFiles/sim_directory_test.dir/sim_directory_test.cpp.o.d"
+  "sim_directory_test"
+  "sim_directory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_directory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_locality_test.dir/sim_locality_test.cpp.o"
+  "CMakeFiles/sim_locality_test.dir/sim_locality_test.cpp.o.d"
+  "sim_locality_test"
+  "sim_locality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_locality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

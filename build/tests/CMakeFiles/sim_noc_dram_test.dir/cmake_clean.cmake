@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_noc_dram_test.dir/sim_noc_dram_test.cpp.o"
+  "CMakeFiles/sim_noc_dram_test.dir/sim_noc_dram_test.cpp.o.d"
+  "sim_noc_dram_test"
+  "sim_noc_dram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_noc_dram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

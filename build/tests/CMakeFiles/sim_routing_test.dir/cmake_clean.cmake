@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_routing_test.dir/sim_routing_test.cpp.o"
+  "CMakeFiles/sim_routing_test.dir/sim_routing_test.cpp.o.d"
+  "sim_routing_test"
+  "sim_routing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
