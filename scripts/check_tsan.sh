@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Build the test suite under ThreadSanitizer and run the kernel /
+# frontier consistency tests in every frontier mode. Simulator-backed
+# suites (*Sim*) are excluded: SimExecutor schedules fibers with
+# ucontext swaps, which TSan cannot track (it sees one OS thread's
+# stack "jumping" and reports false positives). The native-executor
+# tests are the ones with real data races to find, and they cover all
+# three FrontierMode paths (flagscan, sparse, adaptive).
+#
+# Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DCRONO_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+TARGETS="frontier_test kernels_path_test kernels_search_test \
+         kernels_processing_test kernels_consistency_test runtime_test"
+# shellcheck disable=SC2086
+cmake --build "$BUILD_DIR" --target $TARGETS -j "$(nproc)"
+
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+status=0
+for t in $TARGETS; do
+    bin="$(find "$BUILD_DIR" -name "$t" -type f | head -n 1)"
+    echo "== TSan: $t =="
+    if ! "$bin" --gtest_filter='-*Sim*' --gtest_brief=1; then
+        status=1
+    fi
+done
+exit "$status"

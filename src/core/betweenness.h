@@ -30,8 +30,9 @@ struct BetweennessResult {
 template <class Ctx>
 struct BetweennessState {
     BetweennessState(const graph::AdjacencyMatrix& m, int nthreads,
-                     rt::ActiveTracker* tracker_in)
-        : apsp(m, nthreads, tracker_in),
+                     rt::ActiveTracker* tracker_in,
+                     rt::FrontierMode mode = rt::FrontierMode::kFlagScan)
+        : apsp(m, nthreads, tracker_in, mode),
           centrality(m.numVertices(), 0),
           locks(m.numVertices()), tracker(tracker_in)
     {
@@ -95,14 +96,23 @@ betweennessKernel(Ctx& ctx, BetweennessState<Ctx>& s)
     }
 }
 
-/** Run betweenness centrality over an adjacency matrix. */
+/**
+ * Run betweenness centrality over an adjacency matrix.
+ *
+ * @param mode forward-pass work distribution: kFlagScan (default) is
+ *             the paper's scan-min Dijkstra per source;
+ *             kSparse/kAdaptive run the label-correcting work-list
+ *             forward pass (see apspSolveSourceWorklist). The
+ *             centrality accumulation pass is unchanged.
+ */
 template <class Exec>
 BetweennessResult
 betweenness(Exec& exec, int nthreads, const graph::AdjacencyMatrix& m,
-            rt::ActiveTracker* tracker = nullptr)
+            rt::ActiveTracker* tracker = nullptr,
+            rt::FrontierMode mode = rt::FrontierMode::kFlagScan)
 {
     using Ctx = typename Exec::Ctx;
-    BetweennessState<Ctx> state(m, nthreads, tracker);
+    BetweennessState<Ctx> state(m, nthreads, tracker, mode);
     rt::RunInfo info = exec.parallel(
         nthreads, [&state](Ctx& ctx) { betweennessKernel(ctx, state); });
     return BetweennessResult{std::move(state.centrality), m.numVertices(),

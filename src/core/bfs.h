@@ -19,6 +19,7 @@
 #include "core/context.h"
 #include "graph/graph.h"
 #include "runtime/executor.h"
+#include "runtime/frontier.h"
 #include "runtime/partition.h"
 
 namespace crono::core {
@@ -129,20 +130,123 @@ bfsKernel(Ctx& ctx, BfsState<Ctx>& s)
     }
 }
 
+/** BFS state for the work-list engine path (kSparse / kAdaptive). */
+template <class Ctx>
+struct BfsFrontierState {
+    BfsFrontierState(const graph::Graph& graph, graph::VertexId source,
+                     graph::VertexId target_in, int nthreads,
+                     rt::FrontierMode mode, rt::ActiveTracker* tracker_in)
+        : g(graph), level(graph.numVertices(), kNoLevel),
+          parent(graph.numVertices(), graph::kNoVertex),
+          frontier(graph.numVertices(), graph.numEdges(), nthreads, mode),
+          target(target_in), tracker(tracker_in)
+    {
+        CRONO_REQUIRE(source < graph.numVertices(), "bad BFS source");
+        level[source] = 0;
+        parent[source] = source;
+        frontier.seed(source);
+        trackAdd(tracker, 1);
+    }
+
+    const graph::Graph& g;
+    AlignedVector<std::uint32_t> level;
+    AlignedVector<graph::VertexId> parent;
+    rt::FrontierEngine frontier;
+    Padded<std::uint64_t> reached;
+    Padded<std::uint32_t> found;
+    graph::VertexId target;
+    rt::ActiveTracker* tracker;
+};
+
+/**
+ * Frontier-engine BFS body: same level-synchronous expansion with
+ * atomic claims, but levels are consumed from work lists (or the
+ * dense bitmap on adaptive heavy levels) instead of full block scans.
+ * Two further savings over the flag-scan structure: discovery claims
+ * go through FrontierEngine::activateClaim, whose flag fetch-and-add
+ * doubles as the claim (the level array is the cheap already-visited
+ * filter, so the separate claimed array disappears), and per-vertex
+ * visit counting is accumulated locally and published once per
+ * thread — the result is identical, without a shared counter RMW per
+ * visited vertex.
+ */
+template <class Ctx>
+void
+bfsFrontierKernel(Ctx& ctx, BfsFrontierState<Ctx>& s)
+{
+    const graph::EdgeId* offsets = s.g.rawOffsets().data();
+    const graph::VertexId* neighbors = s.g.rawNeighbors().data();
+
+    std::uint64_t front = s.frontier.initialFrontSize();
+    std::uint64_t local_reached = 0;
+    for (std::uint32_t depth = 0; front != 0; ++depth) {
+        const bool dense = s.frontier.denseRound(front);
+        s.frontier.processCurrent(
+            ctx, depth, dense, [&](graph::VertexId u) {
+                ++local_reached;
+                trackAdd(s.tracker, -1);
+                if (u == s.target) {
+                    ctx.write(s.found.value, 1u);
+                }
+                const graph::EdgeId beg = ctx.read(offsets[u]);
+                const graph::EdgeId end = ctx.read(offsets[u + 1]);
+                for (graph::EdgeId e = beg; e < end; ++e) {
+                    const graph::VertexId v = ctx.read(neighbors[e]);
+                    ctx.work(1);
+                    if (ctx.read(s.level[v]) != kNoLevel) {
+                        continue; // visited in an earlier level
+                    }
+                    if (s.frontier.activateClaim(ctx, depth, v)) {
+                        ctx.write(s.level[v], depth + 1);
+                        ctx.write(s.parent[v], u);
+                        trackAdd(s.tracker, 1);
+                    }
+                }
+            });
+        bool stop = false;
+        front = s.frontier.advance(ctx, depth, [&] {
+            // Between the barriers the round is quiesced, so every
+            // thread snapshots the same value and breaks together.
+            stop = ctx.read(s.found.value) != 0;
+        });
+        if (stop) {
+            break;
+        }
+    }
+    if (local_reached != 0) {
+        ctx.fetchAdd(s.reached.value, local_reached);
+    }
+}
+
 /**
  * Run BFS from @p source. Pass @p target = graph::kNoVertex to
  * traverse the full component.
+ *
+ * @param mode frontier representation; kFlagScan (default) is the
+ *             paper's structure, kSparse/kAdaptive run on the
+ *             rt::FrontierEngine work lists
  */
 template <class Exec>
 BfsResult
 bfs(Exec& exec, int nthreads, const graph::Graph& g,
     graph::VertexId source, graph::VertexId target = graph::kNoVertex,
-    rt::ActiveTracker* tracker = nullptr)
+    rt::ActiveTracker* tracker = nullptr,
+    rt::FrontierMode mode = rt::FrontierMode::kFlagScan)
 {
     using Ctx = typename Exec::Ctx;
-    BfsState<Ctx> state(g, source, target, tracker);
+    if (mode == rt::FrontierMode::kFlagScan) {
+        BfsState<Ctx> state(g, source, target, tracker);
+        rt::RunInfo info = exec.parallel(
+            nthreads, [&state](Ctx& ctx) { bfsKernel(ctx, state); });
+        return BfsResult{std::move(state.level), std::move(state.parent),
+                         state.reached.value, state.found.value != 0,
+                         std::move(info)};
+    }
+    BfsFrontierState<Ctx> state(g, source, target, nthreads, mode,
+                                tracker);
     rt::RunInfo info = exec.parallel(
-        nthreads, [&state](Ctx& ctx) { bfsKernel(ctx, state); });
+        nthreads, [&state](Ctx& ctx) { bfsFrontierKernel(ctx, state); });
+    state.frontier.applyRoundStats(info);
     return BfsResult{std::move(state.level), std::move(state.parent),
                      state.reached.value, state.found.value != 0,
                      std::move(info)};

@@ -18,6 +18,7 @@
 #include "core/context.h"
 #include "graph/graph.h"
 #include "runtime/executor.h"
+#include "runtime/frontier.h"
 #include "runtime/partition.h"
 
 namespace crono::core {
@@ -113,26 +114,124 @@ connectedComponentsKernel(Ctx& ctx, ConnectedComponentsState<Ctx>& s)
     }
 }
 
-/** Run connected components; also reports the component count. */
+/**
+ * Connected-components state for the work-list engine path. The
+ * propagation direction flips from pull (each vertex scans its whole
+ * neighborhood for a smaller label) to push (an active vertex offers
+ * its label to its neighbors and re-activates the ones it improved):
+ * push is what makes a frontier meaningful — once labels stop
+ * changing in a region, its vertices drop off the front entirely
+ * instead of being rescanned every round. The fixpoint is identical
+ * (minimum member id per component).
+ */
+template <class Ctx>
+struct ConnectedComponentsFrontierState {
+    ConnectedComponentsFrontierState(const graph::Graph& graph,
+                                     int nthreads, rt::FrontierMode mode,
+                                     rt::ActiveTracker* tracker_in)
+        : g(graph), label(graph.numVertices()),
+          frontier(graph.numVertices(), graph.numEdges(), nthreads, mode),
+          locks(graph.numVertices()), tracker(tracker_in)
+    {
+        for (graph::VertexId v = 0; v < graph.numVertices(); ++v) {
+            label[v] = v;
+        }
+        frontier.seedAll(); // round 0: every vertex offers its own id
+    }
+
+    const graph::Graph& g;
+    AlignedVector<graph::VertexId> label;
+    rt::FrontierEngine frontier;
+    Padded<std::uint64_t> rounds;
+    LockStripe<Ctx> locks;
+    rt::ActiveTracker* tracker;
+};
+
+template <class Ctx>
+void
+connectedComponentsFrontierKernel(Ctx& ctx,
+                                  ConnectedComponentsFrontierState<Ctx>& s)
+{
+    const graph::EdgeId* offsets = s.g.rawOffsets().data();
+    const graph::VertexId* neighbors = s.g.rawNeighbors().data();
+
+    std::uint64_t front = s.frontier.initialFrontSize();
+    std::uint64_t round = 0;
+    while (front != 0) {
+        const bool dense = s.frontier.denseRound(front);
+        s.frontier.processCurrent(
+            ctx, round, dense, [&](graph::VertexId u) {
+                trackAdd(s.tracker, -1);
+                const graph::VertexId lu = ctx.read(s.label[u]);
+                const graph::EdgeId beg = ctx.read(offsets[u]);
+                const graph::EdgeId end = ctx.read(offsets[u + 1]);
+                for (graph::EdgeId e = beg; e < end; ++e) {
+                    const graph::VertexId v = ctx.read(neighbors[e]);
+                    ctx.work(1);
+                    if (lu >= ctx.read(s.label[v])) {
+                        continue; // racy skip: a stale-low read only
+                                  // delays the offer, never loses it
+                    }
+                    ScopedLock<Ctx> guard(ctx, s.locks.of(v));
+                    if (lu < ctx.read(s.label[v])) {
+                        ctx.write(s.label[v], lu);
+                        if (s.frontier.activate(ctx, round, v)) {
+                            trackAdd(s.tracker, 1);
+                        }
+                    }
+                }
+            });
+        front = s.frontier.advance(ctx, round);
+        ++round;
+    }
+    if (ctx.tid() == 0) {
+        ctx.write(s.rounds.value, round);
+    }
+}
+
+/**
+ * Run connected components; also reports the component count.
+ *
+ * @param mode frontier representation; kFlagScan (default) is the
+ *             paper's pull-based full-rescan structure,
+ *             kSparse/kAdaptive run push-based on the work lists
+ */
 template <class Exec>
 ConnectedComponentsResult
 connectedComponents(Exec& exec, int nthreads, const graph::Graph& g,
-                    rt::ActiveTracker* tracker = nullptr)
+                    rt::ActiveTracker* tracker = nullptr,
+                    rt::FrontierMode mode = rt::FrontierMode::kFlagScan)
 {
     using Ctx = typename Exec::Ctx;
-    ConnectedComponentsState<Ctx> state(g, tracker);
-    rt::RunInfo info = exec.parallel(nthreads, [&state](Ctx& ctx) {
-        connectedComponentsKernel(ctx, state);
-    });
     ConnectedComponentsResult result;
+    rt::RunInfo info;
+    AlignedVector<graph::VertexId> label;
+    std::uint64_t rounds = 0;
+    if (mode == rt::FrontierMode::kFlagScan) {
+        ConnectedComponentsState<Ctx> state(g, tracker);
+        info = exec.parallel(nthreads, [&state](Ctx& ctx) {
+            connectedComponentsKernel(ctx, state);
+        });
+        label = std::move(state.label);
+        rounds = state.rounds.value;
+    } else {
+        ConnectedComponentsFrontierState<Ctx> state(g, nthreads, mode,
+                                                    tracker);
+        info = exec.parallel(nthreads, [&state](Ctx& ctx) {
+            connectedComponentsFrontierKernel(ctx, state);
+        });
+        state.frontier.applyRoundStats(info);
+        label = std::move(state.label);
+        rounds = state.rounds.value;
+    }
     result.num_components = 0;
     for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
-        if (state.label[v] == v) {
+        if (label[v] == v) {
             ++result.num_components;
         }
     }
-    result.label = std::move(state.label);
-    result.rounds = state.rounds.value;
+    result.label = std::move(label);
+    result.rounds = rounds;
     result.run = std::move(info);
     return result;
 }

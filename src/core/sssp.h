@@ -17,11 +17,13 @@
 #ifndef CRONO_CORE_SSSP_H_
 #define CRONO_CORE_SSSP_H_
 
+#include <algorithm>
 #include <utility>
 
 #include "core/context.h"
 #include "graph/graph.h"
 #include "runtime/executor.h"
+#include "runtime/frontier.h"
 #include "runtime/partition.h"
 
 namespace crono::core {
@@ -132,19 +134,155 @@ ssspKernel(Ctx& ctx, SsspState<Ctx>& s)
 }
 
 /**
+ * SSSP state for the work-list engine path (kSparse / kAdaptive).
+ * Same relaxation algorithm as SsspState, but the pareto front lives
+ * in a rt::FrontierEngine instead of thread-block flag scans.
+ */
+/**
+ * Expansion pacing for the frontier SSSP path: round r only expands
+ * front vertices whose tentative distance is within r * delta, where
+ * delta = avg_weight / kSsspDeltaDivisor; farther vertices are
+ * deferred to the next round (re-queued, O(1)) instead of being
+ * expanded from a distance that later relaxations would improve
+ * anyway. This is delta-stepping's bucket idea expressed on the
+ * round structure: the label-correcting fixpoint (and thus the
+ * distances) is unchanged, but expansions happen in near-Dijkstra
+ * order, cutting the re-expansion factor from ~5x V to ~1x V on
+ * road networks. Half the average weight paces just behind the
+ * wavefront (it advances roughly one average edge per hop); larger
+ * deltas stop binding, smaller ones add rounds for no extra order.
+ */
+inline constexpr graph::Dist kSsspDeltaDivisor = 2;
+
+template <class Ctx>
+struct SsspFrontierState {
+    SsspFrontierState(const graph::Graph& graph, graph::VertexId source,
+                      int nthreads, rt::FrontierMode mode,
+                      rt::ActiveTracker* tracker_in)
+        : g(graph), dist(graph.numVertices(), graph::kInfDist),
+          parent(graph.numVertices(), graph::kNoVertex),
+          frontier(graph.numVertices(), graph.numEdges(), nthreads, mode),
+          locks(graph.numVertices()), tracker(tracker_in)
+    {
+        CRONO_REQUIRE(source < graph.numVertices(), "bad SSSP source");
+        dist[source] = 0;
+        parent[source] = source;
+        frontier.seed(source);
+        trackAdd(tracker, 1);
+        // Pace expansions by the average edge weight (host-side setup).
+        std::uint64_t total = 0;
+        for (const graph::Weight w : graph.rawWeights()) {
+            total += w;
+        }
+        const std::uint64_t edges = graph.rawWeights().size();
+        const graph::Dist avg = edges == 0 ? 1 : total / edges;
+        delta = std::max<graph::Dist>(avg / kSsspDeltaDivisor, 1);
+    }
+
+    const graph::Graph& g;
+    AlignedVector<graph::Dist> dist;
+    AlignedVector<graph::VertexId> parent;
+    rt::FrontierEngine frontier;
+    /** Per-round expansion-distance increment (see kSsspDeltaFactor). */
+    graph::Dist delta = 1;
+    Padded<std::uint64_t> rounds;
+    LockStripe<Ctx> locks;
+    rt::ActiveTracker* tracker;
+};
+
+/**
+ * Frontier-engine SSSP body: identical label-correcting relaxation,
+ * but each round only touches the vertices actually on the front
+ * (sparse rounds) or the dense bitmap (adaptive heavy rounds), with
+ * chunk-granularity work-stealing fixing the load imbalance a sparse
+ * front causes under static block partitioning. Front vertices beyond
+ * the round's pacing threshold are deferred (re-queued) rather than
+ * expanded, so almost every vertex is expanded once, from its final
+ * distance — the flag-scan path cannot defer without rescanning, the
+ * work lists make it O(1).
+ */
+template <class Ctx>
+void
+ssspFrontierKernel(Ctx& ctx, SsspFrontierState<Ctx>& s)
+{
+    const graph::EdgeId* offsets = s.g.rawOffsets().data();
+    const graph::VertexId* neighbors = s.g.rawNeighbors().data();
+    const graph::Weight* weights = s.g.rawWeights().data();
+
+    std::uint64_t front = s.frontier.initialFrontSize();
+    std::uint64_t round = 0;
+    while (front != 0) {
+        const bool dense = s.frontier.denseRound(front);
+        // Same value on every thread: pure function of the round.
+        const graph::Dist pace = (round + 1) * s.delta;
+        s.frontier.processCurrent(
+            ctx, round, dense, [&](graph::VertexId u) {
+                const graph::Dist du = ctx.read(s.dist[u]);
+                if (du > pace) {
+                    // Too far ahead of the wavefront: expanding now
+                    // would almost surely be redone. Push to the next
+                    // round (it stays an active front member, so the
+                    // tracker count is untouched). The lock serializes
+                    // against a concurrent improve-and-activate of u.
+                    ScopedLock<Ctx> guard(ctx, s.locks.of(u));
+                    s.frontier.activate(ctx, round, u);
+                    return;
+                }
+                trackAdd(s.tracker, -1);
+                const graph::EdgeId beg = ctx.read(offsets[u]);
+                const graph::EdgeId end = ctx.read(offsets[u + 1]);
+                for (graph::EdgeId e = beg; e < end; ++e) {
+                    const graph::VertexId v = ctx.read(neighbors[e]);
+                    const graph::Weight w = ctx.read(weights[e]);
+                    const graph::Dist cand = du + w;
+                    ctx.work(2); // index arithmetic + compare
+                    if (cand >= ctx.read(s.dist[v])) {
+                        continue;
+                    }
+                    ScopedLock<Ctx> guard(ctx, s.locks.of(v));
+                    if (cand < ctx.read(s.dist[v])) {
+                        ctx.write(s.dist[v], cand);
+                        ctx.write(s.parent[v], u);
+                        if (s.frontier.activate(ctx, round, v)) {
+                            trackAdd(s.tracker, 1);
+                        }
+                    }
+                }
+            });
+        front = s.frontier.advance(ctx, round);
+        ++round;
+    }
+    if (ctx.tid() == 0) {
+        ctx.write(s.rounds.value, round);
+    }
+}
+
+/**
  * Run SSSP on @p exec with @p nthreads threads.
  *
  * @param tracker optional active-vertices instrumentation (Figure 2)
+ * @param mode    frontier representation; kFlagScan (default) is the
+ *                paper's structure, kSparse/kAdaptive run on the
+ *                rt::FrontierEngine work lists
  */
 template <class Exec>
 SsspResult
 sssp(Exec& exec, int nthreads, const graph::Graph& g,
-     graph::VertexId source, rt::ActiveTracker* tracker = nullptr)
+     graph::VertexId source, rt::ActiveTracker* tracker = nullptr,
+     rt::FrontierMode mode = rt::FrontierMode::kFlagScan)
 {
     using Ctx = typename Exec::Ctx;
-    SsspState<Ctx> state(g, source, tracker);
+    if (mode == rt::FrontierMode::kFlagScan) {
+        SsspState<Ctx> state(g, source, tracker);
+        rt::RunInfo info = exec.parallel(
+            nthreads, [&state](Ctx& ctx) { ssspKernel(ctx, state); });
+        return SsspResult{std::move(state.dist), std::move(state.parent),
+                          state.rounds.value, std::move(info)};
+    }
+    SsspFrontierState<Ctx> state(g, source, nthreads, mode, tracker);
     rt::RunInfo info = exec.parallel(
-        nthreads, [&state](Ctx& ctx) { ssspKernel(ctx, state); });
+        nthreads, [&state](Ctx& ctx) { ssspFrontierKernel(ctx, state); });
+    state.frontier.applyRoundStats(info);
     return SsspResult{std::move(state.dist), std::move(state.parent),
                       state.rounds.value, std::move(info)};
 }

@@ -68,6 +68,13 @@ struct Workload {
     graph::VertexId source = 0;
     unsigned pr_iterations = 5;
     unsigned comm_rounds = 8;
+    /**
+     * Frontier representation for the frontier-driven kernels (SSSP,
+     * BFS, CONN_COMP, and the APSP/BETW_CENT forward pass). The
+     * default keeps every paper-figure experiment on the paper's
+     * flag-scan structure.
+     */
+    rt::FrontierMode frontier_mode = rt::FrontierMode::kFlagScan;
 };
 
 /**
@@ -83,14 +90,19 @@ runBenchmark(BenchmarkId id, Exec& exec, int nthreads, const Workload& w,
 {
     switch (id) {
       case BenchmarkId::ssspDijk:
-        return sssp(exec, nthreads, *w.graph, w.source, tracker).run;
+        return sssp(exec, nthreads, *w.graph, w.source, tracker,
+                    w.frontier_mode)
+            .run;
       case BenchmarkId::apsp:
-        return apsp(exec, nthreads, *w.matrix, tracker).run;
+        return apsp(exec, nthreads, *w.matrix, tracker, w.frontier_mode)
+            .run;
       case BenchmarkId::betwCent:
-        return betweenness(exec, nthreads, *w.matrix, tracker).run;
+        return betweenness(exec, nthreads, *w.matrix, tracker,
+                           w.frontier_mode)
+            .run;
       case BenchmarkId::bfs:
         return bfs(exec, nthreads, *w.graph, w.source, graph::kNoVertex,
-                   tracker)
+                   tracker, w.frontier_mode)
             .run;
       case BenchmarkId::dfs:
         return dfs(exec, nthreads, *w.graph, w.source, graph::kNoVertex,
@@ -99,7 +111,9 @@ runBenchmark(BenchmarkId id, Exec& exec, int nthreads, const Workload& w,
       case BenchmarkId::tsp:
         return tsp(exec, nthreads, *w.cities, tracker).run;
       case BenchmarkId::connComp:
-        return connectedComponents(exec, nthreads, *w.graph, tracker).run;
+        return connectedComponents(exec, nthreads, *w.graph, tracker,
+                                   w.frontier_mode)
+            .run;
       case BenchmarkId::triCnt:
         return triangleCount(exec, nthreads, *w.graph, tracker).run;
       case BenchmarkId::pageRank:

@@ -25,8 +25,17 @@ struct RunInfo {
     double time = 0.0;
     /** Per-thread instruction-count proxies (ops). */
     std::vector<std::uint64_t> thread_ops;
-    /** Load-imbalance metric, Equation 2 of the paper. */
+    /**
+     * Load-imbalance metric, Equation 2 of the paper. Whole-run for
+     * the flag-scan kernels; mean of round_variability for frontier
+     * kernels (per-round imbalance is what work-stealing removes).
+     */
     double variability = 0.0;
+    /**
+     * Equation 2 per round, populated only by the frontier-driven
+     * kernels running in kSparse/kAdaptive mode (empty otherwise).
+     */
+    std::vector<double> round_variability;
 };
 
 /**

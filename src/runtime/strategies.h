@@ -23,6 +23,30 @@
 namespace crono::rt {
 
 /**
+ * Frontier representation used by the frontier-driven kernels (SSSP,
+ * BFS, connected components and the betweenness/APSP forward pass).
+ *
+ *  - kFlagScan: the paper's structure — per-vertex active flags,
+ *    every thread rescans its full static vertex block each round.
+ *    O(V) per round regardless of front size; this is what CRONO's
+ *    released kernels do, so it stays the default for every
+ *    paper-figure experiment (fidelity preserved bit-for-bit).
+ *  - kSparse: per-thread chunked work-lists (see rt::FrontierEngine)
+ *    with chunk-granularity work-stealing; O(front) per round.
+ *  - kAdaptive: per-round choice between the two based on front
+ *    occupancy — dense when front_size * avg_degree > V / k, sparse
+ *    again once the front shrinks below that threshold.
+ */
+enum class FrontierMode : int {
+    kFlagScan = 0,
+    kSparse = 1,
+    kAdaptive = 2,
+};
+
+/** Human-readable name of @p mode ("flagscan" / "sparse" / "adaptive"). */
+const char* frontierModeName(FrontierMode mode);
+
+/**
  * Shared counter for vertex capture. Lives on its own cache line:
  * every capture is an RMW that ping-pongs the line between threads,
  * which is exactly the fine-grain communication the paper measures.
