@@ -5,13 +5,28 @@
  * lookup, mesh routing, memory-system transactions, fiber switch).
  * These guard against performance regressions in the library itself
  * rather than reproducing a paper figure.
+ *
+ * `bench_micro --json <path>` switches to a machine-readable mode: it
+ * runs one telemetry-instrumented pass of each kernel configuration
+ * and writes a "crono.bench.v1" document (see obs/metrics.h) whose
+ * rows carry wall time, edges/sec, variability and the telemetry
+ * counters — the BENCH_micro.json perf trajectory across PRs.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "common/rng.h"
 #include "core/suite.h"
 #include "core/workloads.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "sim/machine.h"
 
 namespace {
@@ -238,6 +253,154 @@ BM_SimulatedBfsEndToEnd(benchmark::State& state)
 }
 BENCHMARK(BM_SimulatedBfsEndToEnd);
 
+// ------------------------------------------------------- --json mode
+
+/**
+ * Smaller road instance than the wall-time benches use: the JSON
+ * suite runs every configuration once per invocation, so it trades
+ * statistical depth for breadth.
+ */
+const graph::Graph&
+jsonRoadGraph()
+{
+    static const graph::Graph g = graph::generators::roadNetwork(256, 256, 9);
+    return g;
+}
+
+obs::BenchResult
+makeRow(std::string name, std::string kernel, std::string graph_name,
+        const graph::Graph& g, int threads, std::string mode,
+        double seconds, const rt::RunInfo& info, std::uint64_t rounds,
+        const obs::Recorder& recorder)
+{
+    obs::BenchResult row;
+    row.name = std::move(name);
+    row.kernel = std::move(kernel);
+    row.graph = std::move(graph_name);
+    row.vertices = g.numVertices();
+    row.edges = g.numEdges();
+    row.threads = threads;
+    row.mode = std::move(mode);
+    row.time_seconds = seconds;
+    row.edges_per_second =
+        seconds > 0.0 ? static_cast<double>(g.numEdges()) / seconds : 0.0;
+    row.variability = info.variability;
+    row.rounds = rounds;
+    row.counters = obs::counterTotals(recorder);
+    return row;
+}
+
+/** Wall-clock one invocation of @p fn under a fresh telemetry session. */
+template <class Fn>
+obs::BenchResult
+timedEntry(const std::string& name, const std::string& kernel,
+           const std::string& graph_name, const graph::Graph& g,
+           int threads, const std::string& mode, Fn&& fn)
+{
+    obs::TelemetrySession session;
+    const auto start = std::chrono::steady_clock::now();
+    const auto [info, rounds] = fn();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return makeRow(name, kernel, graph_name, g, threads, mode, seconds,
+                   info, rounds, session.recorder());
+}
+
+int
+runJsonSuite(const std::string& path)
+{
+    std::vector<obs::BenchResult> rows;
+    const graph::Graph& road = jsonRoadGraph();
+    const graph::Graph& rnd = microGraph();
+    const std::string road_name = "road(256,256)";
+    const std::string rnd_name = "uniform(4096,32768)";
+
+    rt::NativeExecutor exec(4);
+    const rt::FrontierMode modes[] = {rt::FrontierMode::kFlagScan,
+                                      rt::FrontierMode::kSparse,
+                                      rt::FrontierMode::kAdaptive};
+    for (const rt::FrontierMode mode : modes) {
+        const std::string mode_name = rt::frontierModeName(mode);
+        for (const int threads : {1, 4}) {
+            const std::string suffix =
+                "/" + mode_name + "/t" + std::to_string(threads);
+            rows.push_back(timedEntry(
+                "sssp/road" + suffix, "SSSP_DIJK", road_name, road,
+                threads, mode_name, [&] {
+                    auto res =
+                        core::sssp(exec, threads, road, 0, nullptr, mode);
+                    return std::pair{res.run, res.rounds};
+                }));
+            rows.push_back(timedEntry(
+                "bfs/road" + suffix, "BFS", road_name, road, threads,
+                mode_name, [&] {
+                    auto res = core::bfs(exec, threads, road, 0,
+                                         graph::kNoVertex, nullptr, mode);
+                    return std::pair{res.run, std::uint64_t{0}};
+                }));
+        }
+    }
+    rows.push_back(timedEntry(
+        "cc/uniform/flagscan/t4", "CONN_COMP", rnd_name, rnd, 4,
+        "flagscan", [&] {
+            auto res = core::connectedComponents(exec, 4, rnd);
+            return std::pair{res.run, res.rounds};
+        }));
+    rows.push_back(timedEntry(
+        "pagerank/uniform/t4", "PAGE_RANK", rnd_name, rnd, 4, "", [&] {
+            auto res = core::pageRank(exec, 4, rnd, 10);
+            return std::pair{res.run, std::uint64_t{res.iterations}};
+        }));
+    rows.push_back(timedEntry(
+        "trianglecount/uniform/t4", "TRI_CNT", rnd_name, rnd, 4, "",
+        [&] {
+            auto res = core::triangleCount(exec, 4, rnd);
+            return std::pair{res.run, std::uint64_t{0}};
+        }));
+
+    if (!obs::writeTextFile(path, obs::benchSuiteJson(rows))) {
+        std::fprintf(stderr, "bench_micro: cannot write %s\n",
+                     path.c_str());
+        return 1;
+    }
+    std::printf("bench_micro: wrote %zu results to %s\n", rows.size(),
+                path.c_str());
+    for (const obs::BenchResult& row : rows) {
+        std::printf("  %-28s %10.4f s  %12.0f edges/s\n",
+                    row.name.c_str(), row.time_seconds,
+                    row.edges_per_second);
+    }
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    // --json <path> (or --json=<path>) bypasses google-benchmark and
+    // runs the machine-readable suite instead.
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[i + 1];
+            break;
+        }
+        if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            json_path = argv[i] + 7;
+            break;
+        }
+    }
+    if (!json_path.empty()) {
+        return runJsonSuite(json_path);
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

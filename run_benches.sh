@@ -1,7 +1,21 @@
 #!/bin/bash
 # Regenerate every table and figure; see EXPERIMENTS.md for the index.
+#
+# Usage: run_benches.sh [--json] [args passed to every bench]
+#   --json   also write BENCH_micro.json (bench_micro --json) next to
+#            this script.
+#
+# Exits nonzero if any bench failed, with a summary of the failures.
 set -u
 cd "$(dirname "$0")"
+
+write_json=0
+if [ "${1:-}" = "--json" ]; then
+  write_json=1
+  shift
+fi
+
+failed=()
 for b in build/bench/bench_table1_suite build/bench/bench_fig1_breakdown \
          build/bench/bench_fig2_active_vertices build/bench/bench_fig3_l1_miss \
          build/bench/bench_fig4_hierarchy_miss build/bench/bench_fig5_vertex_scaling \
@@ -11,8 +25,24 @@ for b in build/bench/bench_table1_suite build/bench/bench_fig1_breakdown \
          build/bench/bench_ablation_locality build/bench/bench_ablation_noc; do
   echo "================================================================"
   echo "### $b $*"
-  "$b" "$@" || echo "FAILED: $b"
+  "$b" "$@" || { echo "FAILED: $b"; failed+=("$b"); }
   echo
 done
+
 echo "### build/bench/bench_micro (microbenchmarks)"
-build/bench/bench_micro --benchmark_min_time=0.2 || echo "FAILED: bench_micro"
+build/bench/bench_micro --benchmark_min_time=0.2 \
+  || { echo "FAILED: bench_micro"; failed+=(bench_micro); }
+
+if [ "$write_json" = 1 ]; then
+  echo "### build/bench/bench_micro --json BENCH_micro.json"
+  build/bench/bench_micro --json BENCH_micro.json \
+    || { echo "FAILED: bench_micro --json"; failed+=("bench_micro --json"); }
+fi
+
+echo "================================================================"
+if [ "${#failed[@]}" -ne 0 ]; then
+  echo "${#failed[@]} bench(es) FAILED:"
+  printf '  %s\n' "${failed[@]}"
+  exit 1
+fi
+echo "All benches passed."

@@ -18,6 +18,7 @@
 
 #include "core/context.h"
 #include "graph/graph.h"
+#include "obs/telemetry.h"
 #include "runtime/executor.h"
 #include "runtime/frontier.h"
 #include "runtime/partition.h"
@@ -80,7 +81,13 @@ bfsKernel(Ctx& ctx, BfsState<Ctx>& s)
     const rt::Range range =
         rt::blockPartition(s.g.numVertices(), ctx.tid(), ctx.nthreads());
 
+    obs::Track* const track =
+        obs::trackFor(obs::sink(), obs::ctxTrackKind<Ctx>, ctx.tid());
+    std::uint64_t expansions = 0;
+
     for (std::uint32_t depth = 0;; ++depth) {
+        const std::uint64_t round_begin =
+            track != nullptr ? ctx.timestamp() : 0;
         std::uint32_t* cur = s.active[depth % 2].data();
         std::uint32_t* nxt = s.active[(depth + 1) % 2].data();
         std::uint64_t local_found = 0;
@@ -93,6 +100,7 @@ bfsKernel(Ctx& ctx, BfsState<Ctx>& s)
             ctx.write(cur[u], 0u);
             ctx.fetchAdd(s.reached.value, std::uint64_t{1});
             trackAdd(s.tracker, -1);
+            ++expansions;
             if (u == s.target) {
                 ctx.write(s.found.value, 1u);
             }
@@ -113,6 +121,11 @@ bfsKernel(Ctx& ctx, BfsState<Ctx>& s)
                 }
             }
         }
+        if (track != nullptr) {
+            obs::spanRecord(
+                track, {round_begin, ctx.timestamp(), "round-scan",
+                        depth, obs::SpanCat::kRound});
+        }
         if (local_found > 0) {
             ctx.fetchAdd(s.discovered[(depth + 1) % 2].value, local_found);
         }
@@ -127,6 +140,9 @@ bfsKernel(Ctx& ctx, BfsState<Ctx>& s)
         if (next_front == 0 || stop) {
             break;
         }
+    }
+    if (track != nullptr) {
+        obs::counterBump(track, obs::Counter::kExpansions, expansions);
     }
 }
 
@@ -177,6 +193,9 @@ bfsFrontierKernel(Ctx& ctx, BfsFrontierState<Ctx>& s)
     const graph::EdgeId* offsets = s.g.rawOffsets().data();
     const graph::VertexId* neighbors = s.g.rawNeighbors().data();
 
+    obs::Track* const track =
+        obs::trackFor(obs::sink(), obs::ctxTrackKind<Ctx>, ctx.tid());
+
     std::uint64_t front = s.frontier.initialFrontSize();
     std::uint64_t local_reached = 0;
     for (std::uint32_t depth = 0; front != 0; ++depth) {
@@ -216,6 +235,10 @@ bfsFrontierKernel(Ctx& ctx, BfsFrontierState<Ctx>& s)
     if (local_reached != 0) {
         ctx.fetchAdd(s.reached.value, local_reached);
     }
+    if (track != nullptr) {
+        obs::counterBump(track, obs::Counter::kExpansions,
+                         local_reached);
+    }
 }
 
 /**
@@ -234,6 +257,7 @@ bfs(Exec& exec, int nthreads, const graph::Graph& g,
     rt::FrontierMode mode = rt::FrontierMode::kFlagScan)
 {
     using Ctx = typename Exec::Ctx;
+    obs::ScopedHostSpan kernel_span("BFS", g.numVertices());
     if (mode == rt::FrontierMode::kFlagScan) {
         BfsState<Ctx> state(g, source, target, tracker);
         rt::RunInfo info = exec.parallel(

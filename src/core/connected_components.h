@@ -17,6 +17,7 @@
 
 #include "core/context.h"
 #include "graph/graph.h"
+#include "obs/telemetry.h"
 #include "runtime/executor.h"
 #include "runtime/frontier.h"
 #include "runtime/partition.h"
@@ -58,6 +59,10 @@ connectedComponentsKernel(Ctx& ctx, ConnectedComponentsState<Ctx>& s)
     const rt::Range range =
         rt::blockPartition(s.g.numVertices(), ctx.tid(), ctx.nthreads());
 
+    obs::Track* const track =
+        obs::trackFor(obs::sink(), obs::ctxTrackKind<Ctx>, ctx.tid());
+    std::uint64_t relaxations = 0;
+
     // Phase 1: initialize labels (each vertex its own region label).
     for (std::uint64_t v = range.begin; v < range.end; ++v) {
         ctx.write(s.label[v], static_cast<graph::VertexId>(v));
@@ -71,6 +76,8 @@ connectedComponentsKernel(Ctx& ctx, ConnectedComponentsState<Ctx>& s)
     // r-1) is untouched.
     std::int64_t last_active = 0;
     for (std::uint64_t round = 0;; ++round) {
+        const std::uint64_t round_begin =
+            track != nullptr ? ctx.timestamp() : 0;
         Padded<std::uint64_t>& counter = s.changed[round % 2];
         std::uint64_t local_changes = 0;
         for (std::uint64_t vi = range.begin; vi < range.end; ++vi) {
@@ -92,8 +99,14 @@ connectedComponentsKernel(Ctx& ctx, ConnectedComponentsState<Ctx>& s)
                 if (best < ctx.read(s.label[v])) {
                     ctx.write(s.label[v], best);
                     ++local_changes;
+                    ++relaxations;
                 }
             }
+        }
+        if (track != nullptr) {
+            obs::spanRecord(
+                track, {round_begin, ctx.timestamp(), "round-scan",
+                        round, obs::SpanCat::kRound});
         }
         if (local_changes > 0) {
             ctx.fetchAdd(counter.value, local_changes);
@@ -111,6 +124,9 @@ connectedComponentsKernel(Ctx& ctx, ConnectedComponentsState<Ctx>& s)
         if (total == 0) {
             break;
         }
+    }
+    if (track != nullptr) {
+        obs::counterBump(track, obs::Counter::kRelaxations, relaxations);
     }
 }
 
@@ -155,6 +171,10 @@ connectedComponentsFrontierKernel(Ctx& ctx,
     const graph::EdgeId* offsets = s.g.rawOffsets().data();
     const graph::VertexId* neighbors = s.g.rawNeighbors().data();
 
+    obs::Track* const track =
+        obs::trackFor(obs::sink(), obs::ctxTrackKind<Ctx>, ctx.tid());
+    std::uint64_t relaxations = 0;
+
     std::uint64_t front = s.frontier.initialFrontSize();
     std::uint64_t round = 0;
     while (front != 0) {
@@ -175,6 +195,7 @@ connectedComponentsFrontierKernel(Ctx& ctx,
                     ScopedLock<Ctx> guard(ctx, s.locks.of(v));
                     if (lu < ctx.read(s.label[v])) {
                         ctx.write(s.label[v], lu);
+                        ++relaxations;
                         if (s.frontier.activate(ctx, round, v)) {
                             trackAdd(s.tracker, 1);
                         }
@@ -186,6 +207,9 @@ connectedComponentsFrontierKernel(Ctx& ctx,
     }
     if (ctx.tid() == 0) {
         ctx.write(s.rounds.value, round);
+    }
+    if (track != nullptr) {
+        obs::counterBump(track, obs::Counter::kRelaxations, relaxations);
     }
 }
 
@@ -203,6 +227,7 @@ connectedComponents(Exec& exec, int nthreads, const graph::Graph& g,
                     rt::FrontierMode mode = rt::FrontierMode::kFlagScan)
 {
     using Ctx = typename Exec::Ctx;
+    obs::ScopedHostSpan kernel_span("CONN_COMP", g.numVertices());
     ConnectedComponentsResult result;
     rt::RunInfo info;
     AlignedVector<graph::VertexId> label;

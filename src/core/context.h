@@ -17,6 +17,10 @@
  *   void lock(Mutex&); void unlock(Mutex&);
  *   void barrier();                   // region-wide
  *   std::uint64_t ops();              // instruction-count proxy
+ *   std::uint64_t timestamp();        // telemetry clock (native: ns,
+ *                                     // sim: local cycles); must not
+ *                                     // model work or memory traffic
+ *   static constexpr bool kSimulated; // telemetry track domain
  *
  * And the Executor concept used by the kernel drivers:
  *

@@ -24,6 +24,7 @@
 
 #include "core/context.h"
 #include "graph/graph.h"
+#include "obs/telemetry.h"
 #include "runtime/executor.h"
 #include "runtime/partition.h"
 #include "runtime/strategies.h"
@@ -79,9 +80,14 @@ pageRankKernel(Ctx& ctx, PageRankState<Ctx>& s)
     }
     ctx.barrier();
 
+    obs::Track* const track =
+        obs::trackFor(obs::sink(), obs::ctxTrackKind<Ctx>, ctx.tid());
+
     for (unsigned it = 0; it < s.iterations; ++it) {
         // Scatter phase: capture vertices dynamically and push
         // PR(v)/degree(v) to every neighbor.
+        const std::uint64_t scatter_begin =
+            track != nullptr ? ctx.timestamp() : 0;
         for (;;) {
             const std::uint64_t vi =
                 rt::captureNext(ctx, s.cursor[it % 2], n);
@@ -104,6 +110,11 @@ pageRankKernel(Ctx& ctx, PageRankState<Ctx>& s)
                 ctx.write(s.incoming[u], ctx.read(s.incoming[u]) + share);
             }
         }
+        if (track != nullptr) {
+            obs::spanRecord(
+                track, {scatter_begin, ctx.timestamp(), "scatter",
+                        it, obs::SpanCat::kRound});
+        }
         ctx.barrier();
 
         // Update phase (graph division): apply Equation 1 and reset
@@ -112,6 +123,8 @@ pageRankKernel(Ctx& ctx, PageRankState<Ctx>& s)
         // The paper's formulation uses the unscaled random-visit term
         // r; we use the probability-conserving r/N variant so ranks
         // remain a distribution (sum = 1 on degree>=1 graphs).
+        const std::uint64_t update_begin =
+            track != nullptr ? ctx.timestamp() : 0;
         for (std::uint64_t vi = range.begin; vi < range.end; ++vi) {
             const auto v = static_cast<graph::VertexId>(vi);
             const double in = ctx.read(s.incoming[v]);
@@ -120,6 +133,14 @@ pageRankKernel(Ctx& ctx, PageRankState<Ctx>& s)
             ctx.write(s.incoming[v], 0.0);
             ctx.work(3);
             trackAdd(s.tracker, -1);
+        }
+        if (track != nullptr) {
+            obs::spanRecord(
+                track, {update_begin, ctx.timestamp(), "update", it,
+                        obs::SpanCat::kRound});
+            if (ctx.tid() == 0) {
+                obs::counterBump(track, obs::Counter::kIterations, 1);
+            }
         }
         if (ctx.tid() == 0) {
             ctx.write(s.cursor[(it + 1) % 2].next, std::uint64_t{0});
@@ -140,6 +161,7 @@ pageRank(Exec& exec, int nthreads, const graph::Graph& g,
          rt::ActiveTracker* tracker = nullptr)
 {
     using Ctx = typename Exec::Ctx;
+    obs::ScopedHostSpan kernel_span("PAGE_RANK", g.numVertices());
     PageRankState<Ctx> state(g, iterations, damping, tracker);
     rt::RunInfo info = exec.parallel(
         nthreads, [&state](Ctx& ctx) { pageRankKernel(ctx, state); });

@@ -22,6 +22,7 @@
 
 #include "core/context.h"
 #include "graph/graph.h"
+#include "obs/telemetry.h"
 #include "runtime/executor.h"
 #include "runtime/frontier.h"
 #include "runtime/partition.h"
@@ -78,7 +79,17 @@ ssspKernel(Ctx& ctx, SsspState<Ctx>& s)
     const rt::Range range =
         rt::blockPartition(s.g.numVertices(), ctx.tid(), ctx.nthreads());
 
+    // Telemetry locals: plain counters, flushed once at kernel exit.
+    // With the sink compiled out they are dead stores the optimizer
+    // removes; with a null sink they cost two register increments.
+    obs::Track* const track =
+        obs::trackFor(obs::sink(), obs::ctxTrackKind<Ctx>, ctx.tid());
+    std::uint64_t relaxations = 0;
+    std::uint64_t expansions = 0;
+
     for (std::uint64_t round = 0;; ++round) {
+        const std::uint64_t round_begin =
+            track != nullptr ? ctx.timestamp() : 0;
         std::uint32_t* cur = s.active[round % 2].data();
         std::uint32_t* nxt = s.active[(round + 1) % 2].data();
         std::uint64_t local_enqueued = 0;
@@ -90,6 +101,7 @@ ssspKernel(Ctx& ctx, SsspState<Ctx>& s)
             }
             ctx.write(cur[u], 0u);
             trackAdd(s.tracker, -1);
+            ++expansions;
             const graph::Dist du = ctx.read(s.dist[u]);
             const graph::EdgeId beg = ctx.read(offsets[u]);
             const graph::EdgeId end = ctx.read(offsets[u + 1]);
@@ -105,6 +117,7 @@ ssspKernel(Ctx& ctx, SsspState<Ctx>& s)
                 if (cand < ctx.read(s.dist[v])) {
                     ctx.write(s.dist[v], cand);
                     ctx.write(s.parent[v], u);
+                    ++relaxations;
                     if (ctx.read(nxt[v]) == 0) {
                         ctx.write(nxt[v], 1u);
                         ++local_enqueued;
@@ -112,6 +125,11 @@ ssspKernel(Ctx& ctx, SsspState<Ctx>& s)
                     }
                 }
             }
+        }
+        if (track != nullptr) {
+            obs::spanRecord(
+                track, {round_begin, ctx.timestamp(), "round-scan",
+                        round, obs::SpanCat::kRound});
         }
         if (local_enqueued > 0) {
             ctx.fetchAdd(s.enqueued[(round + 1) % 2].value,
@@ -130,6 +148,10 @@ ssspKernel(Ctx& ctx, SsspState<Ctx>& s)
         if (next_front == 0) {
             break;
         }
+    }
+    if (track != nullptr) {
+        obs::counterBump(track, obs::Counter::kExpansions, expansions);
+        obs::counterBump(track, obs::Counter::kRelaxations, relaxations);
     }
 }
 
@@ -209,6 +231,12 @@ ssspFrontierKernel(Ctx& ctx, SsspFrontierState<Ctx>& s)
     const graph::VertexId* neighbors = s.g.rawNeighbors().data();
     const graph::Weight* weights = s.g.rawWeights().data();
 
+    obs::Track* const track =
+        obs::trackFor(obs::sink(), obs::ctxTrackKind<Ctx>, ctx.tid());
+    std::uint64_t relaxations = 0;
+    std::uint64_t expansions = 0;
+    std::uint64_t deferrals = 0;
+
     std::uint64_t front = s.frontier.initialFrontSize();
     std::uint64_t round = 0;
     while (front != 0) {
@@ -226,9 +254,11 @@ ssspFrontierKernel(Ctx& ctx, SsspFrontierState<Ctx>& s)
                     // against a concurrent improve-and-activate of u.
                     ScopedLock<Ctx> guard(ctx, s.locks.of(u));
                     s.frontier.activate(ctx, round, u);
+                    ++deferrals;
                     return;
                 }
                 trackAdd(s.tracker, -1);
+                ++expansions;
                 const graph::EdgeId beg = ctx.read(offsets[u]);
                 const graph::EdgeId end = ctx.read(offsets[u + 1]);
                 for (graph::EdgeId e = beg; e < end; ++e) {
@@ -243,6 +273,7 @@ ssspFrontierKernel(Ctx& ctx, SsspFrontierState<Ctx>& s)
                     if (cand < ctx.read(s.dist[v])) {
                         ctx.write(s.dist[v], cand);
                         ctx.write(s.parent[v], u);
+                        ++relaxations;
                         if (s.frontier.activate(ctx, round, v)) {
                             trackAdd(s.tracker, 1);
                         }
@@ -254,6 +285,11 @@ ssspFrontierKernel(Ctx& ctx, SsspFrontierState<Ctx>& s)
     }
     if (ctx.tid() == 0) {
         ctx.write(s.rounds.value, round);
+    }
+    if (track != nullptr) {
+        obs::counterBump(track, obs::Counter::kExpansions, expansions);
+        obs::counterBump(track, obs::Counter::kRelaxations, relaxations);
+        obs::counterBump(track, obs::Counter::kDeferrals, deferrals);
     }
 }
 
@@ -272,6 +308,7 @@ sssp(Exec& exec, int nthreads, const graph::Graph& g,
      rt::FrontierMode mode = rt::FrontierMode::kFlagScan)
 {
     using Ctx = typename Exec::Ctx;
+    obs::ScopedHostSpan kernel_span("SSSP_DIJK", g.numVertices());
     if (mode == rt::FrontierMode::kFlagScan) {
         SsspState<Ctx> state(g, source, tracker);
         rt::RunInfo info = exec.parallel(

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Minimal dependency-free JSON support for the exporters.
+ *
+ * Two halves:
+ *  - JsonWriter: a streaming writer (explicit begin/end scopes, string
+ *    escaping, integer-exact uint64) used to emit traces, metrics and
+ *    bench reports without building an in-memory document.
+ *  - json::Value + json::parse: a small recursive-descent parser used
+ *    by the schema tests to round-trip everything the writers emit
+ *    (and by consumers that want to read a report back).
+ *
+ * The writer emits only valid JSON: non-finite doubles are clamped to
+ * 0 (they would otherwise produce "nan"/"inf", which json.tool and
+ * Perfetto both reject).
+ */
+
+#ifndef CRONO_OBS_JSON_H_
+#define CRONO_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crono::obs {
+
+/** Streaming JSON writer with scope tracking. */
+class JsonWriter {
+  public:
+    JsonWriter& beginObject();
+    JsonWriter& endObject();
+    JsonWriter& beginArray();
+    JsonWriter& endArray();
+
+    /** Object key; must be followed by a value or scope open. */
+    JsonWriter& key(std::string_view k);
+
+    JsonWriter& value(std::string_view v);
+    JsonWriter& value(const char* v);
+    JsonWriter& value(double v);
+    JsonWriter& value(std::uint64_t v);
+    JsonWriter& value(std::int64_t v);
+    JsonWriter& value(int v);
+    JsonWriter& value(unsigned v);
+    JsonWriter& value(bool v);
+    JsonWriter& null();
+
+    /** The document so far (complete once all scopes are closed). */
+    const std::string& str() const { return out_; }
+
+  private:
+    void comma();
+    void escaped(std::string_view s);
+
+    std::string out_;
+    /** One entry per open scope: true until the first element. */
+    std::vector<bool> first_;
+    bool afterKey_ = false;
+};
+
+namespace json {
+
+/** Parsed JSON document node. */
+struct Value {
+    enum class Kind { null, boolean, number, string, array, object };
+
+    Kind kind = Kind::null;
+    bool b = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<Value> arr;
+    std::vector<std::pair<std::string, Value>> obj; ///< insertion order
+
+    bool isNull() const { return kind == Kind::null; }
+    bool isNumber() const { return kind == Kind::number; }
+    bool isString() const { return kind == Kind::string; }
+    bool isArray() const { return kind == Kind::array; }
+    bool isObject() const { return kind == Kind::object; }
+
+    /** Member lookup (nullptr if absent or not an object). */
+    const Value* find(std::string_view key) const;
+
+    /** num as an unsigned integer (0 when not a number). */
+    std::uint64_t asU64() const;
+};
+
+/**
+ * Parse @p text into @p out.
+ * @return true on success; on failure @p err (if non-null) gets a
+ *         one-line description with the byte offset.
+ */
+bool parse(std::string_view text, Value& out, std::string* err = nullptr);
+
+} // namespace json
+
+/** Overwrite @p path with @p content. @return false on I/O error. */
+bool writeTextFile(const std::string& path, std::string_view content);
+
+} // namespace crono::obs
+
+#endif // CRONO_OBS_JSON_H_

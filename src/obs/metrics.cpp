@@ -1,0 +1,215 @@
+#include "obs/metrics.h"
+
+#include "obs/json.h"
+
+namespace crono::obs {
+
+namespace {
+
+// Component / miss-class labels, spelled here rather than calling the
+// crono_sim name functions so crono_obs stays link-independent of the
+// simulator (it reads sim::SimRunStats fields only). The static
+// asserts tie the copies to the enum sizes.
+static_assert(sim::kNumComponents == 6,
+              "update component labels below alongside sim::Component");
+constexpr const char* kComponentLabels[sim::kNumComponents] = {
+    "compute",       "l1_to_l2_home", "l2_home_waiting",
+    "l2_home_sharers", "l2_home_off_chip", "synchronization",
+};
+
+constexpr const char* kMissClassLabels[3] = {"cold", "capacity",
+                                             "sharing"};
+
+void
+writeCacheStats(JsonWriter& w, const sim::CacheStats& c)
+{
+    w.beginObject();
+    w.key("accesses").value(c.accesses);
+    w.key("hits").value(c.hits);
+    w.key("misses").beginObject();
+    for (int i = 0; i < 3; ++i) {
+        w.key(kMissClassLabels[i]).value(c.misses[static_cast<std::size_t>(i)]);
+    }
+    w.endObject();
+    w.key("total_misses").value(c.totalMisses());
+    w.key("miss_rate").value(c.missRate());
+    w.endObject();
+}
+
+void
+writeCounters(
+    JsonWriter& w,
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters)
+{
+    w.beginObject();
+    for (const auto& [name, val] : counters) {
+        w.key(name).value(val);
+    }
+    w.endObject();
+}
+
+} // namespace
+
+std::vector<std::pair<std::string, std::uint64_t>>
+counterTotals(const Recorder& recorder)
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    for (int c = 0; c < kNumCounters; ++c) {
+        const std::uint64_t v =
+            recorder.totalCounter(static_cast<Counter>(c));
+        if (v != 0) {
+            out.emplace_back(counterName(static_cast<Counter>(c)), v);
+        }
+    }
+    return out;
+}
+
+void
+MetricsReport::setRuntime(const rt::RunInfo& info)
+{
+    time = info.time;
+    variability = info.variability;
+    thread_ops = info.thread_ops;
+    round_variability = info.round_variability;
+}
+
+void
+MetricsReport::setCounters(const Recorder& recorder)
+{
+    counters = counterTotals(recorder);
+    spans_dropped = recorder.totalDropped();
+    spans_recorded = 0;
+    recorder.forEachTrack([this](TrackKind, int, const Track& t) {
+        spans_recorded += t.recorded();
+    });
+}
+
+void
+MetricsReport::setSim(const sim::SimRunStats& stats)
+{
+    has_sim = true;
+    sim = stats;
+}
+
+std::string
+MetricsReport::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("crono.metrics.v1");
+    w.key("kernel").value(kernel);
+    w.key("graph").value(graph);
+    w.key("threads").value(threads);
+    w.key("frontier_mode").value(frontier_mode);
+
+    w.key("runtime").beginObject();
+    w.key("time").value(time);
+    w.key("time_unit").value(time_unit);
+    w.key("variability").value(variability);
+    w.key("rounds").value(rounds);
+    w.key("thread_ops").beginArray();
+    for (const std::uint64_t ops : thread_ops) {
+        w.value(ops);
+    }
+    w.endArray();
+    w.key("round_variability").beginArray();
+    for (const double v : round_variability) {
+        w.value(v);
+    }
+    w.endArray();
+    w.endObject();
+
+    w.key("counters");
+    writeCounters(w, counters);
+    w.key("spans").beginObject();
+    w.key("recorded").value(spans_recorded);
+    w.key("dropped").value(spans_dropped);
+    w.endObject();
+
+    if (has_sim) {
+        w.key("sim").beginObject();
+        w.key("completion_cycles").value(sim.completion_cycles);
+        w.key("breakdown").beginObject();
+        for (int c = 0; c < sim::kNumComponents; ++c) {
+            w.key(kComponentLabels[c])
+                .value(sim.breakdown.cycles[static_cast<std::size_t>(c)]);
+        }
+        w.endObject();
+        w.key("l1d");
+        writeCacheStats(w, sim.l1d);
+        w.key("l1i_accesses").value(sim.l1i_accesses);
+        w.key("l2");
+        writeCacheStats(w, sim.l2);
+        w.key("cache_hierarchy_miss_rate")
+            .value(sim.cacheHierarchyMissRate());
+        w.key("network").beginObject();
+        w.key("messages").value(sim.network.messages);
+        w.key("flits").value(sim.network.flits);
+        w.key("flit_hops").value(sim.network.flit_hops);
+        w.key("contention_cycles").value(sim.network.contention_cycles);
+        w.endObject();
+        w.key("dram").beginObject();
+        w.key("accesses").value(sim.dram.accesses);
+        w.key("queue_cycles").value(sim.dram.queue_cycles);
+        w.endObject();
+        w.key("directory").beginObject();
+        w.key("lookups").value(sim.directory.lookups);
+        w.key("invalidations").value(sim.directory.invalidations);
+        w.key("broadcasts").value(sim.directory.broadcasts);
+        w.key("write_backs").value(sim.directory.write_backs);
+        w.endObject();
+        w.key("energy").beginObject();
+        w.key("l1i").value(sim.energy.l1i);
+        w.key("l1d").value(sim.energy.l1d);
+        w.key("l2").value(sim.energy.l2);
+        w.key("directory").value(sim.energy.directory);
+        w.key("router").value(sim.energy.router);
+        w.key("link").value(sim.energy.link);
+        w.key("dram").value(sim.energy.dram);
+        w.key("total").value(sim.energy.total());
+        w.endObject();
+        w.endObject();
+    } else {
+        w.key("sim").null();
+    }
+
+    w.endObject();
+    return w.str();
+}
+
+bool
+MetricsReport::writeJson(const std::string& path) const
+{
+    return writeTextFile(path, toJson());
+}
+
+std::string
+benchSuiteJson(const std::vector<BenchResult>& results)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("crono.bench.v1");
+    w.key("results").beginArray();
+    for (const BenchResult& r : results) {
+        w.beginObject();
+        w.key("name").value(r.name);
+        w.key("kernel").value(r.kernel);
+        w.key("graph").value(r.graph);
+        w.key("vertices").value(r.vertices);
+        w.key("edges").value(r.edges);
+        w.key("threads").value(r.threads);
+        w.key("mode").value(r.mode);
+        w.key("time_seconds").value(r.time_seconds);
+        w.key("edges_per_second").value(r.edges_per_second);
+        w.key("variability").value(r.variability);
+        w.key("rounds").value(r.rounds);
+        w.key("counters");
+        writeCounters(w, r.counters);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace crono::obs

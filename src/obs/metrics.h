@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Machine-readable run reports with stable schemas.
+ *
+ *  - MetricsReport ("crono.metrics.v1"): one JSON document merging a
+ *    run's identity (kernel, graph, threads, frontier mode), the
+ *    runtime measurement (rt::RunInfo incl. per-round variability),
+ *    the telemetry counters of a Recorder, and — when the run went
+ *    through the simulator — the full sim::SimRunStats (cycle
+ *    breakdown, cache/NoC/DRAM/directory counters, energy).
+ *  - BenchResult ("crono.bench.v1"): one row of bench_micro --json;
+ *    benchSuiteJson() wraps rows into the BENCH_micro.json document
+ *    that tracks the perf trajectory across PRs.
+ *
+ * Schema stability contract: fields are only ever added, never
+ * renamed or removed, and the "schema" tag is bumped on any breaking
+ * change. tests/obs_test.cpp round-trips both documents through
+ * obs::json::parse.
+ */
+
+#ifndef CRONO_OBS_METRICS_H_
+#define CRONO_OBS_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/telemetry.h"
+#include "runtime/executor.h"
+#include "sim/stats.h"
+
+namespace crono::obs {
+
+/** One run's merged metrics (see file comment for the schema). */
+struct MetricsReport {
+    // Identity.
+    std::string kernel;        ///< paper name, e.g. "SSSP_DIJK"
+    std::string graph;         ///< input description
+    int threads = 0;
+    std::string frontier_mode; ///< "flagscan" / "sparse" / "adaptive"
+
+    // Runtime section (RunInfo).
+    double time = 0.0;         ///< seconds (native) or cycles (sim)
+    std::string time_unit = "seconds";
+    double variability = 0.0;
+    std::uint64_t rounds = 0;
+    std::vector<std::uint64_t> thread_ops;
+    std::vector<double> round_variability;
+
+    // Telemetry counters, merged across tracks (insertion order).
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::uint64_t spans_recorded = 0;
+    std::uint64_t spans_dropped = 0;
+
+    // Simulator section (absent unless setSim was called).
+    bool has_sim = false;
+    sim::SimRunStats sim;
+
+    /** Copy the RunInfo measurement into the runtime section. */
+    void setRuntime(const rt::RunInfo& info);
+
+    /** Merge every non-zero counter total of @p recorder. */
+    void setCounters(const Recorder& recorder);
+
+    /** Attach simulator statistics. */
+    void setSim(const sim::SimRunStats& stats);
+
+    /** The "crono.metrics.v1" JSON document. */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path. @return false on I/O error. */
+    bool writeJson(const std::string& path) const;
+};
+
+/** One bench_micro --json row. */
+struct BenchResult {
+    std::string name;    ///< unique row id, e.g. "sssp/road/sparse/t4"
+    std::string kernel;
+    std::string graph;
+    std::uint64_t vertices = 0;
+    std::uint64_t edges = 0;
+    int threads = 0;
+    std::string mode;    ///< frontier mode ("" for non-frontier kernels)
+    double time_seconds = 0.0;
+    double edges_per_second = 0.0;
+    double variability = 0.0;
+    std::uint64_t rounds = 0;
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+/** The "crono.bench.v1" document wrapping @p results. */
+std::string benchSuiteJson(const std::vector<BenchResult>& results);
+
+/** Non-zero counter totals of @p recorder, in Counter enum order. */
+std::vector<std::pair<std::string, std::uint64_t>>
+counterTotals(const Recorder& recorder);
+
+} // namespace crono::obs
+
+#endif // CRONO_OBS_METRICS_H_

@@ -1,0 +1,138 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+#include "obs/json.h"
+
+namespace crono::obs {
+
+namespace {
+
+/** Chrome trace pid for a track kind (1-based, stable order). */
+int
+pidOf(TrackKind kind)
+{
+    return static_cast<int>(kind) + 1;
+}
+
+/** Native tracks record ns; simulated tracks record cycles. */
+bool
+nsClock(TrackKind kind)
+{
+    return kind == TrackKind::kHost || kind == TrackKind::kWorker;
+}
+
+/** Exported time unit: ns -> us, cycles -> 1 unit per cycle. */
+double
+toUnits(TrackKind kind, std::uint64_t delta)
+{
+    return nsClock(kind) ? static_cast<double>(delta) / 1000.0
+                         : static_cast<double>(delta);
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const Recorder& recorder)
+{
+    // Normalize per process: the earliest begin of any span in a kind
+    // becomes that process's t = 0.
+    std::array<std::uint64_t, kNumTrackKinds> t0;
+    t0.fill(~std::uint64_t{0});
+    recorder.forEachTrack([&](TrackKind kind, int, const Track& t) {
+        for (const SpanEvent& ev : t.spans()) {
+            t0[static_cast<int>(kind)] =
+                std::min(t0[static_cast<int>(kind)], ev.begin);
+        }
+    });
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("displayTimeUnit").value("ms");
+    w.key("traceEvents").beginArray();
+
+    // Metadata: process and thread names.
+    bool named[kNumTrackKinds] = {};
+    recorder.forEachTrack([&](TrackKind kind, int tid, const Track&) {
+        if (!named[static_cast<int>(kind)]) {
+            named[static_cast<int>(kind)] = true;
+            w.beginObject();
+            w.key("name").value("process_name");
+            w.key("ph").value("M");
+            w.key("pid").value(pidOf(kind));
+            w.key("args").beginObject();
+            w.key("name").value(trackKindName(kind));
+            w.endObject();
+            w.endObject();
+        }
+        w.beginObject();
+        w.key("name").value("thread_name");
+        w.key("ph").value("M");
+        w.key("pid").value(pidOf(kind));
+        w.key("tid").value(tid);
+        w.key("args").beginObject();
+        std::string tname = trackKindName(kind);
+        tname += " ";
+        tname += std::to_string(tid);
+        w.key("name").value(tname);
+        w.endObject();
+        w.endObject();
+    });
+
+    // Spans as complete ("X") events.
+    recorder.forEachTrack([&](TrackKind kind, int tid, const Track& t) {
+        const std::uint64_t base = t0[static_cast<int>(kind)];
+        std::uint64_t track_end = 0;
+        for (const SpanEvent& ev : t.spans()) {
+            track_end = std::max(track_end, ev.end);
+            w.beginObject();
+            w.key("name").value(ev.name);
+            w.key("cat").value(spanCatName(ev.cat));
+            w.key("ph").value("X");
+            w.key("pid").value(pidOf(kind));
+            w.key("tid").value(tid);
+            w.key("ts").value(toUnits(kind, ev.begin - base));
+            const std::uint64_t dur =
+                ev.end > ev.begin ? ev.end - ev.begin : 0;
+            w.key("dur").value(toUnits(kind, dur));
+            w.key("args").beginObject();
+            w.key("arg").value(ev.arg);
+            w.endObject();
+            w.endObject();
+        }
+        // Counter totals as one trailing "C" sample per counter.
+        const double end_ts =
+            track_end > base ? toUnits(kind, track_end - base) : 0.0;
+        for (int c = 0; c < kNumCounters; ++c) {
+            const std::uint64_t v = t.counter(static_cast<Counter>(c));
+            if (v == 0) {
+                continue;
+            }
+            const char* cname = counterName(static_cast<Counter>(c));
+            w.beginObject();
+            w.key("name").value(cname);
+            w.key("ph").value("C");
+            w.key("pid").value(pidOf(kind));
+            w.key("tid").value(tid);
+            w.key("ts").value(end_ts);
+            w.key("args").beginObject();
+            w.key(cname).value(v);
+            w.endObject();
+            w.endObject();
+        }
+    });
+
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+bool
+writeChromeTrace(const Recorder& recorder, const std::string& path)
+{
+    return writeTextFile(path, chromeTraceJson(recorder));
+}
+
+} // namespace crono::obs

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Chrome trace-event exporter: turns a Recorder's tracks into the
+ * JSON object format that Perfetto and chrome://tracing load.
+ *
+ * Mapping:
+ *  - each TrackKind becomes one "process" (host=1, worker=2,
+ *    sim-thread=3, sim-core=4) so the two clock domains (native
+ *    nanoseconds, simulated cycles) never share an axis;
+ *  - each (kind, tid) track becomes one named "thread" in it;
+ *  - spans become "X" (complete) events with ts/dur in microsecond
+ *    units — native ns are divided by 1000, simulated cycles are
+ *    exported 1 cycle = 1 unit (the axis reads as "us" but means
+ *    cycles; only relative placement matters);
+ *  - timestamps are normalized per process (min begin = 0) so native
+ *    steady-clock epochs don't push the viewport into year 2262;
+ *  - counter totals become one trailing "C" event per counter per
+ *    track, visible as Perfetto counter tracks.
+ */
+
+#ifndef CRONO_OBS_TRACE_EXPORT_H_
+#define CRONO_OBS_TRACE_EXPORT_H_
+
+#include <string>
+
+#include "obs/telemetry.h"
+
+namespace crono::obs {
+
+/** The trace-event JSON document for @p recorder. */
+std::string chromeTraceJson(const Recorder& recorder);
+
+/**
+ * Write chromeTraceJson(recorder) to @p path.
+ * @return false on I/O error.
+ */
+bool writeChromeTrace(const Recorder& recorder, const std::string& path);
+
+} // namespace crono::obs
+
+#endif // CRONO_OBS_TRACE_EXPORT_H_

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/macros.h"
+#include "obs/telemetry.h"
 #include "runtime/instrumentation.h"
 
 namespace crono::rt {
@@ -34,6 +35,8 @@ NativeExecutor::parallel(int nthreads, std::function<void(NativeCtx&)> body)
 {
     CRONO_REQUIRE(nthreads >= 1 && nthreads <= maxThreads_,
                   "nthreads out of range for this executor");
+    obs::ScopedHostSpan region_span(
+        "parallel", static_cast<std::uint64_t>(nthreads));
     Barrier barrier(nthreads);
     std::vector<std::uint64_t> ops(nthreads, 0);
 
@@ -90,7 +93,18 @@ NativeExecutor::workerLoop(int tid)
         }
 
         NativeCtx ctx(tid, nthreads, barrier);
+        // Telemetry: one "worker" span per thread per region; barrier
+        // waits inside it are recorded by NativeCtx::barrier, so the
+        // trace shows work vs. barrier-wait time per thread per round.
+        obs::Track* const track =
+            obs::trackFor(obs::sink(), obs::TrackKind::kWorker, tid);
+        const std::uint64_t begin =
+            track != nullptr ? obs::nowNs() : 0;
         (*body)(ctx);
+        if (track != nullptr) {
+            obs::spanRecord(track, {begin, obs::nowNs(), "worker",
+                                    ctx.ops(), obs::SpanCat::kKernel});
+        }
         (*ops_out)[tid] = ctx.ops();
 
         {

@@ -46,6 +46,7 @@
 
 #include "common/aligned.h"
 #include "common/macros.h"
+#include "obs/telemetry.h"
 #include "runtime/executor.h"
 #include "runtime/partition.h"
 #include "runtime/strategies.h"
@@ -178,6 +179,26 @@ class FrontierEngine {
     void
     processCurrent(Ctx& ctx, std::uint64_t round, bool dense, Fn&& fn)
     {
+        // Telemetry (null when idle): one "round" span per thread per
+        // round, "steal" spans around drained victim queues, and the
+        // dense/sparse/mode-switch counters on thread 0's track. Hooks
+        // never touch ctx.read/write, so the simulated statistics are
+        // unperturbed.
+        obs::Track* const track = obs::trackFor(
+            obs::sink(), obs::ctxTrackKind<Ctx>, ctx.tid());
+        const std::uint64_t round_begin =
+            track != nullptr ? ctx.timestamp() : 0;
+        if (track != nullptr && ctx.tid() == 0) {
+            obs::counterBump(track,
+                             dense ? obs::Counter::kDenseRounds
+                                   : obs::Counter::kSparseRounds,
+                             1);
+            if (round > 0 && dense != lastDense_) {
+                obs::counterBump(track, obs::Counter::kModeSwitches, 1);
+            }
+            lastDense_ = dense;
+        }
+
         const std::size_t p = round & 1;
         std::uint32_t* flags = flags_[p].data();
         if (dense) {
@@ -190,6 +211,11 @@ class FrontierEngine {
                 ctx.write(flags[v], 0u);
                 fn(static_cast<Vertex>(v));
             }
+            if (track != nullptr) {
+                obs::spanRecord(track, {round_begin, ctx.timestamp(),
+                                        "round-dense", round,
+                                        obs::SpanCat::kRound});
+            }
             return;
         }
         for (int probe = 0; probe < nthreads_; ++probe) {
@@ -199,12 +225,17 @@ class FrontierEngine {
             if (ready == 0) {
                 continue;
             }
+            const bool stealing = victim != ctx.tid();
+            const std::uint64_t steal_begin =
+                track != nullptr && stealing ? ctx.timestamp() : 0;
+            std::uint64_t chunks_taken = 0;
             for (;;) {
                 const std::uint64_t i =
                     ctx.fetchAdd(q.claim.value, std::uint64_t{1});
                 if (i >= ready) {
                     break;
                 }
+                ++chunks_taken;
                 const Chunk& c = *q.chunks[i];
                 const std::uint32_t count = ctx.read(c.size);
                 for (std::uint32_t j = 0; j < count; ++j) {
@@ -213,6 +244,21 @@ class FrontierEngine {
                     fn(v);
                 }
             }
+            if (track != nullptr && stealing) {
+                obs::counterBump(track, obs::Counter::kStealAttempts, 1);
+                if (chunks_taken != 0) {
+                    obs::counterBump(track, obs::Counter::kStealChunks,
+                                     chunks_taken);
+                    obs::spanRecord(
+                        track, {steal_begin, ctx.timestamp(), "steal",
+                                chunks_taken, obs::SpanCat::kSteal});
+                }
+            }
+        }
+        if (track != nullptr) {
+            obs::spanRecord(
+                track, {round_begin, ctx.timestamp(), "round-sparse",
+                        round, obs::SpanCat::kRound});
         }
     }
 
@@ -253,6 +299,7 @@ class FrontierEngine {
         }
         ctx.write(nq.ready.value, nq.used);
         if (me.pending != 0) {
+            obs::counterAdd(ctx, obs::Counter::kActivations, me.pending);
             ctx.fetchAdd(front_[next].value, me.pending);
             me.pending = 0;
         }
@@ -342,6 +389,8 @@ class FrontierEngine {
     int nthreads_;
     FrontierMode mode_;
     std::uint64_t denseThreshold_;
+    /** Previous round's representation (thread 0 only, telemetry). */
+    bool lastDense_ = false;
     AlignedVector<std::uint32_t> flags_[2];
     Padded<std::uint64_t> front_[2];
     std::vector<PerThread> threads_;

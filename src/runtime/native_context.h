@@ -12,6 +12,11 @@
  *   - Mutex, lock(), unlock(), barrier(): synchronization.
  *   - ops(): per-thread instruction-count proxy for the Variability
  *     load-imbalance metric.
+ *   - timestamp(): monotonic time in the context's clock domain
+ *     (native: steady-clock ns; simulator: the thread's local cycle
+ *     clock), used only by the telemetry layer.
+ *   - kSimulated: constexpr bool routing telemetry to the right
+ *     track domain.
  */
 
 #ifndef CRONO_RUNTIME_NATIVE_CONTEXT_H_
@@ -21,6 +26,7 @@
 #include <cstdint>
 #include <type_traits>
 
+#include "obs/telemetry.h"
 #include "runtime/barrier.h"
 #include "runtime/spinlock.h"
 
@@ -30,6 +36,9 @@ namespace crono::rt {
 class NativeCtx {
   public:
     using Mutex = Spinlock;
+
+    /** Telemetry routes native contexts to the worker track domain. */
+    static constexpr bool kSimulated = false;
 
     NativeCtx(int tid, int nthreads, Barrier* barrier)
         : barrier_(barrier), tid_(tid), nthreads_(nthreads)
@@ -100,11 +109,27 @@ class NativeCtx {
     barrier()
     {
         ++ops_;
+        // Telemetry: the dominant sync cost is waiting here, so the
+        // barrier hook lives on the context rather than in every
+        // kernel. Idle-sink cost: one relaxed load + branch.
+        obs::Track* const t =
+            obs::trackFor(obs::sink(), obs::TrackKind::kWorker, tid_);
+        if (t != nullptr) {
+            const std::uint64_t begin = obs::nowNs();
+            barrier_->arriveAndWait();
+            obs::spanRecord(t, {begin, obs::nowNs(), "barrier", 0,
+                                obs::SpanCat::kBarrierWait});
+            obs::counterBump(t, obs::Counter::kBarrierWaits, 1);
+            return;
+        }
         barrier_->arriveAndWait();
     }
 
     /** Instruction-count proxy accumulated by this thread. */
     std::uint64_t ops() const { return ops_; }
+
+    /** Monotonic steady-clock nanoseconds (telemetry clock domain). */
+    std::uint64_t timestamp() const { return obs::nowNs(); }
 
   private:
     template <class T>

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "obs/telemetry.h"
 #include "runtime/instrumentation.h"
 
 namespace crono::sim {
@@ -62,6 +63,53 @@ Machine::run(int nthreads, std::function<void(SimCtx&)> body)
     st.energy = computeEnergy(energyParams_, st.l1i_accesses, st.l1d,
                               st.l2, st.directory, st.network, st.dram);
     lastStats_ = st;
+
+    // Telemetry: one epoch span per software thread on its sim-thread
+    // track (busy = compute cycles, stall = everything else), and one
+    // utilization span per physical core. Emitted after the run is
+    // fully assembled, so the modeled statistics cannot be perturbed.
+    if (obs::Recorder* rec = obs::sink()) {
+        for (int tid = 0; tid < nthreads; ++tid) {
+            ThreadState& ts = threads_[tid];
+            obs::Track* t =
+                obs::trackFor(rec, obs::TrackKind::kSimThread, tid);
+            if (t == nullptr) {
+                continue;
+            }
+            const Breakdown& bd = ts.core->breakdown();
+            const auto busy =
+                static_cast<std::uint64_t>(bd[Component::compute]);
+            const std::uint64_t end = ts.core->now();
+            obs::spanRecord(t, {0, end, "sim-thread", ts.ops,
+                                obs::SpanCat::kSimEpoch});
+            obs::counterBump(t, obs::Counter::kBusyCycles, busy);
+            obs::counterBump(t, obs::Counter::kStallCycles,
+                             end > busy ? end - busy : 0);
+        }
+        for (std::size_t c = 0; c < phys_.size(); ++c) {
+            if (phys_[c].lastThread == -1) {
+                continue; // core never scheduled a thread
+            }
+            obs::Track* t = obs::trackFor(
+                rec, obs::TrackKind::kSimCore, static_cast<int>(c));
+            if (t == nullptr) {
+                continue;
+            }
+            std::uint64_t busy = 0;
+            for (int tid = 0; tid < nthreads; ++tid) {
+                if (threads_[tid].physCore == static_cast<int>(c)) {
+                    busy += static_cast<std::uint64_t>(
+                        threads_[tid].core->breakdown()[Component::compute]);
+                }
+            }
+            obs::spanRecord(t, {0, phys_[c].clock, "core", busy,
+                                obs::SpanCat::kSimEpoch});
+            obs::counterBump(t, obs::Counter::kBusyCycles, busy);
+            obs::counterBump(
+                t, obs::Counter::kStallCycles,
+                phys_[c].clock > busy ? phys_[c].clock - busy : 0);
+        }
+    }
     return st;
 }
 
@@ -177,7 +225,13 @@ Machine::mutexLock(int tid, SimMutex& m)
         return;
     }
     m.waiters.push_back(tid);
+    const std::uint64_t wait_begin = ts.core->now();
     blockCurrent(tid);
+    if (obs::Track* t = obs::trackFor(
+            obs::sink(), obs::TrackKind::kSimThread, tid)) {
+        obs::spanRecord(t, {wait_begin, ts.core->now(), "lock-wait", 0,
+                            obs::SpanCat::kBarrierWait});
+    }
     // The releaser handed the lock to us directly.
     CRONO_ASSERT(m.holder == tid, "lock handoff mismatch");
     // Acquiring RMW after the handoff (the lock line changes hands).
@@ -213,7 +267,14 @@ Machine::regionBarrier(int tid)
                 sizeof(barrierWord_.word), /*is_store=*/true);
     if (++barrierArrived_ < nthreads_) {
         barrierWaiters_.push_back(tid);
+        const std::uint64_t wait_begin = ts.core->now();
         blockCurrent(tid);
+        if (obs::Track* t = obs::trackFor(
+                obs::sink(), obs::TrackKind::kSimThread, tid)) {
+            obs::spanRecord(t, {wait_begin, ts.core->now(), "barrier", 0,
+                                obs::SpanCat::kBarrierWait});
+            obs::counterBump(t, obs::Counter::kBarrierWaits, 1);
+        }
         return;
     }
     // Last arriver releases everyone.

@@ -52,6 +52,9 @@ class SimCtx {
   public:
     using Mutex = SimMutex;
 
+    /** Telemetry routes simulated contexts to the sim track domain. */
+    static constexpr bool kSimulated = true;
+
     SimCtx(Machine* machine, int tid, int nthreads)
         : machine_(machine), tid_(tid), nthreads_(nthreads)
     {
@@ -74,6 +77,12 @@ class SimCtx {
     void unlock(SimMutex& m);
     void barrier();
     std::uint64_t ops() const;
+
+    /**
+     * This thread's local simulated clock in cycles (telemetry clock
+     * domain). Does NOT model any instruction or memory access.
+     */
+    std::uint64_t timestamp() const;
 
   private:
     Machine* machine_;
@@ -125,6 +134,11 @@ class Machine {
     void mutexUnlock(int tid, SimMutex& m);
     void regionBarrier(int tid);
     std::uint64_t threadOps(int tid) const;
+    /** Thread @p tid's local clock (telemetry; no modeling effect). */
+    std::uint64_t threadNow(int tid) const
+    {
+        return threads_[tid].core->now();
+    }
 
   private:
     struct ThreadState {
@@ -233,6 +247,12 @@ inline std::uint64_t
 SimCtx::ops() const
 {
     return machine_->threadOps(tid_);
+}
+
+inline std::uint64_t
+SimCtx::timestamp() const
+{
+    return machine_->threadNow(tid_);
 }
 
 } // namespace crono::sim

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Direct unit tests for the runtime instrumentation primitives:
+ * rt::variability edge cases and the ActiveTracker's stride-doubling
+ * compaction (satellites of the telemetry PR — these were previously
+ * only exercised indirectly through kernel runs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "runtime/instrumentation.h"
+
+namespace {
+
+using crono::rt::ActiveTracker;
+using crono::rt::variability;
+
+// ------------------------------------------------------ variability
+
+TEST(Variability, EmptyInputIsZero)
+{
+    EXPECT_DOUBLE_EQ(variability({}), 0.0);
+}
+
+TEST(Variability, AllZeroCountsAreZero)
+{
+    EXPECT_DOUBLE_EQ(variability({0, 0, 0}), 0.0);
+}
+
+TEST(Variability, SingleElementIsZero)
+{
+    EXPECT_DOUBLE_EQ(variability({0}), 0.0);
+    EXPECT_DOUBLE_EQ(variability({12345}), 0.0);
+}
+
+TEST(Variability, EqualCountsAreZero)
+{
+    EXPECT_DOUBLE_EQ(variability({7, 7, 7, 7}), 0.0);
+}
+
+TEST(Variability, IdleThreadGivesMaximum)
+{
+    // One thread did nothing: (max - 0) / max = 1.
+    EXPECT_DOUBLE_EQ(variability({0, 100}), 1.0);
+}
+
+TEST(Variability, MatchesEquationTwo)
+{
+    EXPECT_DOUBLE_EQ(variability({50, 100}), 0.5);
+    EXPECT_DOUBLE_EQ(variability({100, 80, 60}), 0.4);
+}
+
+// ---------------------------------------------------- ActiveTracker
+
+TEST(ActiveTracker, RecordsEverySampleBeforeCompaction)
+{
+    ActiveTracker tracker(16, 1);
+    for (int i = 0; i < 10; ++i) {
+        tracker.add(1);
+    }
+    EXPECT_EQ(tracker.events(), 10u);
+    const auto samples = tracker.samples();
+    ASSERT_EQ(samples.size(), 10u);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        EXPECT_EQ(samples[i].event, i);
+        EXPECT_EQ(samples[i].active, static_cast<std::int64_t>(i + 1));
+    }
+}
+
+TEST(ActiveTracker, StrideDoublingKeepsUniformSpacing)
+{
+    // 16-slot tracker, stride 1, 50 events. The buffer fills at event
+    // 15; event 16 triggers compaction to every-other sample with
+    // stride 2; event 32 compacts again to stride 4. The surviving
+    // samples are exactly the multiples of the final stride.
+    ActiveTracker tracker(16, 1);
+    for (int i = 0; i < 50; ++i) {
+        tracker.add(1);
+    }
+    const auto samples = tracker.samples();
+    ASSERT_EQ(samples.size(), 13u);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        EXPECT_EQ(samples[i].event, 4 * i);
+        // add(1) per event: the recorded count is event + 1.
+        EXPECT_EQ(samples[i].active,
+                  static_cast<std::int64_t>(4 * i + 1));
+    }
+}
+
+TEST(ActiveTracker, CompactionBoundsTheBuffer)
+{
+    ActiveTracker tracker(16, 1);
+    for (int i = 0; i < 100000; ++i) {
+        tracker.add(i % 2 == 0 ? 2 : -1);
+    }
+    EXPECT_EQ(tracker.events(), 100000u);
+    const auto samples = tracker.samples();
+    EXPECT_LE(samples.size(), 16u);
+    EXPECT_GE(samples.size(), 8u); // compaction halves, never empties
+    // Uniform power-of-two spacing, starting at event 0.
+    ASSERT_GE(samples.size(), 2u);
+    const std::uint64_t stride = samples[1].event - samples[0].event;
+    EXPECT_EQ(samples[0].event, 0u);
+    EXPECT_EQ(stride & (stride - 1), 0u);
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+        EXPECT_EQ(samples[i].event - samples[i - 1].event, stride);
+    }
+}
+
+TEST(ActiveTracker, SamplesAreEventOrdered)
+{
+    ActiveTracker tracker(32, 3);
+    for (int i = 0; i < 500; ++i) {
+        tracker.add(1);
+    }
+    const auto samples = tracker.samples();
+    ASSERT_FALSE(samples.empty());
+    EXPECT_TRUE(std::is_sorted(samples.begin(), samples.end(),
+                               [](const ActiveTracker::Sample& a,
+                                  const ActiveTracker::Sample& b) {
+                                   return a.event < b.event;
+                               }));
+}
+
+TEST(ActiveTracker, ConcurrentAddsLoseNoEvents)
+{
+    ActiveTracker tracker(64, 1);
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&tracker] {
+            for (int i = 0; i < kPerThread; ++i) {
+                tracker.add(1);
+            }
+        });
+    }
+    for (auto& t : threads) {
+        t.join();
+    }
+    EXPECT_EQ(tracker.events(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    const auto samples = tracker.samples();
+    ASSERT_FALSE(samples.empty());
+    for (const auto& s : samples) {
+        EXPECT_GE(s.active, 1);
+        EXPECT_LE(s.active, kThreads * kPerThread);
+    }
+}
+
+// ------------------------------------------------- normalizedSeries
+
+TEST(NormalizedSeries, EmptyTrackerGivesZeros)
+{
+    ActiveTracker tracker(16, 1);
+    const auto series = tracker.normalizedSeries(8);
+    ASSERT_EQ(series.size(), 8u);
+    for (const double v : series) {
+        EXPECT_DOUBLE_EQ(v, 0.0);
+    }
+}
+
+TEST(NormalizedSeries, SingleEventFillsForward)
+{
+    ActiveTracker tracker(16, 1);
+    tracker.add(5);
+    const auto series = tracker.normalizedSeries(4);
+    ASSERT_EQ(series.size(), 4u);
+    // One sample at peak: bucket 0 is 1.0 and carries forward.
+    for (const double v : series) {
+        EXPECT_DOUBLE_EQ(v, 1.0);
+    }
+}
+
+TEST(NormalizedSeries, NegativeCountsClampToZero)
+{
+    ActiveTracker tracker(16, 1);
+    tracker.add(-5); // under-accounting must not produce negatives
+    tracker.add(10);
+    const auto series = tracker.normalizedSeries(4);
+    for (const double v : series) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+    }
+}
+
+TEST(NormalizedSeries, ValuesStayWithinUnitRange)
+{
+    ActiveTracker tracker(64, 1);
+    for (int i = 0; i < 1000; ++i) {
+        tracker.add(i < 500 ? 1 : -1);
+    }
+    const auto series = tracker.normalizedSeries(10);
+    ASSERT_EQ(series.size(), 10u);
+    for (const double v : series) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+    }
+    // Triangle shape: the peak bucket dominates the edges.
+    const double peak = *std::max_element(series.begin(), series.end());
+    EXPECT_GT(peak, series.front() - 1e-9);
+    EXPECT_GT(peak, series.back());
+}
+
+} // namespace

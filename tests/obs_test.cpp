@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Telemetry-layer tests: JSON writer/parser round trips, span ring
+ * semantics, recorder counter aggregation, Chrome-trace export and
+ * the stable report schemas ("crono.metrics.v1" / "crono.bench.v1").
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "core/sssp.h"
+#include "graph/generators.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace_export.h"
+#include "runtime/executor.h"
+
+namespace {
+
+using namespace crono;
+
+// ----------------------------------------------------------- JSON
+
+TEST(JsonWriter, RoundTripsNestedDocument)
+{
+    obs::JsonWriter w;
+    w.beginObject()
+        .key("name")
+        .value("quote\" slash\\ tab\t")
+        .key("count")
+        .value(std::uint64_t{18446744073709551615ull})
+        .key("ratio")
+        .value(0.25)
+        .key("flag")
+        .value(true)
+        .key("nothing")
+        .null()
+        .key("list")
+        .beginArray()
+        .value(1)
+        .value(2)
+        .beginObject()
+        .key("deep")
+        .value(-3.5)
+        .endObject()
+        .endArray()
+        .endObject();
+
+    obs::json::Value v;
+    std::string err;
+    ASSERT_TRUE(obs::json::parse(w.str(), v, &err)) << err;
+    EXPECT_EQ(v.find("name")->str, "quote\" slash\\ tab\t");
+    // u64 max is above 2^53; the parser reads doubles, so only check
+    // that the writer emitted it digit-exactly.
+    EXPECT_NE(w.str().find("18446744073709551615"), std::string::npos);
+    EXPECT_DOUBLE_EQ(v.find("ratio")->num, 0.25);
+    EXPECT_TRUE(v.find("flag")->b);
+    EXPECT_TRUE(v.find("nothing")->isNull());
+    const obs::json::Value* list = v.find("list");
+    ASSERT_TRUE(list != nullptr && list->isArray());
+    ASSERT_EQ(list->arr.size(), 3u);
+    EXPECT_DOUBLE_EQ(list->arr[2].find("deep")->num, -3.5);
+}
+
+TEST(JsonWriter, ClampsNonFiniteDoubles)
+{
+    obs::JsonWriter w;
+    w.beginObject()
+        .key("nan")
+        .value(std::nan(""))
+        .key("inf")
+        .value(HUGE_VAL)
+        .endObject();
+    obs::json::Value v;
+    ASSERT_TRUE(obs::json::parse(w.str(), v, nullptr));
+    EXPECT_DOUBLE_EQ(v.find("nan")->num, 0.0);
+    EXPECT_DOUBLE_EQ(v.find("inf")->num, 0.0);
+}
+
+TEST(JsonParse, RejectsMalformedInput)
+{
+    obs::json::Value v;
+    EXPECT_FALSE(obs::json::parse("{", v, nullptr));
+    EXPECT_FALSE(obs::json::parse("{}extra", v, nullptr));
+    EXPECT_FALSE(obs::json::parse("{\"a\":}", v, nullptr));
+    EXPECT_TRUE(obs::json::parse("[1, 2, 3]", v, nullptr));
+    ASSERT_EQ(v.arr.size(), 3u);
+    EXPECT_EQ(v.arr[1].asU64(), 2u);
+}
+
+// ---------------------------------------------------------- tracks
+
+TEST(Track, RingOverwritesOldestAndCountsDrops)
+{
+    obs::Track t(16);
+    for (std::uint64_t i = 0; i < 40; ++i) {
+        t.record({i, i + 1, "span", i, obs::SpanCat::kRound});
+    }
+    EXPECT_EQ(t.recorded(), 40u);
+    EXPECT_EQ(t.dropped(), 24u);
+    const auto spans = t.spans();
+    ASSERT_EQ(spans.size(), 16u);
+    // Oldest-first, holding the most recent 16 spans (24..39).
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        EXPECT_EQ(spans[i].arg, 24 + i);
+    }
+}
+
+TEST(Recorder, AggregatesCountersAcrossTracks)
+{
+    obs::Recorder rec(64);
+    rec.track(obs::TrackKind::kWorker, 0)
+        ->add(obs::Counter::kRelaxations, 5);
+    rec.track(obs::TrackKind::kWorker, 1)
+        ->add(obs::Counter::kRelaxations, 7);
+    rec.track(obs::TrackKind::kHost, 0)
+        ->add(obs::Counter::kIterations, 2);
+    EXPECT_EQ(rec.totalCounter(obs::Counter::kRelaxations), 12u);
+    EXPECT_EQ(rec.totalCounter(obs::Counter::kIterations), 2u);
+    EXPECT_EQ(rec.totalCounter(obs::Counter::kStealChunks), 0u);
+
+    // Out-of-range tids record nothing instead of crashing.
+    EXPECT_EQ(rec.track(obs::TrackKind::kWorker, -1), nullptr);
+    EXPECT_EQ(rec.track(obs::TrackKind::kWorker,
+                        obs::Recorder::kMaxTracksPerKind),
+              nullptr);
+
+    int tracks = 0;
+    rec.forEachTrack(
+        [&](obs::TrackKind, int, const obs::Track&) { ++tracks; });
+    EXPECT_EQ(tracks, 3);
+}
+
+// ---------------------------------------------------- trace export
+
+TEST(TraceExport, InstrumentedSsspProducesLoadableTrace)
+{
+#if defined(CRONO_TELEMETRY_DISABLED)
+    GTEST_SKIP() << "telemetry compiled out (CRONO_TELEMETRY=OFF)";
+#endif
+    obs::TelemetrySession session;
+    rt::NativeExecutor exec(4);
+    const graph::Graph g = graph::generators::roadNetwork(64, 64, 3);
+    core::sssp(exec, 4, g, 0, nullptr, rt::FrontierMode::kSparse);
+
+    const std::string trace = obs::chromeTraceJson(session.recorder());
+    obs::json::Value v;
+    std::string err;
+    ASSERT_TRUE(obs::json::parse(trace, v, &err)) << err;
+    const obs::json::Value* events = v.find("traceEvents");
+    ASSERT_TRUE(events != nullptr && events->isArray());
+
+    std::set<std::string> cats;
+    std::set<double> pids;
+    for (const obs::json::Value& ev : events->arr) {
+        const obs::json::Value* ph = ev.find("ph");
+        ASSERT_TRUE(ph != nullptr);
+        if (ph->str == "X") {
+            cats.insert(ev.find("cat")->str);
+            pids.insert(ev.find("pid")->num);
+            // Normalized timestamps: non-negative, duration >= 0.
+            EXPECT_GE(ev.find("ts")->num, 0.0);
+            EXPECT_GE(ev.find("dur")->num, 0.0);
+        }
+    }
+    // Acceptance: the trace carries at least round, barrier-wait and
+    // kernel span categories (steals need contention to occur).
+    EXPECT_TRUE(cats.count("round"));
+    EXPECT_TRUE(cats.count("barrier-wait"));
+    EXPECT_TRUE(cats.count("kernel"));
+    // Host and worker tracks land in distinct trace processes.
+    EXPECT_GE(pids.size(), 2u);
+}
+
+TEST(TraceExport, IdleSinkRecordsNothing)
+{
+    // No session installed: kernels run with a null sink.
+    rt::NativeExecutor exec(2);
+    const graph::Graph g = graph::generators::uniformRandom(256, 1024, 8, 1);
+    core::sssp(exec, 2, g, 0);
+
+    obs::Recorder empty;
+    const std::string trace = obs::chromeTraceJson(empty);
+    obs::json::Value v;
+    ASSERT_TRUE(obs::json::parse(trace, v, nullptr));
+    EXPECT_TRUE(v.find("traceEvents")->arr.empty());
+}
+
+// -------------------------------------------------------- schemas
+
+TEST(MetricsReport, RoundTripsThroughSchema)
+{
+#if defined(CRONO_TELEMETRY_DISABLED)
+    GTEST_SKIP() << "telemetry compiled out (CRONO_TELEMETRY=OFF)";
+#endif
+    obs::TelemetrySession session;
+    rt::NativeExecutor exec(2);
+    const graph::Graph g = graph::generators::roadNetwork(32, 32, 5);
+    auto res = core::sssp(exec, 2, g, 0, nullptr,
+                          rt::FrontierMode::kAdaptive);
+
+    obs::MetricsReport report;
+    report.kernel = "SSSP_DIJK";
+    report.graph = "road(32,32)";
+    report.threads = 2;
+    report.frontier_mode = "adaptive";
+    report.setRuntime(res.run);
+    report.rounds = res.rounds;
+    report.setCounters(session.recorder());
+
+    sim::SimRunStats stats;
+    stats.completion_cycles = 12345;
+    stats.l1d.accesses = 1000;
+    stats.l1d.hits = 900;
+    stats.l1d.misses[0] = 60;
+    stats.l1d.misses[1] = 30;
+    stats.l1d.misses[2] = 10;
+    stats.l2.accesses = 100;
+    stats.breakdown[sim::Component::compute] = 5000.0;
+    report.setSim(stats);
+
+    obs::json::Value v;
+    std::string err;
+    ASSERT_TRUE(obs::json::parse(report.toJson(), v, &err)) << err;
+    EXPECT_EQ(v.find("schema")->str, "crono.metrics.v1");
+    EXPECT_EQ(v.find("kernel")->str, "SSSP_DIJK");
+    EXPECT_EQ(v.find("threads")->asU64(), 2u);
+
+    const obs::json::Value* runtime = v.find("runtime");
+    ASSERT_TRUE(runtime != nullptr);
+    EXPECT_GT(runtime->find("time")->num, 0.0);
+    EXPECT_EQ(runtime->find("rounds")->asU64(), res.rounds);
+
+    const obs::json::Value* counters = v.find("counters");
+    ASSERT_TRUE(counters != nullptr && counters->isObject());
+    // Relaxations must be present (the road graph is connected).
+    ASSERT_TRUE(counters->find("relaxations") != nullptr);
+    EXPECT_GT(counters->find("relaxations")->asU64(), 0u);
+
+    const obs::json::Value* simv = v.find("sim");
+    ASSERT_TRUE(simv != nullptr && simv->isObject());
+    EXPECT_EQ(simv->find("completion_cycles")->asU64(), 12345u);
+    const obs::json::Value* l1d = simv->find("l1d");
+    ASSERT_TRUE(l1d != nullptr);
+    EXPECT_EQ(l1d->find("total_misses")->asU64(), 100u);
+    EXPECT_DOUBLE_EQ(l1d->find("miss_rate")->num, 0.1);
+}
+
+TEST(MetricsReport, SimSectionNullWhenAbsent)
+{
+    obs::MetricsReport report;
+    report.kernel = "BFS";
+    obs::json::Value v;
+    ASSERT_TRUE(obs::json::parse(report.toJson(), v, nullptr));
+    EXPECT_TRUE(v.find("sim")->isNull());
+}
+
+TEST(BenchSuite, RoundTripsThroughSchema)
+{
+    obs::BenchResult row;
+    row.name = "sssp/road/sparse/t4";
+    row.kernel = "SSSP_DIJK";
+    row.graph = "road(256,256)";
+    row.vertices = 65536;
+    row.edges = 261120;
+    row.threads = 4;
+    row.mode = "sparse";
+    row.time_seconds = 0.125;
+    row.edges_per_second = 2088960.0;
+    row.variability = 0.05;
+    row.rounds = 700;
+    row.counters.emplace_back("relaxations", 70000u);
+
+    obs::json::Value v;
+    std::string err;
+    ASSERT_TRUE(
+        obs::json::parse(obs::benchSuiteJson({row, row}), v, &err))
+        << err;
+    EXPECT_EQ(v.find("schema")->str, "crono.bench.v1");
+    const obs::json::Value* results = v.find("results");
+    ASSERT_TRUE(results != nullptr && results->isArray());
+    ASSERT_EQ(results->arr.size(), 2u);
+    const obs::json::Value& r0 = results->arr[0];
+    EXPECT_EQ(r0.find("name")->str, "sssp/road/sparse/t4");
+    EXPECT_EQ(r0.find("vertices")->asU64(), 65536u);
+    EXPECT_DOUBLE_EQ(r0.find("time_seconds")->num, 0.125);
+    EXPECT_EQ(r0.find("counters")->find("relaxations")->asU64(), 70000u);
+}
+
+} // namespace
