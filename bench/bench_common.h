@@ -7,6 +7,10 @@
  * Command line: every harness accepts
  *   --quick        quarter-size inputs (CI-friendly)
  *   --seed=N       generator seed (default 42)
+ *   --json=DIR     also write machine-readable crono.metrics.v1
+ *                  reports into DIR, one file per benchmark (see
+ *                  jsonPathFor) — never a single shared file that a
+ *                  multi-kernel sweep would overwrite row by row
  */
 
 #ifndef CRONO_BENCH_BENCH_COMMON_H_
@@ -27,6 +31,7 @@ namespace crono::bench {
 struct Options {
     bool quick = false;
     std::uint64_t seed = 42;
+    std::string json_dir; ///< empty = no JSON reports
 };
 
 inline Options
@@ -38,11 +43,28 @@ parseOptions(int argc, char** argv)
             opt.quick = true;
         } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
             opt.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            opt.json_dir = argv[i] + 7;
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            opt.json_dir = ".";
         } else {
             std::fprintf(stderr, "unknown option: %s\n", argv[i]);
         }
     }
     return opt;
+}
+
+/**
+ * Per-benchmark report path: <json_dir>/<harness>_<bench>.json. Each
+ * (harness, benchmark) pair owns a distinct file so a suite sweep
+ * produces one report per kernel instead of each run clobbering the
+ * previous kernel's output.
+ */
+inline std::string
+jsonPathFor(const Options& opt, const std::string& harness,
+            const std::string& bench_name)
+{
+    return opt.json_dir + "/" + harness + "_" + bench_name + ".json";
 }
 
 /** The workload sizes used for the simulator experiments. */

@@ -145,6 +145,76 @@ BENCHMARK(BM_RoadBfs)
     ->Args({2, 4})
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * Direction-optimization benchmarks: an R-MAT social network (2^14
+ * vertices, edge factor 16, low diameter, power-law degrees) is the
+ * regime where a BFS puts a large fraction of the graph on the front
+ * in two or three heavy middle rounds. Sweeping every FrontierMode —
+ * including kPull and the direction-optimizing kAdaptive — makes the
+ * pull-side win measurable (acceptance: adaptive beats the push-only
+ * modes here).
+ */
+const graph::Graph&
+socialBenchGraph()
+{
+    static const graph::Graph g =
+        graph::generators::socialNetwork(14, 16, 11);
+    return g;
+}
+
+void
+BM_SocialBfs(benchmark::State& state)
+{
+    const rt::FrontierMode mode = benchMode(state);
+    const auto threads = static_cast<int>(state.range(1));
+    rt::NativeExecutor exec(threads);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::bfs(exec, threads, socialBenchGraph(), 0,
+                      graph::kNoVertex, nullptr, mode)
+                .reached);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(socialBenchGraph().numEdges()));
+}
+BENCHMARK(BM_SocialBfs)
+    ->ArgNames({"mode", "threads"})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({3, 1})
+    ->Args({2, 1})
+    ->Args({0, 4})
+    ->Args({1, 4})
+    ->Args({3, 4})
+    ->Args({2, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SocialPagerank(benchmark::State& state)
+{
+    const auto mode = static_cast<core::PageRankMode>(state.range(0));
+    state.SetLabel(core::pageRankModeName(mode));
+    const auto threads = static_cast<int>(state.range(1));
+    rt::NativeExecutor exec(threads);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::pageRank(exec, threads, socialBenchGraph(), 5, 0.15,
+                           nullptr, mode)
+                .rank.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 5 *
+        static_cast<std::int64_t>(socialBenchGraph().numEdges()));
+}
+BENCHMARK(BM_SocialPagerank)
+    ->ArgNames({"mode", "threads"})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({0, 4})
+    ->Args({1, 4})
+    ->Unit(benchmark::kMillisecond);
+
 void
 BM_NativeTriangleCount(benchmark::State& state)
 {
@@ -342,6 +412,36 @@ runJsonSuite(const std::string& path)
                 }));
         }
     }
+    // Direction-optimization rows: all four modes on the social
+    // network (the pull/adaptive headline), plus scatter-vs-gather
+    // PageRank.
+    const graph::Graph& social = socialBenchGraph();
+    const std::string social_name = "social(2^14,ef16)";
+    const rt::FrontierMode social_modes[] = {
+        rt::FrontierMode::kFlagScan, rt::FrontierMode::kSparse,
+        rt::FrontierMode::kPull, rt::FrontierMode::kAdaptive};
+    for (const rt::FrontierMode mode : social_modes) {
+        const std::string mode_name = rt::frontierModeName(mode);
+        rows.push_back(timedEntry(
+            "bfs/social/" + mode_name + "/t4", "BFS", social_name,
+            social, 4, mode_name, [&] {
+                auto res = core::bfs(exec, 4, social, 0,
+                                     graph::kNoVertex, nullptr, mode);
+                return std::pair{res.run, std::uint64_t{0}};
+            }));
+    }
+    for (const core::PageRankMode mode :
+         {core::PageRankMode::kScatter, core::PageRankMode::kGather}) {
+        const std::string mode_name = core::pageRankModeName(mode);
+        rows.push_back(timedEntry(
+            "pagerank/social/" + mode_name + "/t4", "PAGE_RANK",
+            social_name, social, 4, mode_name, [&] {
+                auto res = core::pageRank(exec, 4, social, 5, 0.15,
+                                          nullptr, mode);
+                return std::pair{res.run, std::uint64_t{res.iterations}};
+            }));
+    }
+
     rows.push_back(timedEntry(
         "cc/uniform/flagscan/t4", "CONN_COMP", rnd_name, rnd, 4,
         "flagscan", [&] {

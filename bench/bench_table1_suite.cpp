@@ -2,10 +2,14 @@
  * @file
  * Table I: the benchmark registry — identifiers, categories and
  * parallelization strategies — plus a one-run sanity line per kernel
- * proving each entry executes.
+ * proving each entry executes. With --json=DIR the sweep additionally
+ * writes one crono.metrics.v1 report per kernel (table1_<NAME>.json),
+ * so the ten runs never overwrite each other's output.
  */
 
 #include "bench/bench_common.h"
+
+#include "obs/metrics.h"
 
 int
 main(int argc, char** argv)
@@ -28,11 +32,34 @@ main(int argc, char** argv)
     const core::WorkloadSet set(wc);
     rt::NativeExecutor exec(4);
     std::printf("\nsanity run (native, 4 threads):\n");
+    int failures = 0;
     for (const auto& info : core::allBenchmarks()) {
-        const auto run = core::runBenchmark(info.id, exec, 4,
-                                            set.forBenchmark(info.id));
+        const core::Workload w = set.forBenchmark(info.id);
+        // Fresh session per kernel: each report carries only its own
+        // counters.
+        obs::TelemetrySession session;
+        const auto run = core::runBenchmark(info.id, exec, 4, w);
         std::printf("  %-12s %8.2f ms  variability %.2f\n", info.name,
                     run.time * 1e3, run.variability);
+        if (opt.json_dir.empty()) {
+            continue;
+        }
+        obs::MetricsReport report;
+        report.kernel = info.name;
+        report.graph = "workload(sanity)";
+        report.threads = 4;
+        report.frontier_mode = rt::frontierModeName(w.frontier_mode);
+        report.setRuntime(run);
+        report.setCounters(session.recorder());
+        const std::string path =
+            bench::jsonPathFor(opt, "table1", info.name);
+        if (report.writeJson(path)) {
+            std::printf("  %-12s wrote %s\n", "", path.c_str());
+        } else {
+            std::fprintf(stderr, "table1: cannot write %s\n",
+                         path.c_str());
+            ++failures;
+        }
     }
-    return 0;
+    return failures == 0 ? 0 : 1;
 }

@@ -1,18 +1,29 @@
 #!/bin/bash
 # Regenerate every table and figure; see EXPERIMENTS.md for the index.
 #
-# Usage: run_benches.sh [--json] [args passed to every bench]
-#   --json   also write BENCH_micro.json (bench_micro --json) next to
-#            this script.
+# Usage: run_benches.sh [--json[=DIR]] [args passed to every bench]
+#   --json[=DIR]  write machine-readable reports into DIR (default:
+#                 alongside this script), one file per benchmark:
+#                 bench_micro writes DIR/BENCH_micro.json
+#                 (crono.bench.v1) and every harness receives
+#                 --json=DIR so multi-kernel sweeps (bench_table1_suite)
+#                 emit one crono.metrics.v1 file per kernel instead of
+#                 overwriting a single shared path.
 #
 # Exits nonzero if any bench failed, with a summary of the failures.
 set -u
 cd "$(dirname "$0")"
 
-write_json=0
-if [ "${1:-}" = "--json" ]; then
-  write_json=1
-  shift
+json_dir=""
+case "${1:-}" in
+  --json)   json_dir="."; shift ;;
+  --json=*) json_dir="${1#--json=}"; shift ;;
+esac
+
+json_args=()
+if [ -n "$json_dir" ]; then
+  mkdir -p "$json_dir"
+  json_args=("--json=$json_dir")
 fi
 
 failed=()
@@ -24,8 +35,9 @@ for b in build/bench/bench_table1_suite build/bench/bench_fig1_breakdown \
          build/bench/bench_table4_graphs build/bench/bench_ablation_ackwise \
          build/bench/bench_ablation_locality build/bench/bench_ablation_noc; do
   echo "================================================================"
-  echo "### $b $*"
-  "$b" "$@" || { echo "FAILED: $b"; failed+=("$b"); }
+  echo "### $b ${json_args[*]:-} $*"
+  "$b" ${json_args[@]+"${json_args[@]}"} "$@" \
+    || { echo "FAILED: $b"; failed+=("$b"); }
   echo
 done
 
@@ -33,9 +45,9 @@ echo "### build/bench/bench_micro (microbenchmarks)"
 build/bench/bench_micro --benchmark_min_time=0.2 \
   || { echo "FAILED: bench_micro"; failed+=(bench_micro); }
 
-if [ "$write_json" = 1 ]; then
-  echo "### build/bench/bench_micro --json BENCH_micro.json"
-  build/bench/bench_micro --json BENCH_micro.json \
+if [ -n "$json_dir" ]; then
+  echo "### build/bench/bench_micro --json $json_dir/BENCH_micro.json"
+  build/bench/bench_micro --json "$json_dir/BENCH_micro.json" \
     || { echo "FAILED: bench_micro --json"; failed+=("bench_micro --json"); }
 fi
 

@@ -2,12 +2,14 @@
  * @file
  * All Pairs Shortest Path (Section III-2).
  *
- * Parallelization: vertex capture. Each thread atomically captures a
- * source vertex, runs an O(V^2) single-source shortest-path solve over
- * the adjacency-matrix representation using its own private distance
- * and visited arrays (the paper notes these per-thread structures are
- * what thrash the L1), then writes the finished row into the global
- * distance matrix and captures the next source.
+ * Parallelization: vertex capture (par::vertexMapCapture). Each
+ * thread atomically captures a source vertex, runs an O(V^2)
+ * single-source shortest-path solve over the adjacency-matrix
+ * representation using its own private distance and visited lanes of
+ * a par::ScratchArena (the paper notes these per-thread structures
+ * are what thrash the L1 — the arena allocates them once and the
+ * solves re-touch them per source), then writes the finished row into
+ * the global distance matrix and captures the next source.
  */
 
 #ifndef CRONO_CORE_APSP_H_
@@ -18,9 +20,10 @@
 
 #include "core/context.h"
 #include "graph/adjacency_matrix.h"
+#include "obs/telemetry.h"
 #include "runtime/executor.h"
 #include "runtime/frontier.h"
-#include "runtime/strategies.h"
+#include "runtime/par.h"
 
 namespace crono::core {
 
@@ -37,6 +40,10 @@ struct ApspResult {
     }
 };
 
+/** Scratch-arena lane indices of the per-thread solve working set. */
+inline constexpr int kApspDistLane = 0;
+inline constexpr int kApspVisitedLane = 1;
+
 /** Shared APSP state. */
 template <class Ctx>
 struct ApspState {
@@ -47,26 +54,17 @@ struct ApspState {
           dist(static_cast<std::size_t>(n) * n, graph::kInfDist),
           scratch(nthreads), mode(mode_in), tracker(tracker_in)
     {
-        for (auto& sc : scratch) {
-            sc.dist.assign(n, graph::kInfDist);
-            sc.visited.assign(n, 0);
-        }
         if (mode != rt::FrontierMode::kFlagScan) {
             worklists.assign(static_cast<std::size_t>(nthreads),
                              rt::LocalWorklist(n));
         }
     }
 
-    /** Private working set of one thread (deliberately L1-hungry). */
-    struct Scratch {
-        AlignedVector<graph::Dist> dist;
-        AlignedVector<std::uint8_t> visited;
-    };
-
     const graph::AdjacencyMatrix& m;
     graph::VertexId n;
     AlignedVector<graph::Dist> dist;
-    std::vector<Scratch> scratch;
+    /** Private per-thread working sets (deliberately L1-hungry). */
+    rt::par::ScratchArena scratch;
     /** Per-thread work lists for the label-correcting solve. */
     std::vector<rt::LocalWorklist> worklists;
     rt::CaptureCounter counter;
@@ -75,38 +73,44 @@ struct ApspState {
 };
 
 /**
- * O(V^2) Dijkstra from @p src into the thread's scratch arrays; every
+ * O(V^2) Dijkstra from @p src into the thread's scratch lanes; every
  * matrix/scratch element access is modeled through @p ctx.
+ *
+ * @return vertices settled (telemetry: expansions).
  */
 template <class Ctx>
-void
+std::uint64_t
 apspSolveSource(Ctx& ctx, ApspState<Ctx>& s, graph::VertexId src)
 {
-    auto& local = s.scratch[ctx.tid()];
     const graph::VertexId n = s.n;
+    graph::Dist* ldist =
+        s.scratch.template lane<graph::Dist>(ctx.tid(), kApspDistLane, n);
+    std::uint8_t* lvis = s.scratch.template lane<std::uint8_t>(
+        ctx.tid(), kApspVisitedLane, n);
 
     for (graph::VertexId v = 0; v < n; ++v) {
-        ctx.write(local.dist[v], graph::kInfDist);
-        ctx.write(local.visited[v], std::uint8_t{0});
+        ctx.write(ldist[v], graph::kInfDist);
+        ctx.write(lvis[v], std::uint8_t{0});
     }
-    ctx.write(local.dist[src], graph::Dist{0});
+    ctx.write(ldist[src], graph::Dist{0});
 
+    std::uint64_t settled = 0;
     for (graph::VertexId iter = 0; iter < n; ++iter) {
         // Select the nearest unvisited vertex by linear scan.
         graph::VertexId u = graph::kNoVertex;
         graph::Dist best = graph::kInfDist;
         for (graph::VertexId v = 0; v < n; ++v) {
             ctx.work(1);
-            if (ctx.read(local.visited[v]) == 0 &&
-                ctx.read(local.dist[v]) < best) {
-                best = ctx.read(local.dist[v]);
+            if (ctx.read(lvis[v]) == 0 && ctx.read(ldist[v]) < best) {
+                best = ctx.read(ldist[v]);
                 u = v;
             }
         }
         if (u == graph::kNoVertex) {
             break; // remaining vertices unreachable
         }
-        ctx.write(local.visited[u], std::uint8_t{1});
+        ctx.write(lvis[u], std::uint8_t{1});
+        ++settled;
 
         // Relax the full adjacency-matrix row of u.
         const graph::Weight* row = s.m.row(u).data();
@@ -117,8 +121,8 @@ apspSolveSource(Ctx& ctx, ApspState<Ctx>& s, graph::VertexId src)
                 continue;
             }
             const graph::Dist cand = best + w;
-            if (cand < ctx.read(local.dist[v])) {
-                ctx.write(local.dist[v], cand);
+            if (cand < ctx.read(ldist[v])) {
+                ctx.write(ldist[v], cand);
             }
         }
     }
@@ -126,40 +130,48 @@ apspSolveSource(Ctx& ctx, ApspState<Ctx>& s, graph::VertexId src)
     // Publish the finished row; rows are disjoint so no locks needed.
     graph::Dist* out = s.dist.data() + static_cast<std::size_t>(src) * n;
     for (graph::VertexId v = 0; v < n; ++v) {
-        ctx.write(out[v], ctx.read(local.dist[v]));
+        ctx.write(out[v], ctx.read(ldist[v]));
     }
+    return settled;
 }
 
 /**
  * Work-list forward pass (kSparse / kAdaptive): the O(V) scan-min
  * selection of the flag-scan Dijkstra is replaced by label-correcting
  * pops from a private FIFO (rt::LocalWorklist), with the scratch
- * visited array reused as the in-list marker. On sparse inputs the
+ * visited lane reused as the in-list marker. On sparse inputs the
  * solve touches only rows whose distance actually changed instead of
  * performing V scan+relax sweeps. Distances are unique, so the
  * published rows are bit-for-bit those of the flag-scan solve.
+ *
+ * @return vertices popped (telemetry: expansions).
  */
 template <class Ctx>
-void
+std::uint64_t
 apspSolveSourceWorklist(Ctx& ctx, ApspState<Ctx>& s, graph::VertexId src)
 {
-    auto& local = s.scratch[ctx.tid()];
-    rt::LocalWorklist& wl = s.worklists[ctx.tid()];
     const graph::VertexId n = s.n;
+    graph::Dist* ldist =
+        s.scratch.template lane<graph::Dist>(ctx.tid(), kApspDistLane, n);
+    std::uint8_t* lvis = s.scratch.template lane<std::uint8_t>(
+        ctx.tid(), kApspVisitedLane, n);
+    rt::LocalWorklist& wl = s.worklists[ctx.tid()];
 
     for (graph::VertexId v = 0; v < n; ++v) {
-        ctx.write(local.dist[v], graph::kInfDist);
-        ctx.write(local.visited[v], std::uint8_t{0}); // in-list marker
+        ctx.write(ldist[v], graph::kInfDist);
+        ctx.write(lvis[v], std::uint8_t{0}); // in-list marker
     }
-    ctx.write(local.dist[src], graph::Dist{0});
+    ctx.write(ldist[src], graph::Dist{0});
     wl.clear();
     wl.push(ctx, src);
-    ctx.write(local.visited[src], std::uint8_t{1});
+    ctx.write(lvis[src], std::uint8_t{1});
 
+    std::uint64_t popped = 0;
     while (!wl.empty()) {
         const auto u = static_cast<graph::VertexId>(wl.pop(ctx));
-        ctx.write(local.visited[u], std::uint8_t{0});
-        const graph::Dist du = ctx.read(local.dist[u]);
+        ++popped;
+        ctx.write(lvis[u], std::uint8_t{0});
+        const graph::Dist du = ctx.read(ldist[u]);
         const graph::Weight* row = s.m.row(u).data();
         for (graph::VertexId v = 0; v < n; ++v) {
             const graph::Weight w = ctx.read(row[v]);
@@ -168,10 +180,10 @@ apspSolveSourceWorklist(Ctx& ctx, ApspState<Ctx>& s, graph::VertexId src)
                 continue;
             }
             const graph::Dist cand = du + w;
-            if (cand < ctx.read(local.dist[v])) {
-                ctx.write(local.dist[v], cand);
-                if (ctx.read(local.visited[v]) == 0) {
-                    ctx.write(local.visited[v], std::uint8_t{1});
+            if (cand < ctx.read(ldist[v])) {
+                ctx.write(ldist[v], cand);
+                if (ctx.read(lvis[v]) == 0) {
+                    ctx.write(lvis[v], std::uint8_t{1});
                     wl.push(ctx, v);
                 }
             }
@@ -180,8 +192,9 @@ apspSolveSourceWorklist(Ctx& ctx, ApspState<Ctx>& s, graph::VertexId src)
 
     graph::Dist* out = s.dist.data() + static_cast<std::size_t>(src) * n;
     for (graph::VertexId v = 0; v < n; ++v) {
-        ctx.write(out[v], ctx.read(local.dist[v]));
+        ctx.write(out[v], ctx.read(ldist[v]));
     }
+    return popped;
 }
 
 template <class Ctx>
@@ -189,20 +202,20 @@ void
 apspKernel(Ctx& ctx, ApspState<Ctx>& s)
 {
     const bool worklist = s.mode != rt::FrontierMode::kFlagScan;
-    for (;;) {
-        const std::uint64_t src = rt::captureNext(ctx, s.counter, s.n);
-        if (src == rt::kCaptureDone) {
-            break;
-        }
-        trackAdd(s.tracker, 1);
-        if (worklist) {
-            apspSolveSourceWorklist(ctx, s,
-                                    static_cast<graph::VertexId>(src));
-        } else {
-            apspSolveSource(ctx, s, static_cast<graph::VertexId>(src));
-        }
-        trackAdd(s.tracker, -1);
-    }
+    std::uint64_t expansions = 0;
+    rt::par::vertexMapCapture(
+        ctx, s.counter, s.n, [&](std::uint64_t src) {
+            trackAdd(s.tracker, 1);
+            if (worklist) {
+                expansions += apspSolveSourceWorklist(
+                    ctx, s, static_cast<graph::VertexId>(src));
+            } else {
+                expansions += apspSolveSource(
+                    ctx, s, static_cast<graph::VertexId>(src));
+            }
+            trackAdd(s.tracker, -1);
+        });
+    obs::counterAdd(ctx, obs::Counter::kExpansions, expansions);
 }
 
 /**
@@ -220,6 +233,7 @@ apsp(Exec& exec, int nthreads, const graph::AdjacencyMatrix& m,
      rt::FrontierMode mode = rt::FrontierMode::kFlagScan)
 {
     using Ctx = typename Exec::Ctx;
+    obs::ScopedHostSpan kernel_span("APSP", m.numVertices());
     ApspState<Ctx> state(m, nthreads, tracker, mode);
     rt::RunInfo info = exec.parallel(
         nthreads, [&state](Ctx& ctx) { apspKernel(ctx, state); });

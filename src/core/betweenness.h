@@ -3,11 +3,10 @@
  * Betweenness Centrality (Section III-3).
  *
  * Parallelization: vertex capture for the APSP phase, then a barrier,
- * then an outer-loop (statically divided) pass that, for every vertex
- * v, counts the shortest paths passing through v by testing
- * dist(s,t) == dist(s,v) + dist(v,t) over all pairs — the paper's
- * formulation built directly on the APSP results. Centrality updates
- * go through vertex locks as described in the paper.
+ * then an outer-loop (statically divided, par::vertexMap) pass that,
+ * for every vertex v, counts the shortest paths passing through v by
+ * testing dist(s,t) == dist(s,v) + dist(v,t) over all pairs — the
+ * paper's formulation built directly on the APSP results.
  */
 
 #ifndef CRONO_CORE_BETWEENNESS_H_
@@ -16,7 +15,7 @@
 #include <utility>
 
 #include "core/apsp.h"
-#include "runtime/partition.h"
+#include "runtime/par.h"
 
 namespace crono::core {
 
@@ -33,14 +32,12 @@ struct BetweennessState {
                      rt::ActiveTracker* tracker_in,
                      rt::FrontierMode mode = rt::FrontierMode::kFlagScan)
         : apsp(m, nthreads, tracker_in, mode),
-          centrality(m.numVertices(), 0),
-          locks(m.numVertices()), tracker(tracker_in)
+          centrality(m.numVertices(), 0), tracker(tracker_in)
     {
     }
 
     ApspState<Ctx> apsp;
     AlignedVector<std::uint64_t> centrality;
-    LockStripe<Ctx> locks;
     rt::ActiveTracker* tracker;
 };
 
@@ -54,13 +51,16 @@ betweennessKernel(Ctx& ctx, BetweennessState<Ctx>& s)
 
     // Phase 2: centrality accumulation (static outer-loop division).
     // The end-of-run spike in Figure 2's BETW_CENT curve is this pass.
+    // centrality[v] is written only by v's owner under the static
+    // division, so the accumulation needs no lock — each count is an
+    // owner-exclusive store.
     const graph::VertexId n = s.apsp.n;
     const graph::Dist* dist = s.apsp.dist.data();
-    const rt::Range range =
-        rt::blockPartition(n, ctx.tid(), ctx.nthreads());
-    for (std::uint64_t vi = range.begin; vi < range.end; ++vi) {
+    std::uint64_t expansions = 0;
+    rt::par::vertexMap(ctx, n, [&](std::uint64_t vi) {
         const auto v = static_cast<graph::VertexId>(vi);
         trackAdd(s.tracker, 1);
+        ++expansions;
         std::uint64_t through = 0;
         const graph::Dist* row_v = dist + static_cast<std::size_t>(v) * n;
         for (graph::VertexId a = 0; a < n; ++a) {
@@ -87,13 +87,11 @@ betweennessKernel(Ctx& ctx, BetweennessState<Ctx>& s)
                 }
             }
         }
-        {
-            ScopedLock<Ctx> guard(ctx, s.locks.of(v));
-            ctx.write(s.centrality[v],
-                      ctx.read(s.centrality[v]) + through);
-        }
+        ctx.write(s.centrality[v],
+                  ctx.read(s.centrality[v]) + through);
         trackAdd(s.tracker, -1);
-    }
+    });
+    obs::counterAdd(ctx, obs::Counter::kExpansions, expansions);
 }
 
 /**
@@ -112,6 +110,7 @@ betweenness(Exec& exec, int nthreads, const graph::AdjacencyMatrix& m,
             rt::FrontierMode mode = rt::FrontierMode::kFlagScan)
 {
     using Ctx = typename Exec::Ctx;
+    obs::ScopedHostSpan kernel_span("BETW_CENT", m.numVertices());
     BetweennessState<Ctx> state(m, nthreads, tracker, mode);
     rt::RunInfo info = exec.parallel(
         nthreads, [&state](Ctx& ctx) { betweennessKernel(ctx, state); });

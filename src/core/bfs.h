@@ -2,13 +2,36 @@
  * @file
  * Breadth First Search (Section III-4).
  *
- * Parallelization: graph division with a barrier per level hop.
- * Per-vertex "active" flags mark the current level's frontier; each
- * thread scans its static vertex block, expands its active vertices
- * and claims undiscovered neighbors with an atomic flag. Optionally
- * stops early once a target vertex is reached (the paper frames BFS
- * as a search); by default traverses the whole component producing
- * BFS levels and a parent tree.
+ * Parallelization: graph division with a barrier per level hop. The
+ * current level's frontier lives in a rt::FrontierEngine; each round
+ * is consumed through the rt::par edge maps in the direction the
+ * engine plans for it:
+ *
+ *  - push (par::edgeMapPush): front vertices expand their out-edges
+ *    and claim undiscovered neighbors — flag-scan of the static
+ *    vertex block in the paper's kFlagScan structure, chunked work
+ *    lists with stealing in kSparse/kAdaptive. Discovery claims go
+ *    through FrontierEngine::activateClaim, whose flag fetch-and-add
+ *    doubles as the claim (the level array is the cheap
+ *    already-visited filter), so the separate `claimed` array of
+ *    CRONO's released kernel disappears — one RMW replaces
+ *    claim + flag read + flag write, with the same winner-takes-the-
+ *    vertex race.
+ *  - pull (par::edgeMapPull, heavy kAdaptive rounds / kPull):
+ *    undiscovered vertices scan their own neighbors against the
+ *    front bitmap and adopt the first in-front neighbor as parent,
+ *    stopping the scan there. On the heavy middle levels of a
+ *    power-law traversal (most of the graph on the front at once)
+ *    that first-hit exit skips the vast majority of edge work the
+ *    push direction would burn on already-claimed destinations —
+ *    this is the direction-optimizing BFS of Beamer et al., keyed on
+ *    rt::pullFrontThreshold.
+ *
+ * Optionally stops early once a target vertex is reached (the paper
+ * frames BFS as a search); by default traverses the whole component
+ * producing BFS levels and a parent tree. The stop decision is
+ * snapshotted between the round barriers so every thread breaks
+ * together, in every mode.
  */
 
 #ifndef CRONO_CORE_BFS_H_
@@ -21,7 +44,7 @@
 #include "obs/telemetry.h"
 #include "runtime/executor.h"
 #include "runtime/frontier.h"
-#include "runtime/partition.h"
+#include "runtime/par.h"
 
 namespace crono::core {
 
@@ -41,120 +64,12 @@ struct BfsResult {
 template <class Ctx>
 struct BfsState {
     BfsState(const graph::Graph& graph, graph::VertexId source,
-             graph::VertexId target_in, rt::ActiveTracker* tracker_in)
+             graph::VertexId target_in, int nthreads,
+             rt::FrontierMode mode, rt::ActiveTracker* tracker_in)
         : g(graph), level(graph.numVertices(), kNoLevel),
           parent(graph.numVertices(), graph::kNoVertex),
-          claimed(graph.numVertices(), 0), target(target_in),
-          tracker(tracker_in)
-    {
-        CRONO_REQUIRE(source < graph.numVertices(), "bad BFS source");
-        active[0].assign(graph.numVertices(), 0);
-        active[1].assign(graph.numVertices(), 0);
-        level[source] = 0;
-        parent[source] = source;
-        claimed[source] = 1;
-        active[0][source] = 1;
-        discovered[0].value = 1;
-        trackAdd(tracker, 1);
-    }
-
-    const graph::Graph& g;
-    AlignedVector<std::uint32_t> level;
-    AlignedVector<graph::VertexId> parent;
-    AlignedVector<std::uint32_t> claimed;
-    /** Frontier flags, indexed by level parity. */
-    AlignedVector<std::uint32_t> active[2];
-    /** Frontier sizes, same parity indexing. */
-    Padded<std::uint64_t> discovered[2];
-    Padded<std::uint64_t> reached;
-    Padded<std::uint32_t> found;
-    graph::VertexId target;
-    rt::ActiveTracker* tracker;
-};
-
-template <class Ctx>
-void
-bfsKernel(Ctx& ctx, BfsState<Ctx>& s)
-{
-    const graph::EdgeId* offsets = s.g.rawOffsets().data();
-    const graph::VertexId* neighbors = s.g.rawNeighbors().data();
-    const rt::Range range =
-        rt::blockPartition(s.g.numVertices(), ctx.tid(), ctx.nthreads());
-
-    obs::Track* const track =
-        obs::trackFor(obs::sink(), obs::ctxTrackKind<Ctx>, ctx.tid());
-    std::uint64_t expansions = 0;
-
-    for (std::uint32_t depth = 0;; ++depth) {
-        const std::uint64_t round_begin =
-            track != nullptr ? ctx.timestamp() : 0;
-        std::uint32_t* cur = s.active[depth % 2].data();
-        std::uint32_t* nxt = s.active[(depth + 1) % 2].data();
-        std::uint64_t local_found = 0;
-
-        for (std::uint64_t vi = range.begin; vi < range.end; ++vi) {
-            const auto u = static_cast<graph::VertexId>(vi);
-            if (ctx.read(cur[u]) == 0) {
-                continue;
-            }
-            ctx.write(cur[u], 0u);
-            ctx.fetchAdd(s.reached.value, std::uint64_t{1});
-            trackAdd(s.tracker, -1);
-            ++expansions;
-            if (u == s.target) {
-                ctx.write(s.found.value, 1u);
-            }
-            const graph::EdgeId beg = ctx.read(offsets[u]);
-            const graph::EdgeId end = ctx.read(offsets[u + 1]);
-            for (graph::EdgeId e = beg; e < end; ++e) {
-                const graph::VertexId v = ctx.read(neighbors[e]);
-                ctx.work(1);
-                if (ctx.read(s.claimed[v]) != 0) {
-                    continue;
-                }
-                if (ctx.fetchAdd(s.claimed[v], 1u) == 0) {
-                    ctx.write(s.level[v], depth + 1);
-                    ctx.write(s.parent[v], u);
-                    ctx.write(nxt[v], 1u);
-                    ++local_found;
-                    trackAdd(s.tracker, 1);
-                }
-            }
-        }
-        if (track != nullptr) {
-            obs::spanRecord(
-                track, {round_begin, ctx.timestamp(), "round-scan",
-                        depth, obs::SpanCat::kRound});
-        }
-        if (local_found > 0) {
-            ctx.fetchAdd(s.discovered[(depth + 1) % 2].value, local_found);
-        }
-        ctx.barrier();
-        const std::uint64_t next_front =
-            ctx.read(s.discovered[(depth + 1) % 2].value);
-        const bool stop = ctx.read(s.found.value) != 0;
-        if (ctx.tid() == 0) {
-            ctx.write(s.discovered[depth % 2].value, std::uint64_t{0});
-        }
-        ctx.barrier();
-        if (next_front == 0 || stop) {
-            break;
-        }
-    }
-    if (track != nullptr) {
-        obs::counterBump(track, obs::Counter::kExpansions, expansions);
-    }
-}
-
-/** BFS state for the work-list engine path (kSparse / kAdaptive). */
-template <class Ctx>
-struct BfsFrontierState {
-    BfsFrontierState(const graph::Graph& graph, graph::VertexId source,
-                     graph::VertexId target_in, int nthreads,
-                     rt::FrontierMode mode, rt::ActiveTracker* tracker_in)
-        : g(graph), level(graph.numVertices(), kNoLevel),
-          parent(graph.numVertices(), graph::kNoVertex),
-          frontier(graph.numVertices(), graph.numEdges(), nthreads, mode),
+          frontier(graph.numVertices(), graph.numEdges(), nthreads,
+                   mode),
           target(target_in), tracker(tracker_in)
     {
         CRONO_REQUIRE(source < graph.numVertices(), "bad BFS source");
@@ -175,23 +90,18 @@ struct BfsFrontierState {
 };
 
 /**
- * Frontier-engine BFS body: same level-synchronous expansion with
- * atomic claims, but levels are consumed from work lists (or the
- * dense bitmap on adaptive heavy levels) instead of full block scans.
- * Two further savings over the flag-scan structure: discovery claims
- * go through FrontierEngine::activateClaim, whose flag fetch-and-add
- * doubles as the claim (the level array is the cheap already-visited
- * filter, so the separate claimed array disappears), and per-vertex
- * visit counting is accumulated locally and published once per
- * thread — the result is identical, without a shared counter RMW per
- * visited vertex.
+ * Kernel body; all threads execute this with the shared state.
+ *
+ * "Found" means the target was *consumed* from a front (push: its
+ * expansion ran; pull: it was a member of the round's front), so the
+ * stop round is the same in every mode and the level/parent arrays
+ * always hold the completed rounds' full discoveries.
  */
 template <class Ctx>
 void
-bfsFrontierKernel(Ctx& ctx, BfsFrontierState<Ctx>& s)
+bfsKernel(Ctx& ctx, BfsState<Ctx>& s)
 {
-    const graph::EdgeId* offsets = s.g.rawOffsets().data();
-    const graph::VertexId* neighbors = s.g.rawNeighbors().data();
+    const rt::par::Csr csr = rt::par::csrOf(s.g);
 
     obs::Track* const track =
         obs::trackFor(obs::sink(), obs::ctxTrackKind<Ctx>, ctx.tid());
@@ -199,34 +109,71 @@ bfsFrontierKernel(Ctx& ctx, BfsFrontierState<Ctx>& s)
     std::uint64_t front = s.frontier.initialFrontSize();
     std::uint64_t local_reached = 0;
     for (std::uint32_t depth = 0; front != 0; ++depth) {
-        const bool dense = s.frontier.denseRound(front);
-        s.frontier.processCurrent(
-            ctx, depth, dense, [&](graph::VertexId u) {
-                ++local_reached;
-                trackAdd(s.tracker, -1);
-                if (u == s.target) {
+        const rt::RoundPlan plan =
+            s.frontier.planRound(front, /*allow_pull=*/true);
+        if (plan == rt::RoundPlan::kPull) {
+            if (ctx.tid() == 0) {
+                // The whole front is consumed this round; account it
+                // here since no per-vertex push expansion runs.
+                local_reached += front;
+                trackAdd(s.tracker,
+                         -static_cast<std::int64_t>(front));
+                if (s.target < s.g.numVertices() &&
+                    s.frontier.inCurrent(ctx, depth, s.target)) {
                     ctx.write(s.found.value, 1u);
                 }
-                const graph::EdgeId beg = ctx.read(offsets[u]);
-                const graph::EdgeId end = ctx.read(offsets[u + 1]);
-                for (graph::EdgeId e = beg; e < end; ++e) {
-                    const graph::VertexId v = ctx.read(neighbors[e]);
+            }
+            rt::par::edgeMapPull(
+                ctx, csr, s.frontier, depth,
+                [&](graph::VertexId v) {
+                    return ctx.read(s.level[v]) == kNoLevel;
+                },
+                [&](graph::VertexId v, graph::VertexId u,
+                    graph::EdgeId) {
+                    // First in-front neighbor wins (deterministic:
+                    // CSR order). v is owner-exclusive, no claim RMW.
+                    ctx.write(s.level[v], depth + 1);
+                    ctx.write(s.parent[v], u);
+                    s.frontier.activate(ctx, depth, v);
+                    trackAdd(s.tracker, 1);
+                    return true; // stop scanning v
+                },
+                [](graph::VertexId) {});
+        } else {
+            rt::par::edgeMapPush(
+                ctx, csr, s.frontier, depth,
+                plan == rt::RoundPlan::kDensePush,
+                [&](graph::VertexId u) {
+                    ++local_reached;
+                    trackAdd(s.tracker, -1);
+                    if (u == s.target) {
+                        ctx.write(s.found.value, 1u);
+                    }
+                    return true;
+                },
+                [&](graph::VertexId u, graph::VertexId v,
+                    graph::EdgeId) {
                     ctx.work(1);
                     if (ctx.read(s.level[v]) != kNoLevel) {
-                        continue; // visited in an earlier level
+                        return; // visited in an earlier level
                     }
                     if (s.frontier.activateClaim(ctx, depth, v)) {
                         ctx.write(s.level[v], depth + 1);
                         ctx.write(s.parent[v], u);
                         trackAdd(s.tracker, 1);
                     }
-                }
-            });
+                });
+        }
         bool stop = false;
         front = s.frontier.advance(ctx, depth, [&] {
             // Between the barriers the round is quiesced, so every
             // thread snapshots the same value and breaks together.
             stop = ctx.read(s.found.value) != 0;
+            if (plan == rt::RoundPlan::kPull) {
+                // Pull rounds never consume their flags; wipe this
+                // thread's block before the parity is reused.
+                s.frontier.clearCurrentBlock(ctx, depth);
+            }
         });
         if (stop) {
             break;
@@ -247,7 +194,8 @@ bfsFrontierKernel(Ctx& ctx, BfsFrontierState<Ctx>& s)
  *
  * @param mode frontier representation; kFlagScan (default) is the
  *             paper's structure, kSparse/kAdaptive run on the
- *             rt::FrontierEngine work lists
+ *             rt::FrontierEngine work lists, with kAdaptive also
+ *             taking heavy rounds pull-side (direction optimization)
  */
 template <class Exec>
 BfsResult
@@ -258,19 +206,12 @@ bfs(Exec& exec, int nthreads, const graph::Graph& g,
 {
     using Ctx = typename Exec::Ctx;
     obs::ScopedHostSpan kernel_span("BFS", g.numVertices());
-    if (mode == rt::FrontierMode::kFlagScan) {
-        BfsState<Ctx> state(g, source, target, tracker);
-        rt::RunInfo info = exec.parallel(
-            nthreads, [&state](Ctx& ctx) { bfsKernel(ctx, state); });
-        return BfsResult{std::move(state.level), std::move(state.parent),
-                         state.reached.value, state.found.value != 0,
-                         std::move(info)};
-    }
-    BfsFrontierState<Ctx> state(g, source, target, nthreads, mode,
-                                tracker);
+    BfsState<Ctx> state(g, source, target, nthreads, mode, tracker);
     rt::RunInfo info = exec.parallel(
-        nthreads, [&state](Ctx& ctx) { bfsFrontierKernel(ctx, state); });
-    state.frontier.applyRoundStats(info);
+        nthreads, [&state](Ctx& ctx) { bfsKernel(ctx, state); });
+    if (mode != rt::FrontierMode::kFlagScan) {
+        state.frontier.applyRoundStats(info);
+    }
     return BfsResult{std::move(state.level), std::move(state.parent),
                      state.reached.value, state.found.value != 0,
                      std::move(info)};

@@ -4,15 +4,21 @@
  * Louvain-style modularity optimization.
  *
  * Parallelization (Table I: Vertex Capture & Graph Division): each
- * round, threads capture vertices from a shared atomic cursor,
- * computing for each the modularity gain of moving into each
- * neighboring community from racily-read community aggregates (the
- * paper's "bounded heuristic to relax the inherently sequential
- * inter-vertex community dependencies" — staleness trades modularity
- * accuracy for scalability). A move updates the two communities'
- * aggregates under ordered locks. Rounds repeat until no vertex moves
- * or the round bound is hit. This is the single-level refinement; the
- * paper's characterization concerns this dominant phase.
+ * round, threads capture vertices from a shared atomic cursor
+ * (par::vertexMapCapture), computing for each the modularity gain of
+ * moving into each neighboring community from racily-read community
+ * aggregates (the paper's "bounded heuristic to relax the inherently
+ * sequential inter-vertex community dependencies" — staleness trades
+ * modularity accuracy for scalability). A move updates the two
+ * communities' aggregates under ordered locks. Rounds repeat until no
+ * vertex moves or the round bound is hit. This is the single-level
+ * refinement; the paper's characterization concerns this dominant
+ * phase.
+ *
+ * The 2m total is combined through par::reducePerThread rather than a
+ * shared-double fetch-and-add, so every thread folds the per-thread
+ * partial sums in the same (tid) order and derives bit-identical 2m —
+ * the one floating-point value every gain computation divides by.
  */
 
 #ifndef CRONO_CORE_COMMUNITY_H_
@@ -23,8 +29,9 @@
 
 #include "core/context.h"
 #include "graph/graph.h"
+#include "obs/telemetry.h"
 #include "runtime/executor.h"
-#include "runtime/partition.h"
+#include "runtime/par.h"
 #include "runtime/strategies.h"
 
 namespace crono::core {
@@ -38,6 +45,10 @@ struct CommunityResult {
     rt::RunInfo run;
 };
 
+/** Scratch-arena lane indices of the neighbor-community accumulator. */
+inline constexpr int kCommunityCommLane = 0;
+inline constexpr int kCommunityWeightLane = 1;
+
 template <class Ctx>
 struct CommunityState {
     CommunityState(const graph::Graph& graph, unsigned max_rounds_in,
@@ -48,19 +59,10 @@ struct CommunityState {
           nodeWeight(graph.numVertices(), 0.0),
           commTotal(graph.numVertices(), 0.0),
           locks(graph.numVertices()), scratch(nthreads),
-          maxRounds(max_rounds_in), tracker(tracker_in)
+          weightSlots(nthreads), maxRounds(max_rounds_in),
+          tracker(tracker_in)
     {
-        for (auto& sc : scratch) {
-            sc.comm.assign(graph.maxDegree() + 1, 0);
-            sc.weight.assign(graph.maxDegree() + 1, 0.0);
-        }
     }
-
-    /** Per-thread neighbor-community accumulator. */
-    struct Scratch {
-        AlignedVector<graph::VertexId> comm;
-        AlignedVector<double> weight;
-    };
 
     const graph::Graph& g;
     /** Optional per-vertex internal weight (2x collapsed self loops). */
@@ -68,14 +70,16 @@ struct CommunityState {
     AlignedVector<graph::VertexId> community;
     AlignedVector<double> nodeWeight; ///< sum of incident edge weights
     AlignedVector<double> commTotal;  ///< sum of members' nodeWeight
-    Padded<double> totalWeight;       ///< 2m (both edge directions)
     /** Round-sweep capture cursors, indexed by round parity. */
     rt::CaptureCounter cursor[2];
     Padded<std::uint64_t> movesByParity[2];
     Padded<std::uint64_t> totalMoves;
     Padded<std::uint64_t> rounds;
     LockStripe<Ctx> locks;
-    std::vector<Scratch> scratch;
+    /** Per-thread neighbor-community accumulators (see lane indices). */
+    rt::par::ScratchArena scratch;
+    /** Per-thread 2m partial sums (deterministic fold). */
+    rt::par::ReduceSlots<double> weightSlots;
     unsigned maxRounds;
     rt::ActiveTracker* tracker;
 };
@@ -84,22 +88,22 @@ template <class Ctx>
 void
 communityKernel(Ctx& ctx, CommunityState<Ctx>& s)
 {
-    const graph::EdgeId* offsets = s.g.rawOffsets().data();
-    const graph::VertexId* neighbors = s.g.rawNeighbors().data();
-    const graph::Weight* weights = s.g.rawWeights().data();
-    const rt::Range range =
-        rt::blockPartition(s.g.numVertices(), ctx.tid(), ctx.nthreads());
-    auto& acc = s.scratch[ctx.tid()];
+    const rt::par::Csr csr = rt::par::csrOf(s.g);
+    const std::size_t acc_cap = s.g.maxDegree() + 1;
+    graph::VertexId* acc_comm = s.scratch.template lane<graph::VertexId>(
+        ctx.tid(), kCommunityCommLane, acc_cap);
+    double* acc_weight = s.scratch.template lane<double>(
+        ctx.tid(), kCommunityWeightLane, acc_cap);
 
     // Phase 1: singleton communities and weighted-degree aggregates.
     double local_weight = 0.0;
-    for (std::uint64_t vi = range.begin; vi < range.end; ++vi) {
+    rt::par::vertexMap(ctx, s.g.numVertices(), [&](std::uint64_t vi) {
         const auto v = static_cast<graph::VertexId>(vi);
         double w_sum = 0.0;
-        const graph::EdgeId beg = ctx.read(offsets[v]);
-        const graph::EdgeId end = ctx.read(offsets[v + 1]);
+        const graph::EdgeId beg = ctx.read(csr.offsets[v]);
+        const graph::EdgeId end = ctx.read(csr.offsets[v + 1]);
         for (graph::EdgeId e = beg; e < end; ++e) {
-            w_sum += static_cast<double>(ctx.read(weights[e]));
+            w_sum += static_cast<double>(ctx.read(csr.weights[e]));
             ctx.work(1);
         }
         if (s.extraWeight != nullptr) {
@@ -112,104 +116,107 @@ communityKernel(Ctx& ctx, CommunityState<Ctx>& s)
         ctx.write(s.nodeWeight[v], w_sum);
         ctx.write(s.commTotal[v], w_sum);
         local_weight += w_sum;
-    }
-    ctx.fetchAdd(s.totalWeight.value, local_weight);
-    ctx.barrier();
-    const double two_m = ctx.read(s.totalWeight.value);
+    });
+    const double two_m = rt::par::reducePerThread(
+        ctx, s.weightSlots, local_weight,
+        [](double a, double b) { return a + b; });
     if (two_m == 0.0) {
         return; // edgeless graph: everyone stays a singleton
     }
 
     // Phase 2: bounded local-move rounds.
+    std::uint64_t moves = 0;
     std::int64_t last_active = 0;
     for (std::uint64_t round = 0; round < s.maxRounds; ++round) {
         Padded<std::uint64_t>& counter = s.movesByParity[round % 2];
         std::uint64_t local_moves = 0;
-        for (;;) {
-            const std::uint64_t vi = rt::captureNext(
-                ctx, s.cursor[round % 2], s.g.numVertices());
-            if (vi == rt::kCaptureDone) {
-                break;
-            }
-            const auto v = static_cast<graph::VertexId>(vi);
-            const graph::VertexId cur = ctx.read(s.community[v]);
-            const double k_v = ctx.read(s.nodeWeight[v]);
-            const graph::EdgeId beg = ctx.read(offsets[v]);
-            const graph::EdgeId end = ctx.read(offsets[v + 1]);
-            if (beg == end) {
-                continue;
-            }
+        rt::par::vertexMapCapture(
+            ctx, s.cursor[round % 2], s.g.numVertices(),
+            [&](std::uint64_t vi) {
+                const auto v = static_cast<graph::VertexId>(vi);
+                const graph::VertexId cur = ctx.read(s.community[v]);
+                const double k_v = ctx.read(s.nodeWeight[v]);
+                const graph::EdgeId beg = ctx.read(csr.offsets[v]);
+                const graph::EdgeId end = ctx.read(csr.offsets[v + 1]);
+                if (beg == end) {
+                    return;
+                }
 
-            // Gather edge weight toward each neighboring community.
-            std::uint32_t ncomms = 0;
-            double k_in_cur = 0.0;
-            for (graph::EdgeId e = beg; e < end; ++e) {
-                const graph::VertexId u = ctx.read(neighbors[e]);
-                if (u == v) {
-                    continue;
+                // Gather edge weight toward each neighboring community.
+                std::uint32_t ncomms = 0;
+                double k_in_cur = 0.0;
+                for (graph::EdgeId e = beg; e < end; ++e) {
+                    const graph::VertexId u = ctx.read(csr.neighbors[e]);
+                    if (u == v) {
+                        continue;
+                    }
+                    const auto w =
+                        static_cast<double>(ctx.read(csr.weights[e]));
+                    const graph::VertexId c = ctx.read(s.community[u]);
+                    if (c == cur) {
+                        k_in_cur += w;
+                        continue;
+                    }
+                    std::uint32_t slot = 0;
+                    while (slot < ncomms &&
+                           ctx.read(acc_comm[slot]) != c) {
+                        ctx.work(1);
+                        ++slot;
+                    }
+                    if (slot == ncomms) {
+                        ctx.write(acc_comm[slot], c);
+                        ctx.write(acc_weight[slot], w);
+                        ++ncomms;
+                    } else {
+                        ctx.write(acc_weight[slot],
+                                  ctx.read(acc_weight[slot]) + w);
+                    }
                 }
-                const auto w = static_cast<double>(ctx.read(weights[e]));
-                const graph::VertexId c = ctx.read(s.community[u]);
-                if (c == cur) {
-                    k_in_cur += w;
-                    continue;
-                }
-                std::uint32_t slot = 0;
-                while (slot < ncomms && ctx.read(acc.comm[slot]) != c) {
-                    ctx.work(1);
-                    ++slot;
-                }
-                if (slot == ncomms) {
-                    ctx.write(acc.comm[slot], c);
-                    ctx.write(acc.weight[slot], w);
-                    ++ncomms;
-                } else {
-                    ctx.write(acc.weight[slot],
-                              ctx.read(acc.weight[slot]) + w);
-                }
-            }
 
-            // Score of staying (v's own weight removed from cur).
-            const double tot_cur = ctx.read(s.commTotal[cur]) - k_v;
-            const double stay = k_in_cur - k_v * tot_cur / two_m;
-            double best_gain = stay;
-            graph::VertexId best = cur;
-            for (std::uint32_t i = 0; i < ncomms; ++i) {
-                const graph::VertexId c = ctx.read(acc.comm[i]);
-                const double k_in = ctx.read(acc.weight[i]);
-                const double gain =
-                    k_in - k_v * ctx.read(s.commTotal[c]) / two_m;
-                ctx.work(3);
-                if (gain > best_gain + 1e-12) {
-                    best_gain = gain;
-                    best = c;
+                // Score of staying (v's own weight removed from cur).
+                const double tot_cur = ctx.read(s.commTotal[cur]) - k_v;
+                const double stay = k_in_cur - k_v * tot_cur / two_m;
+                double best_gain = stay;
+                graph::VertexId best = cur;
+                for (std::uint32_t i = 0; i < ncomms; ++i) {
+                    const graph::VertexId c = ctx.read(acc_comm[i]);
+                    const double k_in = ctx.read(acc_weight[i]);
+                    const double gain =
+                        k_in - k_v * ctx.read(s.commTotal[c]) / two_m;
+                    ctx.work(3);
+                    if (gain > best_gain + 1e-12) {
+                        best_gain = gain;
+                        best = c;
+                    }
                 }
-            }
 
-            if (best != cur) {
-                // Move v: update both aggregates under ordered locks.
-                const std::uint64_t i1 = s.locks.indexOf(cur);
-                const std::uint64_t i2 = s.locks.indexOf(best);
-                typename Ctx::Mutex& first = s.locks.of(i1 < i2 ? cur : best);
-                typename Ctx::Mutex& second =
-                    s.locks.of(i1 < i2 ? best : cur);
-                ctx.lock(first);
-                if (i1 != i2) {
-                    ctx.lock(second);
+                if (best != cur) {
+                    // Move v: update both aggregates under ordered
+                    // locks.
+                    const std::uint64_t i1 = s.locks.indexOf(cur);
+                    const std::uint64_t i2 = s.locks.indexOf(best);
+                    typename Ctx::Mutex& first =
+                        s.locks.of(i1 < i2 ? cur : best);
+                    typename Ctx::Mutex& second =
+                        s.locks.of(i1 < i2 ? best : cur);
+                    ctx.lock(first);
+                    if (i1 != i2) {
+                        ctx.lock(second);
+                    }
+                    ctx.write(s.commTotal[cur],
+                              ctx.read(s.commTotal[cur]) - k_v);
+                    ctx.write(s.commTotal[best],
+                              ctx.read(s.commTotal[best]) + k_v);
+                    ctx.write(s.community[v], best);
+                    if (i1 != i2) {
+                        ctx.unlock(second);
+                    }
+                    ctx.unlock(first);
+                    ++local_moves;
                 }
-                ctx.write(s.commTotal[cur],
-                          ctx.read(s.commTotal[cur]) - k_v);
-                ctx.write(s.commTotal[best],
-                          ctx.read(s.commTotal[best]) + k_v);
-                ctx.write(s.community[v], best);
-                if (i1 != i2) {
-                    ctx.unlock(second);
-                }
-                ctx.unlock(first);
-                ++local_moves;
-            }
-        }
+            });
         if (local_moves > 0) {
+            moves += local_moves;
             ctx.fetchAdd(counter.value, local_moves);
             ctx.fetchAdd(s.totalMoves.value, local_moves);
         }
@@ -229,6 +236,7 @@ communityKernel(Ctx& ctx, CommunityState<Ctx>& s)
             break;
         }
     }
+    obs::counterAdd(ctx, obs::Counter::kMoves, moves);
 }
 
 /** Newman modularity of @p labels over @p g (host-side, for reports). */
@@ -255,6 +263,7 @@ communityDetection(Exec& exec, int nthreads, const graph::Graph& g,
                    const AlignedVector<double>* extra_weight = nullptr)
 {
     using Ctx = typename Exec::Ctx;
+    obs::ScopedHostSpan kernel_span("COMM", g.numVertices());
     CommunityState<Ctx> state(g, max_rounds, nthreads, tracker,
                               extra_weight);
     rt::RunInfo info = exec.parallel(

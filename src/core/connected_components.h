@@ -8,6 +8,23 @@
  * a round makes no change; vertices sharing a final label form one
  * component. The init / propagate / converge phases separated by
  * barriers produce the sinusoidal active-vertex pattern of Figure 2.
+ *
+ * Two structures, both built on the rt::par primitives:
+ *
+ *  - kFlagScan (the paper's): every round is a full pull-style rescan
+ *    (par::edgeMapPullAll) — each vertex folds the minimum label over
+ *    its whole neighborhood, improving itself under its lock. O(E)
+ *    per round regardless of how much is still changing.
+ *  - frontier modes: label propagation flips to push (an active
+ *    vertex offers its label to its neighbors and re-activates the
+ *    ones it improved) — once labels stop changing in a region, its
+ *    vertices drop off the front instead of being rescanned. Heavy
+ *    rounds go pull-side (par::edgeMapPull): every vertex folds the
+ *    minimum over its *in-front* neighbors and self-activates if
+ *    improved — same invariant (a vertex whose label changed in
+ *    round r is on round r+1's front), no locks needed because pull
+ *    writes are owner-exclusive. The fixpoint is identical in every
+ *    mode (minimum member id per component).
  */
 
 #ifndef CRONO_CORE_CONNECTED_COMPONENTS_H_
@@ -20,7 +37,7 @@
 #include "obs/telemetry.h"
 #include "runtime/executor.h"
 #include "runtime/frontier.h"
-#include "runtime/partition.h"
+#include "runtime/par.h"
 
 namespace crono::core {
 
@@ -54,19 +71,16 @@ template <class Ctx>
 void
 connectedComponentsKernel(Ctx& ctx, ConnectedComponentsState<Ctx>& s)
 {
-    const graph::EdgeId* offsets = s.g.rawOffsets().data();
-    const graph::VertexId* neighbors = s.g.rawNeighbors().data();
-    const rt::Range range =
-        rt::blockPartition(s.g.numVertices(), ctx.tid(), ctx.nthreads());
+    const rt::par::Csr csr = rt::par::csrOf(s.g);
 
     obs::Track* const track =
         obs::trackFor(obs::sink(), obs::ctxTrackKind<Ctx>, ctx.tid());
     std::uint64_t relaxations = 0;
 
     // Phase 1: initialize labels (each vertex its own region label).
-    for (std::uint64_t v = range.begin; v < range.end; ++v) {
+    rt::par::vertexMap(ctx, s.g.numVertices(), [&](std::uint64_t v) {
         ctx.write(s.label[v], static_cast<graph::VertexId>(v));
-    }
+    });
     ctx.barrier();
 
     // Phase 2: iterate min-label propagation to a fixpoint. The two
@@ -80,29 +94,32 @@ connectedComponentsKernel(Ctx& ctx, ConnectedComponentsState<Ctx>& s)
             track != nullptr ? ctx.timestamp() : 0;
         Padded<std::uint64_t>& counter = s.changed[round % 2];
         std::uint64_t local_changes = 0;
-        for (std::uint64_t vi = range.begin; vi < range.end; ++vi) {
-            const auto v = static_cast<graph::VertexId>(vi);
-            const graph::VertexId lv = ctx.read(s.label[v]);
-            graph::VertexId best = lv;
-            const graph::EdgeId beg = ctx.read(offsets[v]);
-            const graph::EdgeId end = ctx.read(offsets[v + 1]);
-            for (graph::EdgeId e = beg; e < end; ++e) {
-                const graph::VertexId u = ctx.read(neighbors[e]);
+        graph::VertexId lv = 0;
+        graph::VertexId best = 0;
+        rt::par::edgeMapPullAll(
+            ctx, csr,
+            [&](graph::VertexId v) {
+                lv = ctx.read(s.label[v]);
+                best = lv;
+                return true;
+            },
+            [&](graph::VertexId, graph::VertexId u, graph::EdgeId) {
                 const graph::VertexId lu = ctx.read(s.label[u]);
-                ctx.work(1);
                 if (lu < best) {
                     best = lu;
                 }
-            }
-            if (best < lv) {
-                ScopedLock<Ctx> guard(ctx, s.locks.of(v));
-                if (best < ctx.read(s.label[v])) {
-                    ctx.write(s.label[v], best);
-                    ++local_changes;
-                    ++relaxations;
+                return false; // full neighborhood fold, no early exit
+            },
+            [&](graph::VertexId v) {
+                if (best < lv) {
+                    ScopedLock<Ctx> guard(ctx, s.locks.of(v));
+                    if (best < ctx.read(s.label[v])) {
+                        ctx.write(s.label[v], best);
+                        ++local_changes;
+                        ++relaxations;
+                    }
                 }
-            }
-        }
+            });
         if (track != nullptr) {
             obs::spanRecord(
                 track, {round_begin, ctx.timestamp(), "round-scan",
@@ -131,14 +148,8 @@ connectedComponentsKernel(Ctx& ctx, ConnectedComponentsState<Ctx>& s)
 }
 
 /**
- * Connected-components state for the work-list engine path. The
- * propagation direction flips from pull (each vertex scans its whole
- * neighborhood for a smaller label) to push (an active vertex offers
- * its label to its neighbors and re-activates the ones it improved):
- * push is what makes a frontier meaningful — once labels stop
- * changing in a region, its vertices drop off the front entirely
- * instead of being rescanned every round. The fixpoint is identical
- * (minimum member id per component).
+ * Connected-components state for the work-list engine path (see the
+ * file header for the push / pull round structure).
  */
 template <class Ctx>
 struct ConnectedComponentsFrontierState {
@@ -168,8 +179,7 @@ void
 connectedComponentsFrontierKernel(Ctx& ctx,
                                   ConnectedComponentsFrontierState<Ctx>& s)
 {
-    const graph::EdgeId* offsets = s.g.rawOffsets().data();
-    const graph::VertexId* neighbors = s.g.rawNeighbors().data();
+    const rt::par::Csr csr = rt::par::csrOf(s.g);
 
     obs::Track* const track =
         obs::trackFor(obs::sink(), obs::ctxTrackKind<Ctx>, ctx.tid());
@@ -178,19 +188,55 @@ connectedComponentsFrontierKernel(Ctx& ctx,
     std::uint64_t front = s.frontier.initialFrontSize();
     std::uint64_t round = 0;
     while (front != 0) {
-        const bool dense = s.frontier.denseRound(front);
-        s.frontier.processCurrent(
-            ctx, round, dense, [&](graph::VertexId u) {
-                trackAdd(s.tracker, -1);
-                const graph::VertexId lu = ctx.read(s.label[u]);
-                const graph::EdgeId beg = ctx.read(offsets[u]);
-                const graph::EdgeId end = ctx.read(offsets[u + 1]);
-                for (graph::EdgeId e = beg; e < end; ++e) {
-                    const graph::VertexId v = ctx.read(neighbors[e]);
+        const rt::RoundPlan plan =
+            s.frontier.planRound(front, /*allow_pull=*/true);
+        if (plan == rt::RoundPlan::kPull) {
+            if (ctx.tid() == 0) {
+                trackAdd(s.tracker, -static_cast<std::int64_t>(front));
+            }
+            graph::VertexId lv = 0;
+            graph::VertexId best = 0;
+            rt::par::edgeMapPull(
+                ctx, csr, s.frontier, round,
+                [&](graph::VertexId v) {
+                    lv = ctx.read(s.label[v]);
+                    best = lv;
+                    return true; // every vertex is a candidate
+                },
+                [&](graph::VertexId, graph::VertexId u, graph::EdgeId) {
+                    const graph::VertexId lu = ctx.read(s.label[u]);
+                    if (lu < best) {
+                        best = lu;
+                    }
+                    return false; // need the min, no early exit
+                },
+                [&](graph::VertexId v) {
+                    if (best < lv) {
+                        // Owner-exclusive (no pushes in a pull round):
+                        // plain write, no lock. Concurrent readers see
+                        // either label — both are component members.
+                        ctx.write(s.label[v], best);
+                        ++relaxations;
+                        if (s.frontier.activate(ctx, round, v)) {
+                            trackAdd(s.tracker, 1);
+                        }
+                    }
+                });
+        } else {
+            rt::par::edgeMapPush(
+                ctx, csr, s.frontier, round,
+                plan == rt::RoundPlan::kDensePush,
+                [&](graph::VertexId) {
+                    trackAdd(s.tracker, -1);
+                    return true;
+                },
+                [&](graph::VertexId u, graph::VertexId v,
+                    graph::EdgeId) {
                     ctx.work(1);
+                    const graph::VertexId lu = ctx.read(s.label[u]);
                     if (lu >= ctx.read(s.label[v])) {
-                        continue; // racy skip: a stale-low read only
-                                  // delays the offer, never loses it
+                        return; // racy skip: a stale-low read only
+                                // delays the offer, never loses it
                     }
                     ScopedLock<Ctx> guard(ctx, s.locks.of(v));
                     if (lu < ctx.read(s.label[v])) {
@@ -200,9 +246,13 @@ connectedComponentsFrontierKernel(Ctx& ctx,
                             trackAdd(s.tracker, 1);
                         }
                     }
-                }
-            });
-        front = s.frontier.advance(ctx, round);
+                });
+        }
+        front = s.frontier.advance(ctx, round, [&] {
+            if (plan == rt::RoundPlan::kPull) {
+                s.frontier.clearCurrentBlock(ctx, round);
+            }
+        });
         ++round;
     }
     if (ctx.tid() == 0) {
@@ -218,7 +268,8 @@ connectedComponentsFrontierKernel(Ctx& ctx,
  *
  * @param mode frontier representation; kFlagScan (default) is the
  *             paper's pull-based full-rescan structure,
- *             kSparse/kAdaptive run push-based on the work lists
+ *             kSparse/kAdaptive run push-based on the work lists with
+ *             heavy rounds taken pull-side (direction optimization)
  */
 template <class Exec>
 ConnectedComponentsResult

@@ -2,13 +2,14 @@
  * @file
  * Depth First Search (Section III-5).
  *
- * Parallelization: branch-level. A shared branch stack holds subtree
- * roots; each thread pops a branch and explores it depth-first with a
- * private stack, claiming vertices through atomic flags. Extra
- * branches discovered along the way are donated to the shared stack
- * while it is shallow, which is the only way DFS exposes parallelism
- * — matching the paper's observation that DFS scales worst of the
- * suite (heavy vertex-level dependencies, high L2Home-Sharers time).
+ * Parallelization: branch-level. A shared branch stack
+ * (par::BranchStack) holds subtree roots; each thread pops a branch
+ * and explores it depth-first with a private stack, claiming vertices
+ * through atomic flags (par::tryClaim). Extra branches discovered
+ * along the way are donated to the shared stack while it is shallow,
+ * which is the only way DFS exposes parallelism — matching the
+ * paper's observation that DFS scales worst of the suite (heavy
+ * vertex-level dependencies, high L2Home-Sharers time).
  */
 
 #ifndef CRONO_CORE_DFS_H_
@@ -19,7 +20,9 @@
 
 #include "core/context.h"
 #include "graph/graph.h"
+#include "obs/telemetry.h"
 #include "runtime/executor.h"
+#include "runtime/par.h"
 
 namespace crono::core {
 
@@ -42,15 +45,14 @@ struct DfsState {
         : g(graph), order(graph.numVertices(), kNotVisited),
           parent(graph.numVertices(), graph::kNoVertex),
           claimed(graph.numVertices(), 0),
-          sharedStack(graph.numVertices()), target(target_in),
+          branches(graph.numVertices()), target(target_in),
           tracker(tracker_in)
     {
         CRONO_REQUIRE(source < graph.numVertices(), "bad DFS source");
         // The source is pre-claimed and seeded as the first branch.
         claimed[source] = 1;
         parent[source] = source;
-        sharedStack[0] = source;
-        stackTop.value = 1;
+        branches.hostSeed(source);
         trackAdd(tracker, 1);
     }
 
@@ -58,57 +60,32 @@ struct DfsState {
     AlignedVector<std::uint64_t> order;
     AlignedVector<graph::VertexId> parent;
     AlignedVector<std::uint32_t> claimed;
-    AlignedVector<graph::VertexId> sharedStack;
-    Padded<std::uint64_t> stackTop;
-    Padded<std::uint64_t> working;     ///< threads holding a branch
+    rt::par::BranchStack<Ctx> branches;
     Padded<std::uint64_t> visitCounter;
     Padded<std::uint32_t> found;
-    typename Ctx::Mutex stackLock;
     graph::VertexId target;
     rt::ActiveTracker* tracker;
 };
-
-/**
- * Pop a branch root; increments `working` under the same lock so the
- * empty+idle termination test is race-free.
- * @return the branch root, or kNoVertex with *done set appropriately.
- */
-template <class Ctx>
-graph::VertexId
-dfsPopBranch(Ctx& ctx, DfsState<Ctx>& s, bool* done)
-{
-    ScopedLock<Ctx> guard(ctx, s.stackLock);
-    const std::uint64_t top = ctx.read(s.stackTop.value);
-    if (top > 0) {
-        const graph::VertexId v = ctx.read(s.sharedStack[top - 1]);
-        ctx.write(s.stackTop.value, top - 1);
-        ctx.write(s.working.value, ctx.read(s.working.value) + 1);
-        *done = false;
-        return v;
-    }
-    // No work and nobody who could create more: the traversal is over.
-    *done = ctx.read(s.working.value) == 0;
-    return graph::kNoVertex;
-}
 
 template <class Ctx>
 void
 dfsKernel(Ctx& ctx, DfsState<Ctx>& s)
 {
-    const graph::EdgeId* offsets = s.g.rawOffsets().data();
-    const graph::VertexId* neighbors = s.g.rawNeighbors().data();
+    const rt::par::Csr csr = rt::par::csrOf(s.g);
     // Donate branches while the shared stack is shallower than this.
     const std::uint64_t donate_below =
         4 * static_cast<std::uint64_t>(ctx.nthreads());
 
+    std::uint64_t visits = 0;
+    std::uint64_t donations = 0;
     std::vector<graph::VertexId> local; // private DFS stack
     for (;;) {
         if (ctx.read(s.found.value) != 0) {
             break; // target reached somewhere
         }
         bool done = false;
-        const graph::VertexId root = dfsPopBranch(ctx, s, &done);
-        if (root == graph::kNoVertex) {
+        const std::uint32_t root = s.branches.pop(ctx, &done);
+        if (root == rt::par::BranchStack<Ctx>::kBranchNone) {
             if (done) {
                 break;
             }
@@ -124,31 +101,28 @@ dfsKernel(Ctx& ctx, DfsState<Ctx>& s)
             const std::uint64_t seq =
                 ctx.fetchAdd(s.visitCounter.value, std::uint64_t{1});
             ctx.write(s.order[v], seq);
+            ++visits;
             trackAdd(s.tracker, -1);
             if (v == s.target) {
                 ctx.write(s.found.value, 1u);
                 break;
             }
-            const graph::EdgeId beg = ctx.read(offsets[v]);
-            const graph::EdgeId end = ctx.read(offsets[v + 1]);
+            const graph::EdgeId beg = ctx.read(csr.offsets[v]);
+            const graph::EdgeId end = ctx.read(csr.offsets[v + 1]);
             bool first_child = true;
             for (graph::EdgeId e = beg; e < end; ++e) {
-                const graph::VertexId u = ctx.read(neighbors[e]);
+                const graph::VertexId u = ctx.read(csr.neighbors[e]);
                 ctx.work(1);
-                if (ctx.read(s.claimed[u]) != 0 ||
-                    ctx.fetchAdd(s.claimed[u], 1u) != 0) {
+                if (!rt::par::tryClaim(ctx, s.claimed.data(), u)) {
                     continue;
                 }
                 ctx.write(s.parent[u], v);
                 trackAdd(s.tracker, 1);
                 // Deepen along the first child; donate later siblings
                 // while other threads may be starving.
-                if (!first_child &&
-                    ctx.read(s.stackTop.value) < donate_below) {
-                    ScopedLock<Ctx> guard(ctx, s.stackLock);
-                    const std::uint64_t top = ctx.read(s.stackTop.value);
-                    ctx.write(s.sharedStack[top], u);
-                    ctx.write(s.stackTop.value, top + 1);
+                if (!first_child && s.branches.below(ctx, donate_below)) {
+                    s.branches.push(ctx, u);
+                    ++donations;
                 } else {
                     local.push_back(u);
                     first_child = false;
@@ -156,10 +130,10 @@ dfsKernel(Ctx& ctx, DfsState<Ctx>& s)
             }
         }
         local.clear(); // branch finished (or aborted on found)
-
-        ScopedLock<Ctx> guard(ctx, s.stackLock);
-        ctx.write(s.working.value, ctx.read(s.working.value) - 1);
+        s.branches.finish(ctx);
     }
+    obs::counterAdd(ctx, obs::Counter::kExpansions, visits);
+    obs::counterAdd(ctx, obs::Counter::kDonations, donations);
 }
 
 /**
@@ -172,6 +146,7 @@ dfs(Exec& exec, int nthreads, const graph::Graph& g,
     rt::ActiveTracker* tracker = nullptr)
 {
     using Ctx = typename Exec::Ctx;
+    obs::ScopedHostSpan kernel_span("DFS", g.numVertices());
     DfsState<Ctx> state(g, source, target, tracker);
     rt::RunInfo info = exec.parallel(
         nthreads, [&state](Ctx& ctx) { dfsKernel(ctx, state); });

@@ -6,15 +6,27 @@
  *
  * over neighbors j of i (r = probability of a random page visit).
  *
- * Parallelization (Table I: Vertex Capture & Graph Division): in the
- * scatter phase threads dynamically *capture* vertices from a shared
- * atomic cursor and push each captured vertex's contribution to its
- * neighbors' accumulators under per-vertex atomic locks ("threads may
- * converge on common neighbors from their given vertices"); the
- * update phase is statically divided. The capture counter's cache
- * line ping-pongs between all threads — the fine-grain communication
- * the paper attributes PageRank's weak scaling to. Iterations are
- * separated by barriers.
+ * Two phase structures:
+ *
+ *  - kScatter (the paper's; Table I: Vertex Capture & Graph
+ *    Division): in the scatter phase threads dynamically *capture*
+ *    vertices from a shared atomic cursor (par::vertexMapCapture) and
+ *    push each captured vertex's contribution to its neighbors'
+ *    accumulators under per-vertex atomic locks ("threads may
+ *    converge on common neighbors from their given vertices"); the
+ *    update phase is statically divided. The capture counter's cache
+ *    line ping-pongs between all threads — the fine-grain
+ *    communication the paper attributes PageRank's weak scaling to.
+ *  - kGather (pull): each iteration freezes every vertex's share
+ *    PR(v)/degree(v), then every destination gathers the sum over its
+ *    own neighbors (par::edgeMapPullAllGuided — guided scheduling
+ *    absorbs the degree skew) and applies Equation 1 in place. No
+ *    accumulator locks, no write contention at all: the gather's only
+ *    writes are owner-exclusive, and the result is deterministic
+ *    (fixed CSR summation order) where scatter's lock-ordered
+ *    floating-point adds are not.
+ *
+ * Iterations are separated by barriers in both modes.
  */
 
 #ifndef CRONO_CORE_PAGERANK_H_
@@ -26,10 +38,23 @@
 #include "graph/graph.h"
 #include "obs/telemetry.h"
 #include "runtime/executor.h"
-#include "runtime/partition.h"
+#include "runtime/par.h"
 #include "runtime/strategies.h"
 
 namespace crono::core {
+
+/** Phase structure of one PageRank run (see file header). */
+enum class PageRankMode : int {
+    kScatter = 0, ///< paper's capture + push-to-accumulators structure
+    kGather = 1,  ///< pull: destinations sum frozen neighbor shares
+};
+
+/** Printable mode name ("scatter" / "gather"). */
+inline const char*
+pageRankModeName(PageRankMode mode)
+{
+    return mode == PageRankMode::kGather ? "gather" : "scatter";
+}
 
 /** Rank vector after a fixed number of exact iterations. */
 struct PageRankResult {
@@ -53,8 +78,9 @@ struct PageRankState {
 
     const graph::Graph& g;
     AlignedVector<double> rank;
-    AlignedVector<double> incoming; ///< scatter accumulators
-    /** Scatter-phase capture cursors, indexed by iteration parity. */
+    /** Scatter accumulators; the frozen shares in kGather. */
+    AlignedVector<double> incoming;
+    /** Per-iteration capture/guided cursors, indexed by parity. */
     rt::CaptureCounter cursor[2];
     LockStripe<Ctx> locks;
     unsigned iterations;
@@ -66,18 +92,15 @@ template <class Ctx>
 void
 pageRankKernel(Ctx& ctx, PageRankState<Ctx>& s)
 {
-    const graph::EdgeId* offsets = s.g.rawOffsets().data();
-    const graph::VertexId* neighbors = s.g.rawNeighbors().data();
+    const rt::par::Csr csr = rt::par::csrOf(s.g);
     const graph::VertexId n = s.g.numVertices();
-    const rt::Range range =
-        rt::blockPartition(n, ctx.tid(), ctx.nthreads());
 
     // Initialize: uniform probability, clean accumulators.
     const double uniform = 1.0 / static_cast<double>(n);
-    for (std::uint64_t v = range.begin; v < range.end; ++v) {
+    rt::par::vertexMap(ctx, n, [&](std::uint64_t v) {
         ctx.write(s.rank[v], uniform);
         ctx.write(s.incoming[v], 0.0);
-    }
+    });
     ctx.barrier();
 
     obs::Track* const track =
@@ -88,28 +111,25 @@ pageRankKernel(Ctx& ctx, PageRankState<Ctx>& s)
         // PR(v)/degree(v) to every neighbor.
         const std::uint64_t scatter_begin =
             track != nullptr ? ctx.timestamp() : 0;
-        for (;;) {
-            const std::uint64_t vi =
-                rt::captureNext(ctx, s.cursor[it % 2], n);
-            if (vi == rt::kCaptureDone) {
-                break;
-            }
-            const auto v = static_cast<graph::VertexId>(vi);
-            trackAdd(s.tracker, 1);
-            const graph::EdgeId beg = ctx.read(offsets[v]);
-            const graph::EdgeId end = ctx.read(offsets[v + 1]);
-            if (beg == end) {
-                continue; // isolated page contributes nothing
-            }
-            const double share = ctx.read(s.rank[v]) /
-                                 static_cast<double>(end - beg);
-            ctx.work(2);
-            for (graph::EdgeId e = beg; e < end; ++e) {
-                const graph::VertexId u = ctx.read(neighbors[e]);
-                ScopedLock<Ctx> guard(ctx, s.locks.of(u));
-                ctx.write(s.incoming[u], ctx.read(s.incoming[u]) + share);
-            }
-        }
+        rt::par::vertexMapCapture(
+            ctx, s.cursor[it % 2], n, [&](std::uint64_t vi) {
+                const auto v = static_cast<graph::VertexId>(vi);
+                trackAdd(s.tracker, 1);
+                const graph::EdgeId beg = ctx.read(csr.offsets[v]);
+                const graph::EdgeId end = ctx.read(csr.offsets[v + 1]);
+                if (beg == end) {
+                    return; // isolated page contributes nothing
+                }
+                const double share = ctx.read(s.rank[v]) /
+                                     static_cast<double>(end - beg);
+                ctx.work(2);
+                for (graph::EdgeId e = beg; e < end; ++e) {
+                    const graph::VertexId u = ctx.read(csr.neighbors[e]);
+                    ScopedLock<Ctx> guard(ctx, s.locks.of(u));
+                    ctx.write(s.incoming[u],
+                              ctx.read(s.incoming[u]) + share);
+                }
+            });
         if (track != nullptr) {
             obs::spanRecord(
                 track, {scatter_begin, ctx.timestamp(), "scatter",
@@ -125,15 +145,13 @@ pageRankKernel(Ctx& ctx, PageRankState<Ctx>& s)
         // remain a distribution (sum = 1 on degree>=1 graphs).
         const std::uint64_t update_begin =
             track != nullptr ? ctx.timestamp() : 0;
-        for (std::uint64_t vi = range.begin; vi < range.end; ++vi) {
-            const auto v = static_cast<graph::VertexId>(vi);
+        rt::par::vertexMap(ctx, n, [&](std::uint64_t v) {
             const double in = ctx.read(s.incoming[v]);
-            ctx.write(s.rank[v],
-                      s.r * uniform + (1.0 - s.r) * in);
+            ctx.write(s.rank[v], s.r * uniform + (1.0 - s.r) * in);
             ctx.write(s.incoming[v], 0.0);
             ctx.work(3);
             trackAdd(s.tracker, -1);
-        }
+        });
         if (track != nullptr) {
             obs::spanRecord(
                 track, {update_begin, ctx.timestamp(), "update", it,
@@ -150,21 +168,110 @@ pageRankKernel(Ctx& ctx, PageRankState<Ctx>& s)
 }
 
 /**
+ * Gather-mode kernel body: freeze shares, then pull them in. Uses
+ * `incoming` as the frozen-share array; no locks anywhere.
+ */
+template <class Ctx>
+void
+pageRankGatherKernel(Ctx& ctx, PageRankState<Ctx>& s)
+{
+    const rt::par::Csr csr = rt::par::csrOf(s.g);
+    const graph::VertexId n = s.g.numVertices();
+
+    const double uniform = 1.0 / static_cast<double>(n);
+    rt::par::vertexMap(ctx, n, [&](std::uint64_t v) {
+        ctx.write(s.rank[v], uniform);
+        ctx.write(s.incoming[v], 0.0);
+    });
+    ctx.barrier();
+
+    obs::Track* const track =
+        obs::trackFor(obs::sink(), obs::ctxTrackKind<Ctx>, ctx.tid());
+
+    for (unsigned it = 0; it < s.iterations; ++it) {
+        // Share phase: freeze PR(v)/degree(v) for this iteration.
+        const std::uint64_t share_begin =
+            track != nullptr ? ctx.timestamp() : 0;
+        rt::par::vertexMap(ctx, n, [&](std::uint64_t v) {
+            const graph::EdgeId beg = ctx.read(csr.offsets[v]);
+            const graph::EdgeId end = ctx.read(csr.offsets[v + 1]);
+            const double share =
+                beg == end ? 0.0
+                           : ctx.read(s.rank[v]) /
+                                 static_cast<double>(end - beg);
+            ctx.write(s.incoming[v], share);
+            ctx.work(2);
+            trackAdd(s.tracker, 1);
+        });
+        if (track != nullptr) {
+            obs::spanRecord(track, {share_begin, ctx.timestamp(),
+                                    "share", it, obs::SpanCat::kRound});
+        }
+        ctx.barrier();
+
+        // Gather phase: every destination sums its neighbors' frozen
+        // shares and applies Equation 1 in place — owner-exclusive
+        // writes, deterministic CSR summation order. Guided
+        // scheduling absorbs degree skew; thread 0 rearms the next
+        // iteration's cursor behind the barrier.
+        const std::uint64_t gather_begin =
+            track != nullptr ? ctx.timestamp() : 0;
+        double acc = 0.0;
+        rt::par::edgeMapPullAllGuided(
+            ctx, csr, s.cursor[it % 2],
+            [&](graph::VertexId) {
+                acc = 0.0;
+                return true;
+            },
+            [&](graph::VertexId, graph::VertexId u, graph::EdgeId) {
+                acc += ctx.read(s.incoming[u]);
+                return false; // full-neighborhood sum
+            },
+            [&](graph::VertexId v) {
+                ctx.write(s.rank[v], s.r * uniform + (1.0 - s.r) * acc);
+                ctx.work(3);
+                trackAdd(s.tracker, -1);
+            });
+        if (track != nullptr) {
+            obs::spanRecord(
+                track, {gather_begin, ctx.timestamp(), "gather", it,
+                        obs::SpanCat::kRound});
+            if (ctx.tid() == 0) {
+                obs::counterBump(track, obs::Counter::kIterations, 1);
+            }
+        }
+        if (ctx.tid() == 0) {
+            ctx.write(s.cursor[(it + 1) % 2].next, std::uint64_t{0});
+        }
+        ctx.barrier();
+    }
+}
+
+/**
  * Run PageRank for @p iterations exact iterations.
  *
  * @param damping the paper's r (random-visit probability), default 0.15
+ * @param mode    kScatter (default) is the paper's structure; kGather
+ *                pulls frozen shares destination-side (lock-free,
+ *                deterministic)
  */
 template <class Exec>
 PageRankResult
 pageRank(Exec& exec, int nthreads, const graph::Graph& g,
          unsigned iterations = 10, double damping = 0.15,
-         rt::ActiveTracker* tracker = nullptr)
+         rt::ActiveTracker* tracker = nullptr,
+         PageRankMode mode = PageRankMode::kScatter)
 {
     using Ctx = typename Exec::Ctx;
     obs::ScopedHostSpan kernel_span("PAGE_RANK", g.numVertices());
     PageRankState<Ctx> state(g, iterations, damping, tracker);
-    rt::RunInfo info = exec.parallel(
-        nthreads, [&state](Ctx& ctx) { pageRankKernel(ctx, state); });
+    rt::RunInfo info = exec.parallel(nthreads, [&](Ctx& ctx) {
+        if (mode == PageRankMode::kGather) {
+            pageRankGatherKernel(ctx, state);
+        } else {
+            pageRankKernel(ctx, state);
+        }
+    });
     return PageRankResult{std::move(state.rank), iterations,
                           std::move(info)};
 }

@@ -3,15 +3,23 @@
  * Single Source Shortest Path (SSSP_DIJK), Section III-1 of the paper.
  *
  * Parallelization: graph division over dynamically opened pareto
- * fronts. The algorithm is label-correcting: per-vertex "active"
- * flags mark the current pareto front; every round each thread scans
- * its static vertex block, relaxes the neighbors of its active
- * vertices (path costs updated under per-vertex locks), and marks
- * improved vertices active for the next round. Rounds are separated
- * by barriers; the front swells and then dwindles exactly as
- * Figure 2 shows. (CRONO's released kernels use this flag-scan
+ * fronts. The algorithm is label-correcting: the current front lives
+ * in a rt::FrontierEngine; every round each thread consumes its share
+ * of the front through par::edgeMapPush (flag-scan of the static
+ * vertex block in the paper's kFlagScan structure, chunked work lists
+ * with stealing in kSparse/kAdaptive), relaxes the neighbors of its
+ * front vertices (path costs updated under per-vertex locks), and
+ * activates improved vertices for the next round. Rounds are
+ * separated by barriers; the front swells and then dwindles exactly
+ * as Figure 2 shows. (CRONO's released kernels use the flag-scan
  * structure rather than a shared worklist — it has no serializing
- * global queue, only the fine-grain sharing the paper measures.)
+ * global queue, only the fine-grain sharing the paper measures — so
+ * kFlagScan stays the default for every paper-figure experiment.)
+ *
+ * SSSP is push-only: a weighted relaxation has no cheap pull
+ * formulation (a destination cannot stop at its first in-front
+ * neighbor — it would need the *minimum* over all of them, every
+ * round), so the kernel never requests pull rounds.
  */
 
 #ifndef CRONO_CORE_SSSP_H_
@@ -25,7 +33,7 @@
 #include "obs/telemetry.h"
 #include "runtime/executor.h"
 #include "runtime/frontier.h"
-#include "runtime/partition.h"
+#include "runtime/par.h"
 
 namespace crono::core {
 
@@ -37,131 +45,8 @@ struct SsspResult {
     rt::RunInfo run;
 };
 
-/** Shared state of one SSSP run (template over the context type). */
-template <class Ctx>
-struct SsspState {
-    SsspState(const graph::Graph& graph, graph::VertexId source,
-              rt::ActiveTracker* tracker_in)
-        : g(graph), dist(graph.numVertices(), graph::kInfDist),
-          parent(graph.numVertices(), graph::kNoVertex),
-          locks(graph.numVertices()), tracker(tracker_in)
-    {
-        CRONO_REQUIRE(source < graph.numVertices(), "bad SSSP source");
-        active[0].assign(graph.numVertices(), 0);
-        active[1].assign(graph.numVertices(), 0);
-        dist[source] = 0;
-        parent[source] = source;
-        active[0][source] = 1;
-        enqueued[0].value = 1;
-        trackAdd(tracker, 1);
-    }
-
-    const graph::Graph& g;
-    AlignedVector<graph::Dist> dist;
-    AlignedVector<graph::VertexId> parent;
-    /** Pareto-front membership flags, indexed by round parity. */
-    AlignedVector<std::uint32_t> active[2];
-    /** Front sizes, same parity indexing (for termination). */
-    Padded<std::uint64_t> enqueued[2];
-    Padded<std::uint64_t> rounds;
-    LockStripe<Ctx> locks;
-    rt::ActiveTracker* tracker;
-};
-
-/** Kernel body; all threads execute this with the shared state. */
-template <class Ctx>
-void
-ssspKernel(Ctx& ctx, SsspState<Ctx>& s)
-{
-    const graph::EdgeId* offsets = s.g.rawOffsets().data();
-    const graph::VertexId* neighbors = s.g.rawNeighbors().data();
-    const graph::Weight* weights = s.g.rawWeights().data();
-    const rt::Range range =
-        rt::blockPartition(s.g.numVertices(), ctx.tid(), ctx.nthreads());
-
-    // Telemetry locals: plain counters, flushed once at kernel exit.
-    // With the sink compiled out they are dead stores the optimizer
-    // removes; with a null sink they cost two register increments.
-    obs::Track* const track =
-        obs::trackFor(obs::sink(), obs::ctxTrackKind<Ctx>, ctx.tid());
-    std::uint64_t relaxations = 0;
-    std::uint64_t expansions = 0;
-
-    for (std::uint64_t round = 0;; ++round) {
-        const std::uint64_t round_begin =
-            track != nullptr ? ctx.timestamp() : 0;
-        std::uint32_t* cur = s.active[round % 2].data();
-        std::uint32_t* nxt = s.active[(round + 1) % 2].data();
-        std::uint64_t local_enqueued = 0;
-
-        for (std::uint64_t vi = range.begin; vi < range.end; ++vi) {
-            const auto u = static_cast<graph::VertexId>(vi);
-            if (ctx.read(cur[u]) == 0) {
-                continue;
-            }
-            ctx.write(cur[u], 0u);
-            trackAdd(s.tracker, -1);
-            ++expansions;
-            const graph::Dist du = ctx.read(s.dist[u]);
-            const graph::EdgeId beg = ctx.read(offsets[u]);
-            const graph::EdgeId end = ctx.read(offsets[u + 1]);
-            for (graph::EdgeId e = beg; e < end; ++e) {
-                const graph::VertexId v = ctx.read(neighbors[e]);
-                const graph::Weight w = ctx.read(weights[e]);
-                const graph::Dist cand = du + w;
-                ctx.work(2); // index arithmetic + compare
-                if (cand >= ctx.read(s.dist[v])) {
-                    continue;
-                }
-                ScopedLock<Ctx> guard(ctx, s.locks.of(v));
-                if (cand < ctx.read(s.dist[v])) {
-                    ctx.write(s.dist[v], cand);
-                    ctx.write(s.parent[v], u);
-                    ++relaxations;
-                    if (ctx.read(nxt[v]) == 0) {
-                        ctx.write(nxt[v], 1u);
-                        ++local_enqueued;
-                        trackAdd(s.tracker, 1);
-                    }
-                }
-            }
-        }
-        if (track != nullptr) {
-            obs::spanRecord(
-                track, {round_begin, ctx.timestamp(), "round-scan",
-                        round, obs::SpanCat::kRound});
-        }
-        if (local_enqueued > 0) {
-            ctx.fetchAdd(s.enqueued[(round + 1) % 2].value,
-                         local_enqueued);
-        }
-        ctx.barrier();
-        const std::uint64_t next_front =
-            ctx.read(s.enqueued[(round + 1) % 2].value);
-        if (ctx.tid() == 0) {
-            // Round r+1 accumulates into this parity slot; the reset
-            // completes before the second barrier releases anyone.
-            ctx.write(s.enqueued[round % 2].value, std::uint64_t{0});
-            ctx.write(s.rounds.value, round + 1);
-        }
-        ctx.barrier();
-        if (next_front == 0) {
-            break;
-        }
-    }
-    if (track != nullptr) {
-        obs::counterBump(track, obs::Counter::kExpansions, expansions);
-        obs::counterBump(track, obs::Counter::kRelaxations, relaxations);
-    }
-}
-
 /**
- * SSSP state for the work-list engine path (kSparse / kAdaptive).
- * Same relaxation algorithm as SsspState, but the pareto front lives
- * in a rt::FrontierEngine instead of thread-block flag scans.
- */
-/**
- * Expansion pacing for the frontier SSSP path: round r only expands
+ * Expansion pacing for the work-list SSSP modes: round r only expands
  * front vertices whose tentative distance is within r * delta, where
  * delta = avg_weight / kSsspDeltaDivisor; farther vertices are
  * deferred to the next round (re-queued, O(1)) instead of being
@@ -173,17 +58,21 @@ ssspKernel(Ctx& ctx, SsspState<Ctx>& s)
  * road networks. Half the average weight paces just behind the
  * wavefront (it advances roughly one average edge per hop); larger
  * deltas stop binding, smaller ones add rounds for no extra order.
+ * Pacing stays off (delta = 0) in kFlagScan — the paper's structure
+ * cannot defer without rescanning, and fidelity is bit-for-bit.
  */
 inline constexpr graph::Dist kSsspDeltaDivisor = 2;
 
+/** Shared state of one SSSP run (template over the context type). */
 template <class Ctx>
-struct SsspFrontierState {
-    SsspFrontierState(const graph::Graph& graph, graph::VertexId source,
-                      int nthreads, rt::FrontierMode mode,
-                      rt::ActiveTracker* tracker_in)
+struct SsspState {
+    SsspState(const graph::Graph& graph, graph::VertexId source,
+              int nthreads, rt::FrontierMode mode,
+              rt::ActiveTracker* tracker_in)
         : g(graph), dist(graph.numVertices(), graph::kInfDist),
           parent(graph.numVertices(), graph::kNoVertex),
-          frontier(graph.numVertices(), graph.numEdges(), nthreads, mode),
+          frontier(graph.numVertices(), graph.numEdges(), nthreads,
+                   mode),
           locks(graph.numVertices()), tracker(tracker_in)
     {
         CRONO_REQUIRE(source < graph.numVertices(), "bad SSSP source");
@@ -191,46 +80,39 @@ struct SsspFrontierState {
         parent[source] = source;
         frontier.seed(source);
         trackAdd(tracker, 1);
-        // Pace expansions by the average edge weight (host-side setup).
-        std::uint64_t total = 0;
-        for (const graph::Weight w : graph.rawWeights()) {
-            total += w;
+        if (mode != rt::FrontierMode::kFlagScan) {
+            // Pace expansions by the average edge weight (host side).
+            std::uint64_t total = 0;
+            for (const graph::Weight w : graph.rawWeights()) {
+                total += w;
+            }
+            const std::uint64_t edges = graph.rawWeights().size();
+            const graph::Dist avg = edges == 0 ? 1 : total / edges;
+            delta = std::max<graph::Dist>(avg / kSsspDeltaDivisor, 1);
         }
-        const std::uint64_t edges = graph.rawWeights().size();
-        const graph::Dist avg = edges == 0 ? 1 : total / edges;
-        delta = std::max<graph::Dist>(avg / kSsspDeltaDivisor, 1);
     }
 
     const graph::Graph& g;
     AlignedVector<graph::Dist> dist;
     AlignedVector<graph::VertexId> parent;
     rt::FrontierEngine frontier;
-    /** Per-round expansion-distance increment (see kSsspDeltaFactor). */
-    graph::Dist delta = 1;
+    /** Per-round pacing increment; 0 = pacing off (kFlagScan). */
+    graph::Dist delta = 0;
     Padded<std::uint64_t> rounds;
     LockStripe<Ctx> locks;
     rt::ActiveTracker* tracker;
 };
 
-/**
- * Frontier-engine SSSP body: identical label-correcting relaxation,
- * but each round only touches the vertices actually on the front
- * (sparse rounds) or the dense bitmap (adaptive heavy rounds), with
- * chunk-granularity work-stealing fixing the load imbalance a sparse
- * front causes under static block partitioning. Front vertices beyond
- * the round's pacing threshold are deferred (re-queued) rather than
- * expanded, so almost every vertex is expanded once, from its final
- * distance — the flag-scan path cannot defer without rescanning, the
- * work lists make it O(1).
- */
+/** Kernel body; all threads execute this with the shared state. */
 template <class Ctx>
 void
-ssspFrontierKernel(Ctx& ctx, SsspFrontierState<Ctx>& s)
+ssspKernel(Ctx& ctx, SsspState<Ctx>& s)
 {
-    const graph::EdgeId* offsets = s.g.rawOffsets().data();
-    const graph::VertexId* neighbors = s.g.rawNeighbors().data();
-    const graph::Weight* weights = s.g.rawWeights().data();
+    const rt::par::Csr csr = rt::par::csrOf(s.g);
 
+    // Telemetry locals: plain counters, flushed once at kernel exit.
+    // With the sink compiled out they are dead stores the optimizer
+    // removes; with a null sink they cost two register increments.
     obs::Track* const track =
         obs::trackFor(obs::sink(), obs::ctxTrackKind<Ctx>, ctx.tid());
     std::uint64_t relaxations = 0;
@@ -239,13 +121,16 @@ ssspFrontierKernel(Ctx& ctx, SsspFrontierState<Ctx>& s)
 
     std::uint64_t front = s.frontier.initialFrontSize();
     std::uint64_t round = 0;
+    graph::Dist du = 0; // captured by pre, read by the edge body
     while (front != 0) {
         const bool dense = s.frontier.denseRound(front);
         // Same value on every thread: pure function of the round.
-        const graph::Dist pace = (round + 1) * s.delta;
-        s.frontier.processCurrent(
-            ctx, round, dense, [&](graph::VertexId u) {
-                const graph::Dist du = ctx.read(s.dist[u]);
+        const graph::Dist pace =
+            s.delta == 0 ? graph::kInfDist : (round + 1) * s.delta;
+        rt::par::edgeMapPush(
+            ctx, csr, s.frontier, round, dense,
+            [&](graph::VertexId u) {
+                du = ctx.read(s.dist[u]);
                 if (du > pace) {
                     // Too far ahead of the wavefront: expanding now
                     // would almost surely be redone. Push to the next
@@ -255,28 +140,26 @@ ssspFrontierKernel(Ctx& ctx, SsspFrontierState<Ctx>& s)
                     ScopedLock<Ctx> guard(ctx, s.locks.of(u));
                     s.frontier.activate(ctx, round, u);
                     ++deferrals;
-                    return;
+                    return false;
                 }
                 trackAdd(s.tracker, -1);
                 ++expansions;
-                const graph::EdgeId beg = ctx.read(offsets[u]);
-                const graph::EdgeId end = ctx.read(offsets[u + 1]);
-                for (graph::EdgeId e = beg; e < end; ++e) {
-                    const graph::VertexId v = ctx.read(neighbors[e]);
-                    const graph::Weight w = ctx.read(weights[e]);
-                    const graph::Dist cand = du + w;
-                    ctx.work(2); // index arithmetic + compare
-                    if (cand >= ctx.read(s.dist[v])) {
-                        continue;
-                    }
-                    ScopedLock<Ctx> guard(ctx, s.locks.of(v));
-                    if (cand < ctx.read(s.dist[v])) {
-                        ctx.write(s.dist[v], cand);
-                        ctx.write(s.parent[v], u);
-                        ++relaxations;
-                        if (s.frontier.activate(ctx, round, v)) {
-                            trackAdd(s.tracker, 1);
-                        }
+                return true;
+            },
+            [&](graph::VertexId u, graph::VertexId v, graph::EdgeId e) {
+                const graph::Weight w = ctx.read(csr.weights[e]);
+                const graph::Dist cand = du + w;
+                ctx.work(2); // index arithmetic + compare
+                if (cand >= ctx.read(s.dist[v])) {
+                    return;
+                }
+                ScopedLock<Ctx> guard(ctx, s.locks.of(v));
+                if (cand < ctx.read(s.dist[v])) {
+                    ctx.write(s.dist[v], cand);
+                    ctx.write(s.parent[v], u);
+                    ++relaxations;
+                    if (s.frontier.activate(ctx, round, v)) {
+                        trackAdd(s.tracker, 1);
                     }
                 }
             });
@@ -299,7 +182,7 @@ ssspFrontierKernel(Ctx& ctx, SsspFrontierState<Ctx>& s)
  * @param tracker optional active-vertices instrumentation (Figure 2)
  * @param mode    frontier representation; kFlagScan (default) is the
  *                paper's structure, kSparse/kAdaptive run on the
- *                rt::FrontierEngine work lists
+ *                rt::FrontierEngine work lists (with pacing)
  */
 template <class Exec>
 SsspResult
@@ -309,17 +192,12 @@ sssp(Exec& exec, int nthreads, const graph::Graph& g,
 {
     using Ctx = typename Exec::Ctx;
     obs::ScopedHostSpan kernel_span("SSSP_DIJK", g.numVertices());
-    if (mode == rt::FrontierMode::kFlagScan) {
-        SsspState<Ctx> state(g, source, tracker);
-        rt::RunInfo info = exec.parallel(
-            nthreads, [&state](Ctx& ctx) { ssspKernel(ctx, state); });
-        return SsspResult{std::move(state.dist), std::move(state.parent),
-                          state.rounds.value, std::move(info)};
-    }
-    SsspFrontierState<Ctx> state(g, source, nthreads, mode, tracker);
+    SsspState<Ctx> state(g, source, nthreads, mode, tracker);
     rt::RunInfo info = exec.parallel(
-        nthreads, [&state](Ctx& ctx) { ssspFrontierKernel(ctx, state); });
-    state.frontier.applyRoundStats(info);
+        nthreads, [&state](Ctx& ctx) { ssspKernel(ctx, state); });
+    if (mode != rt::FrontierMode::kFlagScan) {
+        state.frontier.applyRoundStats(info);
+    }
     return SsspResult{std::move(state.dist), std::move(state.parent),
                       state.rounds.value, std::move(info)};
 }

@@ -75,6 +75,11 @@ struct Workload {
      * flag-scan structure.
      */
     rt::FrontierMode frontier_mode = rt::FrontierMode::kFlagScan;
+    /**
+     * PageRank phase structure; the default keeps the paper's
+     * capture-and-scatter shape (see PageRankMode).
+     */
+    PageRankMode pr_mode = PageRankMode::kScatter;
 };
 
 /**
@@ -118,7 +123,7 @@ runBenchmark(BenchmarkId id, Exec& exec, int nthreads, const Workload& w,
         return triangleCount(exec, nthreads, *w.graph, tracker).run;
       case BenchmarkId::pageRank:
         return pageRank(exec, nthreads, *w.graph, w.pr_iterations, 0.15,
-                        tracker)
+                        tracker, w.pr_mode)
             .run;
       case BenchmarkId::comm:
         return communityDetection(exec, nthreads, *w.graph, w.comm_rounds,

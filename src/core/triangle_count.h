@@ -3,12 +3,15 @@
  * Triangle Counting (Section III-8), exact version.
  *
  * Parallelization (Table I: Vertex Capture & Graph Division): the
- * enumeration pass captures vertices from a shared atomic cursor,
- * updating per-vertex counters under atomic locks; after a barrier, a
- * statically divided reduction pass folds per-vertex counts into the
- * global total — the two-phase structure the paper describes. Each triangle {a < b < c} is enumerated exactly once
- * from its smallest vertex, testing the closing edge with a binary
- * search over the (sorted) CSR adjacency list.
+ * enumeration pass captures vertices from a shared atomic cursor
+ * (par::vertexMapCapture), updating per-vertex counters under atomic
+ * locks; after a barrier, a statically divided reduction pass folds
+ * per-vertex counts into the global total through par::reduce — the
+ * two-phase structure the paper describes, with the merge expressed
+ * as a deterministic tree reduction instead of a shared-counter
+ * fetch-and-add race. Each triangle {a < b < c} is enumerated exactly
+ * once from its smallest vertex, testing the closing edge with a
+ * binary search over the (sorted) CSR adjacency list.
  */
 
 #ifndef CRONO_CORE_TRIANGLE_COUNT_H_
@@ -18,8 +21,9 @@
 
 #include "core/context.h"
 #include "graph/graph.h"
+#include "obs/telemetry.h"
 #include "runtime/executor.h"
-#include "runtime/partition.h"
+#include "runtime/par.h"
 #include "runtime/strategies.h"
 
 namespace crono::core {
@@ -34,16 +38,19 @@ struct TriangleCountResult {
 
 template <class Ctx>
 struct TriangleCountState {
-    TriangleCountState(const graph::Graph& graph,
+    TriangleCountState(const graph::Graph& graph, int nthreads,
                        rt::ActiveTracker* tracker_in)
         : g(graph), per_vertex(graph.numVertices(), 0),
-          locks(graph.numVertices()), tracker(tracker_in)
+          totals(nthreads), locks(graph.numVertices()),
+          tracker(tracker_in)
     {
     }
 
     const graph::Graph& g;
     AlignedVector<std::uint64_t> per_vertex;
     Padded<std::uint64_t> total;
+    /** Per-thread fold slots of the phase-2 reduction. */
+    rt::par::ReduceSlots<std::uint64_t> totals;
     rt::CaptureCounter cursor;
     LockStripe<Ctx> locks;
     rt::ActiveTracker* tracker;
@@ -78,56 +85,59 @@ template <class Ctx>
 void
 triangleCountKernel(Ctx& ctx, TriangleCountState<Ctx>& s)
 {
-    const graph::EdgeId* offsets = s.g.rawOffsets().data();
-    const graph::VertexId* neighbors = s.g.rawNeighbors().data();
-    const rt::Range range =
-        rt::blockPartition(s.g.numVertices(), ctx.tid(), ctx.nthreads());
+    const rt::par::Csr csr = rt::par::csrOf(s.g);
 
     // Phase 1: enumerate triangles from their smallest vertex,
     // capturing one vertex per atomic claim.
-    for (;;) {
-        const std::uint64_t ai =
-            rt::captureNext(ctx, s.cursor, s.g.numVertices());
-        if (ai == rt::kCaptureDone) {
-            break;
-        }
-        const auto a = static_cast<graph::VertexId>(ai);
-        trackAdd(s.tracker, 1);
-        const graph::EdgeId beg = ctx.read(offsets[a]);
-        const graph::EdgeId end = ctx.read(offsets[a + 1]);
-        for (graph::EdgeId e1 = beg; e1 < end; ++e1) {
-            const graph::VertexId b = ctx.read(neighbors[e1]);
-            if (b <= a) {
-                continue;
-            }
-            for (graph::EdgeId e2 = e1 + 1; e2 < end; ++e2) {
-                const graph::VertexId c = ctx.read(neighbors[e2]);
-                ctx.work(1);
-                if (c <= b) {
+    std::uint64_t triangles = 0;
+    rt::par::vertexMapCapture(
+        ctx, s.cursor, s.g.numVertices(), [&](std::uint64_t ai) {
+            const auto a = static_cast<graph::VertexId>(ai);
+            trackAdd(s.tracker, 1);
+            const graph::EdgeId beg = ctx.read(csr.offsets[a]);
+            const graph::EdgeId end = ctx.read(csr.offsets[a + 1]);
+            for (graph::EdgeId e1 = beg; e1 < end; ++e1) {
+                const graph::VertexId b = ctx.read(csr.neighbors[e1]);
+                if (b <= a) {
                     continue;
                 }
-                if (triangleHasEdge(ctx, offsets, neighbors, b, c)) {
-                    for (graph::VertexId corner : {a, b, c}) {
-                        ScopedLock<Ctx> guard(ctx, s.locks.of(corner));
-                        ctx.write(s.per_vertex[corner],
-                                  ctx.read(s.per_vertex[corner]) + 1);
+                for (graph::EdgeId e2 = e1 + 1; e2 < end; ++e2) {
+                    const graph::VertexId c = ctx.read(csr.neighbors[e2]);
+                    ctx.work(1);
+                    if (c <= b) {
+                        continue;
+                    }
+                    if (triangleHasEdge(ctx, csr.offsets, csr.neighbors,
+                                        b, c)) {
+                        ++triangles;
+                        for (graph::VertexId corner : {a, b, c}) {
+                            ScopedLock<Ctx> guard(ctx,
+                                                  s.locks.of(corner));
+                            ctx.write(s.per_vertex[corner],
+                                      ctx.read(s.per_vertex[corner]) + 1);
+                        }
                     }
                 }
             }
-        }
-        trackAdd(s.tracker, -1);
-    }
+            trackAdd(s.tracker, -1);
+        });
+    obs::counterAdd(ctx, obs::Counter::kTriangles, triangles);
     ctx.barrier();
 
     // Phase 2: fold per-vertex counts into the global total. Each
-    // triangle touches three vertices, so the fold divides by 3.
+    // triangle touches three vertices, so the fold divides by 3. The
+    // per-thread partial sums combine through a tree reduction
+    // (deterministic combine order, no shared-counter RMW race).
     std::uint64_t local = 0;
-    for (std::uint64_t v = range.begin; v < range.end; ++v) {
+    rt::par::vertexMap(ctx, s.g.numVertices(), [&](std::uint64_t v) {
         local += ctx.read(s.per_vertex[v]);
         ctx.work(1);
-    }
-    if (local > 0) {
-        ctx.fetchAdd(s.total.value, local);
+    });
+    const std::uint64_t folded = rt::par::reduce(
+        ctx, s.totals, local,
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    if (ctx.tid() == 0) {
+        ctx.write(s.total.value, folded);
     }
 }
 
@@ -138,7 +148,8 @@ triangleCount(Exec& exec, int nthreads, const graph::Graph& g,
               rt::ActiveTracker* tracker = nullptr)
 {
     using Ctx = typename Exec::Ctx;
-    TriangleCountState<Ctx> state(g, tracker);
+    obs::ScopedHostSpan kernel_span("TRI_CNT", g.numVertices());
+    TriangleCountState<Ctx> state(g, nthreads, tracker);
     rt::RunInfo info = exec.parallel(
         nthreads, [&state](Ctx& ctx) { triangleCountKernel(ctx, state); });
     return TriangleCountResult{state.total.value / 3,

@@ -3,8 +3,10 @@
  * Travelling Salesman Problem (Section III-6).
  *
  * Parallelization: branch and bound. The tour starts at city 0;
- * first-level branches (the choice of second city) are designated
- * statically and captured by threads through an atomic counter. Each
+ * two-level branches (the choice of second and third city) are
+ * designated statically and captured by threads through an atomic
+ * counter (par::vertexMapCapture over branch indices — the same
+ * capture idiom the vertex kernels use, applied to subproblems). Each
  * thread searches its branch depth-first, pruning against a global
  * best-cost bound that is read racily on the hot path and improved
  * under an atomic lock — exactly the scheme the paper describes.
@@ -20,7 +22,9 @@
 
 #include "core/context.h"
 #include "graph/adjacency_matrix.h"
+#include "obs/telemetry.h"
 #include "runtime/executor.h"
+#include "runtime/par.h"
 #include "runtime/strategies.h"
 
 namespace crono::core {
@@ -52,13 +56,18 @@ struct TspState {
     rt::ActiveTracker* tracker;
 };
 
-/** Recursive branch-and-bound search below a fixed tour prefix. */
+/**
+ * Recursive branch-and-bound search below a fixed tour prefix.
+ * @p nodes counts search-tree nodes entered (telemetry: kBranches).
+ */
 template <class Ctx>
 void
 tspSearch(Ctx& ctx, TspState<Ctx>& s, std::vector<graph::VertexId>& path,
-          std::uint32_t visited_mask, std::uint64_t cost)
+          std::uint32_t visited_mask, std::uint64_t cost,
+          std::uint64_t& nodes)
 {
     ctx.work(2);
+    ++nodes;
     // Prune: the racy bound read can only be stale-high, which merely
     // delays pruning.
     if (cost >= s.bound.current(ctx)) {
@@ -86,7 +95,8 @@ tspSearch(Ctx& ctx, TspState<Ctx>& s, std::vector<graph::VertexId>& path,
         }
         const graph::Weight d = ctx.read(s.cities.row(cur)[next]);
         path.push_back(next);
-        tspSearch(ctx, s, path, visited_mask | (1u << next), cost + d);
+        tspSearch(ctx, s, path, visited_mask | (1u << next), cost + d,
+                  nodes);
         path.pop_back();
     }
 }
@@ -97,12 +107,14 @@ tspKernel(Ctx& ctx, TspState<Ctx>& s)
 {
     std::vector<graph::VertexId> path;
     path.reserve(s.n);
+    std::uint64_t nodes = 0;
     if (s.n < 4) {
         // Too few cities for two-level branches: solve on one thread.
         if (ctx.tid() == 0) {
             path.push_back(0);
-            tspSearch(ctx, s, path, 1u, 0);
+            tspSearch(ctx, s, path, 1u, 0, nodes);
         }
+        obs::counterAdd(ctx, obs::Counter::kBranches, nodes);
         return;
     }
     // Branches are designated statically at two levels (the choice of
@@ -111,30 +123,30 @@ tspKernel(Ctx& ctx, TspState<Ctx>& s)
     // whole branches.
     const std::uint64_t num_branches =
         static_cast<std::uint64_t>(s.n - 1) * (s.n - 2);
-    for (;;) {
-        const std::uint64_t branch =
-            rt::captureNext(ctx, s.counter, num_branches);
-        if (branch == rt::kCaptureDone) {
-            break;
-        }
-        trackAdd(s.tracker, 1);
-        const auto second =
-            static_cast<graph::VertexId>(branch / (s.n - 2) + 1);
-        auto third = static_cast<graph::VertexId>(branch % (s.n - 2) + 1);
-        if (third >= second) {
-            ++third; // skip the second city's slot
-        }
-        path.clear();
-        path.push_back(0);
-        path.push_back(second);
-        path.push_back(third);
-        const std::uint64_t d =
-            static_cast<std::uint64_t>(ctx.read(s.cities.row(0)[second])) +
-            ctx.read(s.cities.row(second)[third]);
-        tspSearch(ctx, s, path,
-                  (1u << 0) | (1u << second) | (1u << third), d);
-        trackAdd(s.tracker, -1);
-    }
+    rt::par::vertexMapCapture(
+        ctx, s.counter, num_branches, [&](std::uint64_t branch) {
+            trackAdd(s.tracker, 1);
+            const auto second =
+                static_cast<graph::VertexId>(branch / (s.n - 2) + 1);
+            auto third =
+                static_cast<graph::VertexId>(branch % (s.n - 2) + 1);
+            if (third >= second) {
+                ++third; // skip the second city's slot
+            }
+            path.clear();
+            path.push_back(0);
+            path.push_back(second);
+            path.push_back(third);
+            const std::uint64_t d =
+                static_cast<std::uint64_t>(
+                    ctx.read(s.cities.row(0)[second])) +
+                ctx.read(s.cities.row(second)[third]);
+            tspSearch(ctx, s, path,
+                      (1u << 0) | (1u << second) | (1u << third), d,
+                      nodes);
+            trackAdd(s.tracker, -1);
+        });
+    obs::counterAdd(ctx, obs::Counter::kBranches, nodes);
 }
 
 /** Solve TSP exactly over a symmetric distance matrix. */
@@ -144,6 +156,7 @@ tsp(Exec& exec, int nthreads, const graph::AdjacencyMatrix& cities,
     rt::ActiveTracker* tracker = nullptr)
 {
     using Ctx = typename Exec::Ctx;
+    obs::ScopedHostSpan kernel_span("TSP", cities.numVertices());
     TspState<Ctx> state(cities, tracker);
     rt::RunInfo info = exec.parallel(
         nthreads, [&state](Ctx& ctx) { tspKernel(ctx, state); });

@@ -50,6 +50,18 @@ counterName(Counter c)
         return "busy_cycles";
       case Counter::kStallCycles:
         return "stall_cycles";
+      case Counter::kPullRounds:
+        return "pull_rounds";
+      case Counter::kCaptures:
+        return "captures";
+      case Counter::kDonations:
+        return "donations";
+      case Counter::kMoves:
+        return "moves";
+      case Counter::kTriangles:
+        return "triangles";
+      case Counter::kBranches:
+        return "branches";
     }
     return "unknown";
 }

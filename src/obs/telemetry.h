@@ -88,9 +88,15 @@ enum class Counter : std::uint8_t {
     kIterations,       ///< fixed-iteration kernels (PageRank)
     kBusyCycles,       ///< sim: compute component cycles
     kStallCycles,      ///< sim: non-compute (memory + sync) cycles
+    kPullRounds,       ///< rounds consumed pull-side (direction opt.)
+    kCaptures,         ///< work items claimed via vertex capture
+    kDonations,        ///< DFS branches donated to the shared stack
+    kMoves,            ///< community-detection vertex moves
+    kTriangles,        ///< triangles enumerated (each exactly once)
+    kBranches,         ///< TSP search-tree nodes visited
 };
 
-inline constexpr int kNumCounters = 13;
+inline constexpr int kNumCounters = 19;
 
 /** Printable counter name, e.g. "steal_chunks". */
 const char* counterName(Counter c);

@@ -16,6 +16,8 @@ frontierModeName(FrontierMode mode)
         return "sparse";
       case FrontierMode::kAdaptive:
         return "adaptive";
+      case FrontierMode::kPull:
+        return "pull";
     }
     return "unknown";
 }
@@ -34,11 +36,22 @@ denseFrontThreshold(std::uint64_t num_vertices, std::uint64_t num_edges)
     return threshold == 0 ? 1 : threshold;
 }
 
+std::uint64_t
+pullFrontThreshold(std::uint64_t num_vertices)
+{
+    const std::uint64_t threshold =
+        num_vertices / kFrontierPullSwitchDivisor;
+    return threshold == 0 ? 1 : threshold;
+}
+
 FrontierEngine::FrontierEngine(std::uint64_t num_vertices,
                                std::uint64_t num_edges, int nthreads,
                                FrontierMode mode)
     : numVertices_(num_vertices), nthreads_(nthreads), mode_(mode),
       denseThreshold_(denseFrontThreshold(num_vertices, num_edges)),
+      pullThreshold_(pullFrontThreshold(num_vertices)),
+      useQueues_(mode == FrontierMode::kSparse ||
+                 mode == FrontierMode::kAdaptive),
       threads_(static_cast<std::size_t>(nthreads))
 {
     CRONO_REQUIRE(nthreads >= 1, "frontier engine needs >= 1 thread");
@@ -49,6 +62,10 @@ FrontierEngine::FrontierEngine(std::uint64_t num_vertices,
 void
 FrontierEngine::hostPush(int owner, Vertex v)
 {
+    if (!useQueues_) {
+        ++front_[0].value;
+        return;
+    }
     Queue& q = threads_[static_cast<std::size_t>(owner)].queue[0];
     if (q.fill == kFrontierChunkCap || q.used == 0) {
         if (q.used == q.chunks.size()) {
@@ -74,6 +91,10 @@ FrontierEngine::seed(Vertex v)
         return;
     }
     flags_[0][v] = 1;
+    if (!useQueues_) {
+        ++front_[0].value;
+        return;
+    }
     // Route the seed to its block-partition owner so round 0 starts
     // with the same locality the dense scan would have.
     for (int t = 0; t < nthreads_; ++t) {

@@ -15,12 +15,18 @@
  * per round from front occupancy (FrontierMode::kAdaptive).
  *
  * Design invariants:
- *  - Membership is always tracked in the parity-indexed flag arrays,
- *    and activations are always appended to the activating thread's
- *    queue, so a round can be *consumed* either densely (scan the
- *    thread's static block of flags) or sparsely (claim chunks from
- *    the per-thread queues, own queue first, then steal round-robin)
- *    — switching representation between rounds is free.
+ *  - Membership is always tracked in the parity-indexed flag arrays;
+ *    in the queue-backed modes (kSparse/kAdaptive) activations are
+ *    additionally appended to the activating thread's queue, so a
+ *    round can be *consumed* either densely (scan the thread's static
+ *    block of flags) or sparsely (claim chunks from the per-thread
+ *    queues, own queue first, then steal round-robin) — switching
+ *    representation between rounds is free. The flag arrays double as
+ *    the pull-side membership probe (inCurrent): a direction-
+ *    optimized round skips processCurrent entirely and has every
+ *    *destination* scan its neighbors against the current parity,
+ *    clearing its own flag block in advance()'s between-barriers hook
+ *    (see clearCurrentBlock).
  *  - Every shared-memory access goes through the ExecutionContext
  *    (`ctx.read/write/fetchAdd`), so simulated cache and NoC traffic
  *    stays honest when the engine runs on the Graphite-style
@@ -68,6 +74,32 @@ inline constexpr std::uint64_t kFrontierDenseSwitchFactor = 4;
  */
 std::uint64_t denseFrontThreshold(std::uint64_t num_vertices,
                                   std::uint64_t num_edges);
+
+/**
+ * Pull-switch divisor d of the direction-optimizing policy: a round
+ * whose front exceeds V / d is consumed pull-side (when the kernel
+ * supports it). The GAP-style intuition: once a sizable fraction of
+ * the graph is on the front, most push edge-scans hit already-claimed
+ * destinations, while a destination-side gather can stop at its first
+ * in-front neighbor — on power-law inputs the heavy middle rounds of
+ * a BFS put 20-60% of all vertices on the front at once. V/20 keeps
+ * road networks (fronts of a few hundred out of 10^5+ vertices)
+ * permanently push-side while catching exactly those heavy rounds.
+ */
+inline constexpr std::uint64_t kFrontierPullSwitchDivisor = 20;
+
+/** Front size above which a round is consumed pull-side (>= 1). */
+std::uint64_t pullFrontThreshold(std::uint64_t num_vertices);
+
+/**
+ * Per-round traversal decision of FrontierEngine::planRound: how the
+ * current round's front should be consumed.
+ */
+enum class RoundPlan : int {
+    kSparsePush = 0, ///< drain the per-thread work lists (push)
+    kDensePush = 1,  ///< scan the dense flag array (push)
+    kPull = 2,       ///< destinations gather against the flag array
+};
 
 /**
  * Double-buffered frontier over vertices [0, V): dense parity-indexed
@@ -120,6 +152,7 @@ class FrontierEngine {
     {
         switch (mode_) {
           case FrontierMode::kFlagScan:
+          case FrontierMode::kPull:
             return true;
           case FrontierMode::kSparse:
             return false;
@@ -127,6 +160,73 @@ class FrontierEngine {
             return front_size > denseThreshold_;
         }
         return true;
+    }
+
+    /**
+     * Full traversal decision for a round whose front holds
+     * @p front_size vertices, including the pull side. Pure function
+     * of shared values, so all threads independently derive the same
+     * answer. @p allow_pull gates the pull side per kernel: a kernel
+     * without a pull formulation (SSSP's weighted relaxation) passes
+     * false and gets the push-only policy.
+     *
+     * Direction-optimizing policy (kAdaptive): pull when the front
+     * exceeds pullFrontThreshold(V), dense push when it exceeds
+     * denseFrontThreshold(V, E), sparse push otherwise.
+     */
+    RoundPlan
+    planRound(std::uint64_t front_size, bool allow_pull) const
+    {
+        switch (mode_) {
+          case FrontierMode::kFlagScan:
+            return RoundPlan::kDensePush;
+          case FrontierMode::kSparse:
+            return RoundPlan::kSparsePush;
+          case FrontierMode::kPull:
+            return allow_pull ? RoundPlan::kPull : RoundPlan::kDensePush;
+          case FrontierMode::kAdaptive:
+            if (allow_pull && front_size > pullThreshold_) {
+                return RoundPlan::kPull;
+            }
+            return front_size > denseThreshold_ ? RoundPlan::kDensePush
+                                                : RoundPlan::kSparsePush;
+        }
+        return RoundPlan::kDensePush;
+    }
+
+    /**
+     * Membership test against the *current* round's flags — the
+     * pull-side "is u on the front" probe. Race-free during a pull
+     * round: round @p round reads parity round&1 while activations
+     * write parity (round+1)&1.
+     */
+    template <class Ctx>
+    bool
+    inCurrent(Ctx& ctx, std::uint64_t round, Vertex v)
+    {
+        return ctx.read(flags_[round & 1].data()[v]) != 0;
+    }
+
+    /**
+     * Clear this thread's static block of the current round's flags.
+     * A pull round never consumes flags through processCurrent, so its
+     * front membership must be wiped before the parity is reused; call
+     * this from advance()'s between-barriers hook (the round is
+     * quiesced there, and parity round&1 is not written again until
+     * round+2's activations, which begin after the second barrier).
+     */
+    template <class Ctx>
+    void
+    clearCurrentBlock(Ctx& ctx, std::uint64_t round)
+    {
+        std::uint32_t* flags = flags_[round & 1].data();
+        const Range range =
+            blockPartition(numVertices_, ctx.tid(), nthreads_);
+        for (std::uint64_t v = range.begin; v < range.end; ++v) {
+            if (ctx.read(flags[v]) != 0) { // avoid dirtying clean lines
+                ctx.write(flags[v], 0u);
+            }
+        }
     }
 
     /**
@@ -293,11 +393,13 @@ class FrontierEngine {
         const std::size_t next = p ^ 1;
         PerThread& me = threads_[static_cast<std::size_t>(ctx.tid())];
         me.opsMarks.push_back(ctx.ops()); // pre-wait: captures imbalance
-        Queue& nq = me.queue[next];
-        if (nq.used != 0) { // seal the trailing partial chunk
-            ctx.write(nq.chunks[nq.used - 1]->size, nq.fill);
+        if (useQueues_) {
+            Queue& nq = me.queue[next];
+            if (nq.used != 0) { // seal the trailing partial chunk
+                ctx.write(nq.chunks[nq.used - 1]->size, nq.fill);
+            }
+            ctx.write(nq.ready.value, nq.used);
         }
-        ctx.write(nq.ready.value, nq.used);
         if (me.pending != 0) {
             obs::counterAdd(ctx, obs::Counter::kActivations, me.pending);
             ctx.fetchAdd(front_[next].value, me.pending);
@@ -306,15 +408,17 @@ class FrontierEngine {
         ctx.barrier();
         const std::uint64_t next_front = ctx.read(front_[next].value);
         between();
-        // Recycle the just-consumed parity: it becomes the push target
-        // of the upcoming round. Safe between the two barriers — all
-        // consumption finished at the first one, pushes start after
-        // the second.
-        Queue& cq = me.queue[p];
-        ctx.write(cq.claim.value, std::uint64_t{0});
-        ctx.write(cq.ready.value, std::uint64_t{0});
-        cq.used = 0;
-        cq.fill = 0;
+        if (useQueues_) {
+            // Recycle the just-consumed parity: it becomes the push
+            // target of the upcoming round. Safe between the two
+            // barriers — all consumption finished at the first one,
+            // pushes start after the second.
+            Queue& cq = me.queue[p];
+            ctx.write(cq.claim.value, std::uint64_t{0});
+            ctx.write(cq.ready.value, std::uint64_t{0});
+            cq.used = 0;
+            cq.fill = 0;
+        }
         if (ctx.tid() == 0) {
             ctx.write(front_[p].value, std::uint64_t{0});
         }
@@ -360,12 +464,23 @@ class FrontierEngine {
         std::vector<std::uint64_t> opsMarks; ///< ops() per round end
     };
 
-    /** Append @p v to this thread's parity-@p next queue. */
+    /**
+     * Count @p v toward this thread's pending activations and, in the
+     * queue-backed modes (kSparse/kAdaptive), append it to the
+     * parity-@p next work list. kFlagScan/kPull rounds are always
+     * consumed through the flag arrays, so maintaining queues there
+     * would only add unmodeled bookkeeping the paper's structure does
+     * not have.
+     */
     template <class Ctx>
     void
     enqueue(Ctx& ctx, std::size_t next, Vertex v)
     {
         PerThread& me = threads_[static_cast<std::size_t>(ctx.tid())];
+        if (!useQueues_) {
+            ++me.pending;
+            return;
+        }
         Queue& q = me.queue[next];
         if (q.fill == kFrontierChunkCap || q.used == 0) {
             if (q.used != 0) { // seal the filled chunk for consumers
@@ -389,6 +504,9 @@ class FrontierEngine {
     int nthreads_;
     FrontierMode mode_;
     std::uint64_t denseThreshold_;
+    std::uint64_t pullThreshold_;
+    /** Work lists maintained? False for kFlagScan/kPull (flags only). */
+    bool useQueues_;
     /** Previous round's representation (thread 0 only, telemetry). */
     bool lastDense_ = false;
     AlignedVector<std::uint32_t> flags_[2];

@@ -1,0 +1,28 @@
+#include "runtime/par.h"
+
+#include "common/macros.h"
+
+namespace crono::rt::par {
+
+ScratchArena::ScratchArena(int nthreads)
+    : threads_(static_cast<std::size_t>(nthreads))
+{
+    CRONO_REQUIRE(nthreads >= 1, "scratch arena needs >= 1 thread");
+}
+
+std::byte*
+ScratchArena::bytes(int tid, int slot, std::size_t size)
+{
+    Thread& t = threads_[static_cast<std::size_t>(tid)];
+    if (t.lanes.size() <= static_cast<std::size_t>(slot)) {
+        t.lanes.resize(static_cast<std::size_t>(slot) + 1);
+    }
+    AlignedVector<std::byte>& lane =
+        t.lanes[static_cast<std::size_t>(slot)];
+    if (lane.size() < size) {
+        lane.resize(size);
+    }
+    return lane.data();
+}
+
+} // namespace crono::rt::par

@@ -33,17 +33,29 @@ namespace crono::rt {
  *    paper-figure experiment (fidelity preserved bit-for-bit).
  *  - kSparse: per-thread chunked work-lists (see rt::FrontierEngine)
  *    with chunk-granularity work-stealing; O(front) per round.
- *  - kAdaptive: per-round choice between the two based on front
- *    occupancy — dense when front_size * avg_degree > V / k, sparse
- *    again once the front shrinks below that threshold.
+ *  - kAdaptive: per-round choice between the representations based on
+ *    front occupancy — dense when front_size * avg_degree > V / k,
+ *    sparse again once the front shrinks below that threshold, and
+ *    pull-side (direction-optimized, for kernels that support it)
+ *    once the front exceeds the pull threshold (see
+ *    rt::pullFrontThreshold).
+ *  - kPull: always consume rounds pull-side where the kernel supports
+ *    it (destinations scan their in-neighbors against the dense front
+ *    bitmap); kernels without a pull formulation fall back to dense
+ *    push. Mostly a debugging / benchmarking mode — kAdaptive is the
+ *    production direction-optimizing policy.
  */
 enum class FrontierMode : int {
     kFlagScan = 0,
     kSparse = 1,
     kAdaptive = 2,
+    kPull = 3,
 };
 
-/** Human-readable name of @p mode ("flagscan" / "sparse" / "adaptive"). */
+/**
+ * Human-readable name of @p mode
+ * ("flagscan" / "sparse" / "adaptive" / "pull").
+ */
 const char* frontierModeName(FrontierMode mode);
 
 /**
