@@ -1,0 +1,299 @@
+#include "analysis/race_detector.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "obs/telemetry.h"
+
+namespace crono::analysis {
+
+namespace {
+
+/** Sorted-vector set intersection in place. */
+void
+intersectInto(std::vector<std::uintptr_t>& into,
+              const std::vector<std::uintptr_t>& other)
+{
+    std::vector<std::uintptr_t> out;
+    std::set_intersection(into.begin(), into.end(), other.begin(),
+                          other.end(), std::back_inserter(out));
+    into = std::move(out);
+}
+
+/** Insert into a sorted vector (no duplicates). */
+void
+sortedInsert(std::vector<std::uintptr_t>& v, std::uintptr_t x)
+{
+    const auto it = std::lower_bound(v.begin(), v.end(), x);
+    if (it == v.end() || *it != x) {
+        v.insert(it, x);
+    }
+}
+
+void
+sortedErase(std::vector<std::uintptr_t>& v, std::uintptr_t x)
+{
+    const auto it = std::lower_bound(v.begin(), v.end(), x);
+    if (it != v.end() && *it == x) {
+        v.erase(it);
+    }
+}
+
+} // namespace
+
+const char*
+accessKindName(AccessKind kind)
+{
+    switch (kind) {
+      case AccessKind::kRead:
+        return "read";
+      case AccessKind::kWrite:
+        return "write";
+      case AccessKind::kAtomicRmw:
+        return "atomic-rmw";
+    }
+    return "?";
+}
+
+void
+RaceDetector::onRegionBegin(int nthreads)
+{
+    CRONO_REQUIRE(nthreads >= 1, "race detector: empty region");
+    nthreads_ = nthreads;
+    clocks_.assign(static_cast<std::size_t>(nthreads),
+                   VectorClock(nthreads));
+    for (int t = 0; t < nthreads; ++t) {
+        // Epoch 0 is "before the region"; every live access gets a
+        // positive clock, so a default Epoch never orders anything.
+        clocks_[static_cast<std::size_t>(t)].set(t, 1);
+    }
+    held_.assign(static_cast<std::size_t>(nthreads), {});
+    lockClocks_.clear();
+    syncClocks_.clear();
+    shadow_.clear();
+    barrierJoin_ = VectorClock(nthreads);
+    barrierArrived_ = 0;
+    // races_ / totals persist across regions (cleared via clear()).
+}
+
+std::uint64_t
+RaceDetector::epochOf(int tid) const
+{
+    return clocks_[static_cast<std::size_t>(tid)].get(tid);
+}
+
+void
+RaceDetector::tick(int tid)
+{
+    VectorClock& c = clocks_[static_cast<std::size_t>(tid)];
+    c.set(tid, c.get(tid) + 1);
+}
+
+void
+RaceDetector::report(VarState& vs, std::uintptr_t addr,
+                     AccessKind prior, AccessKind current,
+                     int prior_tid, int cur_tid,
+                     std::uint64_t prior_clock)
+{
+    if (vs.reported) {
+        return; // one record per address per region
+    }
+    vs.reported = true;
+    ++total_;
+
+    RaceRecord rec;
+    rec.addr = addr;
+    rec.size = vs.size;
+    rec.prior_kind = prior;
+    rec.current_kind = current;
+    rec.prior_tid = prior_tid;
+    rec.current_tid = cur_tid;
+    rec.prior_clock = prior_clock;
+    rec.current_clock = epochOf(cur_tid);
+    rec.lockset_empty = !vs.lockset_valid || vs.lockset.empty();
+    rec.region = region_;
+    // Attribution through the telemetry recorder's live spans: the
+    // kernel driver's ScopedHostSpan names the kernel; the racing
+    // simulated thread's innermost span (if any) narrows the phase.
+    if (obs::Recorder* r = obs::sink()) {
+        if (const obs::Track* host = r->peek(obs::TrackKind::kHost, 0)) {
+            if (host->liveName() != nullptr) {
+                rec.kernel = host->liveName();
+            }
+        }
+        if (const obs::Track* t =
+                r->peek(obs::TrackKind::kSimThread, cur_tid)) {
+            if (t->liveName() != nullptr) {
+                rec.span = t->liveName();
+            }
+        }
+    }
+    if (const SuppressionEntry* e =
+            suppressions_.match(rec.kernel, rec.span, rec.region)) {
+        rec.suppressed_by = e->pattern;
+    } else {
+        ++unsuppressed_;
+    }
+    if (races_.size() < kMaxRecords) {
+        races_.push_back(std::move(rec));
+    }
+}
+
+void
+RaceDetector::eraserUpdate(VarState& vs, int tid)
+{
+    const auto& held = held_[static_cast<std::size_t>(tid)];
+    if (!vs.lockset_valid) {
+        vs.lockset = held;
+        vs.lockset_valid = true;
+        vs.first_tid = tid;
+        return;
+    }
+    if (tid != vs.first_tid) {
+        vs.shared = true;
+    }
+    if (vs.shared) {
+        intersectInto(vs.lockset, held);
+    }
+}
+
+void
+RaceDetector::onSharedRead(int tid, std::uintptr_t addr,
+                           std::uint32_t size)
+{
+    VarState& vs = shadow_[addr];
+    vs.size = size;
+    // Refine the Eraser lockset with this access's held set first, so
+    // a report sees the candidate set *including* the racing access.
+    eraserUpdate(vs, tid);
+    const VectorClock& c = clocks_[static_cast<std::size_t>(tid)];
+    if (vs.w.valid() && !c.covers(vs.w)) {
+        report(vs, addr, vs.w_kind, AccessKind::kRead, vs.w.tid, tid,
+               vs.w.clk);
+    }
+    const Epoch mine{epochOf(tid), tid};
+    if (vs.rv != nullptr) {
+        vs.rv->set(tid, mine.clk);
+    } else if (!vs.r.valid() || vs.r.tid == tid || c.covers(vs.r)) {
+        vs.r = mine; // reads still totally ordered: keep the epoch
+    } else {
+        // Genuinely concurrent readers: promote to a read vector.
+        vs.rv = std::make_unique<VectorClock>(nthreads_);
+        vs.rv->set(vs.r.tid, vs.r.clk);
+        vs.rv->set(tid, mine.clk);
+        vs.r.reset();
+    }
+    tick(tid);
+}
+
+void
+RaceDetector::writeChecksAndUpdate(int tid, std::uintptr_t addr,
+                                   std::uint32_t size, AccessKind kind)
+{
+    VarState& vs = shadow_[addr];
+    vs.size = size;
+    eraserUpdate(vs, tid);
+    const VectorClock& c = clocks_[static_cast<std::size_t>(tid)];
+    if (vs.w.valid() && !c.covers(vs.w)) {
+        report(vs, addr, vs.w_kind, kind, vs.w.tid, tid, vs.w.clk);
+    }
+    if (vs.rv != nullptr) {
+        for (int u = 0; u < nthreads_; ++u) {
+            const std::uint64_t ru = vs.rv->get(u);
+            if (ru != 0 && ru > c.get(u)) {
+                report(vs, addr, AccessKind::kRead, kind, u, tid, ru);
+                break;
+            }
+        }
+    } else if (vs.r.valid() && !c.covers(vs.r)) {
+        report(vs, addr, AccessKind::kRead, kind, vs.r.tid, tid,
+               vs.r.clk);
+    }
+    vs.w = {epochOf(tid), tid};
+    vs.w_kind = kind;
+    vs.r.reset();
+    vs.rv.reset();
+}
+
+void
+RaceDetector::onSharedWrite(int tid, std::uintptr_t addr,
+                            std::uint32_t size)
+{
+    writeChecksAndUpdate(tid, addr, size, AccessKind::kWrite);
+    tick(tid);
+}
+
+void
+RaceDetector::onAtomicRmw(int tid, std::uintptr_t addr,
+                          std::uint32_t size)
+{
+    // Acquire side first: joining the address's publish clock orders
+    // this RMW after every earlier atomic on the address, so the
+    // plain-shadow checks below stay silent for atomic-after-atomic
+    // and fire only against unordered *plain* accesses.
+    VectorClock& s =
+        syncClocks_.try_emplace(addr, VectorClock(nthreads_))
+            .first->second;
+    clocks_[static_cast<std::size_t>(tid)].join(s);
+    writeChecksAndUpdate(tid, addr, size, AccessKind::kAtomicRmw);
+    s = clocks_[static_cast<std::size_t>(tid)]; // release/publish
+    tick(tid);
+}
+
+void
+RaceDetector::onAtomicLoad(int tid, std::uintptr_t addr, std::uint32_t)
+{
+    // Declared-racy probe (Ctx::readAtomic): acquire the address's
+    // publish clock if one exists; by contract the probe itself is
+    // exempt from race checks and leaves no shadow trace.
+    const auto it = syncClocks_.find(addr);
+    if (it != syncClocks_.end()) {
+        clocks_[static_cast<std::size_t>(tid)].join(it->second);
+    }
+    tick(tid);
+}
+
+void
+RaceDetector::onLockAcquire(int tid, std::uintptr_t lock)
+{
+    sortedInsert(held_[static_cast<std::size_t>(tid)], lock);
+    const auto it = lockClocks_.find(lock);
+    if (it != lockClocks_.end()) {
+        clocks_[static_cast<std::size_t>(tid)].join(it->second);
+    }
+}
+
+void
+RaceDetector::onLockRelease(int tid, std::uintptr_t lock)
+{
+    sortedErase(held_[static_cast<std::size_t>(tid)], lock);
+    lockClocks_[lock] = clocks_[static_cast<std::size_t>(tid)];
+    tick(tid);
+}
+
+void
+RaceDetector::onBarrierArrive(int tid)
+{
+    barrierJoin_.join(clocks_[static_cast<std::size_t>(tid)]);
+    if (++barrierArrived_ < nthreads_) {
+        return;
+    }
+    // Episode complete: everyone adopts the joint clock and ticks —
+    // all pre-barrier accesses happen before all post-barrier ones.
+    for (int t = 0; t < nthreads_; ++t) {
+        clocks_[static_cast<std::size_t>(t)] = barrierJoin_;
+        tick(t);
+    }
+    barrierJoin_.clear();
+    barrierArrived_ = 0;
+}
+
+void
+RaceDetector::clear()
+{
+    races_.clear();
+    total_ = 0;
+    unsuppressed_ = 0;
+}
+
+} // namespace crono::analysis

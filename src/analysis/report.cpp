@@ -1,0 +1,71 @@
+#include "analysis/report.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace crono::analysis {
+
+namespace {
+
+std::string
+hexAddr(std::uintptr_t addr)
+{
+    char buf[2 + 16 + 1];
+    std::snprintf(buf, sizeof(buf), "0x%" PRIxPTR, addr);
+    return buf;
+}
+
+void
+writeSide(obs::JsonWriter& w, const char* key, AccessKind kind, int tid,
+          std::uint64_t clock)
+{
+    w.key(key).beginObject();
+    w.key("kind").value(accessKindName(kind));
+    w.key("tid").value(tid);
+    w.key("clock").value(clock);
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+racesJson(const RaceDetector& detector)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("crono.races.v1");
+    w.key("total_races").value(detector.totalRaces());
+    w.key("unsuppressed").value(detector.unsuppressedCount());
+    w.key("suppressed")
+        .value(detector.totalRaces() - detector.unsuppressedCount());
+    w.key("truncated")
+        .value(detector.totalRaces() > detector.races().size());
+    w.key("races").beginArray();
+    for (const RaceRecord& r : detector.races()) {
+        w.beginObject();
+        w.key("kernel").value(r.kernel);
+        w.key("span").value(r.span);
+        w.key("region").value(r.region);
+        w.key("addr").value(hexAddr(r.addr));
+        w.key("size").value(r.size);
+        writeSide(w, "prior", r.prior_kind, r.prior_tid, r.prior_clock);
+        writeSide(w, "current", r.current_kind, r.current_tid,
+                  r.current_clock);
+        w.key("lockset_empty").value(r.lockset_empty);
+        w.key("suppressed_by").value(r.suppressed_by);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+bool
+writeRacesReport(const RaceDetector& detector, const std::string& path)
+{
+    return obs::writeTextFile(path, racesJson(detector));
+}
+
+} // namespace crono::analysis

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * `crono.races.v1` — the race detector's machine-readable report.
+ *
+ * Schema (stability contract as obs/metrics.h: fields are only ever
+ * added, the tag is bumped on breaking changes):
+ *
+ *   {
+ *     "schema": "crono.races.v1",
+ *     "total_races": N,          // all conflicts, incl. suppressed
+ *     "unsuppressed": N,         // the CI gate: must be 0
+ *     "suppressed": N,
+ *     "truncated": false,        // true when records hit the cap
+ *     "races": [{
+ *       "kernel": "BFS",         // host live span at detection time
+ *       "span": "bfs.expand",    // racing sim thread's live span
+ *       "region": "bfs/road/t4", // harness label (setRegionLabel)
+ *       "addr": "0x7f..",  "size": 4,
+ *       "prior":   {"kind": "write", "tid": 0, "clock": 7},
+ *       "current": {"kind": "read",  "tid": 2, "clock": 3},
+ *       "lockset_empty": true,   // Eraser cross-check agreed
+ *       "suppressed_by": ""      // matching allowlist pattern
+ *     }, ...]
+ *   }
+ *
+ * See DESIGN.md §11 for how to read one.
+ */
+
+#ifndef CRONO_ANALYSIS_REPORT_H_
+#define CRONO_ANALYSIS_REPORT_H_
+
+#include <string>
+
+#include "analysis/race_detector.h"
+
+namespace crono::analysis {
+
+/** The "crono.races.v1" JSON document for @p detector's records. */
+std::string racesJson(const RaceDetector& detector);
+
+/** Write racesJson() to @p path. @return false on I/O error. */
+bool writeRacesReport(const RaceDetector& detector,
+                      const std::string& path);
+
+} // namespace crono::analysis
+
+#endif // CRONO_ANALYSIS_REPORT_H_

@@ -1,0 +1,124 @@
+#include "analysis/suppressions.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace crono::analysis {
+
+namespace {
+
+std::string_view
+trim(std::string_view s)
+{
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+        s.remove_prefix(1);
+    }
+    while (!s.empty() &&
+           (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+        s.remove_suffix(1);
+    }
+    return s;
+}
+
+} // namespace
+
+bool
+Suppressions::parse(std::string_view text, std::string* err)
+{
+    std::vector<SuppressionEntry> parsed;
+    std::string pending; // accumulated comment block
+    int lineno = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        const std::string_view raw =
+            text.substr(pos, nl == std::string_view::npos ? nl
+                                                          : nl - pos);
+        pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+        ++lineno;
+        const std::string_view line = trim(raw);
+        if (line.empty()) {
+            pending.clear(); // a blank line detaches the comment block
+            continue;
+        }
+        if (line.front() == '#') {
+            const std::string_view body = trim(line.substr(1));
+            if (!body.empty()) {
+                if (!pending.empty()) {
+                    pending += ' ';
+                }
+                pending += body;
+            }
+            continue;
+        }
+        constexpr std::string_view kPrefix = "race:";
+        if (line.substr(0, kPrefix.size()) != kPrefix) {
+            if (err != nullptr) {
+                std::ostringstream os;
+                os << "line " << lineno << ": unknown directive '"
+                   << line << "' (expected 'race:PATTERN')";
+                *err = os.str();
+            }
+            return false;
+        }
+        const std::string_view pattern = trim(line.substr(kPrefix.size()));
+        if (pattern.empty()) {
+            if (err != nullptr) {
+                std::ostringstream os;
+                os << "line " << lineno << ": empty suppression pattern";
+                *err = os.str();
+            }
+            return false;
+        }
+        if (pending.empty()) {
+            if (err != nullptr) {
+                std::ostringstream os;
+                os << "line " << lineno << ": suppression 'race:"
+                   << pattern
+                   << "' has no justification comment — every entry "
+                      "must be preceded by a '#' comment explaining "
+                      "why the race is acceptable";
+                *err = os.str();
+            }
+            return false;
+        }
+        parsed.push_back({std::string(pattern), pending});
+        pending.clear();
+    }
+    entries_ = std::move(parsed);
+    return true;
+}
+
+bool
+Suppressions::loadFile(const std::string& path, std::string* err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (err != nullptr) {
+            *err = "cannot open suppression file: " + path;
+        }
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse(buf.str(), err);
+}
+
+const SuppressionEntry*
+Suppressions::match(std::string_view kernel, std::string_view span,
+                    std::string_view region) const
+{
+    for (const SuppressionEntry& e : entries_) {
+        const std::string_view pat = e.pattern;
+        const auto hits = [&](std::string_view label) {
+            return !label.empty() &&
+                   label.find(pat) != std::string_view::npos;
+        };
+        if (hits(kernel) || hits(span) || hits(region)) {
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+} // namespace crono::analysis

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Allowlist for the dynamic race detector, with *required*
+ * justifications.
+ *
+ * A suppression that nobody can explain is a bug with a lid on it, so
+ * the file format makes the justification structural: every entry
+ * must be immediately preceded by at least one non-empty `#` comment
+ * line saying why the report is acceptable, and the loader rejects
+ * the whole file otherwise. The same convention is enforced for the
+ * TSan suppression file by scripts/check_tsan.sh.
+ *
+ * Format (scripts/suppressions/detector.allow):
+ *
+ *   # BFS probes level[] before the claim; losers never write, so a
+ *   # stale read only costs a wasted claim attempt.
+ *   race:BFS
+ *
+ * An entry `race:PATTERN` suppresses any race record whose kernel
+ * name, live span name, or region label contains PATTERN as a
+ * substring. Blank lines separate entries; a comment block binds to
+ * the next entry only.
+ */
+
+#ifndef CRONO_ANALYSIS_SUPPRESSIONS_H_
+#define CRONO_ANALYSIS_SUPPRESSIONS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crono::analysis {
+
+/** One allowlist entry with its mandatory justification. */
+struct SuppressionEntry {
+    std::string pattern;       ///< substring matched against labels
+    std::string justification; ///< the preceding comment block
+};
+
+/** A parsed allowlist. Default-constructed = suppress nothing. */
+class Suppressions {
+  public:
+    /**
+     * Parse allowlist @p text. On success entries() is replaced and
+     * true returned; on a malformed file (entry without justification,
+     * unknown directive) false is returned and @p err, if non-null,
+     * describes the first problem with its line number.
+     */
+    bool parse(std::string_view text, std::string* err = nullptr);
+
+    /** parse() over the contents of @p path (false on I/O error). */
+    bool loadFile(const std::string& path, std::string* err = nullptr);
+
+    /**
+     * First entry whose pattern is a substring of any of the given
+     * labels, or nullptr when the race is not suppressed.
+     */
+    const SuppressionEntry* match(std::string_view kernel,
+                                  std::string_view span,
+                                  std::string_view region) const;
+
+    const std::vector<SuppressionEntry>& entries() const
+    {
+        return entries_;
+    }
+
+    bool empty() const { return entries_.empty(); }
+
+  private:
+    std::vector<SuppressionEntry> entries_;
+};
+
+} // namespace crono::analysis
+
+#endif // CRONO_ANALYSIS_SUPPRESSIONS_H_

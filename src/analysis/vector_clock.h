@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Vector clocks and epochs for happens-before race detection.
+ *
+ * Terminology follows FastTrack (Flanagan & Freund, PLDI 2009): an
+ * *epoch* c@t is one thread's scalar clock value paired with its id —
+ * the compressed representation of "the last access was by t at time
+ * c", sufficient whenever accesses to a variable are totally ordered
+ * by happens-before. A full VectorClock is only materialized where
+ * the total order genuinely breaks (concurrent readers).
+ */
+
+#ifndef CRONO_ANALYSIS_VECTOR_CLOCK_H_
+#define CRONO_ANALYSIS_VECTOR_CLOCK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace crono::analysis {
+
+/** One access's identity: thread @p tid at scalar clock @p clk. */
+struct Epoch {
+    std::uint64_t clk = 0;
+    int tid = -1;
+
+    bool valid() const { return tid >= 0; }
+    void reset() { clk = 0; tid = -1; }
+};
+
+/** Fixed-width vector clock over the region's thread ids. */
+class VectorClock {
+  public:
+    VectorClock() = default;
+
+    explicit VectorClock(int nthreads)
+        : c_(static_cast<std::size_t>(nthreads), 0)
+    {
+    }
+
+    int size() const { return static_cast<int>(c_.size()); }
+
+    std::uint64_t
+    get(int tid) const
+    {
+        return c_[static_cast<std::size_t>(tid)];
+    }
+
+    void
+    set(int tid, std::uint64_t value)
+    {
+        c_[static_cast<std::size_t>(tid)] = value;
+    }
+
+    /** this := elementwise max(this, other). */
+    void
+    join(const VectorClock& other)
+    {
+        for (std::size_t i = 0; i < c_.size(); ++i) {
+            c_[i] = std::max(c_[i], other.c_[i]);
+        }
+    }
+
+    /** All components zero (a fresh/reset clock). */
+    bool
+    zero() const
+    {
+        return std::all_of(c_.begin(), c_.end(),
+                           [](std::uint64_t v) { return v == 0; });
+    }
+
+    void clear() { std::fill(c_.begin(), c_.end(), 0); }
+
+    /**
+     * Does the access epoch @p e happen before (or equal) this
+     * thread's view? e.clk <= C[e.tid] means the accessing thread's
+     * knowledge includes e — the FastTrack ordering test.
+     */
+    bool
+    covers(const Epoch& e) const
+    {
+        return e.clk <= get(e.tid);
+    }
+
+  private:
+    std::vector<std::uint64_t> c_;
+};
+
+} // namespace crono::analysis
+
+#endif // CRONO_ANALYSIS_VECTOR_CLOCK_H_

@@ -154,7 +154,12 @@ bfsKernel(Ctx& ctx, BfsState<Ctx>& s)
                 [&](graph::VertexId u, graph::VertexId v,
                     graph::EdgeId) {
                     ctx.work(1);
-                    if (ctx.read(s.level[v]) != kNoLevel) {
+                    // Declared-racy probe: v's level may be written by
+                    // a concurrent claim winner. A stale kNoLevel only
+                    // costs a losing activateClaim RMW; levels are
+                    // written once, so a stale non-kNoLevel cannot
+                    // happen (set-once, same round claims arbitrate).
+                    if (ctx.readAtomic(s.level[v]) != kNoLevel) {
                         return; // visited in an earlier level
                     }
                     if (s.frontier.activateClaim(ctx, depth, v)) {

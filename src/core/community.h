@@ -152,7 +152,12 @@ communityKernel(Ctx& ctx, CommunityState<Ctx>& s)
                     }
                     const auto w =
                         static_cast<double>(ctx.read(csr.weights[e]));
-                    const graph::VertexId c = ctx.read(s.community[u]);
+                    // Declared-racy probe: u's capturer may move u
+                    // (locked write) mid-gather. Either community id
+                    // is a valid snapshot; a stale one scores a move
+                    // the next round re-evaluates and corrects.
+                    const graph::VertexId c =
+                        ctx.readAtomic(s.community[u]);
                     if (c == cur) {
                         k_in_cur += w;
                         continue;
@@ -174,7 +179,15 @@ communityKernel(Ctx& ctx, CommunityState<Ctx>& s)
                 }
 
                 // Score of staying (v's own weight removed from cur).
-                const double tot_cur = ctx.read(s.commTotal[cur]) - k_v;
+                // Declared-racy probes (here and in the gain loop):
+                // concurrent movers adjust commTotal under community
+                // locks this scoring pass does not take. Modularity
+                // gain is a heuristic on a snapshot — a stale total
+                // at worst picks a slightly suboptimal move that a
+                // later round re-evaluates; the aggregates themselves
+                // stay consistent because every update is locked.
+                const double tot_cur =
+                    ctx.readAtomic(s.commTotal[cur]) - k_v;
                 const double stay = k_in_cur - k_v * tot_cur / two_m;
                 double best_gain = stay;
                 graph::VertexId best = cur;
@@ -182,7 +195,8 @@ communityKernel(Ctx& ctx, CommunityState<Ctx>& s)
                     const graph::VertexId c = ctx.read(acc_comm[i]);
                     const double k_in = ctx.read(acc_weight[i]);
                     const double gain =
-                        k_in - k_v * ctx.read(s.commTotal[c]) / two_m;
+                        k_in -
+                        k_v * ctx.readAtomic(s.commTotal[c]) / two_m;
                     ctx.work(3);
                     if (gain > best_gain + 1e-12) {
                         best_gain = gain;

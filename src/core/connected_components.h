@@ -104,7 +104,12 @@ connectedComponentsKernel(Ctx& ctx, ConnectedComponentsState<Ctx>& s)
                 return true;
             },
             [&](graph::VertexId, graph::VertexId u, graph::EdgeId) {
-                const graph::VertexId lu = ctx.read(s.label[u]);
+                // Declared-racy probe: u's owner may lower label[u]
+                // under u's lock mid-fold. Labels only decrease and
+                // every observed value is a valid member id of u's
+                // component, so a stale (higher) read at worst defers
+                // the improvement to the next rescan round.
+                const graph::VertexId lu = ctx.readAtomic(s.label[u]);
                 if (lu < best) {
                     best = lu;
                 }
@@ -204,7 +209,12 @@ connectedComponentsFrontierKernel(Ctx& ctx,
                     return true; // every vertex is a candidate
                 },
                 [&](graph::VertexId, graph::VertexId u, graph::EdgeId) {
-                    const graph::VertexId lu = ctx.read(s.label[u]);
+                    // Declared-racy probe: u's owner may lower
+                    // label[u] mid-fold (owner-exclusive pull write).
+                    // Monotone: any observed value is a valid member
+                    // id; a stale read only defers the improvement.
+                    const graph::VertexId lu =
+                        ctx.readAtomic(s.label[u]);
                     if (lu < best) {
                         best = lu;
                     }
@@ -233,10 +243,14 @@ connectedComponentsFrontierKernel(Ctx& ctx,
                 [&](graph::VertexId u, graph::VertexId v,
                     graph::EdgeId) {
                     ctx.work(1);
-                    const graph::VertexId lu = ctx.read(s.label[u]);
-                    if (lu >= ctx.read(s.label[v])) {
-                        return; // racy skip: a stale-low read only
-                                // delays the offer, never loses it
+                    // Declared-racy probes: both labels may be lowered
+                    // concurrently under their own locks. A stale read
+                    // only delays the offer, never loses it — v stays
+                    // (or lands) on a front whenever its label drops.
+                    const graph::VertexId lu =
+                        ctx.readAtomic(s.label[u]);
+                    if (lu >= ctx.readAtomic(s.label[v])) {
+                        return; // racy skip, see above
                     }
                     ScopedLock<Ctx> guard(ctx, s.locks.of(v));
                     if (lu < ctx.read(s.label[v])) {

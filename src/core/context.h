@@ -12,6 +12,20 @@
  *   T    read(const T& ref);          // shared load
  *   void write(T& ref, T value);      // shared store
  *   T    fetchAdd(T& ref, T delta);   // atomic RMW, returns old
+ *   T    readAtomic(const T& ref);    // declared-racy probe load
+ *
+ * readAtomic is the kernel's annotation that a load is *intended* to
+ * race and any value it can observe is correctness-neutral: the
+ * monotone-filter probe before a locked re-check (SSSP/CC label
+ * improvement, TSP's branch-and-bound bound), or a claim-protected
+ * first-touch filter (BFS's level check before activateClaim). It is
+ * modeled and costed exactly like read(); the difference is purely
+ * for the concurrency-analysis layer (src/analysis): the race
+ * detector orders it after atomic publishes to the same address and
+ * excludes it from race checks, while a plain read() that races is
+ * reported. Never use it on a value whose staleness could change the
+ * result — only on probes whose misses are retried, re-checked under
+ * a lock, or absorbed by a monotone fixpoint.
  *   void work(std::uint64_t n);       // n single-cycle compute ops
  *   using Mutex = ...;                // default-constructible
  *   void lock(Mutex&); void unlock(Mutex&);

@@ -80,7 +80,9 @@ dfsKernel(Ctx& ctx, DfsState<Ctx>& s)
     std::uint64_t donations = 0;
     std::vector<graph::VertexId> local; // private DFS stack
     for (;;) {
-        if (ctx.read(s.found.value) != 0) {
+        // Declared-racy probe: the finder's write is unordered with
+        // this poll. A stale 0 only delays termination by one branch.
+        if (ctx.readAtomic(s.found.value) != 0) {
             break; // target reached somewhere
         }
         bool done = false;
@@ -94,7 +96,7 @@ dfsKernel(Ctx& ctx, DfsState<Ctx>& s)
         }
 
         local.push_back(root);
-        while (!local.empty() && ctx.read(s.found.value) == 0) {
+        while (!local.empty() && ctx.readAtomic(s.found.value) == 0) {
             const graph::VertexId v = local.back();
             local.pop_back();
             ctx.work(2);

@@ -130,7 +130,12 @@ ssspKernel(Ctx& ctx, SsspState<Ctx>& s)
         rt::par::edgeMapPush(
             ctx, csr, s.frontier, round, dense,
             [&](graph::VertexId u) {
-                du = ctx.read(s.dist[u]);
+                // Declared-racy probe: a concurrent locked relaxation
+                // may improve dist[u] mid-expansion. Monotone filter —
+                // a stale (larger) du only produces relaxations that
+                // later rounds redo; the locked re-check below keeps
+                // dist itself consistent.
+                du = ctx.readAtomic(s.dist[u]);
                 if (du > pace) {
                     // Too far ahead of the wavefront: expanding now
                     // would almost surely be redone. Push to the next
@@ -150,7 +155,11 @@ ssspKernel(Ctx& ctx, SsspState<Ctx>& s)
                 const graph::Weight w = ctx.read(csr.weights[e]);
                 const graph::Dist cand = du + w;
                 ctx.work(2); // index arithmetic + compare
-                if (cand >= ctx.read(s.dist[v])) {
+                // Declared-racy probe: unlocked filter before taking
+                // v's lock. dist[v] only decreases, so a stale value
+                // admits at worst a wasted lock acquisition; the
+                // locked compare decides.
+                if (cand >= ctx.readAtomic(s.dist[v])) {
                     return;
                 }
                 ScopedLock<Ctx> guard(ctx, s.locks.of(v));

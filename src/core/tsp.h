@@ -81,7 +81,11 @@ tspSearch(Ctx& ctx, TspState<Ctx>& s, std::vector<graph::VertexId>& path,
             ScopedLock<Ctx> guard(ctx, s.bestLock);
             // Re-check under the lock: a concurrent improvement past
             // `total` must not be overwritten by this (worse) tour.
-            if (ctx.read(s.bound.value) == total) {
+            // Declared-racy probe: bestLock does not order against the
+            // bound's own mutex, so a concurrent improver may write
+            // mid-read. Any mismatch (stale or fresh) skips the copy,
+            // leaving the tour to the better bound's owner.
+            if (ctx.readAtomic(s.bound.value) == total) {
                 for (graph::VertexId i = 0; i < s.n; ++i) {
                     ctx.write(s.bestTour[i], path[i]);
                 }

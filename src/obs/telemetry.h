@@ -165,10 +165,33 @@ class Track {
         return counters_[static_cast<int>(c)];
     }
 
+    // Live-span tracking: the innermost *open* scoped span's name,
+    // maintained by ScopedSpan/ScopedHostSpan (single writer, like
+    // the ring). Lets the analysis layer attribute an event raised
+    // mid-span — e.g. a detected race — to the kernel or span it
+    // occurred in, which the closed-span ring cannot answer until
+    // after the fact.
+
+    /** Innermost open scoped span's name (nullptr outside any). */
+    const char* liveName() const { return live_; }
+
+    /** Open a scoped span; returns the prior name for popLive. */
+    const char*
+    pushLive(const char* name)
+    {
+        const char* prior = live_;
+        live_ = name;
+        return prior;
+    }
+
+    /** Close the innermost span, restoring pushLive's return value. */
+    void popLive(const char* prior) { live_ = prior; }
+
   private:
     std::vector<SpanEvent> ring_;
     std::uint64_t mask_;
     std::uint64_t count_ = 0;
+    const char* live_ = nullptr;
     std::array<std::uint64_t, kNumCounters> counters_{};
 };
 
@@ -395,12 +418,14 @@ class ScopedSpan {
         if (track_ != nullptr) {
             ctx_ = &ctx;
             ev_ = {ctx.timestamp(), 0, name, arg, cat};
+            prior_ = track_->pushLive(name);
         }
     }
 
     ~ScopedSpan()
     {
         if (track_ != nullptr) {
+            track_->popLive(prior_);
             ev_.end = ctx_->timestamp();
             spanRecord(track_, ev_);
         }
@@ -412,6 +437,7 @@ class ScopedSpan {
   private:
     Track* track_ = nullptr;
     Ctx* ctx_ = nullptr;
+    const char* prior_ = nullptr;
     SpanEvent ev_;
 };
 
@@ -427,12 +453,14 @@ class ScopedHostSpan {
         track_ = trackFor(sink(), TrackKind::kHost, 0);
         if (track_ != nullptr) {
             ev_ = {nowNs(), 0, name, arg, cat};
+            prior_ = track_->pushLive(name);
         }
     }
 
     ~ScopedHostSpan()
     {
         if (track_ != nullptr) {
+            track_->popLive(prior_);
             ev_.end = nowNs();
             spanRecord(track_, ev_);
         }
@@ -443,6 +471,7 @@ class ScopedHostSpan {
 
   private:
     Track* track_ = nullptr;
+    const char* prior_ = nullptr;
     SpanEvent ev_;
 };
 

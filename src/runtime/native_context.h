@@ -75,6 +75,27 @@ class NativeCtx {
         }
     }
 
+    /**
+     * Declared-racy atomic load: a probe the kernel *intends* to race
+     * (monotone convergence filters, claim-protected re-checks, B&B
+     * bound pruning — see core/context.h for the contract). Natively
+     * identical to read(); the distinction exists for the analysis
+     * layer, whose happens-before race detector excludes these probes
+     * from race checks instead of flagging intended races.
+     */
+    template <class T>
+    T
+    readAtomic(const T& ref)
+    {
+        ++ops_;
+        if constexpr (atomicCapable<T>) {
+            return std::atomic_ref<const T>(ref).load(
+                std::memory_order_relaxed);
+        } else {
+            return ref;
+        }
+    }
+
     /** Atomic fetch-add on a shared counter; returns the old value. */
     template <class T>
     T

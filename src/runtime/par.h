@@ -124,9 +124,11 @@ vertexMapGuided(Ctx& ctx, CaptureCounter& cursor, std::uint64_t total,
 {
     const auto nthreads = static_cast<std::uint64_t>(ctx.nthreads());
     for (;;) {
-        // Racy size estimate: a stale-low `begin` only makes this
-        // chunk a little larger than ideal.
-        const std::uint64_t seen = ctx.read(cursor.next);
+        // Declared-racy probe: a size estimate unordered with the
+        // other threads' capture RMWs. A stale-low `seen` only makes
+        // this chunk a little larger than ideal; the fetchAdd below
+        // is what actually claims work.
+        const std::uint64_t seen = ctx.readAtomic(cursor.next);
         if (seen >= total) {
             break;
         }
@@ -430,7 +432,10 @@ template <class Ctx>
 bool
 tryClaim(Ctx& ctx, std::uint32_t* claimed, std::uint32_t v)
 {
-    return ctx.read(claimed[v]) == 0 && ctx.fetchAdd(claimed[v], 1u) == 0;
+    // The pre-filter is a declared-racy probe (readAtomic): a stale 0
+    // just means a losing fetchAdd; the RMW is the real arbiter.
+    return ctx.readAtomic(claimed[v]) == 0 &&
+           ctx.fetchAdd(claimed[v], 1u) == 0;
 }
 
 /**
@@ -478,11 +483,13 @@ class BranchStack {
         return v;
     }
 
-    /** Racy shallowness probe — donation heuristic, stale reads fine. */
+    /** Racy shallowness probe — donation heuristic, stale reads fine
+     *  either way (declared via readAtomic: misjudging only trades a
+     *  donation for a local push or vice versa). */
     bool
     below(Ctx& ctx, std::uint64_t limit)
     {
-        return ctx.read(top_.value) < limit;
+        return ctx.readAtomic(top_.value) < limit;
     }
 
     /** Donate @p v as a new branch root. */

@@ -105,7 +105,10 @@ struct GlobalBound {
     std::uint64_t
     current(Ctx& ctx)
     {
-        return ctx.read(value);
+        // Declared-racy probe: unordered with the locked improvement
+        // write. The bound only decreases, so a stale (higher) value
+        // merely delays pruning; it never prunes a viable branch.
+        return ctx.readAtomic(value);
     }
 
     /**
@@ -115,7 +118,10 @@ struct GlobalBound {
     bool
     tryImprove(Ctx& ctx, std::uint64_t candidate)
     {
-        if (ctx.read(value) <= candidate) {
+        // Declared-racy probe: unlocked filter before taking the
+        // mutex. A stale (higher) value admits at worst a wasted lock
+        // acquisition; the locked compare below decides.
+        if (ctx.readAtomic(value) <= candidate) {
             return false;
         }
         ctx.lock(mutex);

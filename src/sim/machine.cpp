@@ -29,6 +29,9 @@ Machine::run(int nthreads, std::function<void(SimCtx&)> body)
     barrierArrived_ = 0;
     nthreads_ = nthreads;
     CRONO_ASSERT(ready_.empty(), "stale ready queue");
+    if (observer_ != nullptr) {
+        observer_->onRegionBegin(nthreads);
+    }
 
     for (int tid = 0; tid < nthreads; ++tid) {
         ThreadState& ts = threads_[tid];
@@ -222,6 +225,10 @@ Machine::mutexLock(int tid, SimMutex& m)
     if (!m.held) {
         m.held = true;
         m.holder = tid;
+        if (observer_ != nullptr) {
+            observer_->onLockAcquire(
+                tid, reinterpret_cast<std::uintptr_t>(&m));
+        }
         return;
     }
     m.waiters.push_back(tid);
@@ -237,6 +244,10 @@ Machine::mutexLock(int tid, SimMutex& m)
     // Acquiring RMW after the handoff (the lock line changes hands).
     modelAccess(tid, reinterpret_cast<std::uintptr_t>(&m.word),
                 sizeof(m.word), /*is_store=*/true);
+    if (observer_ != nullptr) {
+        observer_->onLockAcquire(tid,
+                                 reinterpret_cast<std::uintptr_t>(&m));
+    }
 }
 
 void
@@ -245,6 +256,12 @@ Machine::mutexUnlock(int tid, SimMutex& m)
     ThreadState& ts = threads_[tid];
     CRONO_ASSERT(m.held && m.holder == tid, "unlock by non-holder");
     ts.core->drain(); // release fence
+    // Release edge published before the handoff below, so the next
+    // holder's acquire callback observes it in order.
+    if (observer_ != nullptr) {
+        observer_->onLockRelease(tid,
+                                 reinterpret_cast<std::uintptr_t>(&m));
+    }
     modelAccess(tid, reinterpret_cast<std::uintptr_t>(&m.word),
                 sizeof(m.word), /*is_store=*/true);
     if (m.waiters.empty()) {
@@ -265,6 +282,13 @@ Machine::regionBarrier(int tid)
     ts.core->drain();
     modelAccess(tid, reinterpret_cast<std::uintptr_t>(&barrierWord_.word),
                 sizeof(barrierWord_.word), /*is_store=*/true);
+    // Arrival published after the modeled RMW (its maybeYield is the
+    // last scheduling point before this thread blocks or releases), so
+    // the observer sees exactly nthreads arrivals per episode, the
+    // releasing one last.
+    if (observer_ != nullptr) {
+        observer_->onBarrierArrive(tid);
+    }
     if (++barrierArrived_ < nthreads_) {
         barrierWaiters_.push_back(tid);
         const std::uint64_t wait_begin = ts.core->now();

@@ -37,6 +37,7 @@
 #include "sim/energy.h"
 #include "sim/fiber.h"
 #include "sim/memory_system.h"
+#include "sim/observer.h"
 #include "sim/stats.h"
 #include "sim/sync.h"
 
@@ -71,6 +72,17 @@ class SimCtx {
 
     template <class T>
     T fetchAdd(T& ref, T delta);
+
+    /**
+     * Declared-racy atomic load: modeled exactly like read() (same
+     * cache/NoC traffic, same cycles), but classified as an atomic
+     * probe for the analysis layer — the race detector orders it
+     * after atomic publishes to the same address and excludes it
+     * from race checks. Use only where core/context.h's contract
+     * holds (a stale value must be correctness-neutral).
+     */
+    template <class T>
+    T readAtomic(const T& ref);
 
     void work(std::uint64_t n);
     void lock(SimMutex& m);
@@ -123,6 +135,16 @@ class Machine {
     /** Energy constants used to fold counters into Figure 6 buckets. */
     EnergyParams& energyParams() { return energyParams_; }
 
+    /**
+     * Install (or, with nullptr, remove) an analysis observer. The
+     * observer sees every shared access and sync event of subsequent
+     * run() calls; it is charged no cycles, so the modeled statistics
+     * are identical with or without one (see sim/observer.h).
+     */
+    void setObserver(AccessObserver* observer) { observer_ = observer; }
+
+    AccessObserver* observer() const { return observer_; }
+
     // ---- Interface used by SimCtx (one fiber active at a time) ----
 
     /** Model a data access of the running thread. */
@@ -138,6 +160,42 @@ class Machine {
     std::uint64_t threadNow(int tid) const
     {
         return threads_[tid].core->now();
+    }
+
+    // Analysis-observer forwarding (no modeling effect; see
+    // sim/observer.h). Inline so the no-observer case is one
+    // predictable branch on the access path.
+
+    void
+    observeRead(int tid, std::uintptr_t addr, std::uint32_t size)
+    {
+        if (observer_ != nullptr) {
+            observer_->onSharedRead(tid, addr, size);
+        }
+    }
+
+    void
+    observeWrite(int tid, std::uintptr_t addr, std::uint32_t size)
+    {
+        if (observer_ != nullptr) {
+            observer_->onSharedWrite(tid, addr, size);
+        }
+    }
+
+    void
+    observeRmw(int tid, std::uintptr_t addr, std::uint32_t size)
+    {
+        if (observer_ != nullptr) {
+            observer_->onAtomicRmw(tid, addr, size);
+        }
+    }
+
+    void
+    observeAtomicLoad(int tid, std::uintptr_t addr, std::uint32_t size)
+    {
+        if (observer_ != nullptr) {
+            observer_->onAtomicLoad(tid, addr, size);
+        }
     }
 
   private:
@@ -168,6 +226,7 @@ class Machine {
 
     Config cfg_;
     EnergyParams energyParams_;
+    AccessObserver* observer_ = nullptr;
     std::unique_ptr<MemorySystem> mem_;
     std::vector<ThreadState> threads_;
     std::vector<PhysCore> phys_;
@@ -188,12 +247,18 @@ class Machine {
 
 // ---- SimCtx inline implementations ----
 
+// Observer calls come after modelAccess (whose maybeYield is the only
+// scheduling point), adjacent to the actual data operation, so the
+// observer sees events in the exact order the fibers perform them.
+
 template <class T>
 T
 SimCtx::read(const T& ref)
 {
     machine_->modelAccess(tid_, reinterpret_cast<std::uintptr_t>(&ref),
                           sizeof(T), /*is_store=*/false);
+    machine_->observeRead(tid_, reinterpret_cast<std::uintptr_t>(&ref),
+                          sizeof(T));
     return ref;
 }
 
@@ -203,6 +268,8 @@ SimCtx::write(T& ref, T value)
 {
     machine_->modelAccess(tid_, reinterpret_cast<std::uintptr_t>(&ref),
                           sizeof(T), /*is_store=*/true);
+    machine_->observeWrite(tid_, reinterpret_cast<std::uintptr_t>(&ref),
+                           sizeof(T));
     ref = value;
 }
 
@@ -212,11 +279,24 @@ SimCtx::fetchAdd(T& ref, T delta)
 {
     machine_->modelAccess(tid_, reinterpret_cast<std::uintptr_t>(&ref),
                           sizeof(T), /*is_store=*/true);
+    machine_->observeRmw(tid_, reinterpret_cast<std::uintptr_t>(&ref),
+                         sizeof(T));
     // Functionally atomic: fibers cannot interleave between these two
     // statements (the model call above is the only yield point).
     const T old = ref;
     ref = static_cast<T>(old + delta);
     return old;
+}
+
+template <class T>
+T
+SimCtx::readAtomic(const T& ref)
+{
+    machine_->modelAccess(tid_, reinterpret_cast<std::uintptr_t>(&ref),
+                          sizeof(T), /*is_store=*/false);
+    machine_->observeAtomicLoad(
+        tid_, reinterpret_cast<std::uintptr_t>(&ref), sizeof(T));
+    return ref;
 }
 
 inline void

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for crono_lint's rules (tools/lint_rules.h): the stripper,
+ * each rule's positive and negative cases, the justified-allow
+ * contract, and the two on-disk fixtures that CI also feeds to the
+ * CLI binary.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "lint_rules.h"
+
+namespace crono {
+namespace {
+
+using lint::Finding;
+using lint::lintText;
+
+bool
+hasRule(const std::vector<Finding>& fs, const std::string& rule)
+{
+    return std::any_of(fs.begin(), fs.end(), [&](const Finding& f) {
+        return f.rule == rule;
+    });
+}
+
+TEST(LintStrip, CommentsAndStringsAreBlanked)
+{
+    const std::string out = lint::stripCommentsAndStrings(
+        "int a; // std::mutex in a comment\n"
+        "/* std::atomic\n   spanning lines */ int b;\n"
+        "const char* s = \"std::thread inside\";\n"
+        "char c = 'x';\n");
+    EXPECT_EQ(out.find("std::mutex"), std::string::npos);
+    EXPECT_EQ(out.find("std::atomic"), std::string::npos);
+    EXPECT_EQ(out.find("std::thread"), std::string::npos);
+    EXPECT_NE(out.find("int a;"), std::string::npos);
+    EXPECT_NE(out.find("int b;"), std::string::npos);
+    // Line structure is preserved for line numbers (5 input lines —
+    // the block comment spans two).
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+}
+
+TEST(LintRules, RawSyncTokensFlagged)
+{
+    const auto fs = lintText("t.cpp",
+                             "std::atomic<int> a;\n"
+                             "std::atomic_ref<int> r(x);\n"
+                             "std::mutex m;\n"
+                             "std::thread t;\n"
+                             "pthread_mutex_t pm;\n"
+                             "__atomic_load_n(&x, 0);\n");
+    EXPECT_EQ(fs.size(), 6u);
+    EXPECT_TRUE(hasRule(fs, "raw-sync"));
+    EXPECT_EQ(fs.front().line, 1);
+}
+
+TEST(LintRules, QualifiedNamesDoNotFalsePositive)
+{
+    // my::mutex / sim-layer identifiers must not trip the std rules.
+    const auto fs = lintText("t.cpp",
+                             "my::mutex m;\n"
+                             "crono::sim::SimMutex sm;\n"
+                             "int nonvolatile_count = 0;\n"
+                             "ctx.fetchAdd(total, 1);\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintRules, RawIncludeAndParallelStlFlagged)
+{
+    const auto fs = lintText("t.cpp",
+                             "#include <atomic>\n"
+                             "#include <vector>\n"
+                             "#include <execution>\n"
+                             "auto s = std::reduce(std::execution::par, "
+                             "v.begin(), v.end());\n");
+    EXPECT_TRUE(hasRule(fs, "raw-include"));
+    EXPECT_TRUE(hasRule(fs, "parallel-stl"));
+    // <vector> is fine: exactly 2 include findings + 1 execution use.
+    EXPECT_EQ(fs.size(), 3u);
+}
+
+TEST(LintRules, VolatileFlaggedWholeWordOnly)
+{
+    EXPECT_TRUE(hasRule(lintText("t.cpp", "volatile int x;\n"),
+                        "volatile"));
+    EXPECT_TRUE(lintText("t.cpp", "int involatile_name;\n").empty());
+}
+
+TEST(LintRules, PaddedSlotHeuristic)
+{
+    EXPECT_TRUE(hasRule(
+        lintText("t.cpp", "std::vector<double> sums(nthreads);\n"),
+        "padded-slot"));
+    EXPECT_TRUE(hasRule(
+        lintText("t.cpp",
+                 "std::vector<std::uint64_t> hits(\n"
+                 "    static_cast<std::size_t>(nthreads), 0);\n"),
+        "padded-slot"));
+    // Padded / AlignedVector elements are the sanctioned shape.
+    EXPECT_TRUE(
+        lintText("t.cpp",
+                 "std::vector<Padded<double>> sums(nthreads);\n")
+            .empty());
+    EXPECT_TRUE(
+        lintText("t.cpp", "std::vector<double> xs(num_items);\n")
+            .empty());
+}
+
+TEST(LintAllow, JustifiedAllowSuppresses)
+{
+    const auto fs = lintText(
+        "t.cpp",
+        "// crono-lint: allow(volatile): device register, not shared\n"
+        "volatile int reg;\n");
+    EXPECT_TRUE(fs.empty());
+
+    const auto same_line = lintText(
+        "t.cpp",
+        "volatile int reg; // crono-lint: allow(volatile): device reg\n");
+    EXPECT_TRUE(same_line.empty());
+}
+
+TEST(LintAllow, AllowWithoutJustificationIsItselfAFinding)
+{
+    const auto fs = lintText("t.cpp",
+                             "// crono-lint: allow(volatile)\n"
+                             "volatile int reg;\n");
+    EXPECT_TRUE(hasRule(fs, "bad-allow"));
+    // And the underlying violation is NOT suppressed.
+    EXPECT_TRUE(hasRule(fs, "volatile"));
+}
+
+TEST(LintAllow, AllowDoesNotLeakToOtherRulesOrLines)
+{
+    const auto fs = lintText(
+        "t.cpp",
+        "// crono-lint: allow(volatile): justified here\n"
+        "volatile int a;\n"
+        "volatile int b;\n" // two lines below the allow: not covered
+        "std::mutex m;\n"); // different rule: not covered
+    EXPECT_FALSE(hasRule(fs, "bad-allow"));
+    EXPECT_TRUE(hasRule(fs, "volatile"));
+    EXPECT_TRUE(hasRule(fs, "raw-sync"));
+}
+
+TEST(LintAllow, UnknownRuleIdRejected)
+{
+    const auto fs = lintText(
+        "t.cpp", "// crono-lint: allow(made-up-rule): because\n");
+    EXPECT_TRUE(hasRule(fs, "bad-allow"));
+}
+
+#ifdef CRONO_LINT_FIXTURE_DIR
+TEST(LintFixtures, RawSharedWriteFixtureFails)
+{
+    const std::string path = std::string(CRONO_LINT_FIXTURE_DIR) +
+                             "/raw_sync_bad.cpp.fixture";
+    const auto fs = lint::lintFile(path);
+    EXPECT_FALSE(hasRule(fs, "io")) << path;
+    EXPECT_TRUE(hasRule(fs, "raw-include"));
+    EXPECT_TRUE(hasRule(fs, "raw-sync"));
+    EXPECT_TRUE(hasRule(fs, "volatile"));
+    EXPECT_TRUE(hasRule(fs, "padded-slot"));
+}
+
+TEST(LintFixtures, CleanFixturePasses)
+{
+    const std::string path = std::string(CRONO_LINT_FIXTURE_DIR) +
+                             "/clean_ok.cpp.fixture";
+    const auto fs = lint::lintFile(path);
+    for (const Finding& f : fs) {
+        ADD_FAILURE() << f.file << ":" << f.line << " [" << f.rule
+                      << "] " << f.message;
+    }
+}
+#endif
+
+} // namespace
+} // namespace crono

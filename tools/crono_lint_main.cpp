@@ -1,0 +1,84 @@
+/**
+ * @file
+ * crono_lint CLI — Ctx-discipline lint over files or directories.
+ *
+ * Usage:
+ *   crono_lint [--list-rules] <file-or-dir>...
+ *
+ * Exit status: 0 clean, 1 findings, 2 usage error. The build wires
+ * `crono_lint src/core` in as an ALL target (tools/CMakeLists.txt),
+ * so a discipline violation in kernel code fails the build, not just
+ * CI. See tools/lint_rules.h for the rule catalog and the
+ * `// crono-lint: allow(rule): why` suppression contract.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint_rules.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace crono::lint;
+
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            for (const auto& [id, desc] : ruleCatalog()) {
+                std::printf("%-14s %s\n", id.c_str(), desc.c_str());
+            }
+            return 0;
+        }
+        if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: crono_lint [--list-rules] <file-or-dir>...\n");
+            return 0;
+        }
+        if (!arg.empty() && arg.front() == '-') {
+            std::fprintf(stderr, "crono_lint: unknown option '%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+        paths.push_back(arg);
+    }
+    if (paths.empty()) {
+        std::fprintf(stderr,
+                     "usage: crono_lint [--list-rules] "
+                     "<file-or-dir>...\n");
+        return 2;
+    }
+
+    std::size_t nfiles = 0;
+    std::vector<Finding> findings;
+    for (const std::string& p : paths) {
+        const std::vector<std::string> files = collectSources(p);
+        if (files.empty()) {
+            std::fprintf(stderr,
+                         "crono_lint: no C++ sources under '%s'\n",
+                         p.c_str());
+            return 2;
+        }
+        for (const std::string& f : files) {
+            ++nfiles;
+            for (Finding& fi : lintFile(f)) {
+                findings.push_back(std::move(fi));
+            }
+        }
+    }
+
+    for (const Finding& f : findings) {
+        std::fprintf(stderr, "%s:%d: error: [%s] %s\n", f.file.c_str(),
+                     f.line, f.rule.c_str(), f.message.c_str());
+    }
+    if (!findings.empty()) {
+        std::fprintf(stderr,
+                     "crono_lint: %zu finding(s) in %zu file(s)\n",
+                     findings.size(), nfiles);
+        return 1;
+    }
+    std::printf("crono_lint: %zu file(s) clean\n", nfiles);
+    return 0;
+}

@@ -1,0 +1,458 @@
+#include "lint_rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace crono::lint {
+
+namespace {
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/** Banned synchronization tokens (prefix-matched past the shown text,
+ *  so std::atomic also catches std::atomic_ref / std::atomic<T>). */
+constexpr std::string_view kRawSyncTokens[] = {
+    "std::atomic",     "std::mutex",        "std::shared_mutex",
+    "std::timed_mutex", "std::recursive_mutex",
+    "std::condition_variable",
+    "std::lock_guard", "std::unique_lock",  "std::scoped_lock",
+    "std::shared_lock",
+    "std::counting_semaphore", "std::binary_semaphore",
+    "std::barrier",    "std::latch",
+    "std::thread",     "std::jthread",
+    "std::call_once",  "std::once_flag",
+    "std::future",     "std::promise",      "std::async",
+    "pthread_",        "__atomic_",         "__sync_",
+};
+
+constexpr std::string_view kRawIncludes[] = {
+    "atomic",    "mutex",     "shared_mutex", "thread",
+    "condition_variable",     "barrier",      "latch",
+    "semaphore", "future",    "stop_token",   "execution",
+};
+
+/** True when @p pos in @p line starts token @p tok on a left word
+ *  boundary (the right side is deliberately prefix-matched). */
+bool
+tokenAt(std::string_view line, std::size_t pos, std::string_view tok)
+{
+    if (line.compare(pos, tok.size(), tok) != 0) {
+        return false;
+    }
+    if (pos > 0 && (identChar(line[pos - 1]) || line[pos - 1] == ':')) {
+        return false;
+    }
+    return true;
+}
+
+/** First position of @p tok on a left word boundary, or npos. */
+std::size_t
+findToken(std::string_view line, std::string_view tok,
+          bool whole_word = false)
+{
+    std::size_t pos = 0;
+    while ((pos = line.find(tok, pos)) != std::string_view::npos) {
+        const bool left_ok = tokenAt(line, pos, tok);
+        const std::size_t end = pos + tok.size();
+        const bool right_ok =
+            !whole_word || end >= line.size() || !identChar(line[end]);
+        if (left_ok && right_ok) {
+            return pos;
+        }
+        ++pos;
+    }
+    return std::string_view::npos;
+}
+
+/** Allow-directive index: line number → rule ids allowed there. */
+struct Allows {
+    std::map<int, std::set<std::string>> by_line;
+    std::vector<Finding> bad; ///< malformed directives
+
+    bool
+    covers(int line, const std::string& rule) const
+    {
+        for (const int l : {line, line - 1}) {
+            const auto it = by_line.find(l);
+            if (it != by_line.end() && it->second.count(rule) != 0) {
+                return true;
+            }
+        }
+        return false;
+    }
+};
+
+std::string_view
+trim(std::string_view s)
+{
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(
+                             s.front())) != 0) {
+        s.remove_prefix(1);
+    }
+    while (!s.empty() &&
+           std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+        s.remove_suffix(1);
+    }
+    return s;
+}
+
+/** Parse `// crono-lint: allow(rule): justification` directives from
+ *  the *raw* text (they live inside comments, so this runs before
+ *  stripping). */
+Allows
+parseAllows(std::string_view path, std::string_view text)
+{
+    Allows allows;
+    constexpr std::string_view kMarker = "crono-lint:";
+    int lineno = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        const std::string_view line = text.substr(
+            pos, nl == std::string_view::npos ? nl : nl - pos);
+        pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+        ++lineno;
+        const std::size_t m = line.find(kMarker);
+        if (m == std::string_view::npos) {
+            continue;
+        }
+        const auto bad = [&](const std::string& why) {
+            allows.bad.push_back({std::string(path), lineno,
+                                  "bad-allow", why});
+        };
+        std::string_view rest = trim(line.substr(m + kMarker.size()));
+        constexpr std::string_view kAllow = "allow(";
+        if (rest.substr(0, kAllow.size()) != kAllow) {
+            bad("crono-lint directive is not 'allow(rule): ...'");
+            continue;
+        }
+        rest.remove_prefix(kAllow.size());
+        const std::size_t close = rest.find(')');
+        if (close == std::string_view::npos) {
+            bad("unterminated allow(rule)");
+            continue;
+        }
+        const std::string rule{trim(rest.substr(0, close))};
+        rest = trim(rest.substr(close + 1));
+        if (rest.empty() || rest.front() != ':' ||
+            trim(rest.substr(1)).empty()) {
+            bad("allow(" + rule +
+                ") has no justification — write 'allow(" + rule +
+                "): why this is safe here'");
+            continue;
+        }
+        const auto catalog = ruleCatalog();
+        const bool known = std::any_of(
+            catalog.begin(), catalog.end(),
+            [&](const auto& r) { return r.first == rule; });
+        if (!known) {
+            bad("allow(" + rule + "): unknown rule id");
+            continue;
+        }
+        allows.by_line[lineno].insert(rule);
+    }
+    return allows;
+}
+
+/** The padded-slot heuristic over one stripped line (plus lookahead
+ *  text for a constructor argument list that wraps). */
+void
+paddedSlotRule(std::string_view path, int lineno, std::string_view line,
+               std::string_view lookahead, std::vector<Finding>& out)
+{
+    std::size_t pos = 0;
+    constexpr std::string_view kVec = "std::vector<";
+    while ((pos = line.find(kVec, pos)) != std::string_view::npos) {
+        // Extract the template argument by balancing angle brackets.
+        std::size_t i = pos + kVec.size();
+        int depth = 1;
+        while (i < line.size() && depth > 0) {
+            if (line[i] == '<') {
+                ++depth;
+            } else if (line[i] == '>') {
+                --depth;
+            }
+            ++i;
+        }
+        if (depth != 0) {
+            break; // argument spans lines; give up on this one
+        }
+        const std::string_view arg =
+            line.substr(pos + kVec.size(), i - pos - kVec.size() - 1);
+        pos = i;
+        if (arg.find("Padded") != std::string_view::npos ||
+            arg.find("AlignedVector") != std::string_view::npos) {
+            continue;
+        }
+        // Sized by a thread count before the statement ends?
+        std::string_view tail = line.substr(i);
+        const std::string_view more =
+            lookahead.substr(0, std::min<std::size_t>(lookahead.size(),
+                                                      160));
+        std::string window{tail};
+        window += more;
+        const std::size_t semi = window.find(';');
+        if (semi != std::string_view::npos) {
+            window.resize(semi);
+        }
+        for (const std::string_view tc :
+             {std::string_view("nthreads"), std::string_view("nThreads"),
+              std::string_view("num_threads"),
+              std::string_view("numThreads")}) {
+            if (findToken(window, tc, /*whole_word=*/true) !=
+                std::string_view::npos) {
+                out.push_back(
+                    {std::string(path), lineno, "padded-slot",
+                     "per-thread slot vector 'std::vector<" +
+                         std::string(arg) +
+                         ">' sized by a thread count — use "
+                         "Padded<T> elements (rt::par) to avoid "
+                         "false sharing"});
+                break;
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::vector<std::pair<std::string, std::string>>
+ruleCatalog()
+{
+    return {
+        {"raw-sync",
+         "raw std:: synchronization / threads / pthread / builtin "
+         "atomics — use the ExecutionContext"},
+        {"raw-include",
+         "#include of a threading or atomics header"},
+        {"parallel-stl",
+         "std::execution policies hide threads the simulator cannot "
+         "model"},
+        {"volatile", "volatile is not a synchronization primitive"},
+        {"padded-slot",
+         "per-thread accumulator slots must be padded (Padded<T>)"},
+        {"bad-allow",
+         "malformed or justification-free crono-lint allow comment"},
+    };
+}
+
+std::string
+stripCommentsAndStrings(std::string_view text)
+{
+    std::string out(text);
+    enum class State {
+        kCode,
+        kLineComment,
+        kBlockComment,
+        kString,
+        kChar,
+        kRawString,
+    };
+    State st = State::kCode;
+    std::string raw_delim; // the )delim" closer for raw strings
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const char c = out[i];
+        const char n = i + 1 < out.size() ? out[i + 1] : '\0';
+        switch (st) {
+          case State::kCode:
+            if (c == '/' && n == '/') {
+                st = State::kLineComment;
+                out[i] = out[i + 1] = ' ';
+                ++i;
+            } else if (c == '/' && n == '*') {
+                st = State::kBlockComment;
+                out[i] = out[i + 1] = ' ';
+                ++i;
+            } else if (c == 'R' && n == '"' &&
+                       (i == 0 || !identChar(out[i - 1]))) {
+                // R"delim( ... )delim"
+                std::size_t p = i + 2;
+                while (p < out.size() && out[p] != '(') {
+                    ++p;
+                }
+                raw_delim = ")";
+                raw_delim += out.substr(i + 2, p - (i + 2));
+                raw_delim += '"';
+                for (std::size_t k = i; k < out.size() && k <= p; ++k) {
+                    if (out[k] != '\n') {
+                        out[k] = ' ';
+                    }
+                }
+                i = p;
+                st = State::kRawString;
+            } else if (c == '"') {
+                st = State::kString;
+            } else if (c == '\'') {
+                st = State::kChar;
+            }
+            break;
+          case State::kLineComment:
+            if (c == '\n') {
+                st = State::kCode;
+            } else {
+                out[i] = ' ';
+            }
+            break;
+          case State::kBlockComment:
+            if (c == '*' && n == '/') {
+                out[i] = out[i + 1] = ' ';
+                ++i;
+                st = State::kCode;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+          case State::kString:
+          case State::kChar: {
+            const char close = st == State::kString ? '"' : '\'';
+            if (c == '\\') {
+                out[i] = ' ';
+                if (i + 1 < out.size() && out[i + 1] != '\n') {
+                    out[i + 1] = ' ';
+                }
+                ++i;
+            } else if (c == close) {
+                st = State::kCode;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+          }
+          case State::kRawString:
+            if (out.compare(i, raw_delim.size(), raw_delim) == 0) {
+                for (std::size_t k = 0; k < raw_delim.size(); ++k) {
+                    out[i + k] = ' ';
+                }
+                i += raw_delim.size() - 1;
+                st = State::kCode;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+std::vector<Finding>
+lintText(std::string_view path, std::string_view text)
+{
+    const Allows allows = parseAllows(path, text);
+    const std::string stripped = stripCommentsAndStrings(text);
+
+    std::vector<Finding> raw;
+    int lineno = 0;
+    std::size_t pos = 0;
+    const std::string_view sv = stripped;
+    while (pos <= sv.size()) {
+        const std::size_t nl = sv.find('\n', pos);
+        const std::string_view line =
+            sv.substr(pos, nl == std::string_view::npos ? nl : nl - pos);
+        const std::string_view lookahead =
+            nl == std::string_view::npos ? std::string_view{}
+                                         : sv.substr(nl + 1);
+        pos = nl == std::string_view::npos ? sv.size() + 1 : nl + 1;
+        ++lineno;
+
+        for (const std::string_view tok : kRawSyncTokens) {
+            if (findToken(line, tok) != std::string_view::npos) {
+                raw.push_back({std::string(path), lineno, "raw-sync",
+                               "raw synchronization '" +
+                                   std::string(tok) +
+                                   "' bypasses the ExecutionContext — "
+                                   "use ctx.read/write/fetchAdd, "
+                                   "SimMutex, or rt::par"});
+            }
+        }
+        const std::size_t inc = line.find("#include");
+        if (inc != std::string_view::npos) {
+            const std::size_t lt = line.find('<', inc);
+            const std::size_t gt = lt == std::string_view::npos
+                                       ? std::string_view::npos
+                                       : line.find('>', lt);
+            if (gt != std::string_view::npos) {
+                const std::string_view hdr =
+                    line.substr(lt + 1, gt - lt - 1);
+                for (const std::string_view banned : kRawIncludes) {
+                    if (hdr == banned) {
+                        raw.push_back(
+                            {std::string(path), lineno, "raw-include",
+                             "#include <" + std::string(hdr) +
+                                 "> pulls raw threading into kernel "
+                                 "code"});
+                    }
+                }
+            }
+        }
+        if (findToken(line, "std::execution") !=
+            std::string_view::npos) {
+            raw.push_back({std::string(path), lineno, "parallel-stl",
+                           "std::execution policies spawn threads the "
+                           "simulator cannot observe"});
+        }
+        if (findToken(line, "volatile", /*whole_word=*/true) !=
+            std::string_view::npos) {
+            raw.push_back({std::string(path), lineno, "volatile",
+                           "volatile does not order or atomicize "
+                           "accesses — use Ctx primitives"});
+        }
+        paddedSlotRule(path, lineno, line, lookahead, raw);
+    }
+
+    std::vector<Finding> out = allows.bad; // never suppressible
+    for (Finding& f : raw) {
+        if (!allows.covers(f.line, f.rule)) {
+            out.push_back(std::move(f));
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Finding& a, const Finding& b) {
+                  return a.line < b.line;
+              });
+    return out;
+}
+
+std::vector<Finding>
+lintFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        return {{path, 0, "io", "cannot read file"}};
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return lintText(path, buf.str());
+}
+
+std::vector<std::string>
+collectSources(const std::string& path)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> out;
+    std::error_code ec;
+    if (fs::is_regular_file(path, ec)) {
+        out.push_back(path);
+        return out;
+    }
+    const std::set<std::string> exts{".h", ".hpp", ".cpp", ".cc"};
+    for (fs::recursive_directory_iterator it(path, ec), end;
+         !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file() &&
+            exts.count(it->path().extension().string()) != 0) {
+            out.push_back(it->path().string());
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace crono::lint

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * crono_lint — token-level Ctx-discipline checks for kernel code.
+ *
+ * The repo's correctness story (DESIGN.md §3, §10, §11) depends on
+ * every shared access in `src/core` flowing through the ExecutionContext
+ * (`ctx.read/write/fetchAdd/readAtomic`, `SimMutex`, region barriers):
+ * that is what makes one kernel source measurable under the simulator
+ * and checkable by the dynamic race detector. A kernel that reaches
+ * for `std::atomic` or `std::mutex` directly silently bypasses both.
+ * crono_lint mechanically enforces the discipline without a compiler
+ * frontend: comments and string literals are stripped with a small
+ * state machine, then line-oriented token rules run over the residue.
+ *
+ * Rules (id → what it catches):
+ *  - raw-sync      std::atomic*, std::mutex, std::thread, locks,
+ *                  semaphores/latches/barriers, pthread_*, __atomic_*,
+ *                  __sync_* — raw synchronization that bypasses Ctx.
+ *  - raw-include   #include of the headers behind raw-sync
+ *                  (<atomic>, <mutex>, <thread>, ...).
+ *  - parallel-stl  std::execution — hidden threading the simulator
+ *                  cannot model.
+ *  - volatile      `volatile` is not a synchronization primitive.
+ *  - padded-slot   heuristic: `std::vector<T> x(nthreads)`-shaped
+ *                  per-thread slot arrays whose element is not
+ *                  Padded<T> / AlignedVector (false-sharing trap;
+ *                  see rt::par's reducePerThread slots).
+ *  - bad-allow     a malformed or justification-free suppression
+ *                  comment (never itself suppressible).
+ *
+ * Suppressing a finding requires an explanation, same contract as the
+ * race-detector allowlist: put
+ *
+ *     // crono-lint: allow(rule-id): why this is safe here
+ *
+ * on the offending line or the line directly above it. An allow with
+ * an empty justification is a `bad-allow` finding.
+ */
+
+#ifndef CRONO_TOOLS_LINT_RULES_H_
+#define CRONO_TOOLS_LINT_RULES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crono::lint {
+
+/** One lint violation. */
+struct Finding {
+    std::string file;
+    int line = 0;       ///< 1-based
+    std::string rule;   ///< rule id, e.g. "raw-sync"
+    std::string message;
+};
+
+/** Rule ids with one-line descriptions, for --list-rules. */
+std::vector<std::pair<std::string, std::string>> ruleCatalog();
+
+/**
+ * Replace comment bodies and string/char-literal contents of C++
+ * source @p text with spaces, preserving the line structure so later
+ * findings keep real line numbers. Exposed for tests.
+ */
+std::string stripCommentsAndStrings(std::string_view text);
+
+/** Run every rule over @p text, reporting under file name @p path. */
+std::vector<Finding> lintText(std::string_view path,
+                              std::string_view text);
+
+/**
+ * lintText() over the contents of @p path. An unreadable file yields
+ * a single "io" finding so a misconfigured invocation cannot pass.
+ */
+std::vector<Finding> lintFile(const std::string& path);
+
+/**
+ * Recursively collect C++ sources (.h/.hpp/.cpp/.cc) under @p path;
+ * a regular file is returned as-is. Sorted for deterministic output.
+ */
+std::vector<std::string> collectSources(const std::string& path);
+
+} // namespace crono::lint
+
+#endif // CRONO_TOOLS_LINT_RULES_H_
