@@ -5,10 +5,14 @@
 #   --json[=DIR]  write machine-readable reports into DIR (default:
 #                 alongside this script), one file per benchmark:
 #                 bench_micro writes DIR/BENCH_micro.json
-#                 (crono.bench.v1) and every harness receives
-#                 --json=DIR so multi-kernel sweeps (bench_table1_suite)
-#                 emit one crono.metrics.v1 file per kernel instead of
-#                 overwriting a single shared path.
+#                 (crono.bench.v1), bench_reorder writes
+#                 DIR/table_reorder.json (crono.bench.v1, one row per
+#                 kernel x graph x ordering), and every harness
+#                 receives --json=DIR so multi-kernel sweeps
+#                 (bench_table1_suite) emit one crono.metrics.v1 file
+#                 per kernel instead of overwriting a single shared
+#                 path. tests/report_schema_test.cpp (CRONO_REPORT_DIR)
+#                 smoke-parses every emitted document.
 #
 # Exits nonzero if any bench failed, with a summary of the failures.
 set -u
@@ -33,7 +37,8 @@ for b in build/bench/bench_table1_suite build/bench/bench_fig1_breakdown \
          build/bench/bench_fig6_energy build/bench/bench_fig7_ooo_breakdown \
          build/bench/bench_fig8_ooo_speedup build/bench/bench_fig9_real_machine \
          build/bench/bench_table4_graphs build/bench/bench_ablation_ackwise \
-         build/bench/bench_ablation_locality build/bench/bench_ablation_noc; do
+         build/bench/bench_ablation_locality build/bench/bench_ablation_noc \
+         build/bench/bench_reorder; do
   echo "================================================================"
   echo "### $b ${json_args[*]:-} $*"
   "$b" ${json_args[@]+"${json_args[@]}"} "$@" \

@@ -216,22 +216,45 @@ pageRankGatherKernel(Ctx& ctx, PageRankState<Ctx>& s)
         // iteration's cursor behind the barrier.
         const std::uint64_t gather_begin =
             track != nullptr ? ctx.timestamp() : 0;
-        double acc = 0.0;
-        rt::par::edgeMapPullAllGuided(
-            ctx, csr, s.cursor[it % 2],
-            [&](graph::VertexId) {
-                acc = 0.0;
-                return true;
-            },
-            [&](graph::VertexId, graph::VertexId u, graph::EdgeId) {
-                acc += ctx.read(s.incoming[u]);
-                return false; // full-neighborhood sum
-            },
-            [&](graph::VertexId v) {
-                ctx.write(s.rank[v], s.r * uniform + (1.0 - s.r) * acc);
-                ctx.work(3);
-                trackAdd(s.tracker, -1);
-            });
+        if (csr.blocked != nullptr) {
+            // Propagation-blocking path: rank doubles as the
+            // accumulator (this iteration's shares are already frozen
+            // in `incoming`), summed bin-major so the share-array read
+            // window stays cache-sized. Owner-exclusive throughout.
+            rt::par::edgeMapGatherBlocked(
+                ctx, csr,
+                [&](graph::VertexId v) { ctx.write(s.rank[v], 0.0); },
+                [&](graph::VertexId v, graph::VertexId u,
+                    graph::EdgeId) {
+                    ctx.write(s.rank[v], ctx.read(s.rank[v]) +
+                                             ctx.read(s.incoming[u]));
+                },
+                [&](graph::VertexId v) {
+                    ctx.write(s.rank[v],
+                              s.r * uniform +
+                                  (1.0 - s.r) * ctx.read(s.rank[v]));
+                    ctx.work(3);
+                    trackAdd(s.tracker, -1);
+                });
+        } else {
+            double acc = 0.0;
+            rt::par::edgeMapPullAllGuided(
+                ctx, csr, s.cursor[it % 2],
+                [&](graph::VertexId) {
+                    acc = 0.0;
+                    return true;
+                },
+                [&](graph::VertexId, graph::VertexId u, graph::EdgeId) {
+                    acc += ctx.read(s.incoming[u]);
+                    return false; // full-neighborhood sum
+                },
+                [&](graph::VertexId v) {
+                    ctx.write(s.rank[v],
+                              s.r * uniform + (1.0 - s.r) * acc);
+                    ctx.work(3);
+                    trackAdd(s.tracker, -1);
+                });
+        }
         if (track != nullptr) {
             obs::spanRecord(
                 track, {gather_begin, ctx.timestamp(), "gather", it,

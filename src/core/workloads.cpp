@@ -49,10 +49,27 @@ makeGraph(GraphKind kind, graph::VertexId vertices,
     return gen::path(2);
 }
 
+namespace {
+
+graph::ReorderedGraph
+makeReordered(const WorkloadConfig& cfg)
+{
+    return graph::reorderGraph(
+        makeGraph(cfg.kind, cfg.graph_vertices, cfg.edges_per_vertex,
+                  cfg.seed),
+        cfg.reordering, cfg.blocked_layout);
+}
+
+} // namespace
+
 WorkloadSet::WorkloadSet(const WorkloadConfig& cfg)
-    : cfg_(cfg),
-      graph_(makeGraph(cfg.kind, cfg.graph_vertices, cfg.edges_per_vertex,
-                       cfg.seed)),
+    : WorkloadSet(cfg, makeReordered(cfg))
+{
+}
+
+WorkloadSet::WorkloadSet(const WorkloadConfig& cfg,
+                         graph::ReorderedGraph rg)
+    : cfg_(cfg), graph_(std::move(rg.graph)), perm_(std::move(rg.perm)),
       matrix_(graph::AdjacencyMatrix(gen::uniformRandom(
           cfg.matrix_vertices,
           static_cast<graph::EdgeId>(cfg.matrix_vertices) * 8,
@@ -68,10 +85,36 @@ WorkloadSet::forBenchmark(BenchmarkId) const
     w.graph = &graph_;
     w.matrix = &matrix_;
     w.cities = &cities_;
-    w.source = 0;
+    // Kernels run in the relabeled space; the canonical source vertex
+    // (original id 0) travels through the permutation with them.
+    w.source = perm_.toNew(0);
     w.pr_iterations = cfg_.pr_iterations;
     w.comm_rounds = cfg_.comm_rounds;
     return w;
+}
+
+graph::Reordering
+recommendedReordering(BenchmarkId id, GraphKind kind)
+{
+    switch (id) {
+      case BenchmarkId::apsp:
+      case BenchmarkId::betwCent:
+      case BenchmarkId::tsp:
+        return graph::Reordering::kNone; // dense-matrix inputs
+      default:
+        break;
+    }
+    switch (kind) {
+      case GraphKind::road:
+        return graph::Reordering::kRcm;
+      case GraphKind::social:
+        return id == BenchmarkId::pageRank
+                   ? graph::Reordering::kDegreeSort
+                   : graph::Reordering::kHubCluster;
+      case GraphKind::sparse:
+        return graph::Reordering::kNone; // no structure to recover
+    }
+    return graph::Reordering::kNone;
 }
 
 } // namespace crono::core

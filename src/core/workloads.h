@@ -17,6 +17,7 @@
 
 #include "core/suite.h"
 #include "graph/generators.h"
+#include "graph/reorder.h"
 
 namespace crono::core {
 
@@ -40,6 +41,15 @@ struct WorkloadConfig {
     unsigned pr_iterations = 5;
     unsigned comm_rounds = 8;
     std::uint64_t seed = 42;
+    /**
+     * Vertex relabeling applied to the CSR graph (the dense matrix
+     * inputs keep their layout — their traversals are row-major
+     * already). forBenchmark() maps `source` into the relabeled space,
+     * and permutation() maps per-vertex results back.
+     */
+    graph::Reordering reordering = graph::Reordering::kNone;
+    /** Attach the cache-blocked pull layout to the CSR graph. */
+    bool blocked_layout = false;
 };
 
 /** Owns the inputs for one configuration of the full suite. */
@@ -55,9 +65,19 @@ class WorkloadSet {
     const graph::AdjacencyMatrix& cities() const { return cities_; }
     const WorkloadConfig& config() const { return cfg_; }
 
+    /**
+     * The relabeling applied to graph() (identity for kNone): new ids
+     * are what kernels see, toOld()/valuesToOld() recover original
+     * ids from their results.
+     */
+    const graph::VertexPermutation& permutation() const { return perm_; }
+
   private:
+    WorkloadSet(const WorkloadConfig& cfg, graph::ReorderedGraph rg);
+
     WorkloadConfig cfg_;
     graph::Graph graph_;
+    graph::VertexPermutation perm_;
     graph::AdjacencyMatrix matrix_;
     graph::AdjacencyMatrix cities_;
 };
@@ -65,6 +85,15 @@ class WorkloadSet {
 /** Build the CSR graph of @p kind at the requested size. */
 graph::Graph makeGraph(GraphKind kind, graph::VertexId vertices,
                        graph::EdgeId edges_per_vertex, std::uint64_t seed);
+
+/**
+ * Default ordering for one benchmark on one input family: RCM for the
+ * mesh-like road networks, hub-packing (plain degree sort for the
+ * gather-friendly PageRank) on power-law social graphs, and identity
+ * where relabeling has nothing to exploit (uniform random inputs and
+ * the dense-matrix kernels).
+ */
+graph::Reordering recommendedReordering(BenchmarkId id, GraphKind kind);
 
 } // namespace crono::core
 

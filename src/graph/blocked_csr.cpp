@@ -1,0 +1,90 @@
+#include "graph/blocked_csr.h"
+
+#include <algorithm>
+
+#include "obs/telemetry.h"
+
+namespace crono::graph {
+
+unsigned
+BlockedCsr::defaultBinBits(VertexId num_vertices)
+{
+    unsigned bits = 12;
+    while ((static_cast<std::uint64_t>(num_vertices) >> bits) > 64) {
+        ++bits;
+    }
+    return bits;
+}
+
+BlockedCsr::BlockedCsr(const Graph& g, unsigned bin_bits)
+    : binBits_(bin_bits)
+{
+    const VertexId n = g.numVertices();
+    const std::size_t num_bins =
+        n == 0 ? 1
+               : (static_cast<std::size_t>(n - 1) >> bin_bits) + 1;
+    bins_.resize(num_bins);
+
+    // Adjacency rows are sorted ascending, so each row splits into at
+    // most num_bins contiguous runs; pass 1 sizes every bin's edge
+    // range and destination list from those runs.
+    std::vector<EdgeId> edge_count(num_bins, 0);
+    std::vector<std::size_t> dst_count(num_bins, 0);
+    for (VertexId v = 0; v < n; ++v) {
+        const auto ns = g.neighbors(v);
+        std::size_t i = 0;
+        while (i < ns.size()) {
+            const std::size_t b = ns[i] >> bin_bits;
+            std::size_t j = i;
+            while (j < ns.size() && (ns[j] >> bin_bits) == b) {
+                CRONO_REQUIRE(j == i || ns[j - 1] <= ns[j],
+                              "blocked layout needs sorted rows");
+                ++j;
+            }
+            edge_count[b] += j - i;
+            ++dst_count[b];
+            i = j;
+        }
+    }
+
+    // Bin-major edge bases: bin b's slots start where bin b-1 ends.
+    std::vector<EdgeId> edge_base(num_bins + 1, 0);
+    for (std::size_t b = 0; b < num_bins; ++b) {
+        edge_base[b + 1] = edge_base[b] + edge_count[b];
+        bins_[b].dsts.reserve(dst_count[b]);
+        bins_[b].offsets.reserve(dst_count[b] + 1);
+        bins_[b].offsets.push_back(edge_base[b]);
+        binFills_ += dst_count[b];
+    }
+    nbrs_.resize(edge_base[num_bins]);
+    wts_.resize(edge_base[num_bins]);
+
+    // Pass 2 copies the runs out; visiting v ascending keeps every
+    // bin's destination list ascending.
+    std::vector<EdgeId> cursor = edge_base;
+    for (VertexId v = 0; v < n; ++v) {
+        const auto ns = g.neighbors(v);
+        const auto ws = g.weights(v);
+        std::size_t i = 0;
+        while (i < ns.size()) {
+            const std::size_t b = ns[i] >> bin_bits;
+            std::size_t j = i;
+            while (j < ns.size() && (ns[j] >> bin_bits) == b) {
+                nbrs_[cursor[b]] = ns[j];
+                wts_[cursor[b]] = ws[j];
+                ++cursor[b];
+                ++j;
+            }
+            bins_[b].dsts.push_back(v);
+            bins_[b].offsets.push_back(cursor[b]);
+            i = j;
+        }
+    }
+
+    if (obs::Track* const track =
+            obs::trackFor(obs::sink(), obs::TrackKind::kHost, 0)) {
+        obs::counterBump(track, obs::Counter::kBlockFills, binFills_);
+    }
+}
+
+} // namespace crono::graph

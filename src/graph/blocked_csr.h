@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Cache-blocked (binned) edge layout for pull/gather traversal.
+ *
+ * A pull-direction round reads a per-vertex array at every *source*
+ * id its destinations name — on a social graph that is a random walk
+ * over the whole array, and the paper's §IV miss rates are the bill.
+ * Propagation-blocking-style binning bounds that walk: sources are
+ * split into bins of 2^bin_bits consecutive ids, and every edge is
+ * stored bin-major, so one bin's gather touches a source window that
+ * fits in cache before the traversal moves on to the next window.
+ *
+ * Within a bin, edges stay grouped by destination (ascending), so a
+ * destination-partitioned gather still makes owner-exclusive writes;
+ * rt::par's pull primitives iterate this layout when a graph carries
+ * one (Graph::blockedLayout).
+ *
+ * The layout is derived data: it references the same vertex-id space
+ * as its source Graph and stores its own copy of the edge arrays in
+ * bin-major order.
+ */
+
+#ifndef CRONO_GRAPH_BLOCKED_CSR_H_
+#define CRONO_GRAPH_BLOCKED_CSR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace crono::graph {
+
+/** Bin-major edge layout over a Graph's vertex-id space. */
+class BlockedCsr {
+  public:
+    /**
+     * Edges whose *source* (the neighbor id a pull reads) falls in
+     * one 2^bin_bits-wide id window. `dsts` lists the destinations
+     * with at least one such source, ascending; `offsets[i]` ..
+     * `offsets[i+1]` delimit dsts[i]'s slots in the shared
+     * neighbors()/weights() arrays.
+     */
+    struct Bin {
+        AlignedVector<VertexId> dsts;
+        AlignedVector<EdgeId> offsets;
+    };
+
+    /**
+     * Build from @p g (adjacency rows must be sorted ascending — the
+     * builder's and permuteGraph's invariant). Bumps
+     * Counter::kBlockFills by the number of (bin, destination) list
+     * entries when a telemetry sink is installed.
+     */
+    BlockedCsr(const Graph& g, unsigned bin_bits);
+
+    /**
+     * Bin width heuristic: a 2^12-source window keeps an 8-byte
+     * per-vertex array inside a 32 KiB L1; the width grows on large
+     * graphs to cap the bin count (and with it the per-bin sweep
+     * overhead) at 64.
+     */
+    static unsigned defaultBinBits(VertexId num_vertices);
+
+    unsigned binBits() const { return binBits_; }
+
+    int numBins() const { return static_cast<int>(bins_.size()); }
+
+    const Bin& bin(int b) const
+    {
+        return bins_[static_cast<std::size_t>(b)];
+    }
+
+    /** Bin-major neighbor (source) ids, shared across bins. */
+    const AlignedVector<VertexId>& neighbors() const { return nbrs_; }
+
+    /** Bin-major edge weights, parallel to neighbors(). */
+    const AlignedVector<Weight>& weights() const { return wts_; }
+
+    EdgeId numEdges() const
+    {
+        return static_cast<EdgeId>(nbrs_.size());
+    }
+
+    /** Total (bin, destination) entries — the kBlockFills quantity. */
+    std::uint64_t binFills() const { return binFills_; }
+
+  private:
+    unsigned binBits_;
+    std::vector<Bin> bins_;
+    AlignedVector<VertexId> nbrs_;
+    AlignedVector<Weight> wts_;
+    std::uint64_t binFills_ = 0;
+};
+
+} // namespace crono::graph
+
+#endif // CRONO_GRAPH_BLOCKED_CSR_H_

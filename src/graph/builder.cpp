@@ -24,6 +24,24 @@ GraphBuilder::addEdge(VertexId src, VertexId dst, Weight weight)
 Graph
 GraphBuilder::build(DedupPolicy policy) &&
 {
+    if (reordering_ != Reordering::kNone || blockedLayout_) {
+        return std::move(*this).buildReordered(policy).graph;
+    }
+    return std::move(*this).buildPlain(policy);
+}
+
+ReorderedGraph
+GraphBuilder::buildReordered(DedupPolicy policy) &&
+{
+    const Reordering r = reordering_;
+    const bool blocked = blockedLayout_;
+    Graph plain = std::move(*this).buildPlain(policy);
+    return reorderGraph(plain, r, blocked);
+}
+
+Graph
+GraphBuilder::buildPlain(DedupPolicy policy) &&
+{
     std::vector<Edge> all = std::move(edges_);
     if (undirected_) {
         const std::size_t n = all.size();

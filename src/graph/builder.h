@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/reorder.h"
 
 namespace crono::graph {
 
@@ -55,13 +56,46 @@ class GraphBuilder {
     /** Number of edges accepted so far (pre-mirroring). */
     std::size_t pendingEdges() const { return edges_.size(); }
 
+    /**
+     * Relabel the finished graph under @p r (see reorder.h). build()
+     * discards the permutation — fine for synthetic inputs whose ids
+     * carry no meaning; use buildReordered() to keep it.
+     */
+    GraphBuilder&
+    withReordering(Reordering r)
+    {
+        reordering_ = r;
+        return *this;
+    }
+
+    /** Attach the cache-blocked pull layout to the finished graph. */
+    GraphBuilder&
+    withBlockedLayout(bool enabled = true)
+    {
+        blockedLayout_ = enabled;
+        return *this;
+    }
+
     /** Finalize into a CSR graph, consuming the builder. */
     Graph build(DedupPolicy policy = DedupPolicy::keepMin) &&;
 
+    /**
+     * Finalize like build(), but return the relabeled graph together
+     * with the permutation that made it (identity for kNone), so the
+     * caller can keep mapping ids and per-vertex results round-trip.
+     */
+    ReorderedGraph
+    buildReordered(DedupPolicy policy = DedupPolicy::keepMin) &&;
+
   private:
+    /** The CSR finalization itself, ignoring the reordering options. */
+    Graph buildPlain(DedupPolicy policy) &&;
+
     std::vector<Edge> edges_;
     VertexId numVertices_;
     bool undirected_;
+    Reordering reordering_ = Reordering::kNone;
+    bool blockedLayout_ = false;
 };
 
 } // namespace crono::graph

@@ -6,6 +6,82 @@
 
 namespace crono::graph {
 
+namespace {
+
+/**
+ * Multi-source BFS depth: the largest distance-to-nearest-seed over
+ * the vertices reachable from @p seeds. Distances from a seed *set*
+ * are well-defined per vertex (no tie-breaking), so the depth — and
+ * the set of vertices attaining it, returned via @p at_max — depend
+ * only on the graph's structure, not its labeling.
+ */
+std::uint64_t
+multiSourceDepth(const Graph& g, const std::vector<VertexId>& seeds,
+                 std::vector<VertexId>* at_max)
+{
+    std::vector<char> seen(g.numVertices(), 0);
+    std::vector<VertexId> level(seeds);
+    for (const VertexId s : seeds) {
+        seen[s] = 1;
+    }
+    std::uint64_t depth = 0;
+    std::vector<VertexId> next;
+    for (;;) {
+        next.clear();
+        for (const VertexId u : level) {
+            for (const VertexId w : g.neighbors(u)) {
+                if (!seen[w]) {
+                    seen[w] = 1;
+                    next.push_back(w);
+                }
+            }
+        }
+        if (next.empty()) {
+            break;
+        }
+        ++depth;
+        level.swap(next);
+    }
+    if (at_max != nullptr) {
+        *at_max = std::move(level);
+    }
+    return depth;
+}
+
+/** See GraphStats::pseudo_diameter for the invariance argument. */
+std::uint64_t
+pseudoDiameter(const Graph& g)
+{
+    const EdgeId max_degree = g.maxDegree();
+    if (max_degree == 0) {
+        return 0; // edgeless
+    }
+    // Sweep outward from the center-most label-free set (all vertices
+    // of maximum degree): its rim is the graph's periphery.
+    std::vector<VertexId> seeds;
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        if (g.degree(v) == max_degree) {
+            seeds.push_back(v);
+        }
+    }
+    std::vector<VertexId> rim;
+    const std::uint64_t d1 = multiSourceDepth(g, seeds, &rim);
+    // Small rim: classic double-sweep refinement — the exact
+    // eccentricity of every rim vertex. Max over the whole set (and a
+    // size threshold that is itself invariant) keeps this label-free.
+    constexpr std::size_t kRimCap = 32;
+    if (rim.size() <= kRimCap) {
+        std::uint64_t best = 0;
+        for (const VertexId r : rim) {
+            best = std::max(best, multiSourceDepth(g, {r}, nullptr));
+        }
+        return best;
+    }
+    return d1 + multiSourceDepth(g, rim, nullptr);
+}
+
+} // namespace
+
 GraphStats
 computeStats(const Graph& g)
 {
@@ -64,6 +140,7 @@ computeStats(const Graph& g)
         }
         s.largest_component = std::max(s.largest_component, size);
     }
+    s.pseudo_diameter = pseudoDiameter(g);
     return s;
 }
 
@@ -110,12 +187,13 @@ formatStats(const std::string& name, const GraphStats& s)
     char buf[256];
     std::snprintf(buf, sizeof(buf),
                   "%-16s V=%-9u E=%-10llu avg_deg=%-6.2f max_deg=%-7llu "
-                  "comps=%-6u gini=%.2f",
+                  "comps=%-6u gini=%.2f diam~%llu",
                   name.c_str(), s.num_vertices,
                   static_cast<unsigned long long>(s.num_edge_slots),
                   s.avg_degree,
                   static_cast<unsigned long long>(s.max_degree),
-                  s.num_components, s.degree_gini);
+                  s.num_components, s.degree_gini,
+                  static_cast<unsigned long long>(s.pseudo_diameter));
     return buf;
 }
 

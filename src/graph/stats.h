@@ -25,6 +25,17 @@ struct GraphStats {
     VertexId largest_component = 0;
     /** Gini coefficient of the degree distribution (0 = regular). */
     double degree_gini = 0.0;
+    /**
+     * Pseudo-diameter estimate by multi-source double-sweep BFS: a
+     * sweep out of the max-degree vertex set finds the peripheral rim,
+     * whose exact eccentricities (small rim) or depth-sum estimate
+     * (large rim) give the diameter bound. Every ingredient — the seed
+     * set, the rim, the size threshold, the max over the rim — is
+     * defined by label-free properties, so the estimate is invariant
+     * under relabeling; an estimator seeded from "vertex 0" or "first
+     * max-degree vertex" would not be. 0 for an edgeless graph.
+     */
+    std::uint64_t pseudo_diameter = 0;
 };
 
 /** Compute all summary statistics (O(V + E) plus a sort). */

@@ -62,6 +62,10 @@ counterName(Counter c)
         return "triangles";
       case Counter::kBranches:
         return "branches";
+      case Counter::kReorderMs:
+        return "reorder_ms";
+      case Counter::kBlockFills:
+        return "block_fills";
     }
     return "unknown";
 }

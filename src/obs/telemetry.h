@@ -94,9 +94,11 @@ enum class Counter : std::uint8_t {
     kMoves,            ///< community-detection vertex moves
     kTriangles,        ///< triangles enumerated (each exactly once)
     kBranches,         ///< TSP search-tree nodes visited
+    kReorderMs,        ///< milliseconds spent reordering a graph
+    kBlockFills,       ///< (bin, destination) entries in blocked layouts
 };
 
-inline constexpr int kNumCounters = 19;
+inline constexpr int kNumCounters = 21;
 
 /** Printable counter name, e.g. "steal_chunks". */
 const char* counterName(Counter c);

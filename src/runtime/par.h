@@ -39,12 +39,14 @@
 #ifndef CRONO_RUNTIME_PAR_H_
 #define CRONO_RUNTIME_PAR_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "common/aligned.h"
 #include "common/macros.h"
+#include "graph/blocked_csr.h"
 #include "graph/graph.h"
 #include "obs/telemetry.h"
 #include "runtime/frontier.h"
@@ -67,13 +69,22 @@ struct Csr {
     const graph::Weight* weights = nullptr;
     std::uint64_t num_vertices = 0;
     std::uint64_t num_edges = 0;
+
+    /**
+     * Cache-blocked pull layout attached to the graph, or nullptr.
+     * When present, edgeMapPull / edgeMapPullAll iterate it bin-major
+     * — see their contract notes — and gather kernels can use
+     * edgeMapGatherBlocked.
+     */
+    const graph::BlockedCsr* blocked = nullptr;
 };
 
 inline Csr
 csrOf(const graph::Graph& g)
 {
     return {g.rawOffsets().data(), g.rawNeighbors().data(),
-            g.rawWeights().data(), g.numVertices(), g.numEdges()};
+            g.rawWeights().data(), g.numVertices(), g.numEdges(),
+            g.blockedLayout()};
 }
 
 // -------------------------------------------------------- vertex maps
@@ -234,6 +245,89 @@ pullVertex(Ctx& ctx, const Csr& g, graph::VertexId v, Member&& member,
     post(v);
 }
 
+/**
+ * This thread's destination-id range for blocked iteration, balanced
+ * by edge count rather than vertex count: reordered graphs pack the
+ * hubs into the lowest ids, where a vertex-count split would hand one
+ * thread most of the edges. Pure scheduling arithmetic over the
+ * immutable offsets array (like blockPartition, not modeled traffic);
+ * deterministic, so ownership is stable for the whole invocation.
+ */
+template <class Ctx>
+Range
+degreeBalancedRange(Ctx& ctx, const Csr& g)
+{
+    const auto tid = static_cast<std::uint64_t>(ctx.tid());
+    const auto nthreads = static_cast<std::uint64_t>(ctx.nthreads());
+    const graph::EdgeId* const first = g.offsets;
+    const graph::EdgeId* const last = g.offsets + g.num_vertices + 1;
+    const auto cut = [&](std::uint64_t t) -> std::uint64_t {
+        const graph::EdgeId target = g.num_edges * t / nthreads;
+        return static_cast<std::uint64_t>(
+            std::lower_bound(first, last, target) - first);
+    };
+    // The last cut must be num_vertices, not lower_bound(num_edges):
+    // the latter stops at the FIRST offset equal to num_edges, which
+    // would orphan a zero-degree tail (exactly what degree orderings
+    // produce) from every thread's pre/zero/finish phases.
+    Range r{cut(tid), tid + 1 == nthreads
+                          ? static_cast<std::uint64_t>(g.num_vertices)
+                          : cut(tid + 1)};
+    if (r.end > g.num_vertices) {
+        r.end = g.num_vertices;
+    }
+    if (r.begin > r.end) {
+        r.begin = r.end;
+    }
+    return r;
+}
+
+/**
+ * Bin-major traversal of the blocked layout: for every bin, this
+ * thread runs pre / edge / post over the bin's destinations inside
+ * its own id range. Destination ownership (degreeBalancedRange) is
+ * identical in every bin, so post() stays owner-exclusive; `e` values
+ * index the layout's neighbors()/weights() arrays.
+ */
+template <class Ctx, class Member, class Pre, class Edge, class Post>
+void
+pullBlocked(Ctx& ctx, const Csr& g, Member&& member, Pre&& pre,
+            Edge&& edge, Post&& post)
+{
+    const Range range = degreeBalancedRange(ctx, g);
+    const graph::BlockedCsr& layout = *g.blocked;
+    const graph::VertexId* const nbrs = layout.neighbors().data();
+    for (int b = 0; b < layout.numBins(); ++b) {
+        const graph::BlockedCsr::Bin& bin = layout.bin(b);
+        const auto lo = std::lower_bound(
+            bin.dsts.begin(), bin.dsts.end(),
+            static_cast<graph::VertexId>(range.begin));
+        const auto hi = std::lower_bound(
+            lo, bin.dsts.end(), static_cast<graph::VertexId>(range.end));
+        for (auto it = lo; it != hi; ++it) {
+            const graph::VertexId v = ctx.read(*it);
+            if (!pre(v)) {
+                continue;
+            }
+            const auto di =
+                static_cast<std::size_t>(it - bin.dsts.begin());
+            const graph::EdgeId beg = ctx.read(bin.offsets[di]);
+            const graph::EdgeId end = ctx.read(bin.offsets[di + 1]);
+            for (graph::EdgeId e = beg; e < end; ++e) {
+                const graph::VertexId u = ctx.read(nbrs[e]);
+                ctx.work(1);
+                if (!member(u)) {
+                    continue;
+                }
+                if (edge(v, u, e)) {
+                    break;
+                }
+            }
+            post(v);
+        }
+    }
+}
+
 } // namespace detail
 
 /**
@@ -251,6 +345,16 @@ pullVertex(Ctx& ctx, const Csr& g, graph::VertexId v, Member&& member,
  * The primitive charges ctx.work(1) per scanned edge (the pull path
  * is new; there is no hand-rolled cost profile to preserve) and bumps
  * kPullRounds / records a "round-pull" span.
+ *
+ * Blocked contract: when g.blocked is set, the traversal is bin-major
+ * and pre / edge / post run once per (bin, vertex) pair instead of
+ * once per vertex — the same thread owns a vertex in every bin, so
+ * post stays owner-exclusive, but the per-vertex fold MUST be
+ * incremental: pre re-reads current state, post folds a partial
+ * result into it (BFS's set-once claim and CC's monotone min both
+ * qualify; an overwrite like "result = partial sum" does not — use
+ * edgeMapGatherBlocked for those). `e` then indexes the blocked
+ * layout's arrays, not the graph's.
  */
 template <class Ctx, class Pre, class Edge, class Post>
 void
@@ -263,16 +367,18 @@ edgeMapPull(Ctx& ctx, const Csr& g, FrontierEngine& engine,
     if (track != nullptr && ctx.tid() == 0) {
         obs::counterBump(track, obs::Counter::kPullRounds, 1);
     }
-    const Range range =
-        blockPartition(g.num_vertices, ctx.tid(), ctx.nthreads());
-    for (std::uint64_t vi = range.begin; vi < range.end; ++vi) {
-        const auto v = static_cast<graph::VertexId>(vi);
-        detail::pullVertex(
-            ctx, g, v,
-            [&](graph::VertexId u) {
-                return engine.inCurrent(ctx, round, u);
-            },
-            pre, edge, post);
+    const auto member = [&](graph::VertexId u) {
+        return engine.inCurrent(ctx, round, u);
+    };
+    if (g.blocked != nullptr) {
+        detail::pullBlocked(ctx, g, member, pre, edge, post);
+    } else {
+        const Range range =
+            blockPartition(g.num_vertices, ctx.tid(), ctx.nthreads());
+        for (std::uint64_t vi = range.begin; vi < range.end; ++vi) {
+            const auto v = static_cast<graph::VertexId>(vi);
+            detail::pullVertex(ctx, g, v, member, pre, edge, post);
+        }
     }
     if (track != nullptr) {
         obs::spanRecord(track, {begin, ctx.timestamp(), "round-pull",
@@ -285,19 +391,24 @@ edgeMapPull(Ctx& ctx, const Csr& g, FrontierEngine& engine,
  * vertex passing @p pre scans all neighbors (no membership probe, no
  * early exit unless @p edge returns true). This is the paper's
  * pull-style full-rescan structure (connected components) and the
- * gather half of pull PageRank.
+ * gather half of pull PageRank. The blocked per-(bin, vertex)
+ * contract of edgeMapPull applies here too when g.blocked is set.
  */
 template <class Ctx, class Pre, class Edge, class Post>
 void
 edgeMapPullAll(Ctx& ctx, const Csr& g, Pre&& pre, Edge&& edge,
                Post&& post)
 {
+    const auto all = [](graph::VertexId) { return true; };
+    if (g.blocked != nullptr) {
+        detail::pullBlocked(ctx, g, all, pre, edge, post);
+        return;
+    }
     const Range range =
         blockPartition(g.num_vertices, ctx.tid(), ctx.nthreads());
     for (std::uint64_t vi = range.begin; vi < range.end; ++vi) {
-        detail::pullVertex(ctx, g, static_cast<graph::VertexId>(vi),
-                           [](graph::VertexId) { return true; }, pre,
-                           edge, post);
+        detail::pullVertex(ctx, g, static_cast<graph::VertexId>(vi), all,
+                           pre, edge, post);
     }
 }
 
@@ -307,6 +418,11 @@ edgeMapPullAll(Ctx& ctx, const Csr& g, Pre&& pre, Edge&& edge,
  * inputs). Deterministic despite the dynamic assignment: each vertex
  * is processed by exactly one thread and its gather reads only values
  * frozen for the phase.
+ *
+ * Deliberately ignores g.blocked: guided assignment can hand the same
+ * vertex's bins to different threads, which would break the blocked
+ * owner-exclusivity contract. Callers with a non-incremental fold use
+ * edgeMapGatherBlocked on blocked graphs instead.
  */
 template <class Ctx, class Pre, class Edge, class Post>
 void
@@ -318,6 +434,58 @@ edgeMapPullAllGuided(Ctx& ctx, const Csr& g, CaptureCounter& cursor,
                            [](graph::VertexId) { return true; }, pre,
                            edge, post);
     });
+}
+
+/**
+ * Propagation-blocking gather over a blocked layout (g.blocked must
+ * be set): @p zero(v) resets each owned destination's accumulator,
+ * @p accum(v, u, e) folds one in-edge bin-major — so the per-source
+ * read window stays inside one bin's cache footprint — and
+ * @p finish(v) turns the accumulated value into the result. This is
+ * the non-incremental-fold counterpart of the blocked edgeMapPull
+ * contract (PageRank's gather: zero rank, sum frozen shares, apply
+ * Equation 1).
+ *
+ * All three phases use the same degree-balanced static destination
+ * partition, so every write is owner-exclusive and no barriers are
+ * needed between phases. Charges ctx.work(1) per folded edge; `e`
+ * indexes the layout's arrays.
+ */
+template <class Ctx, class Zero, class Accum, class Finish>
+void
+edgeMapGatherBlocked(Ctx& ctx, const Csr& g, Zero&& zero, Accum&& accum,
+                     Finish&& finish)
+{
+    CRONO_ASSERT(g.blocked != nullptr,
+                 "edgeMapGatherBlocked needs a blocked layout");
+    const Range range = detail::degreeBalancedRange(ctx, g);
+    for (std::uint64_t vi = range.begin; vi < range.end; ++vi) {
+        zero(static_cast<graph::VertexId>(vi));
+    }
+    const graph::BlockedCsr& layout = *g.blocked;
+    const graph::VertexId* const nbrs = layout.neighbors().data();
+    for (int b = 0; b < layout.numBins(); ++b) {
+        const graph::BlockedCsr::Bin& bin = layout.bin(b);
+        const auto lo = std::lower_bound(
+            bin.dsts.begin(), bin.dsts.end(),
+            static_cast<graph::VertexId>(range.begin));
+        const auto hi = std::lower_bound(
+            lo, bin.dsts.end(), static_cast<graph::VertexId>(range.end));
+        for (auto it = lo; it != hi; ++it) {
+            const graph::VertexId v = ctx.read(*it);
+            const auto di =
+                static_cast<std::size_t>(it - bin.dsts.begin());
+            const graph::EdgeId beg = ctx.read(bin.offsets[di]);
+            const graph::EdgeId end = ctx.read(bin.offsets[di + 1]);
+            for (graph::EdgeId e = beg; e < end; ++e) {
+                ctx.work(1);
+                accum(v, ctx.read(nbrs[e]), e);
+            }
+        }
+    }
+    for (std::uint64_t vi = range.begin; vi < range.end; ++vi) {
+        finish(static_cast<graph::VertexId>(vi));
+    }
 }
 
 // --------------------------------------------------------- reductions

@@ -115,6 +115,28 @@ TEST(RaceDetectorSweep, AllKernelsAllModesHaveNoUnsuppressedRaces)
         << analysis::racesJson(det);
 }
 
+TEST(RaceDetectorSweep, ReorderedBlockedLayoutHasNoUnsuppressedRaces)
+{
+    // The blocked bin-major pull/gather paths change which thread
+    // touches which (vertex, edge) pair; one full kernel sweep on a
+    // degree-sorted social graph with the blocked layout attached
+    // proves the new iteration order kept the ownership discipline.
+    sim::Machine machine(test::smallSimConfig());
+    RaceDetector det(loadAllowlist());
+    machine.setObserver(&det);
+
+    core::WorkloadConfig wc = sweepConfig(core::GraphKind::social);
+    wc.reordering = graph::Reordering::kDegreeSort;
+    wc.blocked_layout = true;
+    const core::WorkloadSet set(wc);
+    for (const auto& info : core::allBenchmarks()) {
+        sweepBenchmark(machine, det, set, info, "social+degree+blocked");
+    }
+
+    EXPECT_EQ(det.unsuppressedCount(), 0u)
+        << analysis::racesJson(det);
+}
+
 TEST(RaceDetectorSweep, SeededRaceFixtureIsAttributed)
 {
     obs::TelemetrySession session;

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Schema smoke-test for every machine-readable report the bench
+ * harnesses emit: each document must parse with the in-tree
+ * obs::json::parse and carry its stable schema tag plus the fields
+ * downstream tooling (BENCH_micro.json trajectory, table_reorder.json
+ * speedup table) indexes on.
+ *
+ * Two modes:
+ *  - self-contained (default): generate a crono.metrics.v1 document
+ *    from a real instrumented run and a crono.bench.v1 document with
+ *    reordering rows, write both to a temp dir, then validate every
+ *    *.json found there;
+ *  - CI sweep: when CRONO_REPORT_DIR is set (run_benches.sh --json=DIR
+ *    output), validate every *.json the full bench sweep actually
+ *    emitted instead.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/suite.h"
+#include "graph/generators.h"
+#include "graph/reorder.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "runtime/executor.h"
+
+namespace crono {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+slurp(const fs::path& path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Parse @p text; fail the test with @p label and the parser error. */
+obs::json::Value
+parseOrFail(const std::string& text, const std::string& label)
+{
+    obs::json::Value doc;
+    std::string err;
+    EXPECT_TRUE(obs::json::parse(text, doc, &err))
+        << label << ": " << err;
+    return doc;
+}
+
+void
+expectString(const obs::json::Value& v, const char* key)
+{
+    const obs::json::Value* f = v.find(key);
+    ASSERT_NE(f, nullptr) << key;
+    EXPECT_TRUE(f->isString()) << key;
+}
+
+void
+expectNumber(const obs::json::Value& v, const char* key)
+{
+    const obs::json::Value* f = v.find(key);
+    ASSERT_NE(f, nullptr) << key;
+    EXPECT_TRUE(f->isNumber()) << key;
+}
+
+/** Validate one crono.bench.v1 document. */
+void
+checkBenchDoc(const obs::json::Value& doc)
+{
+    const obs::json::Value* schema = doc.find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->str, "crono.bench.v1");
+    const obs::json::Value* results = doc.find("results");
+    ASSERT_NE(results, nullptr);
+    ASSERT_TRUE(results->isArray());
+    for (const obs::json::Value& row : results->arr) {
+        ASSERT_TRUE(row.isObject());
+        expectString(row, "name");
+        expectString(row, "kernel");
+        expectString(row, "graph");
+        expectString(row, "mode");
+        expectNumber(row, "vertices");
+        expectNumber(row, "edges");
+        expectNumber(row, "threads");
+        expectNumber(row, "time_seconds");
+        expectNumber(row, "edges_per_second");
+        expectNumber(row, "variability");
+    }
+}
+
+/** Validate one crono.metrics.v1 document. */
+void
+checkMetricsDoc(const obs::json::Value& doc)
+{
+    const obs::json::Value* schema = doc.find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->str, "crono.metrics.v1");
+    expectString(doc, "kernel");
+    expectString(doc, "graph");
+    expectNumber(doc, "threads");
+    const obs::json::Value* runtime = doc.find("runtime");
+    ASSERT_NE(runtime, nullptr);
+    ASSERT_TRUE(runtime->isObject());
+    expectNumber(*runtime, "time");
+    const obs::json::Value* counters = doc.find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_TRUE(counters->isObject());
+}
+
+/** Route a document to its schema's validator by tag. */
+void
+checkAnyReport(const obs::json::Value& doc, const std::string& label)
+{
+    SCOPED_TRACE(label);
+    const obs::json::Value* schema = doc.find("schema");
+    ASSERT_NE(schema, nullptr) << "document has no schema tag";
+    if (schema->str == "crono.bench.v1") {
+        checkBenchDoc(doc);
+    } else if (schema->str == "crono.metrics.v1") {
+        checkMetricsDoc(doc);
+    } else {
+        FAIL() << "unknown schema tag " << schema->str;
+    }
+}
+
+/** A real instrumented run: the reordering counters must appear. */
+obs::MetricsReport
+makeMetricsReport()
+{
+    obs::TelemetrySession session;
+    const graph::ReorderedGraph rg = graph::reorderGraph(
+        graph::generators::socialNetwork(7, 6, 3),
+        graph::Reordering::kDegreeSort, /*blocked=*/true);
+    rt::NativeExecutor exec(2);
+    const auto res =
+        core::pageRank(exec, 2, rg.graph, 3, 0.15, nullptr,
+                       core::PageRankMode::kGather);
+    obs::MetricsReport report;
+    report.kernel = "PAGE_RANK";
+    report.graph = "social(2^7,ef6)+degree+blocked";
+    report.threads = 2;
+    report.frontier_mode = "gather";
+    report.setRuntime(res.run);
+    report.setCounters(session.recorder());
+    return report;
+}
+
+std::vector<obs::BenchResult>
+makeBenchRows()
+{
+    std::vector<obs::BenchResult> rows;
+    for (const graph::Reordering r : graph::allReorderings()) {
+        obs::BenchResult row;
+        row.name = std::string("pagerank/social/") +
+                   graph::reorderingName(r) + "/t2";
+        row.kernel = "PAGE_RANK";
+        row.graph = "social(2^7,ef6)";
+        row.vertices = 128;
+        row.edges = 1024;
+        row.threads = 2;
+        row.mode = graph::reorderingName(r);
+        row.time_seconds = 0.001;
+        row.edges_per_second = 1024.0 / 0.001;
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+TEST(ReportSchema, BenchSuiteDocumentParses)
+{
+    const std::string text = obs::benchSuiteJson(makeBenchRows());
+    const obs::json::Value doc = parseOrFail(text, "bench suite");
+    checkBenchDoc(doc);
+    const obs::json::Value* results = doc.find("results");
+    ASSERT_NE(results, nullptr);
+    EXPECT_EQ(results->arr.size(), graph::allReorderings().size());
+    EXPECT_EQ(results->arr.front().find("mode")->str, "none");
+}
+
+TEST(ReportSchema, MetricsReportDocumentParses)
+{
+    const obs::MetricsReport report = makeMetricsReport();
+    const obs::json::Value doc =
+        parseOrFail(report.toJson(), "metrics report");
+    checkMetricsDoc(doc);
+    // The instrumented reorderGraph call must surface its counters.
+    const obs::json::Value* counters = doc.find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_NE(counters->find("reorder_ms"), nullptr);
+    EXPECT_NE(counters->find("block_fills"), nullptr);
+}
+
+TEST(ReportSchema, EveryEmittedReportParses)
+{
+    fs::path dir;
+    const char* const env = std::getenv("CRONO_REPORT_DIR");
+    if (env != nullptr && *env != '\0') {
+        dir = env;
+    } else {
+        // Self-contained fallback: emit one document per schema the
+        // benches produce, then sweep the directory like CI does.
+        dir = fs::path(::testing::TempDir()) / "crono_reports";
+        fs::create_directories(dir);
+        ASSERT_TRUE(obs::writeTextFile(
+            (dir / "table_reorder.json").string(),
+            obs::benchSuiteJson(makeBenchRows())));
+        ASSERT_TRUE(
+            makeMetricsReport().writeJson((dir / "metrics.json").string()));
+    }
+    ASSERT_TRUE(fs::is_directory(dir)) << dir;
+    std::size_t checked = 0;
+    for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+        if (entry.path().extension() != ".json") {
+            continue;
+        }
+        const obs::json::Value doc = parseOrFail(
+            slurp(entry.path()), entry.path().filename().string());
+        checkAnyReport(doc, entry.path().filename().string());
+        ++checked;
+    }
+    EXPECT_GT(checked, 0u) << "no .json reports found in " << dir;
+}
+
+} // namespace
+} // namespace crono
