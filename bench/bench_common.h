@@ -16,11 +16,13 @@
 #ifndef CRONO_BENCH_BENCH_COMMON_H_
 #define CRONO_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/suite.h"
 #include "core/workloads.h"
 #include "sim/machine.h"
@@ -65,6 +67,55 @@ jsonPathFor(const Options& opt, const std::string& harness,
             const std::string& bench_name)
 {
     return opt.json_dir + "/" + harness + "_" + bench_name + ".json";
+}
+
+// ------------------------------------------- GAP measurement rules
+//
+// The GAP Benchmark Suite (Beamer, Asanović, Patterson) fixes the
+// methodology this harness follows:
+//  - speedups are normalized to a *work-efficient sequential
+//    baseline* (core::seq), never to the 1-thread parallel run;
+//  - source-dependent kernels (BFS, SSSP, DFS) run one trial from
+//    each of 64 pre-drawn random non-isolated sources and report the
+//    average;
+//  - only the kernel is timed — graph build, reordering and any
+//    algorithm-private preprocessing driven from the timed call stay
+//    inside, file I/O and generation stay outside.
+
+/** Number of source trials the GAP specification fixes. */
+inline constexpr int kGapSourceTrials = 64;
+
+/**
+ * Draw @p k sources uniformly from the non-isolated vertices of
+ * @p g (GAP rule: a degree-zero source measures nothing).
+ * Deterministic in @p seed; sources may repeat, as in the reference
+ * implementation's generator.
+ */
+inline std::vector<graph::VertexId>
+gapSources(const graph::Graph& g, int k, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<graph::VertexId> sources;
+    sources.reserve(static_cast<std::size_t>(k));
+    while (sources.size() < static_cast<std::size_t>(k)) {
+        const auto v = static_cast<graph::VertexId>(
+            rng.nextBelow(g.numVertices()));
+        if (!g.neighbors(v).empty()) {
+            sources.push_back(v);
+        }
+    }
+    return sources;
+}
+
+/** Wall-clock seconds of one @p fn() call (monotonic clock). */
+template <class Fn>
+inline double
+timedSeconds(Fn&& fn)
+{
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double>(elapsed).count();
 }
 
 /** The workload sizes used for the simulator experiments. */

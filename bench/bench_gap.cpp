@@ -1,0 +1,463 @@
+/**
+ * @file
+ * GAP-methodology native benchmark: every kernel timed against its
+ * work-efficient sequential baseline (core::seq), reporting
+ * baseline-normalized speedup instead of the 1-thread-parallel
+ * normalization the other harnesses use (EXPERIMENTS.md discusses the
+ * gap between the two). Rules follow the GAP Benchmark Suite:
+ *
+ *  - BFS / SSSP / DFS run one trial from each of 64 pre-drawn random
+ *    non-isolated sources (--sources overrides; --quick uses 4) and
+ *    report the per-trial average;
+ *  - non-source kernels average over a fixed trial count;
+ *  - only the kernel call is timed: graph generation and file I/O
+ *    stay outside, while per-run state (frontier allocation, the
+ *    delta-stepping light/heavy split) stays inside, as it is work
+ *    the algorithm requires;
+ *  - inputs are GAP-scale: a road network (default 1024x1024, the
+ *    long-diameter heavy-weight regime where delta-stepping is the
+ *    headline) and a GAP-spec Kronecker graph (default scale 20,
+ *    edge_factor 16).
+ *
+ * SSSP rows cover the paper's flag-scan structure, the paced
+ * work-list mode (kAdaptive), and bucketed delta-stepping; the
+ * harness prints the delta-vs-best-work-list ratio the acceptance
+ * bar in EXPERIMENTS.md records.
+ *
+ * `--json=DIR` writes DIR/table_gap.json, a "crono.bench.v1"
+ * document; every row carries the add-only seq_seconds / speedup /
+ * trials fields (tests/report_schema_test.cpp parses and checks
+ * them).
+ *
+ * Options beyond the common set: --threads=N (default: hardware
+ * concurrency), --sources=N, --scale=N (Kronecker), --road-side=N,
+ * --input=road|kron|matrix|all.
+ */
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/sequential.h"
+#include "graph/generators.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+
+namespace {
+
+using namespace crono;
+using graph::VertexId;
+
+struct GapOptions {
+    bench::Options base;
+    int threads = 0;       ///< 0 = hardware concurrency
+    int sources = bench::kGapSourceTrials;
+    int trials = 3;        ///< non-source kernels
+    unsigned scale = 20;   ///< Kronecker log2 vertices
+    VertexId road_side = 1024;
+    graph::Dist delta = 0; ///< delta-stepping width (0 = auto heuristic)
+    std::string input = "all";
+};
+
+GapOptions
+parseGapOptions(int argc, char** argv)
+{
+    GapOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const char* const a = argv[i];
+        if (std::strcmp(a, "--quick") == 0) {
+            opt.base.quick = true;
+        } else if (std::strncmp(a, "--seed=", 7) == 0) {
+            opt.base.seed = std::strtoull(a + 7, nullptr, 10);
+        } else if (std::strncmp(a, "--json=", 7) == 0) {
+            opt.base.json_dir = a + 7;
+        } else if (std::strcmp(a, "--json") == 0) {
+            opt.base.json_dir = ".";
+        } else if (std::strncmp(a, "--threads=", 10) == 0) {
+            opt.threads = std::atoi(a + 10);
+        } else if (std::strncmp(a, "--sources=", 10) == 0) {
+            opt.sources = std::atoi(a + 10);
+        } else if (std::strncmp(a, "--trials=", 9) == 0) {
+            opt.trials = std::atoi(a + 9);
+        } else if (std::strncmp(a, "--scale=", 8) == 0) {
+            opt.scale = static_cast<unsigned>(std::atoi(a + 8));
+        } else if (std::strncmp(a, "--road-side=", 12) == 0) {
+            opt.road_side = static_cast<VertexId>(std::atoi(a + 12));
+        } else if (std::strncmp(a, "--delta=", 8) == 0) {
+            opt.delta = std::strtoull(a + 8, nullptr, 10);
+        } else if (std::strncmp(a, "--input=", 8) == 0) {
+            opt.input = a + 8;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", a);
+        }
+    }
+    if (opt.base.quick) {
+        opt.sources = std::min(opt.sources, 4);
+        opt.trials = std::min(opt.trials, 2);
+        opt.scale = std::min(opt.scale, 12u);
+        opt.road_side = std::min<VertexId>(opt.road_side, 64);
+    }
+    if (opt.threads <= 0) {
+        opt.threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    return opt;
+}
+
+/** Defeat dead-code elimination of the sequential baselines. */
+std::uint64_t g_sink = 0;
+
+/** Session-total counter snapshot (the Recorder only accumulates;
+ *  per-row values are differences between two snapshots). */
+using CounterSnapshot = std::array<std::uint64_t, obs::kNumCounters>;
+
+CounterSnapshot
+counterSnapshot()
+{
+    CounterSnapshot snap{};
+    if (const obs::Recorder* r = obs::sink()) {
+        for (int c = 0; c < obs::kNumCounters; ++c) {
+            snap[static_cast<std::size_t>(c)] =
+                r->totalCounter(static_cast<obs::Counter>(c));
+        }
+    }
+    return snap;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+counterDiff(const CounterSnapshot& before, const CounterSnapshot& after)
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    for (int c = 0; c < obs::kNumCounters; ++c) {
+        const auto i = static_cast<std::size_t>(c);
+        if (after[i] != before[i]) {
+            out.emplace_back(obs::counterName(static_cast<obs::Counter>(c)),
+                             after[i] - before[i]);
+        }
+    }
+    return out;
+}
+
+double g_best_worklist_road = 0.0;
+double g_delta_road = 0.0;
+
+std::vector<obs::BenchResult> g_rows;
+
+void
+addRow(const std::string& short_kernel, const char* paper_kernel,
+       const std::string& graph_tag, std::uint64_t vertices,
+       std::uint64_t edges, int threads, const std::string& mode,
+       double par_seconds, double seq_seconds, int trials,
+       double variability, std::uint64_t rounds,
+       std::vector<std::pair<std::string, std::uint64_t>> counters)
+{
+    obs::BenchResult row;
+    row.name = "gap/" + short_kernel + "/" + graph_tag + "/" + mode +
+               "/t" + std::to_string(threads);
+    row.kernel = paper_kernel;
+    row.graph = graph_tag;
+    row.vertices = vertices;
+    row.edges = edges;
+    row.threads = threads;
+    row.mode = mode;
+    row.time_seconds = par_seconds;
+    row.edges_per_second =
+        par_seconds > 0.0 ? static_cast<double>(edges) / par_seconds
+                          : 0.0;
+    row.variability = variability;
+    row.rounds = rounds;
+    row.seq_seconds = seq_seconds;
+    row.speedup = par_seconds > 0.0 ? seq_seconds / par_seconds : 0.0;
+    row.trials = static_cast<std::uint64_t>(trials);
+    row.counters = std::move(counters);
+    g_rows.push_back(std::move(row));
+    std::printf("%-10s %-16s %-10s %10.4fs %10.4fs %8.2fx\n",
+                short_kernel.c_str(), graph_tag.c_str(), mode.c_str(),
+                par_seconds, seq_seconds,
+                par_seconds > 0.0 ? seq_seconds / par_seconds : 0.0);
+}
+
+/**
+ * Source-trial kernel: average par(src) and seq(src) wall-clock over
+ * the GAP source list.
+ */
+template <class Par, class Seq>
+void
+sourceKernel(const GapOptions& opt, const std::string& short_kernel,
+             const char* paper_kernel, const std::string& graph_tag,
+             const graph::Graph& g, const std::string& mode, Par&& par,
+             Seq&& seq)
+{
+    const std::vector<VertexId> sources =
+        bench::gapSources(g, opt.sources, opt.base.seed * 7919 + 17);
+    double par_total = 0.0, seq_total = 0.0, vari = 0.0;
+    std::uint64_t rounds = 0;
+    const CounterSnapshot before = counterSnapshot();
+    for (const VertexId src : sources) {
+        par_total += bench::timedSeconds([&] {
+            const rt::RunInfo info = par(src, &rounds);
+            vari += info.variability;
+        });
+        seq_total += bench::timedSeconds([&] { seq(src); });
+    }
+    const auto k = static_cast<double>(sources.size());
+    addRow(short_kernel, paper_kernel, graph_tag, g.numVertices(),
+           g.numEdges(), opt.threads, mode, par_total / k, seq_total / k,
+           static_cast<int>(sources.size()), vari / k, rounds,
+           counterDiff(before, counterSnapshot()));
+}
+
+/** Fixed-trial kernel (no source): average over opt.trials runs. */
+template <class Par, class Seq>
+void
+fixedKernel(const GapOptions& opt, const std::string& short_kernel,
+            const char* paper_kernel, const std::string& graph_tag,
+            std::uint64_t vertices, std::uint64_t edges,
+            const std::string& mode, Par&& par, Seq&& seq)
+{
+    double par_total = 0.0, seq_total = 0.0, vari = 0.0;
+    const CounterSnapshot before = counterSnapshot();
+    for (int t = 0; t < opt.trials; ++t) {
+        par_total += bench::timedSeconds([&] {
+            const rt::RunInfo info = par();
+            vari += info.variability;
+        });
+        seq_total += bench::timedSeconds([&] { seq(); });
+    }
+    const auto k = static_cast<double>(opt.trials);
+    addRow(short_kernel, paper_kernel, graph_tag, vertices, edges,
+           opt.threads, mode, par_total / k, seq_total / k, opt.trials,
+           vari / k, 0, counterDiff(before, counterSnapshot()));
+}
+
+void
+runCsrSection(const GapOptions& opt, rt::NativeExecutor& exec,
+              const graph::Graph& g, const std::string& graph_tag,
+              bool full_suite, bool is_road)
+{
+    const int nt = opt.threads;
+
+    sourceKernel(opt, "bfs", "BFS", graph_tag, g, "adaptive",
+                 [&](VertexId src, std::uint64_t* rounds) {
+                     auto res =
+                         core::bfs(exec, nt, g, src, graph::kNoVertex,
+                                   nullptr, rt::FrontierMode::kAdaptive);
+                     *rounds = 0;
+                     g_sink += res.reached;
+                     return res.run;
+                 },
+                 [&](VertexId src) {
+                     g_sink += core::seq::bfsLevels(g, src).back();
+                 });
+
+    // SSSP three ways against one Dijkstra baseline: the paper's
+    // flag-scan structure, the paced work-list mode, delta-stepping.
+    const struct {
+        const char* mode;
+        core::SsspAlgo algo;
+        rt::FrontierMode fmode;
+    } sssp_variants[] = {
+        {"flagscan", core::SsspAlgo::kWorkList,
+         rt::FrontierMode::kFlagScan},
+        {"worklist", core::SsspAlgo::kWorkList,
+         rt::FrontierMode::kAdaptive},
+        {"delta", core::SsspAlgo::kDeltaStep, rt::FrontierMode::kSparse},
+    };
+    // Light/heavy split: a (graph, delta) artifact like GAP's
+    // transpose, built once outside the per-source trials.
+    const graph::Dist eff_delta =
+        opt.delta != 0 ? opt.delta : core::autoDelta(g, nt);
+    const core::EdgeSplit split = core::splitEdgesAtDelta(g, eff_delta);
+    for (const auto& variant : sssp_variants) {
+        sourceKernel(
+            opt, "sssp", "SSSP_DIJK", graph_tag, g, variant.mode,
+            [&](VertexId src, std::uint64_t* rounds) {
+                auto res =
+                    variant.algo == core::SsspAlgo::kDeltaStep
+                        ? core::deltaSteppingSssp(exec, nt, g, src,
+                                                  nullptr, eff_delta,
+                                                  &split)
+                        : core::sssp(exec, nt, g, src, nullptr,
+                                     variant.fmode);
+                *rounds = res.rounds;
+                g_sink += res.dist[0];
+                return res.run;
+            },
+            [&](VertexId src) { g_sink += core::seq::sssp(g, src)[0]; });
+        const obs::BenchResult& row = g_rows.back();
+        if (is_road) {
+            if (variant.algo == core::SsspAlgo::kDeltaStep) {
+                g_delta_road = row.time_seconds;
+            } else if (g_best_worklist_road == 0.0 ||
+                       row.time_seconds < g_best_worklist_road) {
+                g_best_worklist_road = row.time_seconds;
+            }
+        }
+    }
+
+    fixedKernel(opt, "pagerank", "PAGE_RANK", graph_tag,
+                g.numVertices(), g.numEdges(), "scatter",
+                [&] {
+                    auto res = core::pageRank(exec, nt, g, 5, 0.15,
+                                              nullptr,
+                                              core::PageRankMode::kScatter);
+                    g_sink += static_cast<std::uint64_t>(
+                        res.rank[0] * 1e9);
+                    return res.run;
+                },
+                [&] {
+                    g_sink += static_cast<std::uint64_t>(
+                        core::seq::pageRank(g, 5, 0.15)[0] * 1e9);
+                });
+
+    if (!full_suite) {
+        return;
+    }
+
+    sourceKernel(opt, "dfs", "DFS", graph_tag, g, "default",
+                 [&](VertexId src, std::uint64_t* rounds) {
+                     auto res = core::dfs(exec, nt, g, src);
+                     *rounds = 0;
+                     g_sink += res.visited;
+                     return res.run;
+                 },
+                 [&](VertexId src) {
+                     g_sink += core::seq::dfsOrder(g, src).size();
+                 });
+
+    fixedKernel(opt, "conncomp", "CONN_COMP", graph_tag,
+                g.numVertices(), g.numEdges(), "adaptive",
+                [&] {
+                    auto res = core::connectedComponents(
+                        exec, nt, g, nullptr,
+                        rt::FrontierMode::kAdaptive);
+                    g_sink += res.num_components;
+                    return res.run;
+                },
+                [&] { g_sink += core::seq::componentLabels(g)[0]; });
+
+    fixedKernel(opt, "tricnt", "TRI_CNT", graph_tag, g.numVertices(),
+                g.numEdges(), "default",
+                [&] {
+                    auto res = core::triangleCount(exec, nt, g);
+                    g_sink += res.total;
+                    return res.run;
+                },
+                [&] { g_sink += core::seq::triangleCountFast(g); });
+
+    fixedKernel(opt, "comm", "COMM", graph_tag, g.numVertices(),
+                g.numEdges(), "default",
+                [&] {
+                    auto res =
+                        core::communityDetection(exec, nt, g, 8);
+                    g_sink += res.moves;
+                    return res.run;
+                },
+                [&] { g_sink += core::seq::communityLabels(g, 8)[0]; });
+}
+
+void
+runMatrixSection(const GapOptions& opt, rt::NativeExecutor& exec)
+{
+    namespace gen = graph::generators;
+    const int nt = opt.threads;
+    const VertexId mn = opt.base.quick ? 64 : 192;
+    const VertexId cities_n = opt.base.quick ? 9 : 12;
+    const graph::AdjacencyMatrix m(gen::uniformRandom(
+        mn, static_cast<graph::EdgeId>(mn) * 6, 64, opt.base.seed + 3));
+    const graph::AdjacencyMatrix cities =
+        gen::tspCities(cities_n, opt.base.seed + 4);
+    const std::string tag = "matrix(" + std::to_string(mn) + ")";
+    const auto n64 = static_cast<std::uint64_t>(mn);
+
+    fixedKernel(opt, "apsp", "APSP", tag, n64, n64 * n64, "flagscan",
+                [&] {
+                    auto res = core::apsp(exec, nt, m);
+                    g_sink += res.dist[1];
+                    return res.run;
+                },
+                [&] { g_sink += core::seq::apsp(m)[1]; });
+
+    fixedKernel(opt, "betw", "BETW_CENT", tag, n64, n64 * n64,
+                "flagscan",
+                [&] {
+                    auto res = core::betweenness(exec, nt, m);
+                    g_sink += res.centrality[0];
+                    return res.run;
+                },
+                [&] { g_sink += core::seq::betweenness(m)[0]; });
+
+    const std::string ctag = "cities(" + std::to_string(cities_n) + ")";
+    fixedKernel(opt, "tsp", "TSP", ctag, cities_n, cities_n * cities_n,
+                "default",
+                [&] {
+                    auto res = core::tsp(exec, nt, cities);
+                    g_sink += res.cost;
+                    return res.run;
+                },
+                [&] { g_sink += core::seq::tspCost(cities); });
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const GapOptions opt = parseGapOptions(argc, argv);
+    namespace gen = graph::generators;
+    obs::TelemetrySession session;
+    rt::NativeExecutor exec(opt.threads);
+
+    std::printf("GAP-methodology baseline-normalized benchmark "
+                "(threads=%d, sources=%d, trials=%d, seed=%llu)\n",
+                opt.threads, opt.sources, opt.trials,
+                static_cast<unsigned long long>(opt.base.seed));
+    std::printf("%-10s %-16s %-10s %11s %11s %9s\n", "kernel", "graph",
+                "mode", "t_par", "t_seq", "speedup");
+
+    if (opt.input == "all" || opt.input == "road") {
+        const graph::Graph road = gen::roadNetwork(
+            opt.road_side, opt.road_side, opt.base.seed);
+        const std::string tag =
+            "road(" + std::to_string(opt.road_side) + "^2)";
+        runCsrSection(opt, exec, road, tag, /*full_suite=*/true,
+                      /*is_road=*/true);
+    }
+    if (opt.input == "all" || opt.input == "kron") {
+        // GAP's Kronecker input; BFS / SSSP / PageRank are the
+        // kernels GAP specifies on it (the acceptance set for native
+        // multi-million-vertex runs).
+        const graph::Graph kron =
+            gen::kronecker(opt.scale, 16, 255, opt.base.seed + 1);
+        const std::string tag =
+            "kron(2^" + std::to_string(opt.scale) + ",ef16)";
+        runCsrSection(opt, exec, kron, tag, /*full_suite=*/false,
+                      /*is_road=*/false);
+    }
+    if (opt.input == "all" || opt.input == "matrix") {
+        runMatrixSection(opt, exec);
+    }
+
+    if (g_delta_road > 0.0 && g_best_worklist_road > 0.0) {
+        std::printf("\ndelta-stepping vs best work-list SSSP on road: "
+                    "%.2fx\n", g_best_worklist_road / g_delta_road);
+    }
+
+    if (!opt.base.json_dir.empty()) {
+        const std::string path = opt.base.json_dir + "/table_gap.json";
+        if (!obs::writeTextFile(path, obs::benchSuiteJson(g_rows))) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s (%zu rows)\n", path.c_str(),
+                    g_rows.size());
+    }
+    (void)g_sink;
+    return 0;
+}

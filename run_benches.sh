@@ -7,8 +7,10 @@
 #                 bench_micro writes DIR/BENCH_micro.json
 #                 (crono.bench.v1), bench_reorder writes
 #                 DIR/table_reorder.json (crono.bench.v1, one row per
-#                 kernel x graph x ordering), and every harness
-#                 receives --json=DIR so multi-kernel sweeps
+#                 kernel x graph x ordering), bench_gap writes
+#                 DIR/table_gap.json (crono.bench.v1 with
+#                 baseline-normalized speedup fields), and every
+#                 harness receives --json=DIR so multi-kernel sweeps
 #                 (bench_table1_suite) emit one crono.metrics.v1 file
 #                 per kernel instead of overwriting a single shared
 #                 path. tests/report_schema_test.cpp (CRONO_REPORT_DIR)
@@ -38,7 +40,7 @@ for b in build/bench/bench_table1_suite build/bench/bench_fig1_breakdown \
          build/bench/bench_fig8_ooo_speedup build/bench/bench_fig9_real_machine \
          build/bench/bench_table4_graphs build/bench/bench_ablation_ackwise \
          build/bench/bench_ablation_locality build/bench/bench_ablation_noc \
-         build/bench/bench_reorder; do
+         build/bench/bench_reorder build/bench/bench_gap; do
   echo "================================================================"
   echo "### $b ${json_args[*]:-} $*"
   "$b" ${json_args[@]+"${json_args[@]}"} "$@" \

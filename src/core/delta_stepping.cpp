@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Host-side pieces of the delta-stepping kernel: the light/heavy CSR
+ * split and the auto-delta heuristic. Both run once, single-threaded,
+ * before the parallel region opens, so they use plain loads.
+ */
+
+#include "core/delta_stepping.h"
+
+#include <algorithm>
+
+namespace crono::core {
+
+const char*
+ssspAlgoName(SsspAlgo algo)
+{
+    switch (algo) {
+      case SsspAlgo::kWorkList:
+        return "worklist";
+      case SsspAlgo::kDeltaStep:
+        return "delta";
+    }
+    return "unknown";
+}
+
+EdgeSplit
+splitEdgesAtDelta(const graph::Graph& g, graph::Dist delta)
+{
+    const std::size_t n = g.numVertices();
+    const AlignedVector<graph::EdgeId>& offsets = g.rawOffsets();
+    const AlignedVector<graph::VertexId>& targets = g.rawNeighbors();
+    const AlignedVector<graph::Weight>& weights = g.rawWeights();
+
+    EdgeSplit s;
+    s.delta = delta;
+    s.light_offsets.assign(n + 1, 0);
+    s.heavy_offsets.assign(n + 1, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+        graph::EdgeId light = 0;
+        for (graph::EdgeId e = offsets[v]; e < offsets[v + 1]; ++e) {
+            if (weights[e] <= delta) {
+                ++light;
+            }
+        }
+        s.light_offsets[v + 1] = s.light_offsets[v] + light;
+        s.heavy_offsets[v + 1] =
+            s.heavy_offsets[v] + (offsets[v + 1] - offsets[v] - light);
+    }
+    s.light_targets.resize(s.light_offsets[n]);
+    s.light_weights.resize(s.light_offsets[n]);
+    s.heavy_targets.resize(s.heavy_offsets[n]);
+    s.heavy_weights.resize(s.heavy_offsets[n]);
+    for (std::size_t v = 0; v < n; ++v) {
+        graph::EdgeId light = s.light_offsets[v];
+        graph::EdgeId heavy = s.heavy_offsets[v];
+        for (graph::EdgeId e = offsets[v]; e < offsets[v + 1]; ++e) {
+            if (weights[e] <= delta) {
+                s.light_targets[light] = targets[e];
+                s.light_weights[light] = weights[e];
+                ++light;
+            } else {
+                s.heavy_targets[heavy] = targets[e];
+                s.heavy_weights[heavy] = weights[e];
+                ++heavy;
+            }
+        }
+    }
+    return s;
+}
+
+graph::Dist
+autoDelta(const graph::Graph& g, int nthreads)
+{
+    const std::uint64_t edges = g.numEdges();
+    const std::uint64_t vertices = g.numVertices();
+    if (edges == 0 || vertices == 0) {
+        return 1;
+    }
+    std::uint64_t total = 0;
+    for (const graph::Weight w : g.rawWeights()) {
+        total += w;
+    }
+    const std::uint64_t avg_weight = std::max<std::uint64_t>(
+        total / edges, 1);
+    if (nthreads <= 1) {
+        // Serial loop: narrow Dial-like buckets (see header comment).
+        return std::max<graph::Dist>(avg_weight / 16, 1);
+    }
+    const std::uint64_t avg_degree = std::max<std::uint64_t>(
+        edges / vertices, 1);
+    return std::max<graph::Dist>(2 * avg_weight / avg_degree, 1);
+}
+
+} // namespace crono::core

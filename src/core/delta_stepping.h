@@ -1,0 +1,506 @@
+/**
+ * @file
+ * Bucketed delta-stepping SSSP (Meyer & Sanders), the GAP Benchmark
+ * Suite's reference shortest-path algorithm, as a first-class variant
+ * of CRONO's SSSP_DIJK kernel.
+ *
+ * Where the work-list kernel (sssp.h) *paces* a label-correcting
+ * frontier — round r expands only vertices within (r+1)*delta and
+ * re-queues the rest, an O(rounds-behind) deferral per far vertex —
+ * delta-stepping *places* each relaxed vertex directly into the bucket
+ * of its tentative distance: bucket b holds vertices with dist in
+ * [b*delta, (b+1)*delta). Placement is O(1) and a vertex is expanded
+ * only when its bucket becomes the globally smallest, so the
+ * re-expansion factor drops to the in-bucket churn alone. The pacing
+ * divisor of the work-list kernel (kSsspDeltaDivisor) is one point in
+ * this design space: pacing approximates buckets on the round
+ * structure; this kernel materializes them.
+ *
+ * Structure per bucket ("light phase", FrontierEngine-style):
+ *  1. rendezvous — every thread publishes the smallest non-empty
+ *     bucket of its private bins; after a barrier all threads compute
+ *     the same global minimum `curr`;
+ *  2. publish — each thread appends its bins[curr] to a shared
+ *     frontier array through a fetchAdd cursor (the same chunked
+ *     claim-and-fill idiom as rt::FrontierEngine's sparse queues);
+ *  3. process — the frontier is block-partitioned; each entry whose
+ *     distance still lies in the bucket relaxes its *light* edges
+ *     (weight <= delta, may re-enter the current bucket) under the
+ *     per-vertex lock stripe and is recorded as settled.
+ * When `curr` moves past a bucket, each thread flushes the *heavy*
+ * edges (weight > delta) of the vertices it settled there exactly
+ * once — heavy relaxations provably land in later buckets, so they
+ * are deferred out of the in-bucket churn entirely. The light/heavy
+ * CSR split is precomputed host-side at delta.
+ *
+ * Like every kernel, the body is a template over the ExecutionContext
+ * and runs identically on native threads and the simulator; all
+ * shared accesses flow through ctx.*, with the two intentionally racy
+ * monotone-filter probes declared via readAtomic.
+ */
+
+#ifndef CRONO_CORE_DELTA_STEPPING_H_
+#define CRONO_CORE_DELTA_STEPPING_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/aligned.h"
+#include "core/context.h"
+#include "core/sssp.h"
+#include "graph/graph.h"
+#include "obs/telemetry.h"
+#include "runtime/executor.h"
+
+namespace crono::core {
+
+/** Which SSSP algorithm a harness dispatches to. */
+enum class SsspAlgo : int {
+    kWorkList = 0,  ///< label-correcting frontier kernel (sssp.h)
+    kDeltaStep,     ///< bucketed delta-stepping (this file)
+};
+
+/** Printable algorithm name, e.g. "delta". */
+const char* ssspAlgoName(SsspAlgo algo);
+
+/**
+ * Light/heavy CSR split at delta: two degree-offset arrays over the
+ * same vertex set, light edges (weight <= delta) separated from heavy
+ * (weight > delta). Built host-side once per run.
+ */
+struct EdgeSplit {
+    graph::Dist delta = 0;  ///< the width this split was built at
+    AlignedVector<graph::EdgeId> light_offsets;   ///< numVertices + 1
+    AlignedVector<graph::EdgeId> heavy_offsets;   ///< numVertices + 1
+    AlignedVector<graph::VertexId> light_targets;
+    AlignedVector<graph::Weight> light_weights;
+    AlignedVector<graph::VertexId> heavy_targets;
+    AlignedVector<graph::Weight> heavy_weights;
+};
+
+/**
+ * Split @p g's edges at @p delta (two counting passes, O(V + E)).
+ * The split depends only on (graph, delta), so callers running many
+ * sources on one graph — bench_gap's 64 GAP trials — build it once
+ * and pass it to deltaSteppingSssp, the same way GAP builds the
+ * transpose outside its trial loop.
+ */
+EdgeSplit splitEdgesAtDelta(const graph::Graph& g, graph::Dist delta);
+
+/**
+ * Bucket width heuristic. The width trades in-bucket re-relaxation
+ * churn (wide buckets) against bucket-switch overhead and exposed
+ * parallelism (narrow buckets), so the sweet spot depends on the
+ * thread count:
+ *
+ *  - at one thread (the GAP baseline-normalized configuration) there
+ *    is no parallelism to feed; narrow Dial-like buckets of
+ *    ~avg_weight/16 minimize churn and measure fastest across road
+ *    and Kronecker inputs;
+ *  - with parallel workers a bucket must carry a frontier's worth of
+ *    vertices, so the width follows Meyer & Sanders'
+ *    Theta(max_weight / degree) guidance: 2 * avg_weight / avg_degree.
+ *    Road networks (heavy weights, degree ~2.6) get a wide bucket
+ *    near the average weight; power-law graphs a narrow one.
+ */
+graph::Dist autoDelta(const graph::Graph& g, int nthreads = 1);
+
+/** Sentinel for "no non-empty bucket". */
+inline constexpr std::uint64_t kNoBucket = ~std::uint64_t{0};
+
+/** Shared state of one delta-stepping run. */
+template <class Ctx>
+struct DeltaSsspState {
+    DeltaSsspState(const graph::Graph& graph, graph::VertexId source,
+                   int nthreads, graph::Dist delta_in,
+                   rt::ActiveTracker* tracker_in,
+                   const EdgeSplit* split_in = nullptr)
+        : g(graph), dist(graph.numVertices(), graph::kInfDist),
+          parent(graph.numVertices(), graph::kNoVertex),
+          delta(delta_in == 0 ? autoDelta(graph, nthreads) : delta_in),
+          owned_split(split_in == nullptr
+                          ? splitEdgesAtDelta(graph, delta)
+                          : EdgeSplit{}),
+          split(split_in == nullptr ? owned_split : *split_in),
+          frontier(nthreads == 1
+                       ? 0
+                       : graph.numEdges() +
+                             static_cast<std::size_t>(nthreads) + 1),
+          min_bin(static_cast<std::size_t>(nthreads)),
+          lanes(static_cast<std::size_t>(nthreads)),
+          locks(graph.numVertices()), tracker(tracker_in)
+    {
+        CRONO_REQUIRE(source < graph.numVertices(), "bad SSSP source");
+        CRONO_REQUIRE(split_in == nullptr || split_in->delta == delta,
+                      "precomputed split width must match delta");
+        dist[source] = 0;
+        parent[source] = source;
+        lanes[0].value.bins.resize(1);
+        lanes[0].value.bins[0].push_back(source);
+        trackAdd(tracker, 1);
+    }
+
+    /** Owner-private per-thread state (unmodeled, like FrontierEngine
+     *  fill cursors): distance-indexed bins plus the settled list of
+     *  the bucket currently awaiting its heavy flush. */
+    struct Lane {
+        std::vector<std::vector<graph::VertexId>> bins;
+        std::vector<graph::VertexId> settled;
+        /** Bins below this index are known empty (buckets never
+         *  repopulate below the global minimum). */
+        std::size_t first_maybe = 0;
+    };
+
+    const graph::Graph& g;
+    AlignedVector<graph::Dist> dist;
+    AlignedVector<graph::VertexId> parent;
+    graph::Dist delta;
+    /** Holds the split when none was passed in; empty otherwise. */
+    EdgeSplit owned_split;
+    const EdgeSplit& split;
+    /** Shared publish buffer; every entry descends from a successful
+     *  relaxation, so numEdges is a practical capacity bound (GAP
+     *  sizes its frontier identically). Unused (empty) at one thread —
+     *  the serial loop processes bins in place. */
+    AlignedVector<graph::VertexId> frontier;
+    /** Parity-indexed publish cursors: the off-parity cursor is reset
+     *  while the on-parity one is in use, so no reset ever races a
+     *  claim (same trick as FrontierEngine's parity flag arrays). */
+    Padded<std::uint64_t> cursor[2];
+    /** Rendezvous slots: thread t's smallest non-empty bucket. */
+    std::vector<Padded<std::uint64_t>> min_bin;
+    std::vector<Padded<Lane>> lanes;
+    Padded<std::uint64_t> rounds;  ///< light phases executed
+    LockStripe<Ctx> locks;
+    rt::ActiveTracker* tracker;
+};
+
+/**
+ * Single-thread specialization: with one worker the rendezvous slots,
+ * publish cursors, shared frontier and per-vertex locks are pure
+ * overhead, so the kernel degenerates to the textbook serial
+ * delta-stepping loop — drain bucket `curr` in place (in-bucket
+ * re-insertions just extend the drain), then flush the heavy edges of
+ * the settled set once. This is the configuration GAP's
+ * baseline-normalized speedups are measured in, so the serial path
+ * carries no parallelization tax.
+ */
+template <class Ctx>
+void
+deltaSteppingSerial(Ctx& ctx, DeltaSsspState<Ctx>& s)
+{
+    typename DeltaSsspState<Ctx>::Lane& lane = s.lanes[0].value;
+    const graph::Dist delta = s.delta;
+    const EdgeSplit& split = s.split;
+
+    obs::Track* const track =
+        obs::trackFor(obs::sink(), obs::ctxTrackKind<Ctx>, ctx.tid());
+    std::uint64_t relaxations = 0;
+    std::uint64_t expansions = 0;
+    std::uint64_t heavy_tried = 0;
+    std::uint64_t stale = 0;
+    std::uint64_t steps = 0;
+
+    const auto relax = [&](graph::VertexId u, graph::Dist du,
+                           graph::VertexId v, graph::Weight w) {
+        const graph::Dist cand = du + w;
+        ctx.work(2); // index arithmetic + compare
+        if (cand < ctx.read(s.dist[v])) {
+            ctx.write(s.dist[v], cand);
+            ctx.write(s.parent[v], u);
+            ++relaxations;
+            const std::uint64_t b = cand / delta;
+            if (b >= lane.bins.size()) {
+                lane.bins.resize(b + 1);
+            }
+            lane.bins[b].push_back(v);
+            if (b < lane.first_maybe) {
+                lane.first_maybe = b;
+            }
+            trackAdd(s.tracker, 1);
+        }
+    };
+
+    std::vector<graph::VertexId> work;
+    for (;;) {
+        std::uint64_t curr = kNoBucket;
+        for (std::size_t b = lane.first_maybe; b < lane.bins.size();
+             ++b) {
+            if (!lane.bins[b].empty()) {
+                curr = b;
+                break;
+            }
+        }
+        lane.first_maybe = curr == kNoBucket ? lane.bins.size() : curr;
+        if (curr == kNoBucket) {
+            break;
+        }
+
+        const graph::Dist lo = static_cast<graph::Dist>(curr) * delta;
+        lane.settled.clear();
+        while (curr < lane.bins.size() && !lane.bins[curr].empty()) {
+            work.swap(lane.bins[curr]);
+            for (const graph::VertexId u : work) {
+                trackAdd(s.tracker, -1);
+                ctx.work(1); // bucket-range filter
+                const graph::Dist du = ctx.read(s.dist[u]);
+                if (du < lo) {
+                    ++stale; // superseded by a copy in an earlier bucket
+                    continue;
+                }
+                ++expansions;
+                const graph::EdgeId light_end =
+                    split.light_offsets[static_cast<std::size_t>(u) + 1];
+                for (graph::EdgeId e = split.light_offsets[u];
+                     e < light_end; ++e) {
+                    relax(u, du, ctx.read(split.light_targets[e]),
+                          ctx.read(split.light_weights[e]));
+                }
+                lane.settled.push_back(u);
+            }
+            work.clear();
+        }
+        for (const graph::VertexId u : lane.settled) {
+            const graph::Dist du = ctx.read(s.dist[u]);
+            const graph::EdgeId end =
+                split.heavy_offsets[static_cast<std::size_t>(u) + 1];
+            for (graph::EdgeId e = split.heavy_offsets[u]; e < end; ++e) {
+                ++heavy_tried;
+                relax(u, du, ctx.read(split.heavy_targets[e]),
+                      ctx.read(split.heavy_weights[e]));
+            }
+        }
+        lane.settled.clear();
+        ++steps;
+    }
+
+    ctx.write(s.rounds.value, steps);
+    if (track != nullptr) {
+        obs::counterBump(track, obs::Counter::kRelaxations, relaxations);
+        obs::counterBump(track, obs::Counter::kExpansions, expansions);
+        obs::counterBump(track, obs::Counter::kActivations, relaxations);
+        obs::counterBump(track, obs::Counter::kHeavyRelaxations,
+                         heavy_tried);
+        obs::counterBump(track, obs::Counter::kStaleSkips, stale);
+        obs::counterBump(track, obs::Counter::kBucketSteps, steps);
+    }
+}
+
+/** Kernel body; all threads execute this with the shared state. */
+template <class Ctx>
+void
+deltaSteppingKernel(Ctx& ctx, DeltaSsspState<Ctx>& s)
+{
+    if (ctx.nthreads() == 1) {
+        deltaSteppingSerial(ctx, s);
+        return;
+    }
+    const int tid = ctx.tid();
+    const int nthreads = ctx.nthreads();
+    typename DeltaSsspState<Ctx>::Lane& lane = s.lanes[tid].value;
+    const graph::Dist delta = s.delta;
+    const EdgeSplit& split = s.split;
+
+    obs::Track* const track =
+        obs::trackFor(obs::sink(), obs::ctxTrackKind<Ctx>, ctx.tid());
+    std::uint64_t relaxations = 0;
+    std::uint64_t expansions = 0;
+    std::uint64_t activations = 0;
+    std::uint64_t heavy_tried = 0;
+    std::uint64_t stale = 0;
+    std::uint64_t steps = 0;
+
+    const auto myMinBin = [&lane]() -> std::uint64_t {
+        for (std::size_t b = lane.first_maybe; b < lane.bins.size(); ++b) {
+            if (!lane.bins[b].empty()) {
+                lane.first_maybe = b;
+                return b;
+            }
+        }
+        lane.first_maybe = lane.bins.size();
+        return kNoBucket;
+    };
+
+    const auto relax = [&](graph::VertexId u, graph::Dist du,
+                           graph::VertexId v, graph::Weight w) {
+        const graph::Dist cand = du + w;
+        ctx.work(2); // index arithmetic + compare
+        // Declared-racy probe: unlocked monotone filter before taking
+        // v's lock. dist[v] only decreases, so a stale value admits at
+        // worst a wasted acquisition; the locked compare decides.
+        if (cand >= ctx.readAtomic(s.dist[v])) {
+            return;
+        }
+        bool won = false;
+        {
+            ScopedLock<Ctx> guard(ctx, s.locks.of(v));
+            if (cand < ctx.read(s.dist[v])) {
+                ctx.write(s.dist[v], cand);
+                ctx.write(s.parent[v], u);
+                won = true;
+            }
+        }
+        if (won) {
+            ++relaxations;
+            // O(1) bucket placement into the *owner's* private bins —
+            // the winning relaxer adopts v for the target bucket
+            // (owner-private, so it happens outside the lock).
+            const std::uint64_t b = cand / delta;
+            if (b >= lane.bins.size()) {
+                lane.bins.resize(b + 1);
+            }
+            lane.bins[b].push_back(v);
+            if (b < lane.first_maybe) {
+                lane.first_maybe = b;
+            }
+            ++activations;
+            trackAdd(s.tracker, 1);
+        }
+    };
+
+    std::uint64_t heavy_bucket = kNoBucket;
+    for (;;) {
+        // Rendezvous: agree on the globally smallest non-empty bucket.
+        ctx.write(s.min_bin[tid].value, myMinBin());
+        ctx.barrier();
+        std::uint64_t curr = kNoBucket;
+        for (int t = 0; t < nthreads; ++t) {
+            curr = std::min(curr, ctx.read(s.min_bin[t].value));
+        }
+
+        if (heavy_bucket != kNoBucket && curr != heavy_bucket) {
+            // Bucket heavy_bucket has drained for good (no bucket ever
+            // repopulates below the global minimum): flush the heavy
+            // edges of the vertices this thread settled there. Every
+            // heavy candidate exceeds (heavy_bucket+1)*delta, so the
+            // settled distances are final and these relaxations land
+            // strictly in later buckets.
+            for (const graph::VertexId u : lane.settled) {
+                const graph::Dist du = ctx.read(s.dist[u]);
+                const graph::EdgeId end =
+                    split.heavy_offsets[static_cast<std::size_t>(u) + 1];
+                for (graph::EdgeId e = split.heavy_offsets[u]; e < end;
+                     ++e) {
+                    ++heavy_tried;
+                    relax(u, du, ctx.read(split.heavy_targets[e]),
+                          ctx.read(split.heavy_weights[e]));
+                }
+            }
+            lane.settled.clear();
+            heavy_bucket = kNoBucket;
+            ctx.barrier(); // quiesce heavy relaxations; free the slots
+            continue;      // heavy pushes may have opened nearer buckets
+        }
+        if (curr == kNoBucket) {
+            break;
+        }
+
+        // ---- light phase over bucket curr ----
+        const std::size_t parity = static_cast<std::size_t>(steps & 1);
+        if (curr < lane.bins.size() && !lane.bins[curr].empty()) {
+            std::vector<graph::VertexId>& bin = lane.bins[curr];
+            const std::uint64_t base = ctx.fetchAdd(
+                s.cursor[parity].value,
+                static_cast<std::uint64_t>(bin.size()));
+            CRONO_ASSERT(base + bin.size() <= s.frontier.size(),
+                         "delta-stepping frontier overflow");
+            for (std::size_t i = 0; i < bin.size(); ++i) {
+                ctx.write(s.frontier[base + i], bin[i]);
+            }
+            bin.clear();
+        }
+        ctx.barrier();
+
+        const std::uint64_t n = ctx.read(s.cursor[parity].value);
+        const std::uint64_t begin =
+            n * static_cast<std::uint64_t>(tid) /
+            static_cast<std::uint64_t>(nthreads);
+        const std::uint64_t end =
+            n * (static_cast<std::uint64_t>(tid) + 1) /
+            static_cast<std::uint64_t>(nthreads);
+        const graph::Dist lo = static_cast<graph::Dist>(curr) * delta;
+        for (std::uint64_t i = begin; i < end; ++i) {
+            const graph::VertexId u = ctx.read(s.frontier[i]);
+            trackAdd(s.tracker, -1);
+            ctx.work(1); // bucket-range filter
+            // Declared-racy probe: a concurrent in-bucket relaxation
+            // may still improve dist[u]. A stale (larger) value within
+            // the bucket only re-relaxes light edges that the fresher
+            // copy redoes; a value below the bucket means this entry
+            // was superseded by a copy in an earlier bucket, already
+            // expanded there.
+            const graph::Dist du = ctx.readAtomic(s.dist[u]);
+            if (du < lo) {
+                ++stale;
+                continue;
+            }
+            ++expansions;
+            const graph::EdgeId light_end =
+                split.light_offsets[static_cast<std::size_t>(u) + 1];
+            for (graph::EdgeId e = split.light_offsets[u]; e < light_end;
+                 ++e) {
+                relax(u, du, ctx.read(split.light_targets[e]),
+                      ctx.read(split.light_weights[e]));
+            }
+            lane.settled.push_back(u);
+        }
+        if (tid == 0) {
+            // The off-parity cursor quiesced at the previous light
+            // phase's closing barrier; reset it here for reuse two
+            // phases from now.
+            ctx.write(s.cursor[parity ^ 1].value, std::uint64_t{0});
+        }
+        heavy_bucket = curr;
+        ++steps;
+        ctx.barrier();
+    }
+
+    if (tid == 0) {
+        ctx.write(s.rounds.value, steps);
+    }
+    if (track != nullptr) {
+        obs::counterBump(track, obs::Counter::kRelaxations, relaxations);
+        obs::counterBump(track, obs::Counter::kExpansions, expansions);
+        obs::counterBump(track, obs::Counter::kActivations, activations);
+        obs::counterBump(track, obs::Counter::kHeavyRelaxations,
+                         heavy_tried);
+        obs::counterBump(track, obs::Counter::kStaleSkips, stale);
+        obs::counterBump(track, obs::Counter::kBucketSteps, steps);
+    }
+}
+
+/**
+ * Run delta-stepping SSSP on @p exec with @p nthreads threads.
+ *
+ * @param tracker optional active-vertices instrumentation (Figure 2)
+ * @param delta   bucket width; 0 (default) picks autoDelta(g). delta=1
+ *                degenerates toward Dijkstra order (every edge heavy);
+ *                a delta above the weight range degenerates toward
+ *                Bellman-Ford (one bucket, every edge light).
+ * @param split   optional precomputed light/heavy split (must have
+ *                been built at the effective delta); callers running
+ *                many sources on one graph build it once. nullptr
+ *                builds it inside this call.
+ */
+template <class Exec>
+SsspResult
+deltaSteppingSssp(Exec& exec, int nthreads, const graph::Graph& g,
+                  graph::VertexId source,
+                  rt::ActiveTracker* tracker = nullptr,
+                  graph::Dist delta = 0,
+                  const EdgeSplit* split = nullptr)
+{
+    using Ctx = typename Exec::Ctx;
+    obs::ScopedHostSpan kernel_span("SSSP_DELTA", g.numVertices());
+    DeltaSsspState<Ctx> state(g, source, nthreads, delta, tracker, split);
+    rt::RunInfo info = exec.parallel(
+        nthreads, [&state](Ctx& ctx) { deltaSteppingKernel(ctx, state); });
+    return SsspResult{std::move(state.dist), std::move(state.parent),
+                      state.rounds.value, std::move(info)};
+}
+
+} // namespace crono::core
+
+#endif // CRONO_CORE_DELTA_STEPPING_H_

@@ -214,6 +214,87 @@ triangleCount(const graph::Graph& g)
     return total;
 }
 
+std::vector<graph::VertexId>
+dfsOrder(const graph::Graph& g, graph::VertexId source)
+{
+    CRONO_REQUIRE(source < g.numVertices(), "bad source");
+    std::vector<graph::VertexId> order;
+    std::vector<bool> visited(g.numVertices(), false);
+    std::vector<graph::VertexId> stack;
+    stack.push_back(source);
+    visited[source] = true;
+    while (!stack.empty()) {
+        const graph::VertexId u = stack.back();
+        stack.pop_back();
+        order.push_back(u);
+        for (const graph::VertexId v : g.neighbors(u)) {
+            if (!visited[v]) {
+                visited[v] = true;
+                stack.push_back(v);
+            }
+        }
+    }
+    return order;
+}
+
+std::vector<graph::VertexId>
+communityLabels(const graph::Graph& g, unsigned rounds)
+{
+    std::vector<graph::VertexId> label(g.numVertices());
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        label[v] = v;
+    }
+    for (unsigned r = 0; r < rounds; ++r) {
+        bool changed = false;
+        for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+            graph::VertexId best = label[v];
+            for (const graph::VertexId u : g.neighbors(v)) {
+                best = std::min(best, label[u]);
+            }
+            if (best != label[v]) {
+                label[v] = best;
+                changed = true;
+            }
+        }
+        if (!changed) {
+            break;
+        }
+    }
+    return label;
+}
+
+std::uint64_t
+triangleCountFast(const graph::Graph& g)
+{
+    // For each edge (a, b) with a < b, count common neighbors c with
+    // c > b by merging the two sorted adjacency suffixes; every
+    // triangle a < b < c is found exactly once, at its smallest edge.
+    std::uint64_t total = 0;
+    for (graph::VertexId a = 0; a < g.numVertices(); ++a) {
+        const auto na = g.neighbors(a);
+        for (const graph::VertexId b : na) {
+            if (b <= a) {
+                continue;
+            }
+            const auto nb = g.neighbors(b);
+            auto ia = std::upper_bound(na.begin(), na.end(), b);
+            auto ib = std::upper_bound(nb.begin(), nb.end(), b);
+            while (ia != na.end() && ib != nb.end()) {
+                if (*ia < *ib) {
+                    ++ia;
+                } else if (*ib < *ia) {
+                    ++ib;
+                } else {
+                    ++total;
+                    ++ia;
+                    ++ib;
+                }
+            }
+        }
+    }
+    return total;
+}
+
 std::vector<double>
 pageRank(const graph::Graph& g, unsigned iterations, double damping)
 {

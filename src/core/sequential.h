@@ -56,6 +56,32 @@ std::uint64_t triangleCount(const graph::Graph& g);
 std::vector<double> pageRank(const graph::Graph& g, unsigned iterations,
                              double damping);
 
+/**
+ * Iterative stack DFS from @p source; returns vertices in visitation
+ * order (the work-efficient sequential baseline for the DFS kernel,
+ * which traverses the same reachable set).
+ */
+std::vector<graph::VertexId> dfsOrder(const graph::Graph& g,
+                                      graph::VertexId source);
+
+/**
+ * Sequential label propagation: @p rounds sweeps in which every
+ * vertex adopts the smallest label among itself and its neighbors.
+ * The work-efficient baseline for the community-detection kernel
+ * (same sweep count, same per-edge work, no locks or phases).
+ */
+std::vector<graph::VertexId> communityLabels(const graph::Graph& g,
+                                             unsigned rounds);
+
+/**
+ * Merge-based triangle count over sorted adjacency lists — the
+ * GAP-style work-efficient baseline, O(sum over edges of
+ * min(deg(u), deg(v))). Requires a simple graph (CSR adjacency
+ * sorted and deduplicated, the builder's keepMin output); agrees
+ * with triangleCount() there.
+ */
+std::uint64_t triangleCountFast(const graph::Graph& g);
+
 } // namespace crono::core::seq
 
 #endif // CRONO_CORE_SEQUENTIAL_H_

@@ -18,6 +18,7 @@
 #include "core/bfs.h"
 #include "core/community.h"
 #include "core/connected_components.h"
+#include "core/delta_stepping.h"
 #include "core/dfs.h"
 #include "core/pagerank.h"
 #include "core/sssp.h"
@@ -80,6 +81,13 @@ struct Workload {
      * capture-and-scatter shape (see PageRankMode).
      */
     PageRankMode pr_mode = PageRankMode::kScatter;
+    /**
+     * SSSP algorithm: the paper's label-correcting work-list kernel
+     * (default) or bucketed delta-stepping (delta_stepping.h). For
+     * kDeltaStep, sssp_delta selects the bucket width (0 = auto).
+     */
+    SsspAlgo sssp_algo = SsspAlgo::kWorkList;
+    graph::Dist sssp_delta = 0;
 };
 
 /**
@@ -95,6 +103,11 @@ runBenchmark(BenchmarkId id, Exec& exec, int nthreads, const Workload& w,
 {
     switch (id) {
       case BenchmarkId::ssspDijk:
+        if (w.sssp_algo == SsspAlgo::kDeltaStep) {
+            return deltaSteppingSssp(exec, nthreads, *w.graph, w.source,
+                                     tracker, w.sssp_delta)
+                .run;
+        }
         return sssp(exec, nthreads, *w.graph, w.source, tracker,
                     w.frontier_mode)
             .run;

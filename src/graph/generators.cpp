@@ -96,6 +96,44 @@ socialNetwork(unsigned scale, unsigned edge_factor, std::uint64_t seed)
     return std::move(b).build();
 }
 
+Graph
+kronecker(unsigned scale, unsigned edge_factor, Weight max_weight,
+          std::uint64_t seed)
+{
+    CRONO_REQUIRE(scale >= 2 && scale <= 26, "kronecker scale in [2,26]");
+    CRONO_REQUIRE(edge_factor >= 1, "kronecker edge_factor >= 1");
+    CRONO_REQUIRE(max_weight >= 1, "kronecker max_weight >= 1");
+    Rng rng(seed);
+    const VertexId n = VertexId{1} << scale;
+    const EdgeId m = static_cast<EdgeId>(n) * edge_factor;
+    // GAP / Graph500 R-MAT: fixed quadrant probabilities, no noise.
+    constexpr double a = 0.57, bq = 0.19, cq = 0.19;
+    GraphBuilder b(n, /*undirected=*/true);
+    for (EdgeId i = 0; i < m; ++i) {
+        VertexId src = 0, dst = 0;
+        for (unsigned level = 0; level < scale; ++level) {
+            const double p = rng.nextDouble();
+            const VertexId bit = VertexId{1} << (scale - 1 - level);
+            if (p < a) {
+                // top-left quadrant: no bits set
+            } else if (p < a + bq) {
+                dst |= bit;
+            } else if (p < a + bq + cq) {
+                src |= bit;
+            } else {
+                src |= bit;
+                dst |= bit;
+            }
+        }
+        b.addEdge(src, dst,
+                  static_cast<Weight>(rng.nextInRange(1, max_weight)));
+    }
+    // keepMin: the R-MAT recursion lands many edges on the same hub
+    // pair; deduplicating keeps the CSR a simple graph (the guard the
+    // generator contract promises).
+    return std::move(b).build(GraphBuilder::DedupPolicy::keepMin);
+}
+
 AdjacencyMatrix
 tspCities(VertexId n, std::uint64_t seed)
 {

@@ -59,6 +59,23 @@ Graph socialNetwork(unsigned scale, unsigned edge_factor,
 /** Complete symmetric distance matrix of @p n random planar cities. */
 AdjacencyMatrix tspCities(VertexId n, std::uint64_t seed);
 
+/**
+ * GAP-specification Kronecker (R-MAT) graph: a = 0.57, b = c = 0.19,
+ * d = 0.05, *without* the per-level parameter noise socialNetwork
+ * adds — this is the Graph500 / GAP Benchmark Suite input recipe, so
+ * degree skew matches the published reference (GAP runs scale 2^20 to
+ * 2^24+ with edge_factor 16). Self loops and duplicate edges from the
+ * R-MAT recursion are guarded out during CSR construction (builder
+ * drops loops; the min-weight copy of a duplicate survives), so the
+ * edge count can land slightly under n * edge_factor.
+ *
+ * @param scale       log2 of the vertex count, in [2, 26]
+ * @param edge_factor logical (undirected) edges per vertex (GAP: 16)
+ * @param max_weight  weights uniform in [1, max_weight]
+ */
+Graph kronecker(unsigned scale, unsigned edge_factor, Weight max_weight,
+                std::uint64_t seed);
+
 /** Unweighted-ish (weight 1) path 0-1-2-...-(n-1). */
 Graph path(VertexId n);
 

@@ -1,11 +1,19 @@
 #include "graph/io.h"
 
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <cstring>
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "graph/builder.h"
+#include "obs/telemetry.h"
 
 namespace crono::graph::io {
 
@@ -26,6 +34,175 @@ openOrThrow(const std::string& file_path)
     }
     return in;
 }
+
+// ------------------------------------------------- chunked line scanner
+
+/**
+ * Pulls ~1 MiB blocks from the stream and hands out '\n'-delimited
+ * lines as views into the buffer (valid until the next call). A line
+ * straddling a block boundary is compacted to the buffer front before
+ * the refill; a line longer than the buffer grows it. This replaces
+ * the per-line getline + istringstream + operator>> tokenization,
+ * which dominated load time for multi-million-edge files.
+ */
+class LineReader {
+  public:
+    explicit LineReader(std::istream& in) : in_(in), buf_(kChunkBytes) {}
+
+    /** Next line without its terminator; false at end of input. */
+    bool
+    next(std::string_view& line)
+    {
+        for (;;) {
+            char* const base = buf_.data();
+            if (pos_ < size_) {
+                const char* const nl = static_cast<const char*>(
+                    std::memchr(base + pos_, '\n', size_ - pos_));
+                if (nl != nullptr) {
+                    line = trimCr({base + pos_,
+                                   static_cast<std::size_t>(
+                                       nl - (base + pos_))});
+                    pos_ = static_cast<std::size_t>(nl - base) + 1;
+                    return true;
+                }
+            }
+            if (eof_) {
+                if (pos_ == size_) {
+                    return false;
+                }
+                line = trimCr({base + pos_, size_ - pos_});
+                pos_ = size_;
+                return true;
+            }
+            std::memmove(base, base + pos_, size_ - pos_);
+            size_ -= pos_;
+            pos_ = 0;
+            if (size_ == buf_.size()) {
+                buf_.resize(buf_.size() * 2);
+            }
+            in_.read(buf_.data() + size_,
+                     static_cast<std::streamsize>(buf_.size() - size_));
+            const std::size_t got =
+                static_cast<std::size_t>(in_.gcount());
+            size_ += got;
+            if (got == 0) {
+                eof_ = true;
+            }
+        }
+    }
+
+  private:
+    static constexpr std::size_t kChunkBytes = std::size_t{1} << 20;
+
+    static std::string_view
+    trimCr(std::string_view line)
+    {
+        if (!line.empty() && line.back() == '\r') {
+            line.remove_suffix(1);
+        }
+        return line;
+    }
+
+    std::istream& in_;
+    std::vector<char> buf_;
+    std::size_t pos_ = 0;
+    std::size_t size_ = 0;
+    bool eof_ = false;
+};
+
+// -------------------------------------------------- in-place tokenizing
+
+const char*
+skipSpace(const char* p, const char* end)
+{
+    while (p != end && (*p == ' ' || *p == '\t')) {
+        ++p;
+    }
+    return p;
+}
+
+/** Scan one decimal unsigned integer; nullptr if none is present. */
+const char*
+parseU64(const char* p, const char* end, std::uint64_t& out)
+{
+    p = skipSpace(p, end);
+    if (p == end || *p < '0' || *p > '9') {
+        return nullptr;
+    }
+    std::uint64_t v = 0;
+    while (p != end && *p >= '0' && *p <= '9') {
+        v = v * 10 + static_cast<std::uint64_t>(*p - '0');
+        ++p;
+    }
+    out = v;
+    return p;
+}
+
+/** Scan one floating-point value; nullptr if none is present. */
+const char*
+parseF64(const char* p, const char* end, double& out)
+{
+    p = skipSpace(p, end);
+    const std::from_chars_result r = std::from_chars(p, end, out);
+    if (r.ec != std::errc() || r.ptr == p) {
+        return nullptr;
+    }
+    return r.ptr;
+}
+
+bool
+onlySpaceLeft(const char* p, const char* end)
+{
+    return skipSpace(p, end) == end;
+}
+
+/** Lower-case whitespace-split words of @p line. */
+std::vector<std::string>
+words(std::string_view line)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char c : line) {
+        if (c == ' ' || c == '\t') {
+            if (!cur.empty()) {
+                out.push_back(std::move(cur));
+                cur.clear();
+            }
+        } else {
+            cur.push_back(
+                static_cast<char>(std::tolower(
+                    static_cast<unsigned char>(c))));
+        }
+    }
+    if (!cur.empty()) {
+        out.push_back(std::move(cur));
+    }
+    return out;
+}
+
+/** Record parse wall-clock on the host track's load_ms counter. */
+class ScopedLoadTimer {
+  public:
+    ScopedLoadTimer() : start_(std::chrono::steady_clock::now()) {}
+    ~ScopedLoadTimer()
+    {
+        if (obs::Track* const track =
+                obs::trackFor(obs::sink(), obs::TrackKind::kHost, 0)) {
+            // Ceil to whole milliseconds so sub-ms loads still show
+            // up (zero-valued counters are filtered from reports).
+            const auto us =
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+            obs::counterBump(track, obs::Counter::kLoadMs,
+                             static_cast<std::uint64_t>((us + 999) /
+                                                        1000));
+        }
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
 
 } // namespace
 
@@ -51,35 +228,43 @@ writeEdgeList(std::ostream& out, const Graph& g)
 Graph
 readEdgeList(std::istream& in)
 {
-    std::string line;
-    std::string tag;
+    LineReader lines(in);
+    std::string_view line;
     VertexId n = 0;
-    int undirected = 1;
     bool have_header = false;
     GraphBuilder builder(0, true);
 
-    while (std::getline(in, line)) {
+    while (lines.next(line)) {
         if (line.empty() || line[0] == '#') {
             continue;
         }
-        std::istringstream ls(line);
+        const char* p = line.data();
+        const char* const end = p + line.size();
         if (!have_header) {
-            if (!(ls >> tag >> n >> undirected) || tag != "el") {
+            p = skipSpace(p, end);
+            std::uint64_t nv = 0, und = 0;
+            if (end - p < 2 || p[0] != 'e' || p[1] != 'l' ||
+                (p = parseU64(p + 2, end, nv)) == nullptr ||
+                (p = parseU64(p, end, und)) == nullptr) {
                 badInput("expected 'el <n> <undirected>' header");
             }
-            builder = GraphBuilder(n, undirected != 0);
+            n = static_cast<VertexId>(nv);
+            builder = GraphBuilder(n, und != 0);
             have_header = true;
             continue;
         }
-        VertexId src, dst;
-        Weight w;
-        if (!(ls >> src >> dst >> w)) {
-            badInput("bad edge line: " + line);
+        std::uint64_t src = 0, dst = 0, w = 0;
+        if ((p = parseU64(p, end, src)) == nullptr ||
+            (p = parseU64(p, end, dst)) == nullptr ||
+            (p = parseU64(p, end, w)) == nullptr) {
+            badInput("bad edge line: " + std::string(line));
         }
         if (src >= n || dst >= n) {
-            badInput("edge endpoint out of range: " + line);
+            badInput("edge endpoint out of range: " + std::string(line));
         }
-        builder.addEdge(src, dst, w);
+        builder.addEdge(static_cast<VertexId>(src),
+                        static_cast<VertexId>(dst),
+                        static_cast<Weight>(w));
     }
     if (!have_header) {
         badInput("missing header");
@@ -90,45 +275,159 @@ readEdgeList(std::istream& in)
 Graph
 readDimacs(std::istream& in)
 {
-    std::string line;
+    LineReader lines(in);
+    std::string_view line;
     VertexId n = 0;
     bool have_problem = false;
     GraphBuilder builder(0, true);
 
-    while (std::getline(in, line)) {
+    while (lines.next(line)) {
         if (line.empty() || line[0] == 'c') {
             continue;
         }
-        std::istringstream ls(line);
-        char kind;
-        ls >> kind;
+        const char* p = line.data();
+        const char* const end = p + line.size();
+        p = skipSpace(p, end);
+        const char kind = p == end ? '\0' : *p;
+        if (p != end) {
+            ++p;
+        }
         if (kind == 'p') {
-            std::string sp;
-            EdgeId m;
-            if (!(ls >> sp >> n >> m) || sp != "sp") {
-                badInput("bad DIMACS problem line: " + line);
+            std::uint64_t nv = 0, m = 0;
+            p = skipSpace(p, end);
+            if (end - p < 2 || p[0] != 's' || p[1] != 'p' ||
+                (p = parseU64(p + 2, end, nv)) == nullptr ||
+                (p = parseU64(p, end, m)) == nullptr) {
+                badInput("bad DIMACS problem line: " + std::string(line));
             }
+            n = static_cast<VertexId>(nv);
             builder = GraphBuilder(n, true);
             have_problem = true;
         } else if (kind == 'a') {
             if (!have_problem) {
                 badInput("arc before problem line");
             }
-            VertexId src, dst;
-            Weight w;
-            if (!(ls >> src >> dst >> w) || src == 0 || dst == 0 ||
-                src > n || dst > n) {
-                badInput("bad DIMACS arc line: " + line);
+            std::uint64_t src = 0, dst = 0, w = 0;
+            if ((p = parseU64(p, end, src)) == nullptr ||
+                (p = parseU64(p, end, dst)) == nullptr ||
+                (p = parseU64(p, end, w)) == nullptr || src == 0 ||
+                dst == 0 || src > n || dst > n) {
+                badInput("bad DIMACS arc line: " + std::string(line));
             }
-            builder.addEdge(src - 1, dst - 1, w);
+            builder.addEdge(static_cast<VertexId>(src - 1),
+                            static_cast<VertexId>(dst - 1),
+                            static_cast<Weight>(w));
         } else {
-            badInput("unknown DIMACS line: " + line);
+            badInput("unknown DIMACS line: " + std::string(line));
         }
     }
     if (!have_problem) {
         badInput("missing DIMACS problem line");
     }
     return std::move(builder).build();
+}
+
+Graph
+readMatrixMarket(std::istream& in)
+{
+    LineReader lines(in);
+    std::string_view line;
+    if (!lines.next(line)) {
+        badInput("empty MatrixMarket file");
+    }
+    const std::vector<std::string> banner = words(line);
+    if (banner.size() < 5 || banner[0] != "%%matrixmarket") {
+        badInput("missing %%MatrixMarket banner");
+    }
+    if (banner[1] != "matrix" || banner[2] != "coordinate") {
+        badInput("unsupported MatrixMarket object/format: " +
+                 std::string(line));
+    }
+    const std::string& field = banner[3];
+    const bool pattern = field == "pattern";
+    if (!pattern && field != "real" && field != "integer") {
+        badInput("unsupported MatrixMarket field: " + field);
+    }
+    const std::string& symmetry = banner[4];
+    const bool symmetric = symmetry == "symmetric";
+    if (!symmetric && symmetry != "general") {
+        badInput("unsupported MatrixMarket symmetry: " + symmetry);
+    }
+
+    // Size line: first non-comment line after the banner.
+    std::uint64_t rows = 0, cols = 0, nnz = 0;
+    bool have_size = false;
+    while (lines.next(line)) {
+        if (line.empty() || line[0] == '%') {
+            continue;
+        }
+        const char* p = line.data();
+        const char* const end = p + line.size();
+        if ((p = parseU64(p, end, rows)) == nullptr ||
+            (p = parseU64(p, end, cols)) == nullptr ||
+            (p = parseU64(p, end, nnz)) == nullptr ||
+            !onlySpaceLeft(p, end)) {
+            badInput("bad MatrixMarket size line: " + std::string(line));
+        }
+        have_size = true;
+        break;
+    }
+    if (!have_size) {
+        badInput("missing MatrixMarket size line");
+    }
+    if (rows != cols) {
+        badInput("MatrixMarket matrix is not square");
+    }
+
+    GraphBuilder builder(static_cast<VertexId>(rows), symmetric);
+    std::uint64_t seen = 0;
+    while (lines.next(line)) {
+        if (line.empty() || line[0] == '%') {
+            continue;
+        }
+        const char* p = line.data();
+        const char* const end = p + line.size();
+        std::uint64_t i = 0, j = 0;
+        if ((p = parseU64(p, end, i)) == nullptr ||
+            (p = parseU64(p, end, j)) == nullptr) {
+            badInput("bad MatrixMarket entry: " + std::string(line));
+        }
+        Weight w = 1;
+        if (!pattern) {
+            double value = 0.0;
+            if ((p = parseF64(p, end, value)) == nullptr ||
+                !std::isfinite(value)) {
+                badInput("bad MatrixMarket entry value: " +
+                         std::string(line));
+            }
+            // Edge weights are distances: rounded magnitude, zero
+            // clamped to 1 so every edge stays traversable.
+            const double mag = std::round(std::fabs(value));
+            w = mag < 1.0 ? Weight{1}
+                          : static_cast<Weight>(
+                                std::min(mag, 4294967295.0));
+        }
+        if (!onlySpaceLeft(p, end)) {
+            badInput("trailing junk on MatrixMarket entry: " +
+                     std::string(line));
+        }
+        if (i == 0 || j == 0 || i > rows || j > cols) {
+            badInput("MatrixMarket index out of range: " +
+                     std::string(line));
+        }
+        ++seen;
+        if (seen > nnz) {
+            badInput("more MatrixMarket entries than declared");
+        }
+        builder.addEdge(static_cast<VertexId>(i - 1),
+                        static_cast<VertexId>(j - 1), w);
+    }
+    if (seen != nnz) {
+        badInput("truncated MatrixMarket file: expected " +
+                 std::to_string(nnz) + " entries, got " +
+                 std::to_string(seen));
+    }
+    return std::move(builder).build(GraphBuilder::DedupPolicy::keepMin);
 }
 
 void
@@ -145,6 +444,7 @@ Graph
 loadEdgeList(const std::string& file_path)
 {
     auto in = openOrThrow(file_path);
+    const ScopedLoadTimer timer;
     return readEdgeList(in);
 }
 
@@ -152,7 +452,16 @@ Graph
 loadDimacs(const std::string& file_path)
 {
     auto in = openOrThrow(file_path);
+    const ScopedLoadTimer timer;
     return readDimacs(in);
+}
+
+Graph
+loadMatrixMarket(const std::string& file_path)
+{
+    auto in = openOrThrow(file_path);
+    const ScopedLoadTimer timer;
+    return readMatrixMarket(in);
 }
 
 } // namespace crono::graph::io

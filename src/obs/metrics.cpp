@@ -203,6 +203,9 @@ benchSuiteJson(const std::vector<BenchResult>& results)
         w.key("edges_per_second").value(r.edges_per_second);
         w.key("variability").value(r.variability);
         w.key("rounds").value(r.rounds);
+        w.key("seq_seconds").value(r.seq_seconds);
+        w.key("speedup").value(r.speedup);
+        w.key("trials").value(r.trials);
         w.key("counters");
         writeCounters(w, r.counters);
         w.endObject();

@@ -86,6 +86,16 @@ struct BenchResult {
     double edges_per_second = 0.0;
     double variability = 0.0;
     std::uint64_t rounds = 0;
+    /**
+     * GAP-methodology fields (add-only, per the schema contract):
+     * wall-clock of the work-efficient sequential baseline over the
+     * same trials, the baseline-normalized speedup
+     * (seq_seconds / time_seconds), and how many trials the times
+     * average over. All zero for rows without a baseline.
+     */
+    double seq_seconds = 0.0;
+    double speedup = 0.0;
+    std::uint64_t trials = 0;
     std::vector<std::pair<std::string, std::uint64_t>> counters;
 };
 

@@ -66,6 +66,14 @@ counterName(Counter c)
         return "reorder_ms";
       case Counter::kBlockFills:
         return "block_fills";
+      case Counter::kBucketSteps:
+        return "bucket_steps";
+      case Counter::kStaleSkips:
+        return "stale_skips";
+      case Counter::kHeavyRelaxations:
+        return "heavy_relaxations";
+      case Counter::kLoadMs:
+        return "load_ms";
     }
     return "unknown";
 }

@@ -96,9 +96,13 @@ enum class Counter : std::uint8_t {
     kBranches,         ///< TSP search-tree nodes visited
     kReorderMs,        ///< milliseconds spent reordering a graph
     kBlockFills,       ///< (bin, destination) entries in blocked layouts
+    kBucketSteps,      ///< delta-stepping light-bucket phases executed
+    kStaleSkips,       ///< delta-stepping bucket entries superseded
+    kHeavyRelaxations, ///< delta-stepping heavy-edge relaxations tried
+    kLoadMs,           ///< milliseconds spent parsing a graph file
 };
 
-inline constexpr int kNumCounters = 21;
+inline constexpr int kNumCounters = 25;
 
 /** Printable counter name, e.g. "steal_chunks". */
 const char* counterName(Counter c);

@@ -181,6 +181,20 @@ checkSssp(Exec& exec, int threads, const graph::Graph& g,
             ASSERT_EQ(dist[v], oracle[v]) << "v " << v;
         }
     }
+    // Delta-stepping: the auto-tuned width plus the two degenerate
+    // corners — delta=1 (everything heavy, near-Dijkstra bucket
+    // order) and a width past the weight range (everything light,
+    // Bellman-Ford-style single bucket).
+    for (const graph::Dist delta :
+         {graph::Dist{0}, graph::Dist{1}, graph::Dist{1} << 20}) {
+        SCOPED_TRACE("delta=" + std::to_string(delta));
+        const auto res = core::deltaSteppingSssp(
+            exec, threads, rg.graph, rg.perm.toNew(0), nullptr, delta);
+        const auto dist = rg.perm.valuesToOld(asSpan(res.dist));
+        for (VertexId v = 0; v < g.numVertices(); ++v) {
+            ASSERT_EQ(dist[v], oracle[v]) << "v " << v;
+        }
+    }
 }
 
 template <class Exec>

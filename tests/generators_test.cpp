@@ -82,6 +82,49 @@ TEST(Generators, SocialNetworkDeterministic)
     EXPECT_EQ(a.rawNeighbors(), b.rawNeighbors());
 }
 
+TEST(Generators, KroneckerSizeWeightsAndCleanliness)
+{
+    const Graph g = gen::kronecker(12, 16, 64, 21);
+    EXPECT_EQ(g.numVertices(), 4096u);
+    // Undirected mirror of n * edge_factor samples, minus collisions.
+    EXPECT_LE(g.numEdges(), 2u * 4096u * 16u);
+    EXPECT_GE(g.numEdges(), 4096u * 16u / 2u);
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        const auto nbrs = g.neighbors(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            EXPECT_NE(nbrs[i], v) << "self edge at " << v;
+            if (i > 0) {
+                // CSR adjacency is sorted; strict order = no duplicates.
+                EXPECT_LT(nbrs[i - 1], nbrs[i]) << "duplicate at " << v;
+            }
+        }
+        for (Weight w : g.weights(v)) {
+            EXPECT_GE(w, 1u);
+            EXPECT_LE(w, 64u);
+        }
+    }
+}
+
+TEST(Generators, KroneckerDegreeDistributionIsSkewed)
+{
+    // R-MAT with a=0.57 concentrates edges on low-numbered vertices:
+    // the Graph500/GAP power-law profile, like the social stand-in.
+    const Graph g = gen::kronecker(13, 16, 255, 7);
+    const GraphStats s = computeStats(g);
+    EXPECT_GT(s.max_degree, 20 * static_cast<EdgeId>(s.avg_degree));
+    EXPECT_GT(s.degree_gini, 0.45);
+}
+
+TEST(Generators, KroneckerDeterministicInSeed)
+{
+    const Graph a = gen::kronecker(10, 8, 32, 5);
+    const Graph b = gen::kronecker(10, 8, 32, 5);
+    EXPECT_EQ(a.rawNeighbors(), b.rawNeighbors());
+    EXPECT_EQ(a.rawWeights(), b.rawWeights());
+    const Graph c = gen::kronecker(10, 8, 32, 6);
+    EXPECT_NE(a.rawNeighbors(), c.rawNeighbors());
+}
+
 TEST(Generators, TspCitiesSymmetricWithZeroDiagonal)
 {
     const AdjacencyMatrix m = gen::tspCities(16, 23);

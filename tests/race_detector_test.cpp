@@ -85,6 +85,14 @@ sweepBenchmark(sim::Machine& machine, RaceDetector& det,
             w.frontier_mode = mode;
             runOne(rt::frontierModeName(mode));
         }
+        if (info.id == core::BenchmarkId::ssspDijk) {
+            // Delta-stepping variant: its intentionally racy probes
+            // (bucket-range filter, pre-lock monotone filter) are
+            // declared via readAtomic, so the sweep must stay clean.
+            w.sssp_algo = core::SsspAlgo::kDeltaStep;
+            runOne("delta");
+            w.sssp_algo = core::SsspAlgo::kWorkList;
+        }
     } else if (info.id == core::BenchmarkId::pageRank) {
         for (const core::PageRankMode mode :
              {core::PageRankMode::kScatter, core::PageRankMode::kGather}) {

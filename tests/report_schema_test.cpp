@@ -97,6 +97,19 @@ checkBenchDoc(const obs::json::Value& doc)
         expectNumber(row, "time_seconds");
         expectNumber(row, "edges_per_second");
         expectNumber(row, "variability");
+        // GAP-methodology fields (add-only schema extension). Rows
+        // from bench_gap carry a real baseline measurement, so their
+        // normalized speedup and trial count must be non-zero.
+        expectNumber(row, "seq_seconds");
+        expectNumber(row, "speedup");
+        expectNumber(row, "trials");
+        const obs::json::Value* name = row.find("name");
+        ASSERT_NE(name, nullptr);
+        if (name->str.rfind("gap/", 0) == 0) {
+            EXPECT_GT(row.find("speedup")->num, 0.0) << name->str;
+            EXPECT_GT(row.find("seq_seconds")->num, 0.0) << name->str;
+            EXPECT_GT(row.find("trials")->num, 0.0) << name->str;
+        }
     }
 }
 
@@ -178,6 +191,44 @@ makeBenchRows()
     return rows;
 }
 
+/** Rows shaped like bench_gap's output: baseline-normalized. */
+std::vector<obs::BenchResult>
+makeGapRows()
+{
+    std::vector<obs::BenchResult> rows;
+    for (const char* mode : {"flagscan", "worklist", "delta"}) {
+        obs::BenchResult row;
+        row.name = std::string("gap/sssp/road(64^2)/") + mode + "/t1";
+        row.kernel = "SSSP_DIJK";
+        row.graph = "road(64^2)";
+        row.vertices = 4096;
+        row.edges = 13000;
+        row.threads = 1;
+        row.mode = mode;
+        row.time_seconds = 0.002;
+        row.edges_per_second = 13000.0 / 0.002;
+        row.seq_seconds = 0.003;
+        row.speedup = row.seq_seconds / row.time_seconds;
+        row.trials = 4;
+        row.counters.emplace_back("relaxations", 13000);
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+TEST(ReportSchema, GapBenchDocumentParses)
+{
+    const std::string text = obs::benchSuiteJson(makeGapRows());
+    const obs::json::Value doc = parseOrFail(text, "gap bench");
+    checkBenchDoc(doc);
+    const obs::json::Value* results = doc.find("results");
+    ASSERT_NE(results, nullptr);
+    ASSERT_EQ(results->arr.size(), 3u);
+    const obs::json::Value& row = results->arr.front();
+    EXPECT_DOUBLE_EQ(row.find("speedup")->num, 1.5);
+    EXPECT_EQ(row.find("trials")->num, 4.0);
+}
+
 TEST(ReportSchema, BenchSuiteDocumentParses)
 {
     const std::string text = obs::benchSuiteJson(makeBenchRows());
@@ -216,6 +267,9 @@ TEST(ReportSchema, EveryEmittedReportParses)
         ASSERT_TRUE(obs::writeTextFile(
             (dir / "table_reorder.json").string(),
             obs::benchSuiteJson(makeBenchRows())));
+        ASSERT_TRUE(obs::writeTextFile(
+            (dir / "table_gap.json").string(),
+            obs::benchSuiteJson(makeGapRows())));
         ASSERT_TRUE(
             makeMetricsReport().writeJson((dir / "metrics.json").string()));
     }
