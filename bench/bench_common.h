@@ -25,6 +25,8 @@
 #include "common/rng.h"
 #include "core/suite.h"
 #include "core/workloads.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "sim/machine.h"
 
 namespace crono::bench {
@@ -67,6 +69,23 @@ jsonPathFor(const Options& opt, const std::string& harness,
             const std::string& bench_name)
 {
     return opt.json_dir + "/" + harness + "_" + bench_name + ".json";
+}
+
+/**
+ * Write @p rows as one "crono.bench.v1" document at @p path, with
+ * the shared diagnostics every harness used to hand-roll.
+ * @return false (after printing to stderr) on I/O failure.
+ */
+inline bool
+writeBenchReport(const std::string& path,
+                 const std::vector<obs::BenchResult>& rows)
+{
+    if (!obs::writeTextFile(path, obs::benchSuiteJson(rows))) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows.size());
+    return true;
 }
 
 // ------------------------------------------- GAP measurement rules

@@ -113,37 +113,6 @@ parseGapOptions(int argc, char** argv)
 /** Defeat dead-code elimination of the sequential baselines. */
 std::uint64_t g_sink = 0;
 
-/** Session-total counter snapshot (the Recorder only accumulates;
- *  per-row values are differences between two snapshots). */
-using CounterSnapshot = std::array<std::uint64_t, obs::kNumCounters>;
-
-CounterSnapshot
-counterSnapshot()
-{
-    CounterSnapshot snap{};
-    if (const obs::Recorder* r = obs::sink()) {
-        for (int c = 0; c < obs::kNumCounters; ++c) {
-            snap[static_cast<std::size_t>(c)] =
-                r->totalCounter(static_cast<obs::Counter>(c));
-        }
-    }
-    return snap;
-}
-
-std::vector<std::pair<std::string, std::uint64_t>>
-counterDiff(const CounterSnapshot& before, const CounterSnapshot& after)
-{
-    std::vector<std::pair<std::string, std::uint64_t>> out;
-    for (int c = 0; c < obs::kNumCounters; ++c) {
-        const auto i = static_cast<std::size_t>(c);
-        if (after[i] != before[i]) {
-            out.emplace_back(obs::counterName(static_cast<obs::Counter>(c)),
-                             after[i] - before[i]);
-        }
-    }
-    return out;
-}
-
 double g_best_worklist_road = 0.0;
 double g_delta_road = 0.0;
 
@@ -153,10 +122,18 @@ void
 addRow(const std::string& short_kernel, const char* paper_kernel,
        const std::string& graph_tag, std::uint64_t vertices,
        std::uint64_t edges, int threads, const std::string& mode,
-       double par_seconds, double seq_seconds, int trials,
+       const std::vector<double>& par_trials, double seq_seconds,
        double variability, std::uint64_t rounds,
        std::vector<std::pair<std::string, std::uint64_t>> counters)
 {
+    double par_total = 0.0;
+    for (const double t : par_trials) {
+        par_total += t;
+    }
+    const double par_seconds =
+        par_trials.empty()
+            ? 0.0
+            : par_total / static_cast<double>(par_trials.size());
     obs::BenchResult row;
     row.name = "gap/" + short_kernel + "/" + graph_tag + "/" + mode +
                "/t" + std::to_string(threads);
@@ -174,18 +151,21 @@ addRow(const std::string& short_kernel, const char* paper_kernel,
     row.rounds = rounds;
     row.seq_seconds = seq_seconds;
     row.speedup = par_seconds > 0.0 ? seq_seconds / par_seconds : 0.0;
-    row.trials = static_cast<std::uint64_t>(trials);
+    row.trials = par_trials.size();
+    row.setTrialPercentiles(par_trials);
     row.counters = std::move(counters);
     g_rows.push_back(std::move(row));
-    std::printf("%-10s %-16s %-10s %10.4fs %10.4fs %8.2fx\n",
+    std::printf("%-10s %-16s %-10s %10.4fs %10.4fs %8.2fx  p50 %.4fs "
+                "p99 %.4fs\n",
                 short_kernel.c_str(), graph_tag.c_str(), mode.c_str(),
                 par_seconds, seq_seconds,
-                par_seconds > 0.0 ? seq_seconds / par_seconds : 0.0);
+                par_seconds > 0.0 ? seq_seconds / par_seconds : 0.0,
+                row.p50_seconds, row.p99_seconds);
 }
 
 /**
- * Source-trial kernel: average par(src) and seq(src) wall-clock over
- * the GAP source list.
+ * Source-trial kernel: one par(src) and seq(src) trial per GAP
+ * source; the row reports the averages plus the per-trial p50/p99.
  */
 template <class Par, class Seq>
 void
@@ -196,21 +176,23 @@ sourceKernel(const GapOptions& opt, const std::string& short_kernel,
 {
     const std::vector<VertexId> sources =
         bench::gapSources(g, opt.sources, opt.base.seed * 7919 + 17);
-    double par_total = 0.0, seq_total = 0.0, vari = 0.0;
+    std::vector<double> par_trials;
+    par_trials.reserve(sources.size());
+    double seq_total = 0.0, vari = 0.0;
     std::uint64_t rounds = 0;
-    const CounterSnapshot before = counterSnapshot();
+    const obs::CounterSnapshot before = obs::counterSnapshot();
     for (const VertexId src : sources) {
-        par_total += bench::timedSeconds([&] {
+        par_trials.push_back(bench::timedSeconds([&] {
             const rt::RunInfo info = par(src, &rounds);
             vari += info.variability;
-        });
+        }));
         seq_total += bench::timedSeconds([&] { seq(src); });
     }
     const auto k = static_cast<double>(sources.size());
     addRow(short_kernel, paper_kernel, graph_tag, g.numVertices(),
-           g.numEdges(), opt.threads, mode, par_total / k, seq_total / k,
-           static_cast<int>(sources.size()), vari / k, rounds,
-           counterDiff(before, counterSnapshot()));
+           g.numEdges(), opt.threads, mode, par_trials, seq_total / k,
+           vari / k, rounds,
+           obs::counterDiff(before, obs::counterSnapshot()));
 }
 
 /** Fixed-trial kernel (no source): average over opt.trials runs. */
@@ -221,19 +203,21 @@ fixedKernel(const GapOptions& opt, const std::string& short_kernel,
             std::uint64_t vertices, std::uint64_t edges,
             const std::string& mode, Par&& par, Seq&& seq)
 {
-    double par_total = 0.0, seq_total = 0.0, vari = 0.0;
-    const CounterSnapshot before = counterSnapshot();
+    std::vector<double> par_trials;
+    par_trials.reserve(static_cast<std::size_t>(opt.trials));
+    double seq_total = 0.0, vari = 0.0;
+    const obs::CounterSnapshot before = obs::counterSnapshot();
     for (int t = 0; t < opt.trials; ++t) {
-        par_total += bench::timedSeconds([&] {
+        par_trials.push_back(bench::timedSeconds([&] {
             const rt::RunInfo info = par();
             vari += info.variability;
-        });
+        }));
         seq_total += bench::timedSeconds([&] { seq(); });
     }
     const auto k = static_cast<double>(opt.trials);
     addRow(short_kernel, paper_kernel, graph_tag, vertices, edges,
-           opt.threads, mode, par_total / k, seq_total / k, opt.trials,
-           vari / k, 0, counterDiff(before, counterSnapshot()));
+           opt.threads, mode, par_trials, seq_total / k, vari / k, 0,
+           obs::counterDiff(before, obs::counterSnapshot()));
 }
 
 void
@@ -451,12 +435,9 @@ main(int argc, char** argv)
 
     if (!opt.base.json_dir.empty()) {
         const std::string path = opt.base.json_dir + "/table_gap.json";
-        if (!obs::writeTextFile(path, obs::benchSuiteJson(g_rows))) {
-            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        if (!bench::writeBenchReport(path, g_rows)) {
             return 1;
         }
-        std::printf("wrote %s (%zu rows)\n", path.c_str(),
-                    g_rows.size());
     }
     (void)g_sink;
     return 0;

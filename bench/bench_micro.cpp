@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "common/rng.h"
 #include "core/suite.h"
 #include "core/workloads.h"
@@ -460,13 +461,9 @@ runJsonSuite(const std::string& path)
             return std::pair{res.run, std::uint64_t{0}};
         }));
 
-    if (!obs::writeTextFile(path, obs::benchSuiteJson(rows))) {
-        std::fprintf(stderr, "bench_micro: cannot write %s\n",
-                     path.c_str());
+    if (!bench::writeBenchReport(path, rows)) {
         return 1;
     }
-    std::printf("bench_micro: wrote %zu results to %s\n", rows.size(),
-                path.c_str());
     for (const obs::BenchResult& row : rows) {
         std::printf("  %-28s %10.4f s  %12.0f edges/s\n",
                     row.name.c_str(), row.time_seconds,

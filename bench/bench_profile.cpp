@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Native hardware-counter profile: runs the frontier kernels on road
+ * and social inputs under a TelemetrySession + ProfileSession, then
+ * reports, per kernel span,
+ *
+ *  - span-attributed counter deltas (cycles, instructions, LLC
+ *    refs/misses, branch misses — or the software/rusage tiers when
+ *    the host forbids hardware counters, see obs/perf/counters.h);
+ *  - log-bucketed duration percentiles over the per-source trials;
+ *  - per-thread busy/barrier/steal imbalance from the span rings;
+ *  - the simulator's miss rates for the same kernels side by side,
+ *    the native counterpart of the paper's Fig 3/4 cache tables.
+ *
+ * `--json=DIR` writes DIR/table_profile.json, a "crono.profile.v1"
+ * document (schema in obs/profile_report.h). The report's "source"
+ * field says which degradation tier produced the numbers; forcing
+ * CRONO_PROFILE=off in the environment exercises the fallback path
+ * (CI asserts this stays well-formed in counter-less containers).
+ *
+ * Options beyond the common set: --threads=N (default: hardware
+ * concurrency), --sources=N, --trials=N, --input=road|social|all,
+ * --no-sim.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "graph/generators.h"
+#include "obs/profile_report.h"
+#include "obs/telemetry.h"
+
+namespace {
+
+using namespace crono;
+using graph::VertexId;
+
+struct ProfileOptions {
+    bench::Options base;
+    int threads = 0; ///< 0 = hardware concurrency
+    int sources = 8; ///< per-source kernel trials
+    int trials = 3;  ///< non-source kernel trials
+    bool no_sim = false;
+    std::string input = "all";
+};
+
+ProfileOptions
+parseProfileOptions(int argc, char** argv)
+{
+    ProfileOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const char* const a = argv[i];
+        if (std::strcmp(a, "--quick") == 0) {
+            opt.base.quick = true;
+        } else if (std::strncmp(a, "--seed=", 7) == 0) {
+            opt.base.seed = std::strtoull(a + 7, nullptr, 10);
+        } else if (std::strncmp(a, "--json=", 7) == 0) {
+            opt.base.json_dir = a + 7;
+        } else if (std::strcmp(a, "--json") == 0) {
+            opt.base.json_dir = ".";
+        } else if (std::strncmp(a, "--threads=", 10) == 0) {
+            opt.threads = std::atoi(a + 10);
+        } else if (std::strncmp(a, "--sources=", 10) == 0) {
+            opt.sources = std::atoi(a + 10);
+        } else if (std::strncmp(a, "--trials=", 9) == 0) {
+            opt.trials = std::atoi(a + 9);
+        } else if (std::strcmp(a, "--no-sim") == 0) {
+            opt.no_sim = true;
+        } else if (std::strncmp(a, "--input=", 8) == 0) {
+            opt.input = a + 8;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", a);
+        }
+    }
+    if (opt.base.quick) {
+        opt.sources = std::min(opt.sources, 2);
+        opt.trials = std::min(opt.trials, 1);
+    }
+    if (opt.threads <= 0) {
+        opt.threads = static_cast<int>(
+            std::max(1u, std::thread::hardware_concurrency()));
+    }
+    return opt;
+}
+
+/** Defeat dead-code elimination of the kernel results. */
+std::uint64_t g_sink = 0;
+
+/** Kernels profiled natively and mirrored in the sim section. */
+constexpr const char* kProfiledKernels[] = {
+    "BFS", "SSSP_DIJK", "SSSP_DELTA", "PAGE_RANK", "CONN_COMP",
+    "TRI_CNT",
+};
+
+/**
+ * One profiled input: run the kernel set under telemetry + profiling
+ * sessions, then distill spans and imbalance into a ProfileSection.
+ * The weakest counter tier and the multiplexing flag accumulate into
+ * @p source / @p multiplexed.
+ */
+obs::ProfileSection
+profileSection(const ProfileOptions& opt, const graph::Graph& g,
+               const std::string& tag, obs::perf::CounterSource* source,
+               bool* multiplexed)
+{
+    const int nt = opt.threads;
+    obs::TelemetrySession telemetry;
+    obs::perf::ProfileSession profile;
+    {
+        rt::NativeExecutor exec(nt);
+        const std::vector<VertexId> sources =
+            bench::gapSources(g, opt.sources, opt.base.seed * 131 + 7);
+        const graph::Dist delta = core::autoDelta(g, nt);
+        for (const VertexId src : sources) {
+            g_sink += core::bfs(exec, nt, g, src, graph::kNoVertex,
+                                nullptr, rt::FrontierMode::kAdaptive)
+                          .reached;
+            g_sink += core::sssp(exec, nt, g, src, nullptr,
+                                 rt::FrontierMode::kAdaptive)
+                          .dist[0];
+            g_sink += core::deltaSteppingSssp(exec, nt, g, src, nullptr,
+                                              delta)
+                          .dist[0];
+        }
+        for (int t = 0; t < opt.trials; ++t) {
+            g_sink += static_cast<std::uint64_t>(
+                core::pageRank(exec, nt, g, 5, 0.15, nullptr,
+                               core::PageRankMode::kScatter)
+                    .rank[0] *
+                1e9);
+            g_sink += core::connectedComponents(
+                          exec, nt, g, nullptr,
+                          rt::FrontierMode::kAdaptive)
+                          .num_components;
+            g_sink += core::triangleCount(exec, nt, g).total;
+        }
+    } // join workers so every span (and perf window) is closed
+
+    obs::ProfileSection section;
+    section.graph = tag;
+    section.threads = nt;
+    section.spans_dropped = telemetry.recorder().totalDropped();
+    section.spans =
+        obs::collectSpanProfiles(profile.sessionCollector());
+    section.imbalance = obs::imbalanceFromRecorder(telemetry.recorder());
+    *source = std::max(*source, profile.sessionCollector().source());
+    *multiplexed |= profile.sessionCollector().multiplexed();
+    return section;
+}
+
+/** The kernel spans of @p section, paper order, skipping absentees. */
+std::vector<const obs::SpanProfile*>
+kernelSpans(const obs::ProfileSection& section)
+{
+    std::vector<const obs::SpanProfile*> out;
+    for (const char* name : kProfiledKernels) {
+        for (const obs::SpanProfile& s : section.spans) {
+            if (s.name == name && s.cat == "kernel") {
+                out.push_back(&s);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+/** Sim miss-rate rows for the same kernel set (fresh machine). */
+void
+addSimRows(const ProfileOptions& opt, obs::ProfileSection& section)
+{
+    const sim::Config cfg; // paper baseline machine
+    const core::WorkloadConfig wc = bench::simWorkloadConfig(opt.base);
+    const core::WorkloadSet set(wc);
+    const int sim_threads = 16;
+    sim::Machine machine(cfg);
+
+    // Kernel-span names, not registry names (the registry spells
+    // PageRank in paper-table style, the spans in identifier style).
+    const struct {
+        core::BenchmarkId id;
+        const char* span_name;
+    } rows[] = {
+        {core::BenchmarkId::bfs, "BFS"},
+        {core::BenchmarkId::ssspDijk, "SSSP_DIJK"},
+        {core::BenchmarkId::pageRank, "PAGE_RANK"},
+        {core::BenchmarkId::connComp, "CONN_COMP"},
+        {core::BenchmarkId::triCnt, "TRI_CNT"},
+    };
+    for (const auto& r : rows) {
+        core::runBenchmark(r.id, machine, sim_threads,
+                           set.forBenchmark(r.id));
+        const sim::SimRunStats& st = machine.lastStats();
+        section.sim.push_back({r.span_name, st.completion_cycles,
+                               st.l1d.missRate(), st.l2.missRate(),
+                               st.cacheHierarchyMissRate()});
+    }
+    // Delta-stepping through the same SSSP workload, so the paper's
+    // SSSP row has both algorithms side by side.
+    core::Workload w = set.forBenchmark(core::BenchmarkId::ssspDijk);
+    w.sssp_algo = core::SsspAlgo::kDeltaStep;
+    core::runBenchmark(core::BenchmarkId::ssspDijk, machine,
+                       sim_threads, w);
+    const sim::SimRunStats& st = machine.lastStats();
+    section.sim.push_back({"SSSP_DELTA", st.completion_cycles,
+                           st.l1d.missRate(), st.l2.missRate(),
+                           st.cacheHierarchyMissRate()});
+    section.has_sim = true;
+}
+
+void
+printSection(const obs::ProfileSection& section,
+             obs::perf::CounterSource source)
+{
+    namespace perf = obs::perf;
+    std::printf("\n=== %s (threads=%d%s) ===\n", section.graph.c_str(),
+                section.threads,
+                section.spans_dropped != 0 ? ", spans dropped" : "");
+
+    std::printf("\n%-12s %6s %10s %10s %10s %10s\n", "span", "count",
+                "mean_ms", "p50_ms", "p90_ms", "p99_ms");
+    for (const obs::SpanProfile& s : section.spans) {
+        if (s.cat != "kernel" && s.cat != "round") {
+            continue;
+        }
+        const double ms = 1e-6;
+        std::printf("%-12s %6llu %10.3f %10.3f %10.3f %10.3f\n",
+                    s.name.c_str(),
+                    static_cast<unsigned long long>(s.count),
+                    s.duration_ns.mean() * ms,
+                    s.duration_ns.quantile(0.50) * ms,
+                    s.duration_ns.quantile(0.90) * ms,
+                    s.duration_ns.quantile(0.99) * ms);
+    }
+
+    // Fig 3/4-style table: native cache behaviour (when the host
+    // exposes hardware counters) against the simulator's miss rates.
+    std::printf("\n%-12s | %9s %6s %8s | %9s %9s %9s\n", "kernel",
+                "nat LLC%", "IPC", "br-mis%", "sim L1D%", "sim L2%",
+                "sim hier%");
+    const std::vector<const obs::SpanProfile*> kernels =
+        kernelSpans(section);
+    for (const obs::SpanProfile* s : kernels) {
+        const obs::ProfileSection::SimRow* sim_row = nullptr;
+        for (const auto& r : section.sim) {
+            if (r.kernel == s->name) {
+                sim_row = &r;
+                break;
+            }
+        }
+        if (source == perf::CounterSource::kPerf) {
+            std::printf("%-12s | %9.2f %6.2f %8.3f |", s->name.c_str(),
+                        s->total.llcMissRate() * 100.0, s->total.ipc(),
+                        s->total.branchMissRate() * 100.0);
+        } else {
+            std::printf("%-12s | %9s %6s %8s |", s->name.c_str(), "-",
+                        "-", "-");
+        }
+        if (sim_row != nullptr) {
+            std::printf(" %9.2f %9.2f %9.2f\n",
+                        sim_row->l1d_miss_rate * 100.0,
+                        sim_row->l2_miss_rate * 100.0,
+                        sim_row->hierarchy_miss_rate * 100.0);
+        } else {
+            std::printf(" %9s %9s %9s\n", "-", "-", "-");
+        }
+    }
+    if (source != perf::CounterSource::kPerf) {
+        std::printf("(no hardware PMU on this host: native columns "
+                    "need the \"perf\" tier, measured tier is "
+                    "\"%s\")\n",
+                    perf::counterSourceName(source));
+    }
+
+    std::printf("\nimbalance (busy_cv=%.4f):\n",
+                section.imbalance.busy_cv);
+    std::printf("%6s %12s %8s %10s %8s\n", "tid", "wall_ms", "busy%",
+                "barrier%", "steal%");
+    for (const obs::ThreadImbalance& t : section.imbalance.threads) {
+        std::printf("%6d %12.3f %8.2f %10.2f %8.2f\n", t.tid,
+                    t.wall_ns * 1e-6, t.busy_frac * 100.0,
+                    t.barrier_frac * 100.0, t.steal_frac * 100.0);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const ProfileOptions opt = parseProfileOptions(argc, argv);
+    namespace gen = graph::generators;
+
+    std::printf("hardware-counter profile (threads=%d, sources=%d, "
+                "trials=%d, seed=%llu)\n",
+                opt.threads, opt.sources, opt.trials,
+                static_cast<unsigned long long>(opt.base.seed));
+
+    obs::ProfileReport report;
+    report.source = obs::perf::CounterSource::kNone;
+
+    if (opt.input == "all" || opt.input == "road") {
+        const VertexId side = opt.base.quick ? 64 : 256;
+        const graph::Graph road =
+            gen::roadNetwork(side, side, opt.base.seed);
+        const std::string tag =
+            "road(" + std::to_string(side) + "^2)";
+        report.sections.push_back(profileSection(
+            opt, road, tag, &report.source, &report.multiplexed));
+        if (!opt.no_sim) {
+            addSimRows(opt, report.sections.back());
+        }
+    }
+    if (opt.input == "all" || opt.input == "social") {
+        const unsigned scale = opt.base.quick ? 12 : 16;
+        const graph::Graph social =
+            gen::socialNetwork(scale, 14, opt.base.seed + 1);
+        const std::string tag =
+            "social(2^" + std::to_string(scale) + ",ef14)";
+        report.sections.push_back(profileSection(
+            opt, social, tag, &report.source, &report.multiplexed));
+        if (!opt.no_sim) {
+            addSimRows(opt, report.sections.back());
+        }
+    }
+
+    std::printf("counter source: %s%s\n",
+                obs::perf::counterSourceName(report.source),
+                report.multiplexed ? " (multiplexed, scaled)" : "");
+    for (const obs::ProfileSection& s : report.sections) {
+        printSection(s, report.source);
+    }
+
+    if (!opt.base.json_dir.empty()) {
+        const std::string path =
+            opt.base.json_dir + "/table_profile.json";
+        if (!report.writeJson(path)) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return 1;
+        }
+        std::printf("\nwrote %s (%zu sections)\n", path.c_str(),
+                    report.sections.size());
+    }
+    (void)g_sink;
+    return 0;
+}

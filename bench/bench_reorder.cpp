@@ -275,13 +275,9 @@ main(int argc, char** argv)
 
     if (!opt.json_dir.empty()) {
         const std::string path = opt.json_dir + "/table_reorder.json";
-        if (!obs::writeTextFile(path, obs::benchSuiteJson(rows))) {
-            std::fprintf(stderr, "bench_reorder: cannot write %s\n",
-                         path.c_str());
+        if (!bench::writeBenchReport(path, rows)) {
             return 1;
         }
-        std::printf("bench_reorder: wrote %zu rows to %s\n",
-                    rows.size(), path.c_str());
     }
     return 0;
 }

@@ -13,8 +13,14 @@
 #                 harness receives --json=DIR so multi-kernel sweeps
 #                 (bench_table1_suite) emit one crono.metrics.v1 file
 #                 per kernel instead of overwriting a single shared
-#                 path. tests/report_schema_test.cpp (CRONO_REPORT_DIR)
-#                 smoke-parses every emitted document.
+#                 path. bench_profile writes DIR/table_profile.json
+#                 (crono.profile.v1, span-attributed hardware
+#                 counters). tests/report_schema_test.cpp
+#                 (CRONO_REPORT_DIR) smoke-parses every emitted
+#                 document. Finally every crono.bench.v1 report is
+#                 aggregated into BENCH_summary.json at the repo root
+#                 (bench_compare --aggregate), the single document the
+#                 cross-PR perf trajectory tracks.
 #
 # Exits nonzero if any bench failed, with a summary of the failures.
 set -u
@@ -40,7 +46,8 @@ for b in build/bench/bench_table1_suite build/bench/bench_fig1_breakdown \
          build/bench/bench_fig8_ooo_speedup build/bench/bench_fig9_real_machine \
          build/bench/bench_table4_graphs build/bench/bench_ablation_ackwise \
          build/bench/bench_ablation_locality build/bench/bench_ablation_noc \
-         build/bench/bench_reorder build/bench/bench_gap; do
+         build/bench/bench_reorder build/bench/bench_gap \
+         build/bench/bench_profile; do
   echo "================================================================"
   echo "### $b ${json_args[*]:-} $*"
   "$b" ${json_args[@]+"${json_args[@]}"} "$@" \
@@ -56,6 +63,20 @@ if [ -n "$json_dir" ]; then
   echo "### build/bench/bench_micro --json $json_dir/BENCH_micro.json"
   build/bench/bench_micro --json "$json_dir/BENCH_micro.json" \
     || { echo "FAILED: bench_micro --json"; failed+=("bench_micro --json"); }
+
+  # Roll every crono.bench.v1 report into one summary at the repo
+  # root; bench_compare skips the crono.metrics.v1 / crono.profile.v1
+  # documents the sweeps also emit. A stale summary from a previous
+  # run must not feed itself back in.
+  summary_inputs=()
+  for f in "$json_dir"/*.json; do
+    [ "$(basename "$f")" = "BENCH_summary.json" ] && continue
+    summary_inputs+=("$f")
+  done
+  echo "### bench_compare --aggregate BENCH_summary.json"
+  build/tools/bench_compare --aggregate BENCH_summary.json \
+      ${summary_inputs[@]+"${summary_inputs[@]}"} \
+    || { echo "FAILED: bench_compare --aggregate"; failed+=(bench_compare); }
 fi
 
 echo "================================================================"

@@ -1,0 +1,47 @@
+#!/bin/bash
+# Self-test of the bench_compare regression gate, plus the gate
+# itself. Three legs:
+#
+#  1. Fixture sanity: comparing the committed baseline against itself
+#     must pass, and against the committed +25% regressed variant
+#     (bench/baselines/gap_quick_t1_regressed.json) must fail — this
+#     proves the gate can actually catch a regression before we trust
+#     its green.
+#  2. Coverage: a fresh bench_gap --quick run must still emit every
+#     row name the committed baseline has (--names-only: absolute
+#     times are machine-specific, row coverage is not).
+#  3. Live stability: two back-to-back --quick runs on this machine
+#     compared with a wide tolerance, catching only order-of-magnitude
+#     blowups rather than scheduler noise.
+#
+# Usage: scripts/check_regression.sh [BUILD_DIR]   (default: build)
+set -eu
+cd "$(dirname "$0")/.."
+
+build="${1:-build}"
+compare="$build/tools/bench_compare"
+gap="$build/bench/bench_gap"
+baseline="bench/baselines/gap_quick_t1.json"
+regressed="bench/baselines/gap_quick_t1_regressed.json"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== 1. fixture sanity =="
+"$compare" "$baseline" "$baseline"
+if "$compare" --tolerance=0.20 --min-seconds=0 "$baseline" "$regressed"; then
+  echo "ERROR: gate did not flag the committed +25% regression fixture"
+  exit 1
+fi
+echo "gate correctly flags the regressed fixture"
+
+echo "== 2. row coverage vs committed baseline =="
+mkdir -p "$tmp/a" "$tmp/b"
+"$gap" --quick --threads=1 --json="$tmp/a" > /dev/null
+"$compare" --names-only "$baseline" "$tmp/a/table_gap.json"
+
+echo "== 3. live same-machine stability =="
+"$gap" --quick --threads=1 --json="$tmp/b" > /dev/null
+"$compare" --tolerance=4.0 --min-seconds=0.003 \
+  "$tmp/a/table_gap.json" "$tmp/b/table_gap.json"
+
+echo "check_regression: all gates passed"

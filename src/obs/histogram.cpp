@@ -1,0 +1,148 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace crono::obs {
+
+LogHistogram::LogHistogram(int sub_bits) : subBits_(sub_bits)
+{
+    CRONO_REQUIRE(sub_bits >= 1 && sub_bits <= 8,
+                  "LogHistogram sub_bits out of range");
+    // Highest index is the one covering UINT64_MAX (msb 63):
+    //   ((63 - sub_bits + 1) << sub_bits) + (2^sub_bits - 1)
+    const std::size_t top =
+        (static_cast<std::size_t>(64 - subBits_) << subBits_) +
+        ((std::size_t{1} << subBits_) - 1);
+    counts_.assign(top + 1, 0);
+}
+
+std::size_t
+LogHistogram::indexFor(std::uint64_t value) const
+{
+    const auto sub_count = std::uint64_t{1} << subBits_;
+    if (value < sub_count) {
+        return static_cast<std::size_t>(value);
+    }
+    const int msb = 63 - std::countl_zero(value);
+    const int shift = msb - subBits_;
+    const auto sub = (value >> shift) & (sub_count - 1);
+    return (static_cast<std::size_t>(msb - subBits_ + 1) << subBits_) +
+           static_cast<std::size_t>(sub);
+}
+
+std::uint64_t
+LogHistogram::bucketLo(std::size_t index) const
+{
+    const auto sub_count = std::uint64_t{1} << subBits_;
+    if (index < sub_count) {
+        return index;
+    }
+    const auto octave = index >> subBits_; // >= 1
+    const auto sub = index & (sub_count - 1);
+    return (sub_count + sub) << (octave - 1);
+}
+
+std::uint64_t
+LogHistogram::bucketHi(std::size_t index) const
+{
+    const auto sub_count = std::uint64_t{1} << subBits_;
+    if (index < sub_count) {
+        return index + 1;
+    }
+    const auto octave = index >> subBits_;
+    const std::uint64_t lo = bucketLo(index);
+    const std::uint64_t width = std::uint64_t{1} << (octave - 1);
+    // The final bucket's half-open bound would wrap past UINT64_MAX.
+    return lo + width >= lo ? lo + width : ~std::uint64_t{0};
+}
+
+void
+LogHistogram::add(std::uint64_t value)
+{
+    ++counts_[indexFor(value)];
+    ++count_;
+    sum_ += value;
+    if (count_ == 1 || value < min_) {
+        min_ = value;
+    }
+    if (value > max_) {
+        max_ = value;
+    }
+}
+
+double
+LogHistogram::mean() const
+{
+    return count_ > 0
+               ? static_cast<double>(sum_) / static_cast<double>(count_)
+               : 0.0;
+}
+
+double
+LogHistogram::quantile(double q) const
+{
+    if (count_ == 0) {
+        return 0.0;
+    }
+    q = std::clamp(q, 0.0, 1.0);
+    // 0-based rank of the order statistic we want.
+    const auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_ - 1));
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        cumulative += counts_[i];
+        if (cumulative > rank) {
+            const double mid =
+                0.5 * (static_cast<double>(bucketLo(i)) +
+                       static_cast<double>(bucketHi(i)));
+            return std::clamp(mid, static_cast<double>(min_),
+                              static_cast<double>(max_));
+        }
+    }
+    return static_cast<double>(max_); // unreachable if counts are sane
+}
+
+void
+LogHistogram::merge(const LogHistogram& other)
+{
+    CRONO_REQUIRE(subBits_ == other.subBits_,
+                  "LogHistogram::merge needs matching sub_bits");
+    if (other.count_ == 0) {
+        return;
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        counts_[i] += other.counts_[i];
+    }
+    if (count_ == 0 || other.min_ < min_) {
+        min_ = other.min_;
+    }
+    if (other.max_ > max_) {
+        max_ = other.max_;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+double
+exactQuantile(const std::vector<double>& samples, double q)
+{
+    if (samples.empty()) {
+        return 0.0;
+    }
+    std::vector<double> sorted(samples);
+    std::sort(sorted.begin(), sorted.end());
+    q = std::clamp(q, 0.0, 1.0);
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size()) {
+        return sorted.back();
+    }
+    return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+} // namespace crono::obs

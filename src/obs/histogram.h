@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Log-bucketed latency histogram (HdrHistogram-style) for span
+ * durations and per-source bench trials.
+ *
+ * Bucketing: values below 2^sub_bits land in exact unit-width
+ * buckets; above that, each power-of-two octave is split into
+ * 2^sub_bits equal sub-buckets, so the relative bucket width — and
+ * therefore the worst-case quantile error before interpolation — is
+ * bounded by 2^-sub_bits. The default (sub_bits = 4, 16 sub-buckets
+ * per octave) keeps p50/p90/p99 within ~6% of the exact order
+ * statistic while covering the full uint64 range in ~1000 buckets.
+ *
+ * Quantiles are reported as the midpoint of the covering bucket,
+ * clamped to the observed [min, max] — so an empty histogram reports
+ * 0 and a single-sample histogram reports the sample exactly.
+ *
+ * exactQuantile() is the companion for the small-sample case (64 GAP
+ * source trials): an interpolated order statistic over the raw
+ * samples, used where the rows are few enough to keep them all.
+ */
+
+#ifndef CRONO_OBS_HISTOGRAM_H_
+#define CRONO_OBS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace crono::obs {
+
+/** Fixed-range log-bucketed histogram over uint64 values. */
+class LogHistogram {
+  public:
+    /** @param sub_bits log2 sub-buckets per octave (1..8). */
+    explicit LogHistogram(int sub_bits = 4);
+
+    /** Record one value (full uint64 range; never saturates). */
+    void add(std::uint64_t value);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ > 0 ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    double mean() const;
+
+    /**
+     * Value at quantile @p q in [0, 1] (0 when empty): midpoint of
+     * the covering bucket, clamped to [min, max].
+     */
+    double quantile(double q) const;
+
+    /** Merge @p other (must share sub_bits) into this histogram. */
+    void merge(const LogHistogram& other);
+
+    int subBits() const { return subBits_; }
+
+    /** Invoke fn(lo, hi, count) for every non-empty bucket [lo, hi). */
+    template <class Fn>
+    void
+    forEachBucket(Fn&& fn) const
+    {
+        for (std::size_t i = 0; i < counts_.size(); ++i) {
+            if (counts_[i] != 0) {
+                fn(bucketLo(i), bucketHi(i), counts_[i]);
+            }
+        }
+    }
+
+    /** Bucket index covering @p value (exposed for tests). */
+    std::size_t indexFor(std::uint64_t value) const;
+
+    /** Inclusive lower bound of bucket @p index. */
+    std::uint64_t bucketLo(std::size_t index) const;
+
+    /** Exclusive upper bound of bucket @p index (saturates at max). */
+    std::uint64_t bucketHi(std::size_t index) const;
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+    int subBits_;
+};
+
+/**
+ * Interpolated order statistic: the value at quantile @p q of
+ * @p samples (unsorted; copied and sorted internally). Returns 0 for
+ * an empty vector. q is clamped to [0, 1].
+ */
+double exactQuantile(const std::vector<double>& samples, double q);
+
+} // namespace crono::obs
+
+#endif // CRONO_OBS_HISTOGRAM_H_

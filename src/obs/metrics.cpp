@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include "obs/histogram.h"
 #include "obs/json.h"
 
 namespace crono::obs {
@@ -62,6 +63,41 @@ counterTotals(const Recorder& recorder)
         }
     }
     return out;
+}
+
+CounterSnapshot
+counterSnapshot()
+{
+    CounterSnapshot snap{};
+    if (const Recorder* r = sink()) {
+        for (int c = 0; c < kNumCounters; ++c) {
+            snap[static_cast<std::size_t>(c)] =
+                r->totalCounter(static_cast<Counter>(c));
+        }
+    }
+    return snap;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+counterDiff(const CounterSnapshot& before, const CounterSnapshot& after)
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    for (int c = 0; c < kNumCounters; ++c) {
+        const auto i = static_cast<std::size_t>(c);
+        if (after[i] != before[i]) {
+            out.emplace_back(counterName(static_cast<Counter>(c)),
+                             after[i] - before[i]);
+        }
+    }
+    return out;
+}
+
+void
+BenchResult::setTrialPercentiles(const std::vector<double>& trial_seconds)
+{
+    p50_seconds = exactQuantile(trial_seconds, 0.50);
+    p90_seconds = exactQuantile(trial_seconds, 0.90);
+    p99_seconds = exactQuantile(trial_seconds, 0.99);
 }
 
 void
@@ -206,6 +242,9 @@ benchSuiteJson(const std::vector<BenchResult>& results)
         w.key("seq_seconds").value(r.seq_seconds);
         w.key("speedup").value(r.speedup);
         w.key("trials").value(r.trials);
+        w.key("p50_seconds").value(r.p50_seconds);
+        w.key("p90_seconds").value(r.p90_seconds);
+        w.key("p99_seconds").value(r.p99_seconds);
         w.key("counters");
         writeCounters(w, r.counters);
         w.endObject();

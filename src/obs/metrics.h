@@ -21,6 +21,7 @@
 #ifndef CRONO_OBS_METRICS_H_
 #define CRONO_OBS_METRICS_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -96,7 +97,19 @@ struct BenchResult {
     double seq_seconds = 0.0;
     double speedup = 0.0;
     std::uint64_t trials = 0;
+    /**
+     * Trial latency distribution (add-only): order statistics over
+     * the per-trial wall-clock samples behind time_seconds (the
+     * GAP 64-source trials, or the fixed trial count). All zero for
+     * rows measured as a single aggregate.
+     */
+    double p50_seconds = 0.0;
+    double p90_seconds = 0.0;
+    double p99_seconds = 0.0;
     std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+    /** Fill p50/p90/p99 from per-trial samples (obs::exactQuantile). */
+    void setTrialPercentiles(const std::vector<double>& trial_seconds);
 };
 
 /** The "crono.bench.v1" document wrapping @p results. */
@@ -105,6 +118,21 @@ std::string benchSuiteJson(const std::vector<BenchResult>& results);
 /** Non-zero counter totals of @p recorder, in Counter enum order. */
 std::vector<std::pair<std::string, std::uint64_t>>
 counterTotals(const Recorder& recorder);
+
+// Session-total counter snapshots. A Recorder only accumulates, so a
+// per-row (per-kernel, per-trial-group) counter attribution is the
+// difference between two snapshots. Shared by the bench harnesses
+// (bench_gap, bench_profile) instead of each carrying its own copy.
+
+/** Totals of every Counter at one instant. */
+using CounterSnapshot = std::array<std::uint64_t, kNumCounters>;
+
+/** Snapshot of the installed sink's totals (zeros when idle). */
+CounterSnapshot counterSnapshot();
+
+/** Non-zero (after - before) totals, named, in Counter enum order. */
+std::vector<std::pair<std::string, std::uint64_t>>
+counterDiff(const CounterSnapshot& before, const CounterSnapshot& after);
 
 } // namespace crono::obs
 

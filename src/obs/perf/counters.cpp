@@ -1,0 +1,376 @@
+#include "obs/perf/counters.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/macros.h"
+#include "obs/telemetry.h" // nowNs
+
+#if defined(__linux__) && !defined(CRONO_PERF_DISABLED)
+#define CRONO_PERF_HAVE_SYSCALL 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#if !defined(_WIN32)
+#include <sys/resource.h>
+#include <sys/time.h>
+#endif
+
+namespace crono::obs::perf {
+
+const char*
+hwCounterName(HwCounter c)
+{
+    switch (c) {
+      case HwCounter::kCycles: return "cycles";
+      case HwCounter::kInstructions: return "instructions";
+      case HwCounter::kLlcRefs: return "llc_refs";
+      case HwCounter::kLlcMisses: return "llc_misses";
+      case HwCounter::kBranchMisses: return "branch_misses";
+      case HwCounter::kStalledCycles: return "stalled_cycles";
+      case HwCounter::kTaskClockNs: return "task_clock_ns";
+      case HwCounter::kPageFaults: return "page_faults";
+      case HwCounter::kContextSwitches: return "context_switches";
+      case HwCounter::kCpuMigrations: return "cpu_migrations";
+      case HwCounter::kUserNs: return "user_ns";
+      case HwCounter::kSystemNs: return "system_ns";
+      case HwCounter::kMinorFaults: return "minor_faults";
+      case HwCounter::kMajorFaults: return "major_faults";
+      case HwCounter::kVolCtxSwitches: return "vol_ctx_switches";
+      case HwCounter::kInvolCtxSwitches: return "invol_ctx_switches";
+      case HwCounter::kWallNs: return "wall_ns";
+    }
+    return "unknown";
+}
+
+const char*
+counterSourceName(CounterSource s)
+{
+    switch (s) {
+      case CounterSource::kNone: return "none";
+      case CounterSource::kPerf: return "perf";
+      case CounterSource::kPerfSw: return "perf-sw";
+      case CounterSource::kFallback: return "fallback";
+    }
+    return "unknown";
+}
+
+CounterDelta&
+CounterDelta::operator+=(const CounterDelta& o)
+{
+    for (int i = 0; i < kNumHwCounters; ++i) {
+        v[static_cast<std::size_t>(i)] +=
+            o.v[static_cast<std::size_t>(i)];
+    }
+    multiplexed = multiplexed || o.multiplexed;
+    if (source == CounterSource::kNone) {
+        source = o.source;
+    }
+    return *this;
+}
+
+bool
+CounterDelta::any() const
+{
+    for (const std::uint64_t x : v) {
+        if (x != 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
+namespace {
+
+double
+ratio(std::uint64_t num, std::uint64_t den)
+{
+    return den > 0
+               ? static_cast<double>(num) / static_cast<double>(den)
+               : 0.0;
+}
+
+} // namespace
+
+double
+CounterDelta::ipc() const
+{
+    return ratio(get(HwCounter::kInstructions), get(HwCounter::kCycles));
+}
+
+double
+CounterDelta::llcMissRate() const
+{
+    return ratio(get(HwCounter::kLlcMisses), get(HwCounter::kLlcRefs));
+}
+
+double
+CounterDelta::branchMissRate() const
+{
+    return ratio(get(HwCounter::kBranchMisses),
+                 get(HwCounter::kInstructions));
+}
+
+double
+CounterDelta::stallFraction() const
+{
+    return ratio(get(HwCounter::kStalledCycles), get(HwCounter::kCycles));
+}
+
+CounterDelta
+sampleDelta(const Sample& begin, const Sample& end, CounterSource source)
+{
+    CounterDelta d;
+    d.source = source;
+    d.multiplexed = begin.multiplexed || end.multiplexed;
+    for (int i = 0; i < kNumHwCounters; ++i) {
+        const auto s = static_cast<std::size_t>(i);
+        d.v[s] = end.v[s] >= begin.v[s] ? end.v[s] - begin.v[s] : 0;
+    }
+    return d;
+}
+
+namespace {
+
+/** CRONO_PROFILE env policy: where the probe chain starts. */
+enum class Policy { kFull, kSwOnly, kFallbackOnly };
+
+Policy
+envPolicy()
+{
+    const char* const env = std::getenv("CRONO_PROFILE");
+    if (env == nullptr) {
+        return Policy::kFull;
+    }
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "OFF") == 0 ||
+        std::strcmp(env, "0") == 0) {
+        return Policy::kFallbackOnly;
+    }
+    if (std::strcmp(env, "sw") == 0) {
+        return Policy::kSwOnly;
+    }
+    return Policy::kFull;
+}
+
+constexpr std::uint64_t kNsPerSec = 1000000000ull;
+constexpr std::uint64_t kNsPerUsec = 1000ull;
+
+/** rusage + steady-clock sample (the tier that never fails). */
+Sample
+fallbackSample()
+{
+    Sample s;
+#if !defined(_WIN32)
+    struct rusage ru;
+#if defined(RUSAGE_THREAD)
+    const int who = RUSAGE_THREAD;
+#else
+    const int who = RUSAGE_SELF;
+#endif
+    if (getrusage(who, &ru) == 0) {
+        const auto tv_ns = [](const timeval& tv) {
+            return static_cast<std::uint64_t>(tv.tv_sec) * kNsPerSec +
+                   static_cast<std::uint64_t>(tv.tv_usec) * kNsPerUsec;
+        };
+        s.v[static_cast<std::size_t>(HwCounter::kUserNs)] =
+            tv_ns(ru.ru_utime);
+        s.v[static_cast<std::size_t>(HwCounter::kSystemNs)] =
+            tv_ns(ru.ru_stime);
+        s.v[static_cast<std::size_t>(HwCounter::kMinorFaults)] =
+            static_cast<std::uint64_t>(ru.ru_minflt);
+        s.v[static_cast<std::size_t>(HwCounter::kMajorFaults)] =
+            static_cast<std::uint64_t>(ru.ru_majflt);
+        s.v[static_cast<std::size_t>(HwCounter::kVolCtxSwitches)] =
+            static_cast<std::uint64_t>(ru.ru_nvcsw);
+        s.v[static_cast<std::size_t>(HwCounter::kInvolCtxSwitches)] =
+            static_cast<std::uint64_t>(ru.ru_nivcsw);
+    }
+#endif
+    s.v[static_cast<std::size_t>(HwCounter::kWallNs)] = nowNs();
+    return s;
+}
+
+} // namespace
+
+#if defined(CRONO_PERF_HAVE_SYSCALL)
+
+namespace {
+
+long
+perfEventOpen(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+              unsigned long flags)
+{
+    return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+struct EventSpec {
+    HwCounter slot;
+    std::uint32_t type;
+    std::uint64_t config;
+};
+
+constexpr EventSpec kHardwareGroup[] = {
+    {HwCounter::kCycles, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {HwCounter::kInstructions, PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_INSTRUCTIONS},
+    {HwCounter::kLlcRefs, PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_CACHE_REFERENCES},
+    {HwCounter::kLlcMisses, PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_CACHE_MISSES},
+    {HwCounter::kBranchMisses, PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_BRANCH_MISSES},
+    {HwCounter::kStalledCycles, PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_STALLED_CYCLES_BACKEND},
+};
+
+constexpr EventSpec kSoftwareGroup[] = {
+    {HwCounter::kTaskClockNs, PERF_TYPE_SOFTWARE,
+     PERF_COUNT_SW_TASK_CLOCK},
+    {HwCounter::kPageFaults, PERF_TYPE_SOFTWARE,
+     PERF_COUNT_SW_PAGE_FAULTS},
+    {HwCounter::kContextSwitches, PERF_TYPE_SOFTWARE,
+     PERF_COUNT_SW_CONTEXT_SWITCHES},
+    {HwCounter::kCpuMigrations, PERF_TYPE_SOFTWARE,
+     PERF_COUNT_SW_CPU_MIGRATIONS},
+};
+
+} // namespace
+
+bool
+ThreadCounters::openGroup(bool hardware_tier)
+{
+    const EventSpec* specs = hardware_tier ? kHardwareGroup
+                                           : kSoftwareGroup;
+    const int nspecs = hardware_tier
+                           ? static_cast<int>(std::size(kHardwareGroup))
+                           : static_cast<int>(std::size(kSoftwareGroup));
+    for (int i = 0; i < nspecs; ++i) {
+        perf_event_attr attr;
+        std::memset(&attr, 0, sizeof attr);
+        attr.type = specs[i].type;
+        attr.size = sizeof attr;
+        attr.config = specs[i].config;
+        attr.disabled = (i == 0) ? 1 : 0; // group enabled via leader
+        attr.exclude_kernel = 1;
+        attr.exclude_hv = 1;
+        attr.read_format = PERF_FORMAT_GROUP |
+                           PERF_FORMAT_TOTAL_TIME_ENABLED |
+                           PERF_FORMAT_TOTAL_TIME_RUNNING;
+        const int group_fd = (i == 0) ? -1 : fds_[0];
+        const long fd = perfEventOpen(&attr, /*pid=*/0, /*cpu=*/-1,
+                                      group_fd, PERF_FLAG_FD_CLOEXEC);
+        if (fd < 0) {
+            if (i == 0) {
+                return false; // tier unavailable: leader won't open
+            }
+            continue; // sibling unsupported (e.g. stalled cycles): skip
+        }
+        fds_[nfds_] = static_cast<int>(fd);
+        slots_[nfds_] = specs[i].slot;
+        ++nfds_;
+    }
+    ioctl(fds_[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(fds_[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    return true;
+}
+
+void
+ThreadCounters::closeAll()
+{
+    // Close siblings before the leader.
+    for (int i = nfds_ - 1; i >= 0; --i) {
+        close(fds_[i]);
+    }
+    nfds_ = 0;
+}
+
+ThreadCounters::ThreadCounters()
+{
+    fds_.fill(-1);
+    const Policy policy = envPolicy();
+    if (policy != Policy::kFallbackOnly) {
+        if (policy == Policy::kFull && openGroup(/*hardware_tier=*/true)) {
+            source_ = CounterSource::kPerf;
+            return;
+        }
+        if (openGroup(/*hardware_tier=*/false)) {
+            source_ = CounterSource::kPerfSw;
+            return;
+        }
+    }
+    source_ = CounterSource::kFallback;
+}
+
+ThreadCounters::~ThreadCounters()
+{
+    closeAll();
+}
+
+Sample
+ThreadCounters::sample() const
+{
+    if (source_ == CounterSource::kFallback) {
+        return fallbackSample();
+    }
+    Sample s;
+    // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running,
+    // value[nr]. nr <= kMaxGroup by construction.
+    std::uint64_t buf[3 + kMaxGroup] = {};
+    const auto want = static_cast<long>(
+        (3 + static_cast<std::size_t>(nfds_)) * sizeof(std::uint64_t));
+    const long got = read(fds_[0], buf, sizeof buf);
+    if (got < want) {
+        return s; // zero sample; delta will clamp to zero
+    }
+    const std::uint64_t enabled = buf[1];
+    const std::uint64_t running = buf[2];
+    double scale = 1.0;
+    if (running > 0 && running < enabled) {
+        scale = static_cast<double>(enabled) /
+                static_cast<double>(running);
+        s.multiplexed = true;
+    } else if (running == 0 && enabled > 0) {
+        s.multiplexed = true; // never scheduled: values stay zero
+    }
+    for (int i = 0; i < nfds_; ++i) {
+        const double scaled =
+            static_cast<double>(buf[3 + i]) * scale;
+        s.v[static_cast<std::size_t>(slots_[i])] =
+            static_cast<std::uint64_t>(scaled);
+    }
+    return s;
+}
+
+#else // !CRONO_PERF_HAVE_SYSCALL
+
+bool
+ThreadCounters::openGroup(bool)
+{
+    return false;
+}
+
+void
+ThreadCounters::closeAll()
+{
+}
+
+ThreadCounters::ThreadCounters()
+{
+    fds_.fill(-1);
+    source_ = CounterSource::kFallback;
+}
+
+ThreadCounters::~ThreadCounters() = default;
+
+Sample
+ThreadCounters::sample() const
+{
+    return fallbackSample();
+}
+
+#endif // CRONO_PERF_HAVE_SYSCALL
+
+} // namespace crono::obs::perf

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Per-thread hardware-counter access with a graceful degradation
+ * chain, so the native benches can report the cache/branch behaviour
+ * the paper characterizes in `sim::` on real silicon when the kernel
+ * allows it — and still produce a well-formed report when it doesn't
+ * (containers, perf_event_paranoid, non-Linux hosts).
+ *
+ * The chain, probed once per ThreadCounters on the owning thread:
+ *
+ *  1. "perf"      — a perf_event_open counter *group* (cycles leader;
+ *                   instructions, LLC refs/misses, branch misses,
+ *                   stalled backend cycles as siblings) read with
+ *                   PERF_FORMAT_GROUP so all values come from one
+ *                   atomic snapshot. TIME_ENABLED/TIME_RUNNING scale
+ *                   each read when the PMU multiplexes the group
+ *                   (CounterDelta::multiplexed reports that the
+ *                   values are extrapolations, per the usual
+ *                   perf-tool convention). Events count user space
+ *                   only (exclude_kernel) so paranoid level 2 still
+ *                   admits them.
+ *  2. "perf-sw"   — the kernel's software events (task-clock,
+ *                   page-faults, context-switches, cpu-migrations)
+ *                   when no hardware PMU is exposed (common in VMs).
+ *  3. "fallback"  — getrusage(RUSAGE_THREAD) + the steady clock when
+ *                   perf_event_open itself is forbidden. Coarse
+ *                   (scheduler-tick granularity) but never fails.
+ *
+ * Policy overrides: the CRONO_PROFILE environment variable ("off"/"0"
+ * forces tier 3, "sw" skips tier 1), and building with
+ * -DCRONO_PROFILE=OFF (CRONO_PERF_DISABLED) compiles the syscall
+ * tiers out entirely. Counters are free-running after open; a Sample
+ * is a scaled running total and a CounterDelta is the difference of
+ * two Samples, so nested spans can each subtract their own window.
+ */
+
+#ifndef CRONO_OBS_PERF_COUNTERS_H_
+#define CRONO_OBS_PERF_COUNTERS_H_
+
+#include <array>
+#include <cstdint>
+
+namespace crono::obs::perf {
+
+/** Everything a sample can carry, across all three tiers. */
+enum class HwCounter : std::uint8_t {
+    // Tier 1: hardware events.
+    kCycles = 0,       ///< user-space CPU cycles
+    kInstructions,     ///< user-space retired instructions
+    kLlcRefs,          ///< last-level-cache references
+    kLlcMisses,        ///< last-level-cache misses
+    kBranchMisses,     ///< mispredicted branches
+    kStalledCycles,    ///< backend-stall cycles
+    // Tier 2: kernel software events.
+    kTaskClockNs,      ///< on-CPU time of this thread
+    kPageFaults,       ///< faults taken by this thread
+    kContextSwitches,  ///< involuntary + voluntary switches
+    kCpuMigrations,    ///< cross-CPU migrations
+    // Tier 3: rusage + steady clock.
+    kUserNs,           ///< rusage user time
+    kSystemNs,         ///< rusage system time
+    kMinorFaults,      ///< rusage minflt
+    kMajorFaults,      ///< rusage majflt
+    kVolCtxSwitches,   ///< rusage nvcsw
+    kInvolCtxSwitches, ///< rusage nivcsw
+    kWallNs,           ///< steady clock (fallback tier only)
+};
+
+inline constexpr int kNumHwCounters = 17;
+
+/** Stable JSON key, e.g. "llc_misses". */
+const char* hwCounterName(HwCounter c);
+
+/** Which tier of the degradation chain produced a measurement. */
+enum class CounterSource : std::uint8_t {
+    kNone = 0,  ///< no measurement taken
+    kPerf,      ///< hardware counter group
+    kPerfSw,    ///< perf software events
+    kFallback,  ///< rusage + steady clock
+};
+
+/** Stable tag: "none" / "perf" / "perf-sw" / "fallback". */
+const char* counterSourceName(CounterSource s);
+
+/** Scaled running totals at one instant (subtract two for a delta). */
+struct Sample {
+    std::array<std::uint64_t, kNumHwCounters> v{};
+    /** Group was descheduled part of the time; values are scaled. */
+    bool multiplexed = false;
+};
+
+/** Counter deltas over one window, plus derived rates. */
+struct CounterDelta {
+    std::array<std::uint64_t, kNumHwCounters> v{};
+    CounterSource source = CounterSource::kNone;
+    bool multiplexed = false;
+
+    std::uint64_t
+    get(HwCounter c) const
+    {
+        return v[static_cast<std::size_t>(c)];
+    }
+
+    CounterDelta& operator+=(const CounterDelta& o);
+
+    /** Any counter non-zero? */
+    bool any() const;
+
+    // Derived rates; each returns 0 when its inputs are absent.
+    double ipc() const;            ///< instructions / cycles
+    double llcMissRate() const;    ///< llc_misses / llc_refs
+    double branchMissRate() const; ///< branch_misses / instructions
+    double stallFraction() const;  ///< stalled_cycles / cycles
+};
+
+/** end - begin, clamped at 0 per counter (scaling can jitter). */
+CounterDelta sampleDelta(const Sample& begin, const Sample& end,
+                         CounterSource source);
+
+/**
+ * One thread's counter chain. Must be constructed, sampled, and
+ * destroyed on the same thread (perf fds and RUSAGE_THREAD are both
+ * per-thread); the sampler layer guarantees this by storing
+ * ThreadCounters behind thread_local access.
+ */
+class ThreadCounters {
+  public:
+    ThreadCounters();
+    ~ThreadCounters();
+
+    ThreadCounters(const ThreadCounters&) = delete;
+    ThreadCounters& operator=(const ThreadCounters&) = delete;
+
+    CounterSource source() const { return source_; }
+
+    /** Scaled running totals now (never fails; zero on kNone). */
+    Sample sample() const;
+
+  private:
+    static constexpr int kMaxGroup = 6;
+
+    bool openGroup(bool hardware_tier);
+    void closeAll();
+
+    std::array<int, kMaxGroup> fds_{};
+    std::array<HwCounter, kMaxGroup> slots_{};
+    int nfds_ = 0;
+    CounterSource source_ = CounterSource::kNone;
+};
+
+} // namespace crono::obs::perf
+
+#endif // CRONO_OBS_PERF_COUNTERS_H_

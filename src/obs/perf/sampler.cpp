@@ -1,0 +1,176 @@
+#include "obs/perf/sampler.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+#include "obs/telemetry.h" // nowNs
+
+namespace crono::obs::perf {
+
+namespace detail {
+std::atomic<std::uintptr_t> g_collector{0};
+std::atomic<std::uint64_t> g_generation{0};
+} // namespace detail
+
+void
+PerfTrack::end(int token, const char* name, std::uint8_t cat,
+               std::uint64_t dur_ns)
+{
+    if (token < 0 || token >= depth_) {
+        return; // unmatched (e.g. depth overflow at begin)
+    }
+    depth_ = token;
+    const Sample end_sample = counters_.sample();
+    const CounterDelta delta = sampleDelta(
+        stack_[static_cast<std::size_t>(token)], end_sample,
+        counters_.source());
+    // Aggregate by (name, cat). Names are literals, so pointer
+    // equality catches nearly every lookup; strcmp covers a literal
+    // duplicated across translation units.
+    SpanAgg* agg = nullptr;
+    for (SpanAgg& a : aggs_) {
+        if (a.cat == cat &&
+            (a.name == name || std::strcmp(a.name, name) == 0)) {
+            agg = &a;
+            break;
+        }
+    }
+    if (agg == nullptr) {
+        aggs_.emplace_back();
+        agg = &aggs_.back();
+        agg->name = name;
+        agg->cat = cat;
+    }
+    ++agg->count;
+    agg->total += delta;
+    agg->duration_ns.add(dur_ns);
+}
+
+Collector::Collector()
+{
+    // Probe the chain once on the constructing thread so source() is
+    // meaningful even for a session that never saw a span.
+    probeSource_ = ThreadCounters().source();
+}
+
+PerfTrack*
+Collector::createTrack(int slot)
+{
+    auto track = std::make_unique<PerfTrack>(slot);
+    PerfTrack* raw = track.get();
+    std::lock_guard<std::mutex> g(mutex_);
+    tracks_.push_back(std::move(track));
+    return raw;
+}
+
+CounterSource
+Collector::source() const
+{
+    std::lock_guard<std::mutex> g(mutex_);
+    CounterSource weakest = CounterSource::kNone;
+    for (const auto& t : tracks_) {
+        const CounterSource s = t->source();
+        if (weakest == CounterSource::kNone ||
+            static_cast<int>(s) > static_cast<int>(weakest)) {
+            weakest = s; // enum order: perf < perf-sw < fallback
+        }
+    }
+    return weakest == CounterSource::kNone ? probeSource_ : weakest;
+}
+
+bool
+Collector::multiplexed() const
+{
+    bool any = false;
+    forEachTrack([&](const PerfTrack& t) {
+        for (const SpanAgg& a : t.aggs()) {
+            any = any || a.total.multiplexed;
+        }
+    });
+    return any;
+}
+
+namespace {
+
+/**
+ * Per-thread track cache. The generation check invalidates it across
+ * session boundaries (both install and uninstall bump g_generation),
+ * which also defeats ABA on a Collector reallocated at the same
+ * address.
+ */
+struct TlState {
+    std::uint64_t generation = 0;
+    int slot = -1;
+    PerfTrack* track = nullptr;
+};
+
+thread_local TlState tl_state;
+
+PerfTrack*
+currentTrack(int slot)
+{
+    Collector* const c = collector();
+    if (c == nullptr) {
+        return nullptr;
+    }
+    const std::uint64_t gen =
+        detail::g_generation.load(std::memory_order_acquire);
+    if (tl_state.track == nullptr || tl_state.generation != gen ||
+        tl_state.slot != slot) {
+        tl_state.track = c->createTrack(slot);
+        tl_state.generation = gen;
+        tl_state.slot = slot;
+    }
+    return tl_state.track;
+}
+
+} // namespace
+
+int
+spanBeginSlow(int slot)
+{
+    PerfTrack* const t = currentTrack(slot);
+    return t != nullptr ? t->begin() : -1;
+}
+
+void
+spanEndSlow(int slot, int token, const char* name, std::uint8_t cat,
+            std::uint64_t dur_ns)
+{
+    // Re-resolve through the cache: if the session changed between
+    // begin and end the generation mismatch re-creates a track, whose
+    // empty stack makes end() drop the unmatched token safely.
+    PerfTrack* const t = currentTrack(slot);
+    if (t != nullptr) {
+        t->end(token, name, cat, dur_ns);
+    }
+}
+
+ProfileSession::ProfileSession()
+{
+    CRONO_REQUIRE(!profilingActive(), "ProfileSessions must not nest");
+    detail::g_generation.fetch_add(1, std::memory_order_acq_rel);
+    detail::g_collector.store(
+        reinterpret_cast<std::uintptr_t>(&collector_),
+        std::memory_order_release);
+}
+
+ProfileSession::~ProfileSession()
+{
+    detail::g_collector.store(0, std::memory_order_release);
+    detail::g_generation.fetch_add(1, std::memory_order_acq_rel);
+}
+
+ScopedHwRegion::ScopedHwRegion(int slot, const char* name,
+                               std::uint8_t cat)
+    : name_(name), beginNs_(nowNs()), slot_(slot),
+      token_(spanBegin(slot)), cat_(cat)
+{
+}
+
+ScopedHwRegion::~ScopedHwRegion()
+{
+    spanEnd(slot_, token_, name_, cat_, nowNs() - beginNs_);
+}
+
+} // namespace crono::obs::perf

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Span-attributed counter collection: a ProfileSession installs a
+ * global Collector (the same nullable-sink pattern as
+ * TelemetrySession), and the telemetry span hooks (ScopedSpan /
+ * ScopedHostSpan / the executor's worker body) bracket every native
+ * span with two counter samples, aggregating the delta under the
+ * span's name.
+ *
+ * Threading model: all mutable state is reached through a
+ * thread_local PerfTrack pointer, so recording is single-writer and
+ * lock-free, and the perf fds inside ThreadCounters are always
+ * opened, read, and closed on their owning OS thread. The Collector
+ * only takes a mutex on first use per (thread, session); a session
+ * generation counter invalidates stale thread_local caches when
+ * sessions come and go (including when two NativeExecutor instances
+ * reuse the same worker tid on different OS threads — each thread
+ * gets its own track and the report merges by slot).
+ *
+ * Nesting: a round span inside a kernel span each subtract their own
+ * sample window, so every aggregate is the *inclusive* cost of its
+ * span name, like gprof inclusive time. Simulator spans never reach
+ * this layer (hardware counters on sim fibers would measure host
+ * work, which is meaningless for the model).
+ */
+
+#ifndef CRONO_OBS_PERF_SAMPLER_H_
+#define CRONO_OBS_PERF_SAMPLER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/perf/counters.h"
+
+namespace crono::obs::perf {
+
+/** Aggregated cost of one span name on one track. */
+struct SpanAgg {
+    const char* name = nullptr; ///< span-name literal
+    std::uint8_t cat = 0;       ///< SpanCat value
+    std::uint64_t count = 0;    ///< closed spans aggregated
+    CounterDelta total;
+    LogHistogram duration_ns{4};
+};
+
+/**
+ * One OS thread's profile state: the counter chain plus a sample
+ * stack for nested spans and the per-name aggregates. Single-writer;
+ * created on first span of that thread in a session.
+ */
+class PerfTrack {
+  public:
+    static constexpr int kMaxDepth = 16;
+
+    explicit PerfTrack(int slot) : slot_(slot) {}
+
+    int slot() const { return slot_; }
+    CounterSource source() const { return counters_.source(); }
+
+    /** Open a span window: push a sample, return its token. */
+    int
+    begin()
+    {
+        if (depth_ >= kMaxDepth) {
+            return -1; // deeper nesting than profiling tracks
+        }
+        stack_[static_cast<std::size_t>(depth_)] = counters_.sample();
+        return depth_++;
+    }
+
+    /** Close the window @p token and aggregate under @p name. */
+    void end(int token, const char* name, std::uint8_t cat,
+             std::uint64_t dur_ns);
+
+    const std::vector<SpanAgg>& aggs() const { return aggs_; }
+
+  private:
+    ThreadCounters counters_;
+    std::array<Sample, kMaxDepth> stack_;
+    std::vector<SpanAgg> aggs_;
+    int depth_ = 0;
+    int slot_;
+};
+
+/** Track slot naming: the host thread, then worker tids shifted. */
+inline constexpr int kHostSlot = 0;
+
+inline constexpr int
+slotForTid(int tid)
+{
+    return tid + 1;
+}
+
+/**
+ * Owns every PerfTrack of one profiling session. Tracks are created
+ * per OS thread (see file comment); readers run post-hoc.
+ */
+class Collector {
+  public:
+    Collector();
+
+    Collector(const Collector&) = delete;
+    Collector& operator=(const Collector&) = delete;
+
+    /** Create (and register) a track for the calling thread. */
+    PerfTrack* createTrack(int slot);
+
+    /** Invoke fn(track) for every created track (post-run reader). */
+    template <class Fn>
+    void
+    forEachTrack(Fn&& fn) const
+    {
+        std::lock_guard<std::mutex> g(mutex_);
+        for (const auto& t : tracks_) {
+            fn(*t);
+        }
+    }
+
+    /**
+     * The session's counter source: the weakest tier any track
+     * landed on (threads can differ only via races with env changes,
+     * but the report must not overclaim), or the probe source before
+     * any track exists.
+     */
+    CounterSource source() const;
+
+    /** Any track's group was multiplexed at some sample. */
+    bool multiplexed() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::deque<std::unique_ptr<PerfTrack>> tracks_;
+    CounterSource probeSource_;
+};
+
+namespace detail {
+/** Non-null (as uintptr) while a ProfileSession is installed. */
+extern std::atomic<std::uintptr_t> g_collector;
+/** Bumped on install *and* uninstall to invalidate caches. */
+extern std::atomic<std::uint64_t> g_generation;
+} // namespace detail
+
+/** The installed collector, or nullptr when profiling is idle. */
+inline Collector*
+collector()
+{
+    return reinterpret_cast<Collector*>(
+        detail::g_collector.load(std::memory_order_acquire));
+}
+
+inline bool
+profilingActive()
+{
+    return detail::g_collector.load(std::memory_order_acquire) != 0;
+}
+
+// Span hooks (called by obs::ScopedSpan / ScopedHostSpan / the
+// executor). The inline wrappers keep the idle cost to one relaxed
+// load and a predictable branch; the Slow variants live in
+// sampler.cpp.
+
+int spanBeginSlow(int slot);
+void spanEndSlow(int slot, int token, const char* name, std::uint8_t cat,
+                 std::uint64_t dur_ns);
+
+inline int
+spanBegin(int slot)
+{
+    return profilingActive() ? spanBeginSlow(slot) : -1;
+}
+
+inline void
+spanEnd(int slot, int token, const char* name, std::uint8_t cat,
+        std::uint64_t dur_ns)
+{
+    if (token >= 0 && profilingActive()) {
+        spanEndSlow(slot, token, name, cat, dur_ns);
+    }
+}
+
+/**
+ * RAII profiling session: owns a Collector and installs it globally
+ * for its lifetime. Sessions must not nest, and must outlive every
+ * span they measure. Orthogonal to TelemetrySession — but span
+ * attribution only happens where telemetry hooks run, so profiling a
+ * CRONO_TELEMETRY=OFF build records nothing through spans (the
+ * explicit ScopedHwRegion below still works).
+ */
+class ProfileSession {
+  public:
+    ProfileSession();
+    ~ProfileSession();
+
+    ProfileSession(const ProfileSession&) = delete;
+    ProfileSession& operator=(const ProfileSession&) = delete;
+
+    Collector& sessionCollector() { return collector_; }
+    const Collector& sessionCollector() const { return collector_; }
+
+  private:
+    Collector collector_;
+};
+
+/**
+ * Explicit measured region, for call sites outside the span
+ * machinery (tests, custom harness phases). @p name must outlive the
+ * session.
+ */
+class ScopedHwRegion {
+  public:
+    ScopedHwRegion(int slot, const char* name, std::uint8_t cat = 0);
+    ~ScopedHwRegion();
+
+    ScopedHwRegion(const ScopedHwRegion&) = delete;
+    ScopedHwRegion& operator=(const ScopedHwRegion&) = delete;
+
+  private:
+    const char* name_;
+    std::uint64_t beginNs_;
+    int slot_;
+    int token_;
+    std::uint8_t cat_;
+};
+
+} // namespace crono::obs::perf
+
+#endif // CRONO_OBS_PERF_SAMPLER_H_

@@ -1,0 +1,213 @@
+#include "obs/profile_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "obs/json.h"
+
+namespace crono::obs {
+
+ImbalanceSummary
+imbalanceFromRecorder(const Recorder& recorder)
+{
+    ImbalanceSummary out;
+    recorder.forEachTrack([&](TrackKind kind, int tid, const Track& t) {
+        if (kind != TrackKind::kWorker) {
+            return;
+        }
+        double wall = 0.0, barrier = 0.0, steal = 0.0;
+        for (const SpanEvent& ev : t.spans()) {
+            const auto dur = static_cast<double>(ev.end - ev.begin);
+            if (ev.cat == SpanCat::kKernel &&
+                std::strcmp(ev.name, "worker") == 0) {
+                wall += dur;
+            } else if (ev.cat == SpanCat::kBarrierWait) {
+                barrier += dur;
+            } else if (ev.cat == SpanCat::kSteal) {
+                steal += dur;
+            }
+        }
+        if (wall <= 0.0) {
+            return;
+        }
+        ThreadImbalance ti;
+        ti.tid = tid;
+        ti.wall_ns = wall;
+        ti.barrier_frac = std::min(1.0, barrier / wall);
+        ti.steal_frac = std::min(1.0 - ti.barrier_frac, steal / wall);
+        ti.busy_frac = 1.0 - ti.barrier_frac - ti.steal_frac;
+        out.threads.push_back(ti);
+    });
+    if (out.threads.size() > 1) {
+        double mean = 0.0;
+        for (const ThreadImbalance& ti : out.threads) {
+            mean += ti.wall_ns * ti.busy_frac;
+        }
+        mean /= static_cast<double>(out.threads.size());
+        double var = 0.0;
+        for (const ThreadImbalance& ti : out.threads) {
+            const double busy = ti.wall_ns * ti.busy_frac;
+            var += (busy - mean) * (busy - mean);
+        }
+        var /= static_cast<double>(out.threads.size());
+        out.busy_cv = mean > 0.0 ? std::sqrt(var) / mean : 0.0;
+    }
+    return out;
+}
+
+std::vector<SpanProfile>
+collectSpanProfiles(const perf::Collector& c)
+{
+    std::vector<SpanProfile> out;
+    c.forEachTrack([&](const perf::PerfTrack& track) {
+        for (const perf::SpanAgg& agg : track.aggs()) {
+            SpanProfile* sp = nullptr;
+            const char* const cat_name =
+                spanCatName(static_cast<SpanCat>(agg.cat));
+            for (SpanProfile& existing : out) {
+                if (existing.name == agg.name &&
+                    existing.cat == cat_name) {
+                    sp = &existing;
+                    break;
+                }
+            }
+            if (sp == nullptr) {
+                out.emplace_back();
+                sp = &out.back();
+                sp->name = agg.name;
+                sp->cat = cat_name;
+            }
+            sp->count += agg.count;
+            sp->total += agg.total;
+            sp->duration_ns.merge(agg.duration_ns);
+            sp->per_thread.emplace_back(track.slot(), agg.total);
+        }
+    });
+    std::sort(out.begin(), out.end(),
+              [](const SpanProfile& a, const SpanProfile& b) {
+                  return a.duration_ns.sum() > b.duration_ns.sum();
+              });
+    for (SpanProfile& sp : out) {
+        std::sort(sp.per_thread.begin(), sp.per_thread.end(),
+                  [](const auto& a, const auto& b) {
+                      return a.first < b.first;
+                  });
+    }
+    return out;
+}
+
+namespace {
+
+void
+writeCounterDelta(JsonWriter& w, const perf::CounterDelta& d)
+{
+    w.beginObject();
+    for (int c = 0; c < perf::kNumHwCounters; ++c) {
+        const auto hc = static_cast<perf::HwCounter>(c);
+        if (d.get(hc) != 0) {
+            w.key(perf::hwCounterName(hc)).value(d.get(hc));
+        }
+    }
+    w.endObject();
+}
+
+void
+writeSpanProfile(JsonWriter& w, const SpanProfile& sp)
+{
+    w.beginObject();
+    w.key("name").value(sp.name);
+    w.key("cat").value(sp.cat);
+    w.key("count").value(sp.count);
+    w.key("duration_ns").beginObject();
+    w.key("mean").value(sp.duration_ns.mean());
+    w.key("p50").value(sp.duration_ns.quantile(0.50));
+    w.key("p90").value(sp.duration_ns.quantile(0.90));
+    w.key("p99").value(sp.duration_ns.quantile(0.99));
+    w.key("max").value(sp.duration_ns.max());
+    w.endObject();
+    w.key("counters");
+    writeCounterDelta(w, sp.total);
+    w.key("derived").beginObject();
+    w.key("ipc").value(sp.total.ipc());
+    w.key("llc_miss_rate").value(sp.total.llcMissRate());
+    w.key("branch_miss_rate").value(sp.total.branchMissRate());
+    w.key("stall_fraction").value(sp.total.stallFraction());
+    w.endObject();
+    w.key("per_thread").beginArray();
+    for (const auto& [slot, delta] : sp.per_thread) {
+        w.beginObject();
+        w.key("slot").value(slot);
+        w.key("counters");
+        writeCounterDelta(w, delta);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+ProfileReport::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("crono.profile.v1");
+    w.key("source").value(perf::counterSourceName(source));
+    w.key("multiplexed").value(multiplexed);
+    w.key("sections").beginArray();
+    for (const ProfileSection& sec : sections) {
+        w.beginObject();
+        w.key("graph").value(sec.graph);
+        w.key("threads").value(sec.threads);
+        w.key("spans_dropped").value(sec.spans_dropped);
+        w.key("spans").beginArray();
+        for (const SpanProfile& sp : sec.spans) {
+            writeSpanProfile(w, sp);
+        }
+        w.endArray();
+        w.key("imbalance").beginObject();
+        w.key("threads").beginArray();
+        for (const ThreadImbalance& ti : sec.imbalance.threads) {
+            w.beginObject();
+            w.key("tid").value(ti.tid);
+            w.key("wall_ns").value(ti.wall_ns);
+            w.key("busy_frac").value(ti.busy_frac);
+            w.key("barrier_frac").value(ti.barrier_frac);
+            w.key("steal_frac").value(ti.steal_frac);
+            w.endObject();
+        }
+        w.endArray();
+        w.key("busy_cv").value(sec.imbalance.busy_cv);
+        w.endObject();
+        if (sec.has_sim) {
+            w.key("sim").beginArray();
+            for (const ProfileSection::SimRow& row : sec.sim) {
+                w.beginObject();
+                w.key("kernel").value(row.kernel);
+                w.key("completion_cycles").value(row.completion_cycles);
+                w.key("l1d_miss_rate").value(row.l1d_miss_rate);
+                w.key("l2_miss_rate").value(row.l2_miss_rate);
+                w.key("hierarchy_miss_rate")
+                    .value(row.hierarchy_miss_rate);
+                w.endObject();
+            }
+            w.endArray();
+        } else {
+            w.key("sim").null();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+bool
+ProfileReport::writeJson(const std::string& path) const
+{
+    return writeTextFile(path, toJson());
+}
+
+} // namespace crono::obs

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The "crono.profile.v1" report: span-attributed hardware-counter
+ * deltas, log-bucketed duration percentiles, and per-thread
+ * busy/steal/barrier-wait imbalance fractions — the native-hardware
+ * counterpart of the sim:: characterization tables (Fig 3/4).
+ *
+ * Schema (add-only, like the other crono.* documents):
+ *
+ *   { "schema": "crono.profile.v1",
+ *     "source": "perf" | "perf-sw" | "fallback",
+ *     "multiplexed": bool,
+ *     "sections": [                       // one per profiled input
+ *       { "graph": ..., "threads": N,
+ *         "spans": [
+ *           { "name": "SSSP_DIJK", "cat": "kernel", "count": ...,
+ *             "duration_ns": {mean,p50,p90,p99,max},
+ *             "counters": { <non-zero merged deltas> },
+ *             "derived": {ipc, llc_miss_rate, branch_miss_rate,
+ *                         stall_fraction},
+ *             "per_thread": [ {"slot": s, "counters": {...}} ] } ],
+ *         "imbalance": { "threads": [ {"tid", "wall_ns",
+ *             "busy_frac", "barrier_frac", "steal_frac"} ],
+ *             "busy_cv": ... },
+ *         "sim": null | [ {"kernel", "completion_cycles",
+ *             "l1d_miss_rate", "l2_miss_rate",
+ *             "hierarchy_miss_rate"} ] } ] }
+ *
+ * Span aggregates are *inclusive* (a round span's cost is also part
+ * of its kernel span), and imbalance fractions are derived from the
+ * telemetry span rings, so spans dropped from a full ring make them
+ * approximations (the per-section "spans_dropped" field says when).
+ */
+
+#ifndef CRONO_OBS_PROFILE_REPORT_H_
+#define CRONO_OBS_PROFILE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/perf/counters.h"
+#include "obs/perf/sampler.h"
+#include "obs/telemetry.h"
+
+namespace crono::obs {
+
+/** One span name's cost, merged across threads. */
+struct SpanProfile {
+    std::string name;
+    std::string cat;          ///< spanCatName of the SpanCat
+    std::uint64_t count = 0;  ///< closed spans aggregated
+    perf::CounterDelta total; ///< merged across threads
+    LogHistogram duration_ns{4};
+    /** Per-thread deltas, keyed by sampler slot (0 = host). */
+    std::vector<std::pair<int, perf::CounterDelta>> per_thread;
+};
+
+/** One worker thread's time split, from the telemetry span rings. */
+struct ThreadImbalance {
+    int tid = 0;
+    double wall_ns = 0.0;     ///< sum of this thread's worker spans
+    double busy_frac = 0.0;   ///< 1 - barrier_frac - steal_frac
+    double barrier_frac = 0.0;
+    double steal_frac = 0.0;
+};
+
+struct ImbalanceSummary {
+    std::vector<ThreadImbalance> threads;
+    /** Coefficient of variation of per-thread busy time. */
+    double busy_cv = 0.0;
+};
+
+/**
+ * Per-thread busy/steal/barrier-wait split from @p recorder's worker
+ * tracks (worker spans minus the barrier-wait and steal spans nested
+ * inside them).
+ */
+ImbalanceSummary imbalanceFromRecorder(const Recorder& recorder);
+
+/** Spans of @p c merged across tracks, largest total duration first. */
+std::vector<SpanProfile> collectSpanProfiles(const perf::Collector& c);
+
+/** One profiled input's results. */
+struct ProfileSection {
+    std::string graph;
+    int threads = 0;
+    std::uint64_t spans_dropped = 0;
+    std::vector<SpanProfile> spans;
+    ImbalanceSummary imbalance;
+
+    /** Sim side-by-side row (miss rates from sim::SimRunStats). */
+    struct SimRow {
+        std::string kernel;
+        std::uint64_t completion_cycles = 0;
+        double l1d_miss_rate = 0.0;
+        double l2_miss_rate = 0.0;
+        double hierarchy_miss_rate = 0.0;
+    };
+    bool has_sim = false;
+    std::vector<SimRow> sim;
+};
+
+/** The whole document. */
+struct ProfileReport {
+    perf::CounterSource source = perf::CounterSource::kNone;
+    bool multiplexed = false;
+    std::vector<ProfileSection> sections;
+
+    std::string toJson() const;
+    bool writeJson(const std::string& path) const;
+};
+
+} // namespace crono::obs
+
+#endif // CRONO_OBS_PROFILE_REPORT_H_

@@ -41,6 +41,8 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/perf/sampler.h"
+
 namespace crono::obs {
 
 // ---------------------------------------------------------------- spans
@@ -413,6 +415,11 @@ counterAdd(Ctx& ctx, Counter c, std::uint64_t n)
 /**
  * RAII span on the calling context's track, in the context's clock
  * domain. Does nothing (and reads no clock) when the sink is idle.
+ *
+ * On native contexts, an active perf::ProfileSession additionally
+ * brackets the span with hardware-counter samples so the span name
+ * accumulates per-thread counter deltas (simulated contexts never
+ * sample — host counters are meaningless for the model).
  */
 template <class Ctx>
 class ScopedSpan {
@@ -425,6 +432,10 @@ class ScopedSpan {
             ctx_ = &ctx;
             ev_ = {ctx.timestamp(), 0, name, arg, cat};
             prior_ = track_->pushLive(name);
+            if constexpr (!Ctx::kSimulated) {
+                hwSlot_ = perf::slotForTid(ctx.tid());
+                hwToken_ = perf::spanBegin(hwSlot_);
+            }
         }
     }
 
@@ -434,6 +445,11 @@ class ScopedSpan {
             track_->popLive(prior_);
             ev_.end = ctx_->timestamp();
             spanRecord(track_, ev_);
+            if constexpr (!Ctx::kSimulated) {
+                perf::spanEnd(hwSlot_, hwToken_, ev_.name,
+                              static_cast<std::uint8_t>(ev_.cat),
+                              ev_.end - ev_.begin);
+            }
         }
     }
 
@@ -445,6 +461,8 @@ class ScopedSpan {
     Ctx* ctx_ = nullptr;
     const char* prior_ = nullptr;
     SpanEvent ev_;
+    int hwSlot_ = 0;
+    int hwToken_ = -1;
 };
 
 /**
@@ -460,6 +478,7 @@ class ScopedHostSpan {
         if (track_ != nullptr) {
             ev_ = {nowNs(), 0, name, arg, cat};
             prior_ = track_->pushLive(name);
+            hwToken_ = perf::spanBegin(perf::kHostSlot);
         }
     }
 
@@ -469,6 +488,9 @@ class ScopedHostSpan {
             track_->popLive(prior_);
             ev_.end = nowNs();
             spanRecord(track_, ev_);
+            perf::spanEnd(perf::kHostSlot, hwToken_, ev_.name,
+                          static_cast<std::uint8_t>(ev_.cat),
+                          ev_.end - ev_.begin);
         }
     }
 
@@ -479,6 +501,7 @@ class ScopedHostSpan {
     Track* track_ = nullptr;
     const char* prior_ = nullptr;
     SpanEvent ev_;
+    int hwToken_ = -1;
 };
 
 } // namespace crono::obs

@@ -96,14 +96,26 @@ NativeExecutor::workerLoop(int tid)
         // Telemetry: one "worker" span per thread per region; barrier
         // waits inside it are recorded by NativeCtx::barrier, so the
         // trace shows work vs. barrier-wait time per thread per round.
+        // An active ProfileSession additionally brackets the body
+        // with hardware-counter samples, so the "worker" aggregate
+        // carries each thread's whole-region counter deltas.
         obs::Track* const track =
             obs::trackFor(obs::sink(), obs::TrackKind::kWorker, tid);
         const std::uint64_t begin =
             track != nullptr ? obs::nowNs() : 0;
+        const int hw_token =
+            track != nullptr
+                ? obs::perf::spanBegin(obs::perf::slotForTid(tid))
+                : -1;
         (*body)(ctx);
         if (track != nullptr) {
-            obs::spanRecord(track, {begin, obs::nowNs(), "worker",
-                                    ctx.ops(), obs::SpanCat::kKernel});
+            const std::uint64_t end = obs::nowNs();
+            obs::spanRecord(track, {begin, end, "worker", ctx.ops(),
+                                    obs::SpanCat::kKernel});
+            obs::perf::spanEnd(
+                obs::perf::slotForTid(tid), hw_token, "worker",
+                static_cast<std::uint8_t>(obs::SpanCat::kKernel),
+                end - begin);
         }
         (*ops_out)[tid] = ctx.ops();
 

@@ -30,6 +30,7 @@
 #include "graph/reorder.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profile_report.h"
 #include "obs/telemetry.h"
 #include "runtime/executor.h"
 
@@ -103,12 +104,20 @@ checkBenchDoc(const obs::json::Value& doc)
         expectNumber(row, "seq_seconds");
         expectNumber(row, "speedup");
         expectNumber(row, "trials");
+        // Trial-distribution fields (add-only schema extension).
+        expectNumber(row, "p50_seconds");
+        expectNumber(row, "p90_seconds");
+        expectNumber(row, "p99_seconds");
         const obs::json::Value* name = row.find("name");
         ASSERT_NE(name, nullptr);
         if (name->str.rfind("gap/", 0) == 0) {
             EXPECT_GT(row.find("speedup")->num, 0.0) << name->str;
             EXPECT_GT(row.find("seq_seconds")->num, 0.0) << name->str;
             EXPECT_GT(row.find("trials")->num, 0.0) << name->str;
+            EXPECT_GT(row.find("p50_seconds")->num, 0.0) << name->str;
+            EXPECT_LE(row.find("p50_seconds")->num,
+                      row.find("p99_seconds")->num)
+                << name->str;
         }
     }
 }
@@ -132,6 +141,78 @@ checkMetricsDoc(const obs::json::Value& doc)
     EXPECT_TRUE(counters->isObject());
 }
 
+/** Validate one crono.profile.v1 document. */
+void
+checkProfileDoc(const obs::json::Value& doc)
+{
+    const obs::json::Value* schema = doc.find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->str, "crono.profile.v1");
+    const obs::json::Value* source = doc.find("source");
+    ASSERT_NE(source, nullptr);
+    ASSERT_TRUE(source->isString());
+    // Every degradation tier must still produce a tagged document.
+    EXPECT_TRUE(source->str == "perf" || source->str == "perf-sw" ||
+                source->str == "fallback" || source->str == "none")
+        << source->str;
+    const obs::json::Value* sections = doc.find("sections");
+    ASSERT_NE(sections, nullptr);
+    ASSERT_TRUE(sections->isArray());
+    for (const obs::json::Value& sec : sections->arr) {
+        expectString(sec, "graph");
+        expectNumber(sec, "threads");
+        expectNumber(sec, "spans_dropped");
+        const obs::json::Value* spans = sec.find("spans");
+        ASSERT_NE(spans, nullptr);
+        ASSERT_TRUE(spans->isArray());
+        for (const obs::json::Value& sp : spans->arr) {
+            expectString(sp, "name");
+            expectString(sp, "cat");
+            expectNumber(sp, "count");
+            const obs::json::Value* dur = sp.find("duration_ns");
+            ASSERT_NE(dur, nullptr);
+            expectNumber(*dur, "mean");
+            expectNumber(*dur, "p50");
+            expectNumber(*dur, "p90");
+            expectNumber(*dur, "p99");
+            expectNumber(*dur, "max");
+            EXPECT_LE(dur->find("p50")->num, dur->find("p99")->num);
+            const obs::json::Value* counters = sp.find("counters");
+            ASSERT_NE(counters, nullptr);
+            EXPECT_TRUE(counters->isObject());
+            const obs::json::Value* derived = sp.find("derived");
+            ASSERT_NE(derived, nullptr);
+            expectNumber(*derived, "ipc");
+            expectNumber(*derived, "llc_miss_rate");
+        }
+        const obs::json::Value* imbalance = sec.find("imbalance");
+        ASSERT_NE(imbalance, nullptr);
+        expectNumber(*imbalance, "busy_cv");
+        const obs::json::Value* threads = imbalance->find("threads");
+        ASSERT_NE(threads, nullptr);
+        ASSERT_TRUE(threads->isArray());
+        for (const obs::json::Value& t : threads->arr) {
+            expectNumber(t, "tid");
+            expectNumber(t, "wall_ns");
+            expectNumber(t, "busy_frac");
+            expectNumber(t, "barrier_frac");
+            expectNumber(t, "steal_frac");
+        }
+        const obs::json::Value* sim = sec.find("sim");
+        ASSERT_NE(sim, nullptr);
+        EXPECT_TRUE(sim->isNull() || sim->isArray());
+        if (sim->isArray()) {
+            for (const obs::json::Value& row : sim->arr) {
+                expectString(row, "kernel");
+                expectNumber(row, "completion_cycles");
+                expectNumber(row, "l1d_miss_rate");
+                expectNumber(row, "l2_miss_rate");
+                expectNumber(row, "hierarchy_miss_rate");
+            }
+        }
+    }
+}
+
 /** Route a document to its schema's validator by tag. */
 void
 checkAnyReport(const obs::json::Value& doc, const std::string& label)
@@ -143,6 +224,8 @@ checkAnyReport(const obs::json::Value& doc, const std::string& label)
         checkBenchDoc(doc);
     } else if (schema->str == "crono.metrics.v1") {
         checkMetricsDoc(doc);
+    } else if (schema->str == "crono.profile.v1") {
+        checkProfileDoc(doc);
     } else {
         FAIL() << "unknown schema tag " << schema->str;
     }
@@ -210,10 +293,54 @@ makeGapRows()
         row.seq_seconds = 0.003;
         row.speedup = row.seq_seconds / row.time_seconds;
         row.trials = 4;
+        row.setTrialPercentiles({0.0018, 0.0019, 0.0021, 0.0022});
         row.counters.emplace_back("relaxations", 13000);
         rows.push_back(std::move(row));
     }
     return rows;
+}
+
+/** A real profiled run, whatever counter tier this host lands on. */
+obs::ProfileReport
+makeProfileReport()
+{
+    obs::TelemetrySession telemetry;
+    obs::perf::ProfileSession profile;
+    {
+        rt::NativeExecutor exec(2);
+        const graph::Graph g = graph::generators::socialNetwork(7, 6, 3);
+        core::bfs(exec, 2, g, 0, graph::kNoVertex, nullptr,
+                  rt::FrontierMode::kAdaptive);
+    }
+    obs::ProfileSection sec;
+    sec.graph = "social(2^7,ef6)";
+    sec.threads = 2;
+    sec.spans_dropped = telemetry.recorder().totalDropped();
+    sec.spans = obs::collectSpanProfiles(profile.sessionCollector());
+    sec.imbalance = obs::imbalanceFromRecorder(telemetry.recorder());
+    obs::ProfileReport report;
+    report.source = profile.sessionCollector().source();
+    report.multiplexed = profile.sessionCollector().multiplexed();
+    report.sections.push_back(std::move(sec));
+    return report;
+}
+
+TEST(ReportSchema, ProfileDocumentParses)
+{
+    const obs::ProfileReport report = makeProfileReport();
+    const obs::json::Value doc =
+        parseOrFail(report.toJson(), "profile report");
+    checkProfileDoc(doc);
+    // The BFS kernel span must have been attributed.
+    const obs::json::Value& sec = doc.find("sections")->arr.front();
+    bool found_bfs = false;
+    for (const obs::json::Value& sp : sec.find("spans")->arr) {
+        if (sp.find("name")->str == "BFS") {
+            found_bfs = true;
+            EXPECT_GT(sp.find("count")->num, 0.0);
+        }
+    }
+    EXPECT_TRUE(found_bfs);
 }
 
 TEST(ReportSchema, GapBenchDocumentParses)
@@ -227,6 +354,9 @@ TEST(ReportSchema, GapBenchDocumentParses)
     const obs::json::Value& row = results->arr.front();
     EXPECT_DOUBLE_EQ(row.find("speedup")->num, 1.5);
     EXPECT_EQ(row.find("trials")->num, 4.0);
+    // exactQuantile interpolates order statistics over the 4 samples.
+    EXPECT_DOUBLE_EQ(row.find("p50_seconds")->num, 0.0020);
+    EXPECT_NEAR(row.find("p99_seconds")->num, 0.0022, 1e-5);
 }
 
 TEST(ReportSchema, BenchSuiteDocumentParses)
@@ -272,6 +402,8 @@ TEST(ReportSchema, EveryEmittedReportParses)
             obs::benchSuiteJson(makeGapRows())));
         ASSERT_TRUE(
             makeMetricsReport().writeJson((dir / "metrics.json").string()));
+        ASSERT_TRUE(makeProfileReport().writeJson(
+            (dir / "table_profile.json").string()));
     }
     ASSERT_TRUE(fs::is_directory(dir)) << dir;
     std::size_t checked = 0;

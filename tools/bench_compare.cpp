@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Regression gate over "crono.bench.v1" reports.
+ *
+ * Compare mode (the CI gate):
+ *
+ *   bench_compare [--tolerance=FRAC] [--min-seconds=S] [--names-only]
+ *                 BASELINE.json CURRENT.json
+ *
+ * matches rows by their unique "name", and fails (exit 1) when a
+ * current time_seconds exceeds baseline * (1 + tolerance), or when a
+ * baseline row disappeared (coverage loss is a regression too).
+ * Rows faster than --min-seconds in the baseline are skipped — below
+ * that, timer noise dominates any real effect. --names-only checks
+ * coverage without comparing times (for cross-machine diffs, where
+ * absolute times are meaningless).
+ *
+ * Aggregate mode (run_benches.sh --json):
+ *
+ *   bench_compare --aggregate OUT.json IN.json...
+ *
+ * merges the "results" arrays of every readable crono.bench.v1 input
+ * into one document at OUT.json, skipping (with a warning) inputs
+ * that carry a different schema — the per-figure series reports are
+ * not row-shaped.
+ *
+ * Exit codes: 0 ok, 1 regression / lost coverage, 2 usage or I/O or
+ * parse error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+using crono::obs::json::Value;
+
+bool
+readFile(const std::string& path, std::string* out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *out = ss.str();
+    return true;
+}
+
+/**
+ * Load @p path and check it carries @p schema. @return false after
+ * a stderr diagnostic on I/O, parse, or schema mismatch; when
+ * @p quiet_schema is set a schema mismatch is silent (aggregate mode
+ * skips those inputs by design).
+ */
+bool
+loadReport(const std::string& path, const char* schema, Value* out,
+           bool quiet_schema = false)
+{
+    std::string text;
+    if (!readFile(path, &text)) {
+        std::fprintf(stderr, "bench_compare: cannot read %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::string err;
+    if (!crono::obs::json::parse(text, *out, &err)) {
+        std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(),
+                     err.c_str());
+        return false;
+    }
+    const Value* s = out->find("schema");
+    if (s == nullptr || !s->isString() || s->str != schema) {
+        if (!quiet_schema) {
+            std::fprintf(stderr,
+                         "bench_compare: %s: expected schema %s\n",
+                         path.c_str(), schema);
+        }
+        return false;
+    }
+    return true;
+}
+
+/** The "results" rows of a crono.bench.v1 document (empty if none). */
+const std::vector<Value>&
+rowsOf(const Value& doc)
+{
+    static const std::vector<Value> kEmpty;
+    const Value* results = doc.find("results");
+    return results != nullptr && results->isArray() ? results->arr
+                                                    : kEmpty;
+}
+
+const Value*
+findRow(const std::vector<Value>& rows, const std::string& name)
+{
+    for (const Value& row : rows) {
+        const Value* n = row.find("name");
+        if (n != nullptr && n->isString() && n->str == name) {
+            return &row;
+        }
+    }
+    return nullptr;
+}
+
+double
+numField(const Value& row, const char* key)
+{
+    const Value* v = row.find(key);
+    return v != nullptr && v->isNumber() ? v->num : 0.0;
+}
+
+/** Serialize a parsed Value back through the writer. */
+void
+emitValue(crono::obs::JsonWriter& w, const Value& v)
+{
+    switch (v.kind) {
+      case Value::Kind::null: w.null(); break;
+      case Value::Kind::boolean: w.value(v.b); break;
+      case Value::Kind::number:
+        // Keep integral numbers integral (the uint64 writer path).
+        if (v.num >= 0 && v.num == static_cast<double>(v.asU64())) {
+            w.value(v.asU64());
+        } else {
+            w.value(v.num);
+        }
+        break;
+      case Value::Kind::string: w.value(v.str); break;
+      case Value::Kind::array:
+        w.beginArray();
+        for (const Value& e : v.arr) {
+            emitValue(w, e);
+        }
+        w.endArray();
+        break;
+      case Value::Kind::object:
+        w.beginObject();
+        for (const auto& [k, e] : v.obj) {
+            w.key(k);
+            emitValue(w, e);
+        }
+        w.endObject();
+        break;
+    }
+}
+
+int
+aggregate(const std::string& out_path,
+          const std::vector<std::string>& inputs)
+{
+    crono::obs::JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("crono.bench.v1");
+    w.key("results").beginArray();
+    std::size_t rows = 0, used = 0;
+    for (const std::string& path : inputs) {
+        Value doc;
+        if (!loadReport(path, "crono.bench.v1", &doc,
+                        /*quiet_schema=*/true)) {
+            std::fprintf(stderr,
+                         "bench_compare: skipping %s (not a "
+                         "crono.bench.v1 report)\n",
+                         path.c_str());
+            continue;
+        }
+        ++used;
+        // Re-emitting through the writer (rather than splicing text)
+        // keeps the output canonical even if an input was hand-edited.
+        for (const Value& row : rowsOf(doc)) {
+            ++rows;
+            emitValue(w, row);
+        }
+    }
+    w.endArray();
+    w.endObject();
+    if (!crono::obs::writeTextFile(out_path, w.str())) {
+        std::fprintf(stderr, "bench_compare: cannot write %s\n",
+                     out_path.c_str());
+        return 2;
+    }
+    std::printf("bench_compare: aggregated %zu rows from %zu/%zu "
+                "reports into %s\n",
+                rows, used, inputs.size(), out_path.c_str());
+    return 0;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: bench_compare [--tolerance=FRAC] [--min-seconds=S]\n"
+        "                     [--names-only] BASELINE.json "
+        "CURRENT.json\n"
+        "       bench_compare --aggregate OUT.json IN.json...\n");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    double tolerance = 0.10;
+    double min_seconds = 0.001;
+    bool names_only = false;
+    bool do_aggregate = false;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const char* const a = argv[i];
+        if (std::strncmp(a, "--tolerance=", 12) == 0) {
+            tolerance = std::strtod(a + 12, nullptr);
+        } else if (std::strncmp(a, "--min-seconds=", 14) == 0) {
+            min_seconds = std::strtod(a + 14, nullptr);
+        } else if (std::strcmp(a, "--names-only") == 0) {
+            names_only = true;
+        } else if (std::strcmp(a, "--aggregate") == 0) {
+            do_aggregate = true;
+        } else if (std::strncmp(a, "--", 2) == 0) {
+            std::fprintf(stderr, "bench_compare: unknown option %s\n",
+                         a);
+            usage();
+            return 2;
+        } else {
+            paths.emplace_back(a);
+        }
+    }
+
+    if (do_aggregate) {
+        if (paths.size() < 2) {
+            usage();
+            return 2;
+        }
+        const std::string out = paths.front();
+        paths.erase(paths.begin());
+        return aggregate(out, paths);
+    }
+
+    if (paths.size() != 2 || tolerance < 0.0) {
+        usage();
+        return 2;
+    }
+    Value base, cur;
+    if (!loadReport(paths[0], "crono.bench.v1", &base) ||
+        !loadReport(paths[1], "crono.bench.v1", &cur)) {
+        return 2;
+    }
+
+    const std::vector<Value>& base_rows = rowsOf(base);
+    const std::vector<Value>& cur_rows = rowsOf(cur);
+    int regressions = 0, missing = 0, compared = 0, skipped = 0;
+
+    for (const Value& brow : base_rows) {
+        const Value* n = brow.find("name");
+        if (n == nullptr || !n->isString()) {
+            continue;
+        }
+        const Value* crow = findRow(cur_rows, n->str);
+        if (crow == nullptr) {
+            std::printf("MISSING   %-40s (row lost from current)\n",
+                        n->str.c_str());
+            ++missing;
+            continue;
+        }
+        if (names_only) {
+            ++compared;
+            continue;
+        }
+        const double bt = numField(brow, "time_seconds");
+        const double ct = numField(*crow, "time_seconds");
+        if (bt < min_seconds) {
+            ++skipped; // below the noise floor — uncomparable
+            continue;
+        }
+        ++compared;
+        const double ratio = ct / bt;
+        if (ratio > 1.0 + tolerance) {
+            std::printf("REGRESSED %-40s %.4fs -> %.4fs (%+.1f%%)\n",
+                        n->str.c_str(), bt, ct,
+                        (ratio - 1.0) * 100.0);
+            ++regressions;
+        } else if (ratio < 1.0 - tolerance) {
+            std::printf("improved  %-40s %.4fs -> %.4fs (%+.1f%%)\n",
+                        n->str.c_str(), bt, ct,
+                        (ratio - 1.0) * 100.0);
+        }
+    }
+
+    std::printf("bench_compare: %d compared, %d skipped (< %.4gs), "
+                "%d regressed, %d missing (tolerance %.0f%%)\n",
+                compared, skipped, min_seconds, regressions, missing,
+                tolerance * 100.0);
+    return regressions > 0 || missing > 0 ? 1 : 0;
+}
