@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Branch-and-bound scaling table for the two rt::bnb kernels (TSP and
+ * maximum-common-subgraph). Each kernel runs a native thread sweep in
+ * every search mode the framework supports:
+ *
+ *  - TSP: "capture" (static branch designation, no donation — the
+ *    paper-faithful structure), "donate" (BranchStack work donation
+ *    enabled), "replay" (deterministic: round-robin branches,
+ *    thread-local bounds, tid-ordered merge);
+ *  - MCS: "donate" (its default — few top-level branches make
+ *    donation the only load-balancing lever) and "replay".
+ *
+ * Speedups are normalized to the exhaustive sequential baselines
+ * (core::seq::tspCost / core::seq::mcsSize), timed once per instance.
+ * Only the kernel call is timed; instance generation stays outside.
+ * Rows carry the search counters (branches, donations,
+ * bidomain_splits) so a donation-policy change shows up in the report
+ * even when wall-clock hides it.
+ *
+ * `--json=DIR` writes DIR/table_bnb.json ("crono.bench.v1");
+ * scripts/check_regression.sh gates `--quick --threads=1` against
+ * bench/baselines/bnb_quick_t1.json.
+ *
+ * Options beyond the common set: --threads=N (sweep 1,2,4,..,N;
+ * default: hardware concurrency), --trials=N, --cities=N,
+ * --pattern=N / --target=N / --labels=N (MCS instance).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/mcs.h"
+#include "core/sequential.h"
+#include "core/tsp.h"
+#include "graph/generators.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+
+namespace {
+
+using namespace crono;
+using graph::VertexId;
+
+struct BnbOptions {
+    bench::Options base;
+    int threads = 0; ///< sweep cap; 0 = hardware concurrency
+    int trials = 3;
+    VertexId cities = 12;
+    VertexId pattern = 9;
+    VertexId target = 11;
+    std::uint32_t labels = 3;
+};
+
+BnbOptions
+parseBnbOptions(int argc, char** argv)
+{
+    BnbOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const char* const a = argv[i];
+        if (std::strcmp(a, "--quick") == 0) {
+            opt.base.quick = true;
+        } else if (std::strncmp(a, "--seed=", 7) == 0) {
+            opt.base.seed = std::strtoull(a + 7, nullptr, 10);
+        } else if (std::strncmp(a, "--json=", 7) == 0) {
+            opt.base.json_dir = a + 7;
+        } else if (std::strcmp(a, "--json") == 0) {
+            opt.base.json_dir = ".";
+        } else if (std::strncmp(a, "--threads=", 10) == 0) {
+            opt.threads = std::atoi(a + 10);
+        } else if (std::strncmp(a, "--trials=", 9) == 0) {
+            opt.trials = std::atoi(a + 9);
+        } else if (std::strncmp(a, "--cities=", 9) == 0) {
+            opt.cities = static_cast<VertexId>(std::atoi(a + 9));
+        } else if (std::strncmp(a, "--pattern=", 10) == 0) {
+            opt.pattern = static_cast<VertexId>(std::atoi(a + 10));
+        } else if (std::strncmp(a, "--target=", 9) == 0) {
+            opt.target = static_cast<VertexId>(std::atoi(a + 9));
+        } else if (std::strncmp(a, "--labels=", 9) == 0) {
+            opt.labels = static_cast<std::uint32_t>(std::atoi(a + 9));
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", a);
+        }
+    }
+    if (opt.base.quick) {
+        opt.trials = std::min(opt.trials, 2);
+        opt.cities = std::min<VertexId>(opt.cities, 10);
+        opt.pattern = std::min<VertexId>(opt.pattern, 7);
+        opt.target = std::min<VertexId>(opt.target, 9);
+    }
+    if (opt.threads <= 0) {
+        opt.threads = static_cast<int>(
+            std::max(1u, std::thread::hardware_concurrency()));
+    }
+    return opt;
+}
+
+/** 1,2,4,... up to the cap; the cap itself when not a power of two. */
+std::vector<int>
+threadSweep(int max_threads)
+{
+    std::vector<int> out;
+    for (int t = 1; t <= max_threads; t *= 2) {
+        out.push_back(t);
+    }
+    if (out.back() != max_threads) {
+        out.push_back(max_threads);
+    }
+    return out;
+}
+
+/** Defeat dead-code elimination of the baselines. */
+std::uint64_t g_sink = 0;
+
+std::vector<obs::BenchResult> g_rows;
+
+void
+addRow(const std::string& short_kernel, const char* paper_kernel,
+       const std::string& instance_tag, std::uint64_t vertices,
+       std::uint64_t edges, int threads, const std::string& mode,
+       const std::vector<double>& par_trials, double seq_seconds,
+       double variability, std::uint64_t nodes,
+       std::vector<std::pair<std::string, std::uint64_t>> counters)
+{
+    double par_total = 0.0;
+    for (const double t : par_trials) {
+        par_total += t;
+    }
+    const double par_seconds =
+        par_trials.empty()
+            ? 0.0
+            : par_total / static_cast<double>(par_trials.size());
+    obs::BenchResult row;
+    row.name = "bnb/" + short_kernel + "/" + instance_tag + "/" + mode +
+               "/t" + std::to_string(threads);
+    row.kernel = paper_kernel;
+    row.graph = instance_tag;
+    row.vertices = vertices;
+    row.edges = edges;
+    row.threads = threads;
+    row.mode = mode;
+    row.time_seconds = par_seconds;
+    row.variability = variability;
+    // For a search kernel the natural work unit is tree nodes, not
+    // frontier rounds; reuse the rounds slot for the node count.
+    row.rounds = nodes;
+    row.seq_seconds = seq_seconds;
+    row.speedup = par_seconds > 0.0 ? seq_seconds / par_seconds : 0.0;
+    row.trials = par_trials.size();
+    row.setTrialPercentiles(par_trials);
+    row.counters = std::move(counters);
+    g_rows.push_back(std::move(row));
+    std::printf("%-6s %-14s %-8s t%-3d %10.4fs %10.4fs %8.2fx %10llu "
+                "nodes\n",
+                short_kernel.c_str(), instance_tag.c_str(), mode.c_str(),
+                threads, par_seconds, seq_seconds,
+                par_seconds > 0.0 ? seq_seconds / par_seconds : 0.0,
+                static_cast<unsigned long long>(nodes));
+}
+
+/** Time @p par over opt.trials runs; one counter window per row. */
+template <class Par>
+void
+searchKernel(const BnbOptions& opt, const std::string& short_kernel,
+             const char* paper_kernel, const std::string& instance_tag,
+             std::uint64_t vertices, std::uint64_t edges, int threads,
+             const std::string& mode, double seq_seconds, Par&& par)
+{
+    std::vector<double> par_trials;
+    par_trials.reserve(static_cast<std::size_t>(opt.trials));
+    double vari = 0.0;
+    std::uint64_t nodes = 0;
+    const obs::CounterSnapshot before = obs::counterSnapshot();
+    for (int t = 0; t < opt.trials; ++t) {
+        par_trials.push_back(bench::timedSeconds([&] {
+            const rt::RunInfo info = par(&nodes);
+            vari += info.variability;
+        }));
+    }
+    addRow(short_kernel, paper_kernel, instance_tag, vertices, edges,
+           threads, mode, par_trials,
+           seq_seconds, vari / static_cast<double>(opt.trials), nodes,
+           obs::counterDiff(before, obs::counterSnapshot()));
+}
+
+void
+runTspSection(const BnbOptions& opt, rt::NativeExecutor& exec)
+{
+    namespace gen = graph::generators;
+    const graph::AdjacencyMatrix cities =
+        gen::tspCities(opt.cities, opt.base.seed + 4);
+    const std::string tag = "cities(" + std::to_string(opt.cities) + ")";
+    const auto n64 = static_cast<std::uint64_t>(opt.cities);
+
+    const double seq_seconds = bench::timedSeconds(
+        [&] { g_sink += core::seq::tspCost(cities); });
+
+    const struct {
+        const char* mode;
+        rt::bnb::SearchConfig cfg;
+    } variants[] = {
+        {"capture", rt::bnb::SearchConfig{}},
+        {"donate", [] {
+             rt::bnb::SearchConfig c;
+             c.donate_factor = 4;
+             return c;
+         }()},
+        {"replay", [] {
+             rt::bnb::SearchConfig c;
+             c.deterministic = true;
+             return c;
+         }()},
+    };
+    for (const int nt : threadSweep(opt.threads)) {
+        for (const auto& v : variants) {
+            searchKernel(opt, "tsp", "TSP", tag, n64, n64 * n64, nt,
+                         v.mode, seq_seconds,
+                         [&](std::uint64_t* nodes) {
+                             auto res = core::tsp(exec, nt, cities,
+                                                  nullptr, v.cfg);
+                             *nodes = res.stats.nodes;
+                             g_sink += res.cost;
+                             return res.run;
+                         });
+        }
+    }
+}
+
+void
+runMcsSection(const BnbOptions& opt, rt::NativeExecutor& exec)
+{
+    namespace gen = graph::generators;
+    const graph::LabeledMatrix pattern = gen::labeledGraph(
+        opt.pattern, static_cast<graph::EdgeId>(opt.pattern) * 2,
+        opt.labels, opt.base.seed + 5);
+    const graph::LabeledMatrix target = gen::labeledGraph(
+        opt.target, static_cast<graph::EdgeId>(opt.target) * 2,
+        opt.labels, opt.base.seed + 6);
+    const std::string tag = "labeled(" + std::to_string(opt.pattern) +
+                            "," + std::to_string(opt.target) + ")";
+    const auto n64 = static_cast<std::uint64_t>(opt.pattern);
+    const auto m64 = static_cast<std::uint64_t>(opt.target);
+
+    const double seq_seconds = bench::timedSeconds(
+        [&] { g_sink += core::seq::mcsSize(pattern, target); });
+
+    const struct {
+        const char* mode;
+        rt::bnb::SearchConfig cfg;
+    } variants[] = {
+        {"donate", core::mcsDefaultConfig()},
+        {"replay", [] {
+             rt::bnb::SearchConfig c;
+             c.deterministic = true;
+             return c;
+         }()},
+    };
+    for (const int nt : threadSweep(opt.threads)) {
+        for (const auto& v : variants) {
+            searchKernel(opt, "mcs", "MCS", tag, n64, n64 * m64, nt,
+                         v.mode, seq_seconds,
+                         [&](std::uint64_t* nodes) {
+                             auto res = core::mcs(exec, nt, pattern,
+                                                  target, nullptr,
+                                                  v.cfg);
+                             *nodes = res.stats.nodes;
+                             g_sink += res.size;
+                             return res.run;
+                         });
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const BnbOptions opt = parseBnbOptions(argc, argv);
+    obs::TelemetrySession session;
+    rt::NativeExecutor exec(opt.threads);
+
+    std::printf("Branch-and-bound scaling table (threads<=%d, "
+                "trials=%d, seed=%llu)\n",
+                opt.threads, opt.trials,
+                static_cast<unsigned long long>(opt.base.seed));
+    std::printf("%-6s %-14s %-8s %-4s %11s %11s %9s %16s\n", "kernel",
+                "instance", "mode", "thr", "t_par", "t_seq", "speedup",
+                "tree");
+
+    runTspSection(opt, exec);
+    runMcsSection(opt, exec);
+
+    if (!opt.base.json_dir.empty()) {
+        const std::string path = opt.base.json_dir + "/table_bnb.json";
+        if (!bench::writeBenchReport(path, g_rows)) {
+            return 1;
+        }
+    }
+    (void)g_sink;
+    return 0;
+}

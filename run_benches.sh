@@ -9,7 +9,9 @@
 #                 DIR/table_reorder.json (crono.bench.v1, one row per
 #                 kernel x graph x ordering), bench_gap writes
 #                 DIR/table_gap.json (crono.bench.v1 with
-#                 baseline-normalized speedup fields), and every
+#                 baseline-normalized speedup fields), bench_bnb writes
+#                 DIR/table_bnb.json (crono.bench.v1, the
+#                 branch-and-bound thread/mode scaling table), and every
 #                 harness receives --json=DIR so multi-kernel sweeps
 #                 (bench_table1_suite) emit one crono.metrics.v1 file
 #                 per kernel instead of overwriting a single shared
@@ -47,7 +49,7 @@ for b in build/bench/bench_table1_suite build/bench/bench_fig1_breakdown \
          build/bench/bench_table4_graphs build/bench/bench_ablation_ackwise \
          build/bench/bench_ablation_locality build/bench/bench_ablation_noc \
          build/bench/bench_reorder build/bench/bench_gap \
-         build/bench/bench_profile; do
+         build/bench/bench_bnb build/bench/bench_profile; do
   echo "================================================================"
   echo "### $b ${json_args[*]:-} $*"
   "$b" ${json_args[@]+"${json_args[@]}"} "$@" \

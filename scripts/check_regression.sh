@@ -13,6 +13,9 @@
 #  3. Live stability: two back-to-back --quick runs on this machine
 #     compared with a wide tolerance, catching only order-of-magnitude
 #     blowups rather than scheduler noise.
+#  4. The same coverage + stability legs for bench_bnb against
+#     bench/baselines/bnb_quick_t1.json (the branch-and-bound
+#     thread/mode scaling table).
 #
 # Usage: scripts/check_regression.sh [BUILD_DIR]   (default: build)
 set -eu
@@ -43,5 +46,14 @@ echo "== 3. live same-machine stability =="
 "$gap" --quick --threads=1 --json="$tmp/b" > /dev/null
 "$compare" --tolerance=4.0 --min-seconds=0.003 \
   "$tmp/a/table_gap.json" "$tmp/b/table_gap.json"
+
+echo "== 4. branch-and-bound coverage + stability =="
+bnb="$build/bench/bench_bnb"
+bnb_baseline="bench/baselines/bnb_quick_t1.json"
+"$bnb" --quick --threads=1 --json="$tmp/a" > /dev/null
+"$compare" --names-only "$bnb_baseline" "$tmp/a/table_bnb.json"
+"$bnb" --quick --threads=1 --json="$tmp/b" > /dev/null
+"$compare" --tolerance=4.0 --min-seconds=0.003 \
+  "$tmp/a/table_bnb.json" "$tmp/b/table_bnb.json"
 
 echo "check_regression: all gates passed"

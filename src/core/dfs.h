@@ -86,8 +86,8 @@ dfsKernel(Ctx& ctx, DfsState<Ctx>& s)
             break; // target reached somewhere
         }
         bool done = false;
-        const std::uint32_t root = s.branches.pop(ctx, &done);
-        if (root == rt::par::BranchStack<Ctx>::kBranchNone) {
+        std::uint32_t root = 0;
+        if (!s.branches.pop(ctx, &root, &done)) {
             if (done) {
                 break;
             }
@@ -121,9 +121,10 @@ dfsKernel(Ctx& ctx, DfsState<Ctx>& s)
                 ctx.write(s.parent[u], v);
                 trackAdd(s.tracker, 1);
                 // Deepen along the first child; donate later siblings
-                // while other threads may be starving.
-                if (!first_child && s.branches.below(ctx, donate_below)) {
-                    s.branches.push(ctx, u);
+                // while other threads may be starving (a full stack
+                // declines the donation and the child stays local).
+                if (!first_child && s.branches.below(ctx, donate_below) &&
+                    s.branches.push(ctx, u)) {
                     ++donations;
                 } else {
                     local.push_back(u);

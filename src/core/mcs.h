@@ -1,0 +1,470 @@
+/**
+ * @file
+ * Maximum Common Subgraph — the suite's eleventh kernel, and the
+ * second consumer of the rt::bnb framework.
+ *
+ * Parallelization: branch and bound (McSplit-style). The search state
+ * is a *bidomain partition*: the not-yet-mapped pattern and target
+ * vertices are grouped into classes that are mutually mappable —
+ * initially by vertex label, refined on every mapping by adjacency to
+ * the newly mapped pair, so that two vertices share a class iff they
+ * have the same label and the same adjacency pattern towards every
+ * mapped vertex. Branching picks the most constrained bidomain (the
+ * McSplit min-max(|left|,|right|) rule), takes its smallest pattern
+ * vertex v, and emits one child per target vertex w (map v->w) plus a
+ * final child that excludes v. The incremental upper bound
+ * |M| + sum_i min(|left_i|, |right_i|) prunes against the global best.
+ *
+ * The suite minimizes (rt::GlobalBound is monotone non-increasing),
+ * so the maximized subgraph size s is carried as the objective
+ * n_cap - s with n_cap = min(|pattern|, |target|); every node's
+ * mapping is itself a feasible solution, so the objective is offered
+ * at every node (incumbent search), not only at leaves.
+ *
+ * Branch designation differs from TSP's two-level city prefix: the
+ * statically designated branches are the root's own children (one per
+ * candidate w, plus exclude-v). That yields few top-level branches,
+ * so MCS defaults donation ON (mcsDefaultConfig) — later siblings
+ * spill into the shared BranchStack while it is shallow, which is the
+ * donation path the TSan leg of the analysis workflow sweeps.
+ */
+
+#ifndef CRONO_CORE_MCS_H_
+#define CRONO_CORE_MCS_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/context.h"
+#include "graph/adjacency_matrix.h"
+#include "obs/telemetry.h"
+#include "runtime/bnb.h"
+#include "runtime/executor.h"
+#include "runtime/par.h"
+#include "runtime/strategies.h"
+
+namespace crono::core {
+
+/**
+ * Largest supported side (pattern or target). Vertex ids and segment
+ * offsets live in 8-bit fields of a trivially copyable node, and a
+ * bidomain partition of a 32-vertex side can hold at most 32 classes;
+ * McsPolicy's constructor is the single place the limit is checked.
+ */
+inline constexpr graph::VertexId kMaxMcs = 32;
+
+/** One class of mutually-mappable unmapped vertices. Left/right are
+ *  segments [l, l+ll) / [r, r+rl) of the node's vertex arrays. */
+struct McsBidomain {
+    std::uint8_t l = 0;
+    std::uint8_t r = 0;
+    std::uint8_t ll = 0;
+    std::uint8_t rl = 0;
+};
+
+/**
+ * One search state: the mapping built so far plus the bidomain
+ * partition of everything still unmapped. Trivially copyable so it
+ * can move through the shared donation stack whole. Segment contents
+ * stay sorted ascending (children are rebuilt by order-preserving
+ * gathers), which makes branch order deterministic.
+ */
+struct McsNode {
+    std::uint8_t left[kMaxMcs] = {};  ///< unmapped pattern vertices
+    std::uint8_t right[kMaxMcs] = {}; ///< unmapped target vertices
+    std::uint8_t pair_left[kMaxMcs] = {};  ///< mapping, pattern side
+    std::uint8_t pair_right[kMaxMcs] = {}; ///< mapping, target side
+    McsBidomain bds[kMaxMcs] = {};
+    std::uint8_t num_bds = 0;
+    std::uint8_t depth = 0; ///< |M|, pairs mapped so far
+};
+
+/** Maximum common induced labeled subgraph of two dense graphs. */
+struct McsResult {
+    std::uint64_t size = 0; ///< vertices in the common subgraph
+    /** Mapping pairs (pattern vertex, target vertex), size entries. */
+    std::vector<std::pair<graph::VertexId, graph::VertexId>> mapping;
+    rt::bnb::SearchStats stats; ///< nodes visited / donations
+    rt::RunInfo run;
+};
+
+/** MCS default search knobs: donation on (see file comment). */
+inline rt::bnb::SearchConfig
+mcsDefaultConfig()
+{
+    rt::bnb::SearchConfig cfg;
+    cfg.donate_factor = 4;
+    return cfg;
+}
+
+/**
+ * rt::bnb policy for McSplit MCS. Owns the best-mapping payload; the
+ * searcher owns bound, capture, donation, and termination.
+ */
+template <class Ctx>
+struct McsPolicy {
+    using Node = McsNode;
+
+    McsPolicy(const graph::LabeledMatrix& pattern,
+              const graph::LabeledMatrix& target,
+              rt::ActiveTracker* tracker_in)
+        : p_(pattern), t_(target), np_(pattern.adj.numVertices()),
+          nt_(target.adj.numVertices()),
+          n_cap_(np_ < nt_ ? np_ : nt_),
+          bestLeft(n_cap_ > 0 ? n_cap_ : 1, graph::kNoVertex),
+          bestRight(n_cap_ > 0 ? n_cap_ : 1, graph::kNoVertex),
+          tracker(tracker_in)
+    {
+        CRONO_REQUIRE(np_ >= 1 && np_ <= kMaxMcs &&
+                          nt_ >= 1 && nt_ <= kMaxMcs,
+                      "MCS supports 1..32 vertices per side");
+        buildRoot();
+    }
+
+    std::uint64_t
+    numBranches() const
+    {
+        // The designated branches are the root's children: one per
+        // candidate target vertex of the root's chosen bidomain plus
+        // the exclude-v branch. A root with no bidomain (no label in
+        // common) degenerates to one branch carrying the empty
+        // mapping.
+        if (root_bd_ < 0) {
+            return 1;
+        }
+        return static_cast<std::uint64_t>(
+                   root_.bds[root_bd_].rl) +
+               1;
+    }
+
+    bool
+    root(Ctx& ctx, std::uint64_t branch, Node* out)
+    {
+        trackAdd(tracker, 1);
+        if (root_bd_ < 0) {
+            *out = root_;
+            return true;
+        }
+        const McsBidomain& bd = root_.bds[root_bd_];
+        const std::uint8_t v = root_.left[bd.l];
+        if (branch < bd.rl) {
+            const std::uint8_t w =
+                root_.right[bd.r + static_cast<std::uint8_t>(branch)];
+            std::uint64_t splits = 0;
+            mapChild(ctx, root_, root_bd_, v, w, out, &splits);
+            obs::counterAdd(ctx, obs::Counter::kBidomainSplits,
+                            splits);
+        } else {
+            excludeChild(root_, root_bd_, v, out);
+        }
+        return true;
+    }
+
+    std::uint64_t
+    lowerBound(Ctx&, const Node& node) const
+    {
+        // Minimized form of the McSplit bound: the mapping can grow by
+        // at most min(|left|, |right|) per bidomain, so the objective
+        // can sink at most that far below n_cap - |M|.
+        std::uint64_t reach = node.depth;
+        for (std::uint8_t i = 0; i < node.num_bds; ++i) {
+            reach += node.bds[i].ll < node.bds[i].rl ? node.bds[i].ll
+                                                     : node.bds[i].rl;
+        }
+        return n_cap_ - reach;
+    }
+
+    bool
+    objective(Ctx&, const Node& node, std::uint64_t* value) const
+    {
+        // Every node's mapping is a feasible common subgraph: offer it
+        // as the incumbent (maximize |M| == minimize n_cap - |M|).
+        *value = n_cap_ - node.depth;
+        return true;
+    }
+
+    template <class Emit>
+    void
+    expand(Ctx& ctx, const Node& node, Emit&& emit) const
+    {
+        const int bd_idx = chooseBidomain(node);
+        if (bd_idx < 0) {
+            return; // nothing left to map
+        }
+        const McsBidomain& bd = node.bds[bd_idx];
+        const std::uint8_t v = node.left[bd.l]; // smallest (sorted)
+        std::uint64_t splits = 0;
+        for (std::uint8_t r = 0; r < bd.rl; ++r) {
+            const std::uint8_t w = node.right[bd.r + r];
+            Node child;
+            mapChild(ctx, node, bd_idx, v, w, &child, &splits);
+            ctx.work(1);
+            emit(child);
+        }
+        Node child;
+        excludeChild(node, bd_idx, v, &child);
+        emit(child);
+        obs::counterAdd(ctx, obs::Counter::kBidomainSplits, splits);
+    }
+
+    void
+    install(Ctx& ctx, const Node& node)
+    {
+        for (std::uint8_t i = 0; i < node.depth; ++i) {
+            ctx.write(bestLeft[i],
+                      static_cast<graph::VertexId>(node.pair_left[i]));
+            ctx.write(bestRight[i], static_cast<graph::VertexId>(
+                                        node.pair_right[i]));
+        }
+    }
+
+    void branchDone(Ctx&) { trackAdd(tracker, -1); }
+
+    const graph::LabeledMatrix& p_;
+    const graph::LabeledMatrix& t_;
+    graph::VertexId np_;
+    graph::VertexId nt_;
+    graph::VertexId n_cap_;
+    AlignedVector<graph::VertexId> bestLeft;
+    AlignedVector<graph::VertexId> bestRight;
+    rt::ActiveTracker* tracker;
+    Node root_{};
+    int root_bd_ = -1; ///< root's chosen bidomain, -1 if none
+
+  private:
+    /** McSplit selection rule: most constrained bidomain first —
+     *  minimize max(|left|, |right|), ties to the lowest index. */
+    static int
+    chooseBidomain(const Node& node)
+    {
+        int best = -1;
+        std::uint8_t best_score = 0;
+        for (std::uint8_t i = 0; i < node.num_bds; ++i) {
+            const std::uint8_t score = node.bds[i].ll > node.bds[i].rl
+                                           ? node.bds[i].ll
+                                           : node.bds[i].rl;
+            if (best < 0 || score < best_score) {
+                best = i;
+                best_score = score;
+            }
+        }
+        return best;
+    }
+
+    /** Append a bidomain built from gathered classes to @p out. */
+    static void
+    appendBidomain(Node* out, std::uint8_t* lc, std::uint8_t* rc,
+                   const std::uint8_t* lv, std::uint8_t ln,
+                   const std::uint8_t* rv, std::uint8_t rn)
+    {
+        McsBidomain nb;
+        nb.l = *lc;
+        nb.r = *rc;
+        nb.ll = ln;
+        nb.rl = rn;
+        for (std::uint8_t j = 0; j < ln; ++j) {
+            out->left[(*lc)++] = lv[j];
+        }
+        for (std::uint8_t j = 0; j < rn; ++j) {
+            out->right[(*rc)++] = rv[j];
+        }
+        out->bds[out->num_bds++] = nb;
+    }
+
+    /**
+     * Child that maps v -> w: every bidomain is re-partitioned by
+     * adjacency to the new pair (adjacent-with-adjacent and
+     * non-adjacent-with-non-adjacent survive; mixed classes die).
+     * Order-preserving gathers keep segments sorted.
+     */
+    void
+    mapChild(Ctx& ctx, const Node& p, int bd_idx, std::uint8_t v,
+             std::uint8_t w, Node* out, std::uint64_t* splits) const
+    {
+        Node c{};
+        for (std::uint8_t i = 0; i < p.depth; ++i) {
+            c.pair_left[i] = p.pair_left[i];
+            c.pair_right[i] = p.pair_right[i];
+        }
+        c.pair_left[p.depth] = v;
+        c.pair_right[p.depth] = w;
+        c.depth = p.depth + 1;
+        std::uint8_t lc = 0;
+        std::uint8_t rc = 0;
+        for (std::uint8_t i = 0; i < p.num_bds; ++i) {
+            const McsBidomain& bd = p.bds[i];
+            std::uint8_t la[kMaxMcs];
+            std::uint8_t ln_[kMaxMcs];
+            std::uint8_t ra[kMaxMcs];
+            std::uint8_t rn_[kMaxMcs];
+            std::uint8_t nla = 0;
+            std::uint8_t nln = 0;
+            std::uint8_t nra = 0;
+            std::uint8_t nrn = 0;
+            for (std::uint8_t j = 0; j < bd.ll; ++j) {
+                const std::uint8_t u = p.left[bd.l + j];
+                if (static_cast<std::uint8_t>(bd_idx) ==
+                        static_cast<std::uint8_t>(i) &&
+                    u == v) {
+                    continue; // v is now mapped
+                }
+                if (ctx.read(p_.adj.row(v)[u]) !=
+                    graph::AdjacencyMatrix::kInfWeight) {
+                    la[nla++] = u;
+                } else {
+                    ln_[nln++] = u;
+                }
+            }
+            for (std::uint8_t j = 0; j < bd.rl; ++j) {
+                const std::uint8_t u = p.right[bd.r + j];
+                if (static_cast<std::uint8_t>(bd_idx) ==
+                        static_cast<std::uint8_t>(i) &&
+                    u == w) {
+                    continue; // w is now mapped
+                }
+                if (ctx.read(t_.adj.row(w)[u]) !=
+                    graph::AdjacencyMatrix::kInfWeight) {
+                    ra[nra++] = u;
+                } else {
+                    rn_[nrn++] = u;
+                }
+            }
+            int produced = 0;
+            if (nla > 0 && nra > 0) {
+                appendBidomain(&c, &lc, &rc, la, nla, ra, nra);
+                ++produced;
+            }
+            if (nln > 0 && nrn > 0) {
+                appendBidomain(&c, &lc, &rc, ln_, nln, rn_, nrn);
+                ++produced;
+            }
+            if (produced == 2) {
+                ++*splits; // one class genuinely split in two
+            }
+        }
+        *out = c;
+    }
+
+    /** Child that declares v unmappable: drop it from its bidomain
+     *  (an emptied left side kills the whole class). */
+    static void
+    excludeChild(const Node& p, int bd_idx, std::uint8_t v, Node* out)
+    {
+        Node c{};
+        for (std::uint8_t i = 0; i < p.depth; ++i) {
+            c.pair_left[i] = p.pair_left[i];
+            c.pair_right[i] = p.pair_right[i];
+        }
+        c.depth = p.depth;
+        std::uint8_t lc = 0;
+        std::uint8_t rc = 0;
+        for (std::uint8_t i = 0; i < p.num_bds; ++i) {
+            const McsBidomain& bd = p.bds[i];
+            std::uint8_t lv[kMaxMcs];
+            std::uint8_t nl = 0;
+            for (std::uint8_t j = 0; j < bd.ll; ++j) {
+                const std::uint8_t u = p.left[bd.l + j];
+                if (static_cast<std::uint8_t>(bd_idx) ==
+                        static_cast<std::uint8_t>(i) &&
+                    u == v) {
+                    continue;
+                }
+                lv[nl++] = u;
+            }
+            if (nl == 0) {
+                continue;
+            }
+            appendBidomain(&c, &lc, &rc, lv, nl,
+                           p.right + bd.r, bd.rl);
+        }
+        *out = c;
+    }
+
+    /** Host-side: initial label-class partition + root branch pick. */
+    void
+    buildRoot()
+    {
+        // One pass per distinct pattern label (ascending) keeps
+        // segments sorted and the class order deterministic; labels
+        // only the target has can never form a class.
+        std::uint32_t distinct[kMaxMcs];
+        std::uint8_t num_distinct = 0;
+        for (graph::VertexId v = 0; v < np_; ++v) {
+            const std::uint32_t label = p_.labels[v];
+            std::uint8_t pos = 0;
+            while (pos < num_distinct && distinct[pos] < label) {
+                ++pos;
+            }
+            if (pos < num_distinct && distinct[pos] == label) {
+                continue;
+            }
+            for (std::uint8_t j = num_distinct; j > pos; --j) {
+                distinct[j] = distinct[j - 1];
+            }
+            distinct[pos] = label;
+            ++num_distinct;
+        }
+        std::uint8_t lc = 0;
+        std::uint8_t rc = 0;
+        for (std::uint8_t i = 0; i < num_distinct; ++i) {
+            const std::uint32_t label = distinct[i];
+            std::uint8_t lv[kMaxMcs];
+            std::uint8_t rv[kMaxMcs];
+            std::uint8_t nl = 0;
+            std::uint8_t nr = 0;
+            for (graph::VertexId v = 0; v < np_; ++v) {
+                if (p_.labels[v] == label) {
+                    lv[nl++] = static_cast<std::uint8_t>(v);
+                }
+            }
+            for (graph::VertexId v = 0; v < nt_; ++v) {
+                if (t_.labels[v] == label) {
+                    rv[nr++] = static_cast<std::uint8_t>(v);
+                }
+            }
+            if (nl > 0 && nr > 0) {
+                appendBidomain(&root_, &lc, &rc, lv, nl, rv, nr);
+            }
+        }
+        root_bd_ = chooseBidomain(root_);
+    }
+};
+
+/**
+ * Find a maximum common induced subgraph of two labeled dense graphs.
+ */
+template <class Exec>
+McsResult
+mcs(Exec& exec, int nthreads, const graph::LabeledMatrix& pattern,
+    const graph::LabeledMatrix& target,
+    rt::ActiveTracker* tracker = nullptr,
+    rt::bnb::SearchConfig cfg = mcsDefaultConfig())
+{
+    using Ctx = typename Exec::Ctx;
+    obs::ScopedHostSpan kernel_span("MCS",
+                                    pattern.adj.numVertices());
+    McsPolicy<Ctx> policy(pattern, target, tracker);
+    rt::bnb::Searcher<Ctx, McsPolicy<Ctx>> searcher(policy, nthreads,
+                                                    cfg);
+    rt::RunInfo info = exec.parallel(
+        nthreads, [&searcher](Ctx& ctx) { searcher.run(ctx); });
+    McsResult result;
+    // The empty mapping is offered at branch roots, so the bound is
+    // always <= n_cap after a run; the guard only covers nthreads-0
+    // style misuse where no node was ever visited.
+    result.size = searcher.value() == rt::bnb::kNoSolution
+                      ? 0
+                      : policy.n_cap_ - searcher.value();
+    result.mapping.reserve(result.size);
+    for (std::uint64_t i = 0; i < result.size; ++i) {
+        result.mapping.emplace_back(policy.bestLeft[i],
+                                    policy.bestRight[i]);
+    }
+    result.stats = searcher.stats();
+    result.run = std::move(info);
+    return result;
+}
+
+} // namespace crono::core
+
+#endif // CRONO_CORE_MCS_H_

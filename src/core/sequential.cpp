@@ -167,6 +167,63 @@ tspCost(const graph::AdjacencyMatrix& cities)
     return best;
 }
 
+namespace {
+
+bool
+mcsAdjacent(const graph::AdjacencyMatrix& m, graph::VertexId a,
+            graph::VertexId b)
+{
+    return m.at(a, b) != graph::AdjacencyMatrix::kInfWeight;
+}
+
+void
+mcsSearchSeq(const graph::LabeledMatrix& p, const graph::LabeledMatrix& t,
+             graph::VertexId v, std::uint32_t used,
+             std::vector<std::pair<graph::VertexId, graph::VertexId>>& m,
+             std::uint64_t* best)
+{
+    if (v == p.adj.numVertices()) {
+        *best = std::max(*best, static_cast<std::uint64_t>(m.size()));
+        return;
+    }
+    // Skip v entirely...
+    mcsSearchSeq(p, t, v + 1, used, m, best);
+    // ...or map it to every unused, label-equal, induced-consistent w.
+    for (graph::VertexId w = 0; w < t.adj.numVertices(); ++w) {
+        if ((used & (1u << w)) || p.labels[v] != t.labels[w]) {
+            continue;
+        }
+        bool consistent = true;
+        for (const auto& [pv, tw] : m) {
+            if (mcsAdjacent(p.adj, v, pv) != mcsAdjacent(t.adj, w, tw)) {
+                consistent = false;
+                break;
+            }
+        }
+        if (!consistent) {
+            continue;
+        }
+        m.emplace_back(v, w);
+        mcsSearchSeq(p, t, v + 1, used | (1u << w), m, best);
+        m.pop_back();
+    }
+}
+
+} // namespace
+
+std::uint64_t
+mcsSize(const graph::LabeledMatrix& pattern,
+        const graph::LabeledMatrix& target)
+{
+    CRONO_REQUIRE(pattern.adj.numVertices() <= 16 &&
+                      target.adj.numVertices() <= 16,
+                  "sequential MCS supports up to 16 vertices per side");
+    std::uint64_t best = 0;
+    std::vector<std::pair<graph::VertexId, graph::VertexId>> mapping;
+    mcsSearchSeq(pattern, target, 0, 0, mapping, &best);
+    return best;
+}
+
 std::vector<graph::VertexId>
 componentLabels(const graph::Graph& g)
 {

@@ -46,6 +46,15 @@ std::vector<std::uint64_t> betweenness(const graph::AdjacencyMatrix& m);
 /** Exact optimal TSP tour cost by branch and bound (n <= 16). */
 std::uint64_t tspCost(const graph::AdjacencyMatrix& cities);
 
+/**
+ * Exact maximum common induced labeled subgraph size by exhaustive
+ * enumeration (each pattern vertex is skipped or mapped to any
+ * label-equal, adjacency-consistent unused target vertex). Feasible
+ * for sides up to ~8 vertices; the oracle for core::mcs.
+ */
+std::uint64_t mcsSize(const graph::LabeledMatrix& pattern,
+                      const graph::LabeledMatrix& target);
+
 /** Component label of every vertex (smallest member id). */
 std::vector<graph::VertexId> componentLabels(const graph::Graph& g);
 

@@ -21,6 +21,7 @@ constexpr BenchmarkInfo kRegistry[kNumBenchmarks] = {
      "Vertex Capture & Graph Division"},
     {BenchmarkId::comm, "COMM", "Graph Processing",
      "Vertex Capture & Graph Division"},
+    {BenchmarkId::mcs, "MCS", "Search", "Branch and Bound"},
 };
 
 } // namespace

@@ -20,6 +20,7 @@
 #include "core/connected_components.h"
 #include "core/delta_stepping.h"
 #include "core/dfs.h"
+#include "core/mcs.h"
 #include "core/pagerank.h"
 #include "core/sssp.h"
 #include "core/triangle_count.h"
@@ -27,7 +28,7 @@
 
 namespace crono::core {
 
-/** The ten CRONO benchmarks. */
+/** The ten CRONO benchmarks plus the MCS extension kernel. */
 enum class BenchmarkId : int {
     ssspDijk = 0,
     apsp,
@@ -39,10 +40,11 @@ enum class BenchmarkId : int {
     triCnt,
     pageRank,
     comm,
+    mcs, ///< maximum common subgraph (rt::bnb extension kernel)
 };
 
 /** Number of benchmarks in the suite. */
-inline constexpr int kNumBenchmarks = 10;
+inline constexpr int kNumBenchmarks = 11;
 
 /** Registry row (Table I of the paper). */
 struct BenchmarkInfo {
@@ -66,6 +68,8 @@ struct Workload {
     const graph::Graph* graph = nullptr;            ///< CSR kernels
     const graph::AdjacencyMatrix* matrix = nullptr; ///< APSP / BETW_CENT
     const graph::AdjacencyMatrix* cities = nullptr; ///< TSP
+    const graph::LabeledMatrix* mcs_pattern = nullptr; ///< MCS
+    const graph::LabeledMatrix* mcs_target = nullptr;  ///< MCS
     graph::VertexId source = 0;
     unsigned pr_iterations = 5;
     unsigned comm_rounds = 8;
@@ -141,6 +145,10 @@ runBenchmark(BenchmarkId id, Exec& exec, int nthreads, const Workload& w,
       case BenchmarkId::comm:
         return communityDetection(exec, nthreads, *w.graph, w.comm_rounds,
                                   tracker)
+            .run;
+      case BenchmarkId::mcs:
+        return mcs(exec, nthreads, *w.mcs_pattern, *w.mcs_target,
+                   tracker)
             .run;
     }
     CRONO_ASSERT(false, "unknown benchmark id");

@@ -2,16 +2,21 @@
  * @file
  * Travelling Salesman Problem (Section III-6).
  *
- * Parallelization: branch and bound. The tour starts at city 0;
- * two-level branches (the choice of second and third city) are
- * designated statically and captured by threads through an atomic
- * counter (par::vertexMapCapture over branch indices — the same
- * capture idiom the vertex kernels use, applied to subproblems). Each
- * thread searches its branch depth-first, pruning against a global
- * best-cost bound that is read racily on the hot path and improved
- * under an atomic lock — exactly the scheme the paper describes.
- * Threads whose branch cost exceeds the bound abandon the branch and
- * capture the next one.
+ * Parallelization: branch and bound, expressed as an rt::bnb policy.
+ * The tour starts at city 0; two-level branches (the choice of second
+ * and third city) are designated statically and captured by threads
+ * through the searcher's atomic counter — the same capture idiom the
+ * vertex kernels use, applied to subproblems. Each thread searches
+ * its branch depth-first, pruning against a global best-cost bound
+ * that is read racily on the hot path and improved under an atomic
+ * lock — exactly the scheme the paper describes. Threads whose branch
+ * cost exceeds the bound abandon the branch and capture the next one.
+ *
+ * The searcher loop, donation, bound protocol, and replay mode all
+ * live in runtime/bnb.h; this file only knows how to root, expand,
+ * bound, and install tours. Donation is off by default
+ * (SearchConfig::donate_factor = 0) so the default run preserves the
+ * paper's capture-only structure node-for-node.
  */
 
 #ifndef CRONO_CORE_TSP_H_
@@ -23,150 +28,171 @@
 #include "core/context.h"
 #include "graph/adjacency_matrix.h"
 #include "obs/telemetry.h"
+#include "runtime/bnb.h"
 #include "runtime/executor.h"
 #include "runtime/par.h"
 #include "runtime/strategies.h"
 
 namespace crono::core {
 
+/**
+ * Largest supported tour. The search node tracks visited cities in a
+ * 64-bit mask and carries a fixed-size path, so this is the single
+ * place the limit is set; TspPolicy's constructor is the single place
+ * it is checked.
+ */
+inline constexpr graph::VertexId kMaxTspCities = 64;
+
+/** One partial tour: a trivially-copyable rt::bnb search node. */
+struct TspNode {
+    std::uint64_t visited = 0; ///< bitmask over cities (bit 0 = start)
+    std::uint64_t cost = 0;    ///< cost of the prefix path
+    std::uint32_t depth = 0;   ///< cities placed so far
+    graph::VertexId path[kMaxTspCities] = {};
+};
+
 /** Optimal (exact) tour over the input cities. */
 struct TspResult {
     std::uint64_t cost = 0;
     std::vector<graph::VertexId> tour; ///< starts at city 0
+    rt::bnb::SearchStats stats;        ///< nodes visited / donations
     rt::RunInfo run;
 };
 
+/**
+ * rt::bnb policy for exact TSP. Owns the best-tour payload; the
+ * searcher owns bound, capture, donation, and termination.
+ */
 template <class Ctx>
-struct TspState {
-    TspState(const graph::AdjacencyMatrix& cities_in,
-             rt::ActiveTracker* tracker_in)
+struct TspPolicy {
+    using Node = TspNode;
+
+    TspPolicy(const graph::AdjacencyMatrix& cities_in,
+              rt::ActiveTracker* tracker_in)
         : cities(cities_in), n(cities_in.numVertices()),
           bestTour(cities_in.numVertices(), graph::kNoVertex),
           tracker(tracker_in)
     {
-        CRONO_REQUIRE(n >= 2 && n <= 30, "TSP supports 2..30 cities");
+        CRONO_REQUIRE(n >= 2 && n <= kMaxTspCities,
+                      "TSP supports 2..64 cities");
     }
 
-    const graph::AdjacencyMatrix& cities;
-    graph::VertexId n;
-    rt::GlobalBound<Ctx> bound;
-    AlignedVector<graph::VertexId> bestTour;
-    typename Ctx::Mutex bestLock;
-    rt::CaptureCounter counter;
-    rt::ActiveTracker* tracker;
-};
+    std::uint64_t
+    numBranches() const
+    {
+        // Branches are designated statically at two levels (the choice
+        // of second and third city) so there are (n-1)(n-2) of them —
+        // enough for high thread counts to find work even as the bound
+        // prunes whole branches. Below 4 cities there is no two-level
+        // prefix; a single branch solves the instance.
+        if (n < 4) {
+            return 1;
+        }
+        return static_cast<std::uint64_t>(n - 1) * (n - 2);
+    }
 
-/**
- * Recursive branch-and-bound search below a fixed tour prefix.
- * @p nodes counts search-tree nodes entered (telemetry: kBranches).
- */
-template <class Ctx>
-void
-tspSearch(Ctx& ctx, TspState<Ctx>& s, std::vector<graph::VertexId>& path,
-          std::uint32_t visited_mask, std::uint64_t cost,
-          std::uint64_t& nodes)
-{
-    ctx.work(2);
-    ++nodes;
-    // Prune: the racy bound read can only be stale-high, which merely
-    // delays pruning.
-    if (cost >= s.bound.current(ctx)) {
-        return;
-    }
-    const graph::VertexId cur = path.back();
-    if (path.size() == s.n) {
-        const std::uint64_t total =
-            cost + ctx.read(s.cities.row(cur)[0]); // close the tour
-        if (s.bound.tryImprove(ctx, total)) {
-            ScopedLock<Ctx> guard(ctx, s.bestLock);
-            // Re-check under the lock: a concurrent improvement past
-            // `total` must not be overwritten by this (worse) tour.
-            // Declared-racy probe: bestLock does not order against the
-            // bound's own mutex, so a concurrent improver may write
-            // mid-read. Any mismatch (stale or fresh) skips the copy,
-            // leaving the tour to the better bound's owner.
-            if (ctx.readAtomic(s.bound.value) == total) {
-                for (graph::VertexId i = 0; i < s.n; ++i) {
-                    ctx.write(s.bestTour[i], path[i]);
-                }
-            }
-        }
-        return;
-    }
-    for (graph::VertexId next = 1; next < s.n; ++next) {
-        if (visited_mask & (1u << next)) {
-            continue;
-        }
-        const graph::Weight d = ctx.read(s.cities.row(cur)[next]);
-        path.push_back(next);
-        tspSearch(ctx, s, path, visited_mask | (1u << next), cost + d,
-                  nodes);
-        path.pop_back();
-    }
-}
-
-template <class Ctx>
-void
-tspKernel(Ctx& ctx, TspState<Ctx>& s)
-{
-    std::vector<graph::VertexId> path;
-    path.reserve(s.n);
-    std::uint64_t nodes = 0;
-    if (s.n < 4) {
-        // Too few cities for two-level branches: solve on one thread.
-        if (ctx.tid() == 0) {
-            path.push_back(0);
-            tspSearch(ctx, s, path, 1u, 0, nodes);
-        }
-        obs::counterAdd(ctx, obs::Counter::kBranches, nodes);
-        return;
-    }
-    // Branches are designated statically at two levels (the choice of
-    // second and third city) so there are (n-1)(n-2) of them — enough
-    // for high thread counts to find work even as the bound prunes
-    // whole branches.
-    const std::uint64_t num_branches =
-        static_cast<std::uint64_t>(s.n - 1) * (s.n - 2);
-    rt::par::vertexMapCapture(
-        ctx, s.counter, num_branches, [&](std::uint64_t branch) {
-            trackAdd(s.tracker, 1);
+    bool
+    root(Ctx& ctx, std::uint64_t branch, Node* out)
+    {
+        trackAdd(tracker, 1);
+        Node node{};
+        node.path[0] = 0;
+        node.visited = 1;
+        node.depth = 1;
+        if (n >= 4) {
             const auto second =
-                static_cast<graph::VertexId>(branch / (s.n - 2) + 1);
+                static_cast<graph::VertexId>(branch / (n - 2) + 1);
             auto third =
-                static_cast<graph::VertexId>(branch % (s.n - 2) + 1);
+                static_cast<graph::VertexId>(branch % (n - 2) + 1);
             if (third >= second) {
                 ++third; // skip the second city's slot
             }
-            path.clear();
-            path.push_back(0);
-            path.push_back(second);
-            path.push_back(third);
-            const std::uint64_t d =
-                static_cast<std::uint64_t>(
-                    ctx.read(s.cities.row(0)[second])) +
-                ctx.read(s.cities.row(second)[third]);
-            tspSearch(ctx, s, path,
-                      (1u << 0) | (1u << second) | (1u << third), d,
-                      nodes);
-            trackAdd(s.tracker, -1);
-        });
-    obs::counterAdd(ctx, obs::Counter::kBranches, nodes);
-}
+            node.path[1] = second;
+            node.path[2] = third;
+            node.visited |= (std::uint64_t{1} << second) |
+                            (std::uint64_t{1} << third);
+            node.depth = 3;
+            node.cost = static_cast<std::uint64_t>(
+                            ctx.read(cities.row(0)[second])) +
+                        ctx.read(cities.row(second)[third]);
+        }
+        *out = node;
+        return true;
+    }
+
+    std::uint64_t
+    lowerBound(Ctx&, const Node& node) const
+    {
+        return node.cost; // prefix cost is an admissible bound
+    }
+
+    bool
+    objective(Ctx& ctx, const Node& node, std::uint64_t* value) const
+    {
+        if (node.depth != n) {
+            return false;
+        }
+        const graph::VertexId cur = node.path[node.depth - 1];
+        *value = node.cost + ctx.read(cities.row(cur)[0]); // close tour
+        return true;
+    }
+
+    template <class Emit>
+    void
+    expand(Ctx& ctx, const Node& node, Emit&& emit) const
+    {
+        if (node.depth == n) {
+            return; // complete tour, no extensions
+        }
+        const graph::VertexId cur = node.path[node.depth - 1];
+        for (graph::VertexId next = 1; next < n; ++next) {
+            if (node.visited & (std::uint64_t{1} << next)) {
+                continue;
+            }
+            const graph::Weight d = ctx.read(cities.row(cur)[next]);
+            Node child = node;
+            child.path[child.depth] = next;
+            child.visited |= std::uint64_t{1} << next;
+            child.cost += d;
+            ++child.depth;
+            emit(child);
+        }
+    }
+
+    void
+    install(Ctx& ctx, const Node& node)
+    {
+        for (graph::VertexId i = 0; i < n; ++i) {
+            ctx.write(bestTour[i], node.path[i]);
+        }
+    }
+
+    void branchDone(Ctx&) { trackAdd(tracker, -1); }
+
+    const graph::AdjacencyMatrix& cities;
+    graph::VertexId n;
+    AlignedVector<graph::VertexId> bestTour;
+    rt::ActiveTracker* tracker;
+};
 
 /** Solve TSP exactly over a symmetric distance matrix. */
 template <class Exec>
 TspResult
 tsp(Exec& exec, int nthreads, const graph::AdjacencyMatrix& cities,
-    rt::ActiveTracker* tracker = nullptr)
+    rt::ActiveTracker* tracker = nullptr,
+    rt::bnb::SearchConfig cfg = {})
 {
     using Ctx = typename Exec::Ctx;
     obs::ScopedHostSpan kernel_span("TSP", cities.numVertices());
-    TspState<Ctx> state(cities, tracker);
+    TspPolicy<Ctx> policy(cities, tracker);
+    rt::bnb::Searcher<Ctx, TspPolicy<Ctx>> searcher(policy, nthreads,
+                                                    cfg);
     rt::RunInfo info = exec.parallel(
-        nthreads, [&state](Ctx& ctx) { tspKernel(ctx, state); });
+        nthreads, [&searcher](Ctx& ctx) { searcher.run(ctx); });
     TspResult result;
-    result.cost = state.bound.value;
-    result.tour.assign(state.bestTour.begin(), state.bestTour.end());
+    result.cost = searcher.value();
+    result.tour.assign(policy.bestTour.begin(), policy.bestTour.end());
+    result.stats = searcher.stats();
     result.run = std::move(info);
     return result;
 }

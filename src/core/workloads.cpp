@@ -74,7 +74,15 @@ WorkloadSet::WorkloadSet(const WorkloadConfig& cfg,
           cfg.matrix_vertices,
           static_cast<graph::EdgeId>(cfg.matrix_vertices) * 8,
           /*max_weight=*/64, cfg.seed + 1))),
-      cities_(gen::tspCities(cfg.tsp_cities, cfg.seed + 2))
+      cities_(gen::tspCities(cfg.tsp_cities, cfg.seed + 2)),
+      mcs_pattern_(gen::labeledGraph(
+          cfg.mcs_pattern_vertices,
+          static_cast<graph::EdgeId>(cfg.mcs_pattern_vertices) * 2,
+          cfg.mcs_labels, cfg.seed + 3)),
+      mcs_target_(gen::labeledGraph(
+          cfg.mcs_target_vertices,
+          static_cast<graph::EdgeId>(cfg.mcs_target_vertices) * 2,
+          cfg.mcs_labels, cfg.seed + 4))
 {
 }
 
@@ -85,6 +93,8 @@ WorkloadSet::forBenchmark(BenchmarkId) const
     w.graph = &graph_;
     w.matrix = &matrix_;
     w.cities = &cities_;
+    w.mcs_pattern = &mcs_pattern_;
+    w.mcs_target = &mcs_target_;
     // Kernels run in the relabeled space; the canonical source vertex
     // (original id 0) travels through the permutation with them.
     w.source = perm_.toNew(0);
@@ -100,6 +110,7 @@ recommendedReordering(BenchmarkId id, GraphKind kind)
       case BenchmarkId::apsp:
       case BenchmarkId::betwCent:
       case BenchmarkId::tsp:
+      case BenchmarkId::mcs:
         return graph::Reordering::kNone; // dense-matrix inputs
       default:
         break;

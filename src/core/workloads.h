@@ -38,6 +38,9 @@ struct WorkloadConfig {
     graph::EdgeId edges_per_vertex = 16; ///< sparse/social edge factor
     graph::VertexId matrix_vertices = 96;
     graph::VertexId tsp_cities = 10;
+    graph::VertexId mcs_pattern_vertices = 8;
+    graph::VertexId mcs_target_vertices = 10;
+    std::uint32_t mcs_labels = 3;
     unsigned pr_iterations = 5;
     unsigned comm_rounds = 8;
     std::uint64_t seed = 42;
@@ -63,6 +66,8 @@ class WorkloadSet {
     const graph::Graph& graph() const { return graph_; }
     const graph::AdjacencyMatrix& matrix() const { return matrix_; }
     const graph::AdjacencyMatrix& cities() const { return cities_; }
+    const graph::LabeledMatrix& mcsPattern() const { return mcs_pattern_; }
+    const graph::LabeledMatrix& mcsTarget() const { return mcs_target_; }
     const WorkloadConfig& config() const { return cfg_; }
 
     /**
@@ -80,6 +85,8 @@ class WorkloadSet {
     graph::VertexPermutation perm_;
     graph::AdjacencyMatrix matrix_;
     graph::AdjacencyMatrix cities_;
+    graph::LabeledMatrix mcs_pattern_;
+    graph::LabeledMatrix mcs_target_;
 };
 
 /** Build the CSR graph of @p kind at the requested size. */

@@ -59,6 +59,19 @@ class AdjacencyMatrix {
     VertexId n_;
 };
 
+/**
+ * Dense graph with a label per vertex — the input shape of the MCS
+ * (maximum common subgraph) kernel, where only equally-labeled
+ * vertices may map onto each other. Edges are symmetric and
+ * unweighted in spirit (kInfWeight = absent, anything else = present).
+ */
+struct LabeledMatrix {
+    explicit LabeledMatrix(VertexId n) : adj(n), labels(n, 0) {}
+
+    AdjacencyMatrix adj;
+    AlignedVector<std::uint32_t> labels;
+};
+
 } // namespace crono::graph
 
 #endif // CRONO_GRAPH_ADJACENCY_MATRIX_H_

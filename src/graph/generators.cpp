@@ -160,6 +160,30 @@ tspCities(VertexId n, std::uint64_t seed)
     return m;
 }
 
+LabeledMatrix
+labeledGraph(VertexId n, EdgeId edges, std::uint32_t num_labels,
+             std::uint64_t seed)
+{
+    CRONO_REQUIRE(n >= 1, "labeledGraph needs >= 1 vertex");
+    CRONO_REQUIRE(num_labels >= 1, "labeledGraph needs >= 1 label");
+    Rng rng(seed);
+    LabeledMatrix g(n);
+    for (VertexId v = 0; v < n; ++v) {
+        g.labels[v] =
+            static_cast<std::uint32_t>(rng.nextBelow(num_labels));
+    }
+    for (EdgeId i = 0; i < edges; ++i) {
+        auto a = static_cast<VertexId>(rng.nextBelow(n));
+        auto b = static_cast<VertexId>(rng.nextBelow(n));
+        if (a == b) {
+            continue; // self loop: drop
+        }
+        g.adj.set(a, b, 1);
+        g.adj.set(b, a, 1);
+    }
+    return g;
+}
+
 Graph
 path(VertexId n)
 {

@@ -60,6 +60,15 @@ Graph socialNetwork(unsigned scale, unsigned edge_factor,
 AdjacencyMatrix tspCities(VertexId n, std::uint64_t seed);
 
 /**
+ * Random vertex-labeled dense graph for the MCS kernel: @p edges
+ * symmetric unit-weight edge attempts (self loops and duplicates
+ * collapse), labels uniform in [0, num_labels).
+ */
+LabeledMatrix labeledGraph(VertexId n, EdgeId edges,
+                           std::uint32_t num_labels,
+                           std::uint64_t seed);
+
+/**
  * GAP-specification Kronecker (R-MAT) graph: a = 0.57, b = c = 0.19,
  * d = 0.05, *without* the per-level parameter noise socialNetwork
  * adds — this is the Graph500 / GAP Benchmark Suite input recipe, so

@@ -74,6 +74,8 @@ counterName(Counter c)
         return "heavy_relaxations";
       case Counter::kLoadMs:
         return "load_ms";
+      case Counter::kBidomainSplits:
+        return "bidomain_splits";
     }
     return "unknown";
 }

@@ -92,19 +92,20 @@ enum class Counter : std::uint8_t {
     kStallCycles,      ///< sim: non-compute (memory + sync) cycles
     kPullRounds,       ///< rounds consumed pull-side (direction opt.)
     kCaptures,         ///< work items claimed via vertex capture
-    kDonations,        ///< DFS branches donated to the shared stack
+    kDonations,        ///< branches donated to a shared stack
     kMoves,            ///< community-detection vertex moves
     kTriangles,        ///< triangles enumerated (each exactly once)
-    kBranches,         ///< TSP search-tree nodes visited
+    kBranches,         ///< B&B (TSP/MCS) search-tree nodes visited
     kReorderMs,        ///< milliseconds spent reordering a graph
     kBlockFills,       ///< (bin, destination) entries in blocked layouts
     kBucketSteps,      ///< delta-stepping light-bucket phases executed
     kStaleSkips,       ///< delta-stepping bucket entries superseded
     kHeavyRelaxations, ///< delta-stepping heavy-edge relaxations tried
     kLoadMs,           ///< milliseconds spent parsing a graph file
+    kBidomainSplits,   ///< MCS bidomain classes split during expansion
 };
 
-inline constexpr int kNumCounters = 25;
+inline constexpr int kNumCounters = 26;
 
 /** Printable counter name, e.g. "steal_chunks". */
 const char* counterName(Counter c);

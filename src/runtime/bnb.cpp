@@ -1,0 +1,11 @@
+#include "runtime/bnb.h"
+
+namespace crono::rt::bnb {
+
+const char*
+searchModeName(bool deterministic)
+{
+    return deterministic ? "replay" : "capture";
+}
+
+} // namespace crono::rt::bnb

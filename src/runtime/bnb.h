@@ -1,0 +1,360 @@
+/**
+ * @file
+ * rt::bnb — the generalized parallel branch-and-bound framework.
+ *
+ * TSP (Section III-6 of the paper) hard-codes a pattern: branches
+ * designated statically, captured by threads through an atomic
+ * counter, searched depth-first against a global best-cost bound that
+ * is read racily on the hot path and improved under a lock. That
+ * machinery — par::BranchStack, rt::GlobalBound, the CaptureCounter
+ * capture idiom — is one hand-specialized instance of a reusable
+ * parallel search abstraction. This header expresses it once, as a
+ * typed Searcher over a pluggable Policy, so a second B&B workload
+ * (the McSplit maximum-common-subgraph kernel) is a policy rather
+ * than a reimplementation, and both inherit the same telemetry, race
+ * discipline, and deterministic-replay story.
+ *
+ * Policy concept (see core::TspPolicy / core::McsPolicy):
+ *
+ *   using Node = ...;              // trivially copyable search node
+ *   std::uint64_t numBranches();   // static branch designation
+ *   bool root(Ctx&, std::uint64_t branch, Node* out);
+ *                                  // build branch root; false = skip
+ *   std::uint64_t lowerBound(Ctx&, const Node&);
+ *                                  // optimistic completion cost
+ *   bool objective(Ctx&, const Node&, std::uint64_t* value);
+ *                                  // candidate solution at this node?
+ *   void expand(Ctx&, const Node&, Emit&&);
+ *                                  // emit children in DFS order
+ *   void install(Ctx&, const Node&);
+ *                                  // record solution payload (called
+ *                                  // under the searcher's best-lock)
+ *   void branchDone(Ctx&);         // one designated branch finished
+ *
+ * Everything is minimized: a maximizing policy (MCS) maps its score s
+ * onto the objective `cap - s`, which keeps rt::GlobalBound's
+ * monotone-non-increasing contract (and its readAtomic pruning
+ * justification) intact for every consumer.
+ *
+ * Search-node lifecycle: a node is born in policy.root() (branch
+ * roots) or policy.expand() (children), lives on the thread-private
+ * DFS stack — plain memory, never modeled, exactly like the old TSP
+ * kernel's private path vector — and dies when popped: the searcher
+ * counts it (kBranches), offers its objective to the bound, prunes it
+ * against the racy global bound, or expands it. A node crosses
+ * threads only by donation, which moves the whole (trivially
+ * copyable) node through the Ctx-modeled shared BranchStack.
+ *
+ * Donation policy: after the first child of an expansion is kept
+ * local (deepen-first, same as the DFS kernel), later siblings are
+ * donated while the shared stack is below donate_factor * nthreads
+ * entries (below() is a declared-racy probe; a full stack declines
+ * the push and the child stays local). donate_factor = 0 disables
+ * donation entirely — the TSP default, preserving the paper's
+ * capture-only structure.
+ *
+ * Bound protocol (lifted verbatim from TSP): prune on a racy
+ * bound.current() read — stale values are only ever high, so a miss
+ * merely delays pruning; improve via tryImprove()'s
+ * filter-then-lock-then-recheck; install the winning payload under a
+ * separate best-lock only after re-reading the bound equals the
+ * candidate, so a concurrently installed better solution is never
+ * overwritten by a worse one.
+ *
+ * Deterministic replay mode (SearchConfig::deterministic): branches
+ * are assigned by fixed round-robin (branch b to thread b % T)
+ * instead of atomic capture, donation is disabled, and each thread
+ * prunes only against a thread-local bound — no cross-thread reads on
+ * the search path at all — with the per-thread bests merged once, in
+ * tid order, behind a barrier. Node visit counts are then a pure
+ * function of (policy, nthreads), reproducible across runs, so the
+ * race detector and the differential harness can compare a replay
+ * run against a sequential oracle node-for-node (T = 1 replays the
+ * oracle's exact visit order).
+ */
+
+#ifndef CRONO_RUNTIME_BNB_H_
+#define CRONO_RUNTIME_BNB_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/macros.h"
+#include "obs/telemetry.h"
+#include "runtime/par.h"
+#include "runtime/strategies.h"
+
+namespace crono::rt::bnb {
+
+/** Objective value meaning "no solution installed yet". */
+inline constexpr std::uint64_t kNoSolution = ~std::uint64_t{0};
+
+/** Donation and replay knobs for one Searcher. */
+struct SearchConfig {
+    /**
+     * Donate later siblings while the shared stack holds fewer than
+     * donate_factor * nthreads nodes. 0 disables donation (TSP's
+     * paper-faithful capture-only default).
+     */
+    std::uint64_t donate_factor = 0;
+    /** Shared donation-stack capacity (nodes). */
+    std::uint64_t stack_capacity = 256;
+    /**
+     * Deterministic replay: fixed branch order, donation disabled,
+     * thread-local bounds merged in tid order behind a barrier.
+     */
+    bool deterministic = false;
+};
+
+/** Printable name of a searcher mode ("capture" / "replay"). */
+const char* searchModeName(bool deterministic);
+
+/** Aggregated statistics of the most recent run. */
+struct SearchStats {
+    std::uint64_t nodes = 0;     ///< search-tree nodes visited
+    std::uint64_t donations = 0; ///< nodes moved through the stack
+};
+
+/**
+ * Typed parallel branch-and-bound searcher. Construct host-side, run
+ * from every thread of one parallel region, read value() host-side
+ * afterwards. The Policy holds the solution payload; the searcher
+ * owns bound, branch designation, donation, and termination.
+ */
+template <class Ctx, class Policy>
+class Searcher {
+  public:
+    using Node = typename Policy::Node;
+    static_assert(std::is_trivially_copyable_v<Node>,
+                  "search nodes move through the shared stack by copy");
+
+    Searcher(Policy& policy, int nthreads, SearchConfig cfg = {})
+        : policy_(policy), cfg_(cfg), shared_(cfg.stack_capacity),
+          locals_(static_cast<std::size_t>(nthreads))
+    {
+        CRONO_REQUIRE(nthreads > 0, "Searcher needs >= 1 thread");
+        CRONO_REQUIRE(cfg.stack_capacity > 0,
+                      "Searcher needs a nonempty shared stack");
+    }
+
+    /** Thread body: call exactly once from every region thread. */
+    void
+    run(Ctx& ctx)
+    {
+        SearchStats st;
+        std::vector<Node> local;
+        if (cfg_.deterministic) {
+            runReplay(ctx, local, st);
+        } else {
+            runCapture(ctx, local, st);
+        }
+        ctx.fetchAdd(nodes_.value, st.nodes);
+        ctx.fetchAdd(donations_.value, st.donations);
+        obs::counterAdd(ctx, obs::Counter::kBranches, st.nodes);
+        obs::counterAdd(ctx, obs::Counter::kDonations, st.donations);
+    }
+
+    /** Best objective installed, or kNoSolution (host-side). */
+    std::uint64_t value() const { return bound_.value; }
+
+    /** Whole-run statistics, summed over threads (host-side). */
+    SearchStats
+    stats() const
+    {
+        return {nodes_.value, donations_.value};
+    }
+
+  private:
+    /** Shared-bound handle: the capture-mode pruning/install path. */
+    struct SharedBound {
+        Searcher* s;
+
+        std::uint64_t
+        current(Ctx& ctx)
+        {
+            return s->bound_.current(ctx);
+        }
+
+        void
+        offer(Ctx& ctx, std::uint64_t value, const Node& n)
+        {
+            if (!s->bound_.tryImprove(ctx, value)) {
+                return;
+            }
+            ctx.lock(s->best_lock_);
+            // Re-check under the lock: a concurrent improvement past
+            // `value` must not be overwritten by this (worse)
+            // solution. Declared-racy probe: best_lock_ does not
+            // order against the bound's own mutex, so a concurrent
+            // improver may write mid-read; any mismatch skips the
+            // install, leaving the payload to the better bound's
+            // owner.
+            if (ctx.readAtomic(s->bound_.value) == value) {
+                s->policy_.install(ctx, n);
+            }
+            ctx.unlock(s->best_lock_);
+        }
+    };
+
+    /** Thread-local bound handle: the replay-mode path (no shared
+     *  reads; the merge happens later, in tid order). */
+    struct LocalBound {
+        std::uint64_t best = kNoSolution;
+        Node node{};
+        bool has_node = false;
+
+        std::uint64_t current(Ctx&) const { return best; }
+
+        void
+        offer(Ctx&, std::uint64_t value, const Node& n)
+        {
+            if (value < best) {
+                best = value;
+                node = n;
+                has_node = true;
+            }
+        }
+    };
+
+    void
+    runCapture(Ctx& ctx, std::vector<Node>& local, SearchStats& st)
+    {
+        SharedBound bound{this};
+        const std::uint64_t total = policy_.numBranches();
+        const std::uint64_t donate_limit =
+            cfg_.donate_factor *
+            static_cast<std::uint64_t>(ctx.nthreads());
+        bool captures_done = false;
+        for (;;) {
+            if (!captures_done) {
+                const std::uint64_t b =
+                    captureNext(ctx, counter_, total);
+                if (b == kCaptureDone) {
+                    captures_done = true;
+                } else {
+                    obs::counterAdd(ctx, obs::Counter::kCaptures, 1);
+                    shared_.enter(ctx);
+                    Node root;
+                    if (policy_.root(ctx, b, &root)) {
+                        dfsFrom(ctx, root, local, bound, donate_limit,
+                                st);
+                    }
+                    shared_.finish(ctx);
+                    policy_.branchDone(ctx);
+                    continue;
+                }
+            }
+            bool done = false;
+            Node n;
+            if (shared_.pop(ctx, &n, &done)) {
+                dfsFrom(ctx, n, local, bound, donate_limit, st);
+                shared_.finish(ctx);
+            } else if (done) {
+                break;
+            } else {
+                ctx.work(8); // idle poll
+            }
+        }
+    }
+
+    void
+    runReplay(Ctx& ctx, std::vector<Node>& local, SearchStats& st)
+    {
+        LocalBound& bound =
+            locals_[static_cast<std::size_t>(ctx.tid())].value;
+        const std::uint64_t total = policy_.numBranches();
+        const auto tid = static_cast<std::uint64_t>(ctx.tid());
+        const auto nthreads =
+            static_cast<std::uint64_t>(ctx.nthreads());
+        for (std::uint64_t b = tid; b < total; b += nthreads) {
+            Node root;
+            if (policy_.root(ctx, b, &root)) {
+                dfsFrom(ctx, root, local, bound, /*donate_limit=*/0,
+                        st);
+            }
+            policy_.branchDone(ctx);
+        }
+        ctx.barrier();
+        // Merge in tid order on one thread: deterministic winner
+        // (strict improvement keeps the lowest-tid holder on ties),
+        // installed through the same offer protocol so the payload
+        // path is identical to capture mode.
+        if (ctx.tid() == 0) {
+            SharedBound merged{this};
+            for (int t = 0; t < ctx.nthreads(); ++t) {
+                const LocalBound& lb =
+                    locals_[static_cast<std::size_t>(t)].value;
+                if (lb.has_node &&
+                    ctx.read(lb.best) < bound_.current(ctx)) {
+                    merged.offer(ctx, ctx.read(lb.best), lb.node);
+                }
+            }
+        }
+    }
+
+    /**
+     * Exhaust the subtree rooted at @p root depth-first. Children are
+     * visited in the policy's emission order (the local stack holds
+     * them reversed so the first child is deepened next); later
+     * siblings are donated while the shared stack is shallow.
+     */
+    template <class Bound>
+    void
+    dfsFrom(Ctx& ctx, const Node& root, std::vector<Node>& local,
+            Bound& bound, std::uint64_t donate_limit, SearchStats& st)
+    {
+        const std::size_t base = local.size();
+        local.push_back(root);
+        while (local.size() > base) {
+            const Node n = local.back();
+            local.pop_back();
+            ctx.work(2);
+            ++st.nodes;
+            std::uint64_t value = 0;
+            if (policy_.objective(ctx, n, &value)) {
+                bound.offer(ctx, value, n);
+            }
+            // Prune: the racy bound read can only be stale-high,
+            // which merely delays pruning (replay mode reads a
+            // thread-local bound instead — no read at all).
+            if (policy_.lowerBound(ctx, n) >= bound.current(ctx)) {
+                continue;
+            }
+            const std::size_t mark = local.size();
+            std::uint64_t emitted = 0;
+            policy_.expand(ctx, n, [&](const Node& child) {
+                // Deepen along the first child; donate later siblings
+                // while other threads may be starving (full stack =>
+                // donation declined, child stays local).
+                ++emitted;
+                if (emitted > 1 && donate_limit > 0 &&
+                    shared_.below(ctx, donate_limit) &&
+                    shared_.push(ctx, child)) {
+                    ++st.donations;
+                } else {
+                    local.push_back(child);
+                }
+            });
+            std::reverse(local.begin() +
+                             static_cast<std::ptrdiff_t>(mark),
+                         local.end());
+        }
+    }
+
+    Policy& policy_;
+    SearchConfig cfg_;
+    GlobalBound<Ctx> bound_;
+    typename Ctx::Mutex best_lock_;
+    CaptureCounter counter_;
+    par::BranchStack<Ctx, Node> shared_;
+    std::vector<Padded<LocalBound>> locals_; ///< replay per-thread bests
+    Padded<std::uint64_t> nodes_;
+    Padded<std::uint64_t> donations_;
+};
+
+} // namespace crono::rt::bnb
+
+#endif // CRONO_RUNTIME_BNB_H_

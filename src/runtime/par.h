@@ -607,13 +607,17 @@ tryClaim(Ctx& ctx, std::uint32_t* claimed, std::uint32_t v)
 }
 
 /**
- * Shared LIFO of subtree roots for branch-parallel traversals (DFS).
- * pop() increments a `working` count under the stack lock so the
- * empty+idle termination test is race-free: a thread observing an
- * empty stack with zero workers knows no branch can ever appear
- * again.
+ * Shared LIFO of subtree roots for branch-parallel traversals (DFS)
+ * and the rt::bnb search framework. pop() increments a `working`
+ * count under the stack lock so the empty+idle termination test is
+ * race-free: a thread observing an empty stack with zero workers
+ * knows no branch can ever appear again.
+ *
+ * The element type defaults to the vertex ids DFS donates; rt::bnb
+ * instantiates it with whole (trivially copyable) search nodes, so a
+ * donation moves the entire subproblem through the modeled stack.
  */
-template <class Ctx>
+template <class Ctx, class T = std::uint32_t>
 class BranchStack {
   public:
     /** @param capacity max simultaneous entries (use V). */
@@ -621,34 +625,49 @@ class BranchStack {
 
     /** Host-side, pre-region: push the initial branch root(s). */
     void
-    hostSeed(std::uint32_t v)
+    hostSeed(const T& v)
     {
         stack_[top_.value] = v;
         ++top_.value;
     }
 
     /**
-     * Pop a branch root, registering the caller as working. Returns
-     * the root, or kBranchNone with *done telling the caller whether
-     * the traversal is over (empty stack, nobody working) or it
-     * should retry after an idle poll.
+     * Pop a branch root into @p out, registering the caller as
+     * working. Returns true on success; on false, *done tells the
+     * caller whether the traversal is over (empty stack, nobody
+     * working) or it should retry after an idle poll.
      */
-    std::uint32_t
-    pop(Ctx& ctx, bool* done)
+    bool
+    pop(Ctx& ctx, T* out, bool* done)
     {
         ctx.lock(lock_);
         const std::uint64_t top = ctx.read(top_.value);
-        std::uint32_t v = kBranchNone;
+        bool popped = false;
         if (top > 0) {
-            v = ctx.read(stack_[top - 1]);
+            *out = ctx.read(stack_[top - 1]);
             ctx.write(top_.value, top - 1);
             ctx.write(working_.value, ctx.read(working_.value) + 1);
+            popped = true;
             *done = false;
         } else {
             *done = ctx.read(working_.value) == 0;
         }
         ctx.unlock(lock_);
-        return v;
+        return popped;
+    }
+
+    /**
+     * Register the caller as working without popping — for work
+     * obtained outside the stack (rt::bnb's statically designated
+     * branches), so the empty+idle termination test still covers the
+     * donations that work may produce. Pair with finish().
+     */
+    void
+    enter(Ctx& ctx)
+    {
+        ctx.lock(lock_);
+        ctx.write(working_.value, ctx.read(working_.value) + 1);
+        ctx.unlock(lock_);
     }
 
     /** Racy shallowness probe — donation heuristic, stale reads fine
@@ -660,15 +679,24 @@ class BranchStack {
         return ctx.readAtomic(top_.value) < limit;
     }
 
-    /** Donate @p v as a new branch root. */
-    void
-    push(Ctx& ctx, std::uint32_t v)
+    /**
+     * Donate @p v as a new branch root. Returns false (declining the
+     * donation) when the stack is at capacity — the caller keeps the
+     * branch and explores it locally, so capacity exhaustion degrades
+     * to less parallelism, never to loss of work.
+     */
+    bool
+    push(Ctx& ctx, const T& v)
     {
         ctx.lock(lock_);
         const std::uint64_t top = ctx.read(top_.value);
-        ctx.write(stack_[top], v);
-        ctx.write(top_.value, top + 1);
+        const bool fits = top < stack_.size();
+        if (fits) {
+            ctx.write(stack_[top], v);
+            ctx.write(top_.value, top + 1);
+        }
         ctx.unlock(lock_);
+        return fits;
     }
 
     /** Caller finished (or abandoned) its branch. */
@@ -680,11 +708,8 @@ class BranchStack {
         ctx.unlock(lock_);
     }
 
-    /** Sentinel returned by pop() when no branch was available. */
-    static constexpr std::uint32_t kBranchNone = ~std::uint32_t{0};
-
   private:
-    AlignedVector<std::uint32_t> stack_;
+    AlignedVector<T> stack_;
     Padded<std::uint64_t> top_;
     Padded<std::uint64_t> working_;
     typename Ctx::Mutex lock_;

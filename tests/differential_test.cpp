@@ -11,7 +11,7 @@
  *  - exact equality after inverse-mapping for distances, levels,
  *    component labels (canonicalized to min original member),
  *    betweenness counts, APSP entries and scalar invariants
- *    (triangle count, TSP cost);
+ *    (triangle count, TSP cost, MCS size);
  *  - ASSERT_NEAR for PageRank (relabeling permutes the summation
  *    order of a floating-point reduction);
  *  - validity predicates for tie-broken quantities (BFS/DFS parent
@@ -375,6 +375,39 @@ checkTsp(Exec& exec, int threads, const graph::AdjacencyMatrix& cities,
     EXPECT_EQ(res.cost, oracle);
 }
 
+graph::LabeledMatrix
+permuteLabeled(const graph::LabeledMatrix& g,
+               const VertexPermutation& perm)
+{
+    graph::LabeledMatrix out(g.adj.numVertices());
+    out.adj = graph::permuteMatrix(g.adj, perm);
+    for (VertexId v = 0; v < g.adj.numVertices(); ++v) {
+        out.labels[perm.toNew(v)] = g.labels[v];
+    }
+    return out;
+}
+
+template <class Exec>
+void
+checkMcs(Exec& exec, int threads, const graph::LabeledMatrix& pattern,
+         const graph::LabeledMatrix& target,
+         const VertexPermutation& pperm, const VertexPermutation& tperm)
+{
+    const std::uint64_t oracle = core::seq::mcsSize(pattern, target);
+    const graph::LabeledMatrix pp = permuteLabeled(pattern, pperm);
+    const graph::LabeledMatrix pt = permuteLabeled(target, tperm);
+    // The maximum common subgraph size is invariant under relabeling
+    // of either side; the mapping itself is tie-broken. Run both the
+    // default donation config and deterministic replay.
+    const auto res = core::mcs(exec, threads, pp, pt);
+    EXPECT_EQ(res.size, oracle);
+    rt::bnb::SearchConfig replay;
+    replay.deterministic = true;
+    const auto rep =
+        core::mcs(exec, threads, pp, pt, nullptr, replay);
+    EXPECT_EQ(rep.size, oracle);
+}
+
 // ----------------------------------------------------- native sweeps
 
 class Differential : public ::testing::TestWithParam<std::string> {
@@ -459,7 +492,7 @@ TEST_P(Differential, Community)
 INSTANTIATE_TEST_SUITE_P(Families, Differential,
                          ::testing::ValuesIn(kFamilies));
 
-TEST(DifferentialMatrix, ApspBetweennessTsp)
+TEST(DifferentialMatrix, ApspBetweennessTspMcs)
 {
     constexpr int kThreads = 4;
     rt::NativeExecutor exec(kThreads);
@@ -469,6 +502,10 @@ TEST(DifferentialMatrix, ApspBetweennessTsp)
         const graph::AdjacencyMatrix m(
             gen::uniformRandom(20, 140, 64, s + 3));
         const graph::AdjacencyMatrix cities = gen::tspCities(7, s + 4);
+        const graph::LabeledMatrix pattern =
+            gen::labeledGraph(6, 12, 2, s + 5);
+        const graph::LabeledMatrix target =
+            gen::labeledGraph(7, 14, 2, s + 6);
         // >= 3 "orderings" per seed: identity plus two label shuffles
         // (dense inputs have no degree structure to order by).
         for (const std::uint64_t pseed : {std::uint64_t{0}, s * 2 + 1,
@@ -480,9 +517,13 @@ TEST(DifferentialMatrix, ApspBetweennessTsp)
             const VertexPermutation cperm =
                 pseed == 0 ? VertexPermutation::identity(7)
                            : matrixPermutation(7, pseed);
+            const VertexPermutation mperm =
+                pseed == 0 ? VertexPermutation::identity(6)
+                           : matrixPermutation(6, pseed);
             checkApsp(exec, kThreads, m, perm, kAllModes);
             checkBetweenness(exec, kThreads, m, perm);
             checkTsp(exec, kThreads, cities, cperm);
+            checkMcs(exec, kThreads, pattern, target, mperm, cperm);
         }
     }
 }
@@ -527,7 +568,7 @@ TEST_P(DifferentialSim, AllCsrKernels)
     }
 }
 
-TEST(DifferentialSimMatrix, ApspBetweennessTsp)
+TEST(DifferentialSimMatrix, ApspBetweennessTspMcs)
 {
     constexpr int kThreads = 4;
     sim::Machine machine(test::smallSimConfig());
@@ -537,6 +578,10 @@ TEST(DifferentialSimMatrix, ApspBetweennessTsp)
         const graph::AdjacencyMatrix m(
             gen::uniformRandom(16, 96, 64, s + 3));
         const graph::AdjacencyMatrix cities = gen::tspCities(6, s + 4);
+        const graph::LabeledMatrix pattern =
+            gen::labeledGraph(5, 9, 2, s + 5);
+        const graph::LabeledMatrix target =
+            gen::labeledGraph(6, 11, 2, s + 6);
         for (const std::uint64_t pseed :
              {std::uint64_t{0}, s * 2 + 1, s * 2 + 2}) {
             SCOPED_TRACE("perm " + std::to_string(pseed));
@@ -546,10 +591,14 @@ TEST(DifferentialSimMatrix, ApspBetweennessTsp)
             const VertexPermutation cperm =
                 pseed == 0 ? VertexPermutation::identity(6)
                            : matrixPermutation(6, pseed);
+            const VertexPermutation mperm =
+                pseed == 0 ? VertexPermutation::identity(5)
+                           : matrixPermutation(5, pseed);
             checkApsp(machine, kThreads, m, perm,
                       std::span<const FrontierMode>(kAllModes, 1));
             checkBetweenness(machine, kThreads, m, perm);
             checkTsp(machine, kThreads, cities, cperm);
+            checkMcs(machine, kThreads, pattern, target, mperm, cperm);
         }
     }
 }

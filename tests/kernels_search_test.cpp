@@ -11,6 +11,7 @@
 
 #include "core/bfs.h"
 #include "core/dfs.h"
+#include "core/mcs.h"
 #include "core/sequential.h"
 #include "core/tsp.h"
 #include "tests/kernel_test_util.h"
@@ -229,6 +230,115 @@ TEST(Tsp, SimulatorFindsOptimum)
     sim::Machine machine(test::smallSimConfig());
     const auto result = core::tsp(machine, 8, cities);
     EXPECT_EQ(result.cost, core::seq::tspCost(cities));
+}
+
+/** Induced-subgraph consistency of an MCS mapping against both input
+ *  graphs: labels equal pairwise, adjacency patterns identical. */
+void
+checkMcsMapping(const graph::LabeledMatrix& pattern,
+                const graph::LabeledMatrix& target,
+                const core::McsResult& res)
+{
+    ASSERT_EQ(res.mapping.size(), res.size);
+    const auto adjacent = [](const graph::LabeledMatrix& g,
+                             graph::VertexId a, graph::VertexId b) {
+        return g.adj.at(a, b) != graph::AdjacencyMatrix::kInfWeight;
+    };
+    for (std::size_t i = 0; i < res.mapping.size(); ++i) {
+        const auto [v, w] = res.mapping[i];
+        ASSERT_LT(v, pattern.adj.numVertices());
+        ASSERT_LT(w, target.adj.numVertices());
+        EXPECT_EQ(pattern.labels[v], target.labels[w]);
+        for (std::size_t j = i + 1; j < res.mapping.size(); ++j) {
+            const auto [v2, w2] = res.mapping[j];
+            EXPECT_NE(v, v2);
+            EXPECT_NE(w, w2);
+            EXPECT_EQ(adjacent(pattern, v, v2), adjacent(target, w, w2))
+                << "pairs (" << v << "," << w << ") (" << v2 << ","
+                << w2 << ")";
+        }
+    }
+}
+
+class McsParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(McsParamTest, MatchesBruteForceOracleOnRandomLabeledGraphs)
+{
+    const int threads = GetParam();
+    rt::NativeExecutor exec(threads);
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+        const graph::VertexId np = 3 + seed % 5;  // 3..7
+        const graph::VertexId nt = 4 + seed % 5;  // 4..8
+        const std::uint32_t labels = 1 + seed % 3; // 1..3
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        const auto pattern = graph::generators::labeledGraph(
+            np, np * 2, labels, seed * 7 + 1);
+        const auto target = graph::generators::labeledGraph(
+            nt, nt * 2, labels, seed * 7 + 2);
+        const auto res = core::mcs(exec, threads, pattern, target);
+        EXPECT_EQ(res.size, core::seq::mcsSize(pattern, target));
+        checkMcsMapping(pattern, target, res);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, McsParamTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(Mcs, IdenticalGraphsMapCompletely)
+{
+    const auto g = graph::generators::labeledGraph(7, 14, 2, 9);
+    rt::NativeExecutor exec(4);
+    const auto res = core::mcs(exec, 4, g, g);
+    EXPECT_EQ(res.size, 7u);
+    checkMcsMapping(g, g, res);
+}
+
+TEST(Mcs, DisjointLabelsShareNothing)
+{
+    graph::LabeledMatrix pattern(3);
+    graph::LabeledMatrix target(3);
+    for (graph::VertexId v = 0; v < 3; ++v) {
+        pattern.labels[v] = 0;
+        target.labels[v] = 1;
+    }
+    rt::NativeExecutor exec(2);
+    const auto res = core::mcs(exec, 2, pattern, target);
+    EXPECT_EQ(res.size, 0u);
+    EXPECT_TRUE(res.mapping.empty());
+}
+
+TEST(Mcs, TriangleFoundInsideLargerGraph)
+{
+    // Pattern: a labeled triangle. Target: the same triangle plus a
+    // pendant path; all labels equal, so structure decides.
+    graph::LabeledMatrix pattern(3);
+    for (graph::VertexId v = 0; v < 3; ++v) {
+        pattern.adj.set(v, (v + 1) % 3, 1);
+        pattern.adj.set((v + 1) % 3, v, 1);
+    }
+    graph::LabeledMatrix target(6);
+    for (graph::VertexId v = 0; v < 3; ++v) {
+        target.adj.set(v, (v + 1) % 3, 1);
+        target.adj.set((v + 1) % 3, v, 1);
+    }
+    target.adj.set(3, 4, 1);
+    target.adj.set(4, 3, 1);
+    target.adj.set(4, 5, 1);
+    target.adj.set(5, 4, 1);
+    rt::NativeExecutor exec(4);
+    const auto res = core::mcs(exec, 4, pattern, target);
+    EXPECT_EQ(res.size, 3u);
+    checkMcsMapping(pattern, target, res);
+}
+
+TEST(Mcs, SimulatorMatchesOracle)
+{
+    const auto pattern = graph::generators::labeledGraph(6, 10, 2, 12);
+    const auto target = graph::generators::labeledGraph(7, 14, 2, 13);
+    sim::Machine machine(test::smallSimConfig());
+    const auto res = core::mcs(machine, 8, pattern, target);
+    EXPECT_EQ(res.size, core::seq::mcsSize(pattern, target));
+    checkMcsMapping(pattern, target, res);
 }
 
 } // namespace

@@ -42,6 +42,9 @@ sweepConfig(core::GraphKind kind)
     wc.edges_per_vertex = 6;
     wc.matrix_vertices = 20;
     wc.tsp_cities = 6;
+    wc.mcs_pattern_vertices = 6;
+    wc.mcs_target_vertices = 7;
+    wc.mcs_labels = 2;
     wc.pr_iterations = 2;
     wc.comm_rounds = 3;
     return wc;
