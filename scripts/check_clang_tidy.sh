@@ -1,0 +1,89 @@
+#!/bin/bash
+# New-violations-only clang-tidy gate (DESIGN.md §16).
+#
+# Runs clang-tidy (checks from .clang-tidy) over every translation
+# unit in compile_commands.json under src/, tools/ and bench/,
+# normalizes the diagnostics to stable "file:line: check" lines, and
+# diffs them against the committed baseline
+# (scripts/clang_tidy_baseline.txt). Only *new* lines fail the gate,
+# so pre-existing debt does not block unrelated PRs; shrinking the
+# baseline is always welcome.
+#
+# Degrades gracefully: when clang-tidy is not installed (the CI
+# container does not ship it) the script prints a notice and exits 0 —
+# the leg is advisory, crono_analyze is the blocking analysis gate.
+#
+# Usage: scripts/check_clang_tidy.sh [BUILD_DIR] [--update-baseline]
+set -eu
+cd "$(dirname "$0")/.."
+
+build="build"
+update=0
+for arg in "$@"; do
+  case "$arg" in
+    --update-baseline) update=1 ;;
+    *) build="$arg" ;;
+  esac
+done
+
+baseline="scripts/clang_tidy_baseline.txt"
+tidy=""
+for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+            clang-tidy-15 clang-tidy-14; do
+  if command -v "$cand" > /dev/null 2>&1; then
+    tidy="$cand"
+    break
+  fi
+done
+if [ -z "$tidy" ]; then
+  echo "check_clang_tidy: clang-tidy not installed; skipping (advisory leg)"
+  exit 0
+fi
+
+if [ ! -f "$build/compile_commands.json" ]; then
+  echo "check_clang_tidy: $build/compile_commands.json missing;"
+  echo "configure with cmake first (CMAKE_EXPORT_COMPILE_COMMANDS is ON)"
+  exit 2
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# TUs from the compilation database, restricted to our own trees.
+sed -n 's/.*"file": *"\([^"]*\)".*/\1/p' "$build/compile_commands.json" |
+  grep -E '/(src|tools|bench)/' | sort -u > "$tmp/tus" || true
+if [ ! -s "$tmp/tus" ]; then
+  echo "check_clang_tidy: no src/tools/bench TUs in the database"
+  exit 2
+fi
+echo "check_clang_tidy: $tidy over $(wc -l < "$tmp/tus") TUs"
+
+# Normalize to repo-relative "file:line: check" so the baseline is
+# stable across machines and unrelated line content changes upstream
+# do not spuriously churn it.
+root="$(pwd)"
+xargs -a "$tmp/tus" -n 8 -P "$(nproc)" "$tidy" -p "$build" --quiet \
+  > "$tmp/raw" 2> /dev/null || true
+sed -n "s|^$root/\([^:]*\):\([0-9]*\):[0-9]*: warning: .*\[\(.*\)\]\$|\1:\2: \3|p" \
+  "$tmp/raw" | sort -u > "$tmp/now"
+
+if [ "$update" = 1 ]; then
+  {
+    echo "# clang-tidy baseline: known pre-existing diagnostics."
+    echo "# Regenerate with scripts/check_clang_tidy.sh --update-baseline."
+    cat "$tmp/now"
+  } > "$baseline"
+  echo "check_clang_tidy: baseline updated ($(wc -l < "$tmp/now") entries)"
+  exit 0
+fi
+
+grep -v '^#' "$baseline" 2> /dev/null | sort -u > "$tmp/base" || true
+new="$(comm -13 "$tmp/base" "$tmp/now" || true)"
+if [ -n "$new" ]; then
+  echo "check_clang_tidy: NEW diagnostics not in $baseline:"
+  echo "$new"
+  echo "fix them or (only with justification) --update-baseline"
+  exit 1
+fi
+fixed=$(comm -23 "$tmp/base" "$tmp/now" | wc -l)
+echo "check_clang_tidy: clean ($(wc -l < "$tmp/now") known, $fixed baseline entries now fixed)"

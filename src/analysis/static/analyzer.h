@@ -1,0 +1,80 @@
+/**
+ * @file
+ * crono_analyze driver — files in, suppressed findings out, plus the
+ * crono.lint.v1 JSON report (DESIGN.md §16).
+ *
+ * The driver owns everything that is cross-cutting rather than
+ * per-pass:
+ *
+ *  - running every pass over every file;
+ *  - the `// crono-lint: allow(rule): why` suppression contract
+ *    (same-line or line-above, justification required, unknown rule
+ *    ids rejected) — parsed from comment tokens, so it works inside
+ *    block comments and after continuations;
+ *  - suppression hygiene: an allow that suppressed nothing, or a
+ *    detector.allow / tsan.supp entry whose pattern matches no symbol
+ *    in the analyzed sources, becomes a `stale-suppression` finding
+ *    (never itself suppressible, so suppressions cannot rot);
+ *  - the machine-readable report, emitted alongside the human
+ *    output: schema `crono.lint.v1`, one entry per finding with
+ *    file/line/rule/severity/message/snippet.
+ */
+
+#ifndef CRONO_ANALYSIS_STATIC_ANALYZER_H_
+#define CRONO_ANALYSIS_STATIC_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/static/passes.h"
+
+namespace crono::staticlint {
+
+/** One input file (or in-memory pseudo-file, for tests). */
+struct SourceFile {
+    std::string path; ///< reported in findings; repo-relative wanted
+    std::string text;
+};
+
+struct Options {
+    /** Repo root: paths under it are relativized for the layer
+     *  policy; the scripts/suppressions files are auto-discovered
+     *  under it by the CLI. Empty: paths are used as given. */
+    std::string root;
+    /** detector.allow / tsan.supp files to hygiene-check. */
+    std::vector<SourceFile> suppression_files;
+};
+
+struct AnalysisResult {
+    std::vector<Finding> findings; ///< post-suppression, sorted
+    std::size_t files_analyzed = 0;
+    std::size_t suppressed = 0; ///< findings removed by valid allows
+};
+
+/** Analyze in-memory sources (the core entry point; what the CLI and
+ *  the tests both call). */
+AnalysisResult analyzeSources(const std::vector<SourceFile>& files,
+                              const Options& opt = {});
+
+/** Convenience: analyze one pseudo-file, all rules, no suppression
+ *  files. Mirrors the old lintText(). */
+std::vector<Finding> analyzeText(std::string_view path,
+                                 std::string_view text);
+
+/** Read and analyze on-disk files. Unreadable files yield an "io"
+ *  finding so a misconfigured invocation cannot pass. */
+AnalysisResult analyzeFiles(const std::vector<std::string>& paths,
+                            const Options& opt = {});
+
+/** Recursively collect C++ sources (.h/.hpp/.cpp/.cc) under @p path;
+ *  a regular file is returned as-is. Sorted for determinism. */
+std::vector<std::string> collectSources(const std::string& path);
+
+/** Serialize @p res as a crono.lint.v1 JSON document. */
+std::string writeReportJson(const AnalysisResult& res,
+                            std::string_view root);
+
+} // namespace crono::staticlint
+
+#endif // CRONO_ANALYSIS_STATIC_ANALYZER_H_

@@ -1,0 +1,407 @@
+#include "analysis/static/lexer.h"
+
+#include <array>
+#include <cctype>
+
+namespace crono::staticlint {
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/**
+ * Phase-2 view of the source: backslash-newline sequences are spliced
+ * out, but every surviving character remembers its physical line and
+ * byte offset so tokens can report real positions.
+ */
+struct Spliced {
+    std::string text;
+    std::vector<int> line;         ///< physical line per spliced char
+    std::vector<std::size_t> off;  ///< original byte offset per char
+};
+
+Spliced
+splice(std::string_view src)
+{
+    Spliced sp;
+    sp.text.reserve(src.size());
+    sp.line.reserve(src.size());
+    sp.off.reserve(src.size());
+    int line = 1;
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        if (src[i] == '\\') {
+            // \ <newline> and \ <cr><newline> vanish entirely.
+            if (i + 1 < src.size() && src[i + 1] == '\n') {
+                ++line;
+                ++i;
+                continue;
+            }
+            if (i + 2 < src.size() && src[i + 1] == '\r' &&
+                src[i + 2] == '\n') {
+                ++line;
+                i += 2;
+                continue;
+            }
+        }
+        sp.text.push_back(src[i]);
+        sp.line.push_back(line);
+        sp.off.push_back(i);
+        if (src[i] == '\n') {
+            ++line;
+        }
+    }
+    return sp;
+}
+
+/** Multi-char punctuation, longest first within each bucket. */
+constexpr std::string_view kPunct3[] = {"<<=", ">>=", "<=>", "...",
+                                        "->*"};
+constexpr std::string_view kPunct2[] = {
+    "::", "->", ".*", "<<", ">>", "<=", ">=", "==", "!=", "&&",
+    "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=", "##"};
+
+/** String/char literal encoding prefixes. */
+bool
+isLiteralPrefix(std::string_view id, bool* raw)
+{
+    static constexpr std::string_view kRaw[] = {"R", "LR", "uR", "UR",
+                                                "u8R"};
+    static constexpr std::string_view kPlain[] = {"L", "u", "U", "u8"};
+    for (const std::string_view p : kRaw) {
+        if (id == p) {
+            *raw = true;
+            return true;
+        }
+    }
+    for (const std::string_view p : kPlain) {
+        if (id == p) {
+            *raw = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+class Lexer {
+  public:
+    explicit Lexer(std::string_view src) : sp_(splice(src)) {}
+
+    std::vector<Token>
+    run()
+    {
+        const std::string& s = sp_.text;
+        bool at_line_start = true;
+        while (pos_ < s.size()) {
+            const char c = s[pos_];
+            if (c == '\n') {
+                at_line_start = true;
+                ++pos_;
+                continue;
+            }
+            if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+                ++pos_;
+                continue;
+            }
+            if (c == '/' && pos_ + 1 < s.size() &&
+                (s[pos_ + 1] == '/' || s[pos_ + 1] == '*')) {
+                lexComment();
+                continue; // comments do not clear at_line_start
+            }
+            if (c == '#' && at_line_start) {
+                lexDirective();
+                at_line_start = false;
+                continue;
+            }
+            at_line_start = false;
+            if (identStart(c)) {
+                lexIdentOrLiteralPrefix();
+            } else if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+                       (c == '.' && pos_ + 1 < s.size() &&
+                        std::isdigit(static_cast<unsigned char>(
+                            s[pos_ + 1])) != 0)) {
+                lexNumber();
+            } else if (c == '"') {
+                lexString(pos_, /*raw=*/false);
+            } else if (c == '\'') {
+                lexChar(pos_);
+            } else {
+                lexPunct();
+            }
+        }
+        return std::move(out_);
+    }
+
+  private:
+    void
+    emit(Tok kind, std::size_t begin, std::size_t end)
+    {
+        Token t;
+        t.kind = kind;
+        t.text = sp_.text.substr(begin, end - begin);
+        t.line = sp_.line[begin];
+        t.begin = sp_.off[begin];
+        t.end = end > begin ? sp_.off[end - 1] + 1 : sp_.off[begin];
+        out_.push_back(std::move(t));
+    }
+
+    void
+    lexComment()
+    {
+        const std::string& s = sp_.text;
+        const std::size_t begin = pos_;
+        if (s[pos_ + 1] == '/') {
+            pos_ = s.find('\n', pos_);
+            pos_ = pos_ == std::string::npos ? s.size() : pos_;
+        } else {
+            pos_ = s.find("*/", pos_ + 2);
+            pos_ = pos_ == std::string::npos ? s.size() : pos_ + 2;
+        }
+        emit(Tok::kComment, begin, pos_);
+    }
+
+    void
+    lexDirective()
+    {
+        const std::string& s = sp_.text;
+        std::size_t p = pos_ + 1; // past '#'
+        while (p < s.size() && (s[p] == ' ' || s[p] == '\t')) {
+            ++p;
+        }
+        std::size_t name_end = p;
+        while (name_end < s.size() && identChar(s[name_end])) {
+            ++name_end;
+        }
+        if (name_end == p) { // lone '#' — emit as punctuation
+            emit(Tok::kPunct, pos_, pos_ + 1);
+            ++pos_;
+            return;
+        }
+        // Directive token reports from '#' so findings point at it.
+        {
+            Token t;
+            t.kind = Tok::kPpDirective;
+            t.text = s.substr(p, name_end - p);
+            t.line = sp_.line[pos_];
+            t.begin = sp_.off[pos_];
+            t.end = sp_.off[name_end - 1] + 1;
+            out_.push_back(std::move(t));
+        }
+        const std::string_view name{s.data() + p, name_end - p};
+        pos_ = name_end;
+        if (name != "include" && name != "include_next") {
+            return; // rest of the pp-line lexes as ordinary tokens
+        }
+        while (pos_ < s.size() && (s[pos_] == ' ' || s[pos_] == '\t')) {
+            ++pos_;
+        }
+        if (pos_ >= s.size()) {
+            return;
+        }
+        const char open = s[pos_];
+        const char close = open == '<' ? '>' : open == '"' ? '"' : '\0';
+        if (close == '\0') {
+            return; // computed include (macro) — ordinary tokens
+        }
+        std::size_t end = pos_ + 1;
+        while (end < s.size() && s[end] != close && s[end] != '\n') {
+            ++end;
+        }
+        if (end < s.size() && s[end] == close) {
+            ++end;
+        }
+        emit(Tok::kHeaderName, pos_, end);
+        pos_ = end;
+    }
+
+    void
+    lexIdentOrLiteralPrefix()
+    {
+        const std::string& s = sp_.text;
+        const std::size_t begin = pos_;
+        while (pos_ < s.size() && identChar(s[pos_])) {
+            ++pos_;
+        }
+        const std::string_view id{s.data() + begin, pos_ - begin};
+        bool raw = false;
+        if (pos_ < s.size() && s[pos_] == '"' &&
+            isLiteralPrefix(id, &raw)) {
+            lexString(begin, raw);
+            return;
+        }
+        if (pos_ < s.size() && s[pos_] == '\'' && !id.empty() &&
+            id.back() != 'R' && isLiteralPrefix(id, &raw)) {
+            lexChar(begin);
+            return;
+        }
+        emit(Tok::kIdent, begin, pos_);
+    }
+
+    void
+    lexNumber()
+    {
+        const std::string& s = sp_.text;
+        const std::size_t begin = pos_;
+        while (pos_ < s.size()) {
+            const char c = s[pos_];
+            if (identChar(c) || c == '.') {
+                if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+                    pos_ + 1 < s.size() &&
+                    (s[pos_ + 1] == '+' || s[pos_ + 1] == '-')) {
+                    pos_ += 2;
+                    continue;
+                }
+                ++pos_;
+                continue;
+            }
+            // Digit separator: ' between digit/identifier characters.
+            if (c == '\'' && pos_ + 1 < s.size() &&
+                identChar(s[pos_ + 1])) {
+                pos_ += 2;
+                continue;
+            }
+            break;
+        }
+        emit(Tok::kNumber, begin, pos_);
+    }
+
+    /** @p begin includes any encoding prefix; pos_ is at the '"'. */
+    void
+    lexString(std::size_t begin, bool raw)
+    {
+        const std::string& s = sp_.text;
+        if (raw) {
+            // R"delim( ... )delim"
+            std::size_t p = pos_ + 1; // past '"'
+            std::string delim = ")";
+            while (p < s.size() && s[p] != '(') {
+                delim.push_back(s[p]);
+                ++p;
+            }
+            delim.push_back('"');
+            const std::size_t close =
+                p < s.size() ? s.find(delim, p + 1) : std::string::npos;
+            pos_ = close == std::string::npos ? s.size()
+                                              : close + delim.size();
+            emit(Tok::kString, begin, pos_);
+            return;
+        }
+        std::size_t p = pos_ + 1;
+        while (p < s.size() && s[p] != '"' && s[p] != '\n') {
+            if (s[p] == '\\' && p + 1 < s.size()) {
+                ++p;
+            }
+            ++p;
+        }
+        pos_ = p < s.size() && s[p] == '"' ? p + 1 : p;
+        // UDL suffix (e.g. "..."sv) folds into the literal token.
+        while (pos_ < s.size() && identChar(s[pos_])) {
+            ++pos_;
+        }
+        emit(Tok::kString, begin, pos_);
+    }
+
+    void
+    lexChar(std::size_t begin)
+    {
+        const std::string& s = sp_.text;
+        std::size_t p = pos_ + 1;
+        while (p < s.size() && s[p] != '\'' && s[p] != '\n') {
+            if (s[p] == '\\' && p + 1 < s.size()) {
+                ++p;
+            }
+            ++p;
+        }
+        pos_ = p < s.size() && s[p] == '\'' ? p + 1 : p;
+        while (pos_ < s.size() && identChar(s[pos_])) {
+            ++pos_; // UDL suffix
+        }
+        emit(Tok::kChar, begin, pos_);
+    }
+
+    void
+    lexPunct()
+    {
+        const std::string& s = sp_.text;
+        const std::size_t begin = pos_;
+        const std::string_view rest{s.data() + pos_, s.size() - pos_};
+        for (const std::string_view p : kPunct3) {
+            if (rest.substr(0, 3) == p) {
+                pos_ += 3;
+                emit(Tok::kPunct, begin, pos_);
+                return;
+            }
+        }
+        for (const std::string_view p : kPunct2) {
+            if (rest.substr(0, 2) == p) {
+                pos_ += 2;
+                emit(Tok::kPunct, begin, pos_);
+                return;
+            }
+        }
+        ++pos_;
+        emit(Tok::kPunct, begin, pos_);
+    }
+
+    Spliced sp_;
+    std::size_t pos_ = 0;
+    std::vector<Token> out_;
+};
+
+} // namespace
+
+std::vector<Token>
+lex(std::string_view text)
+{
+    return Lexer(text).run();
+}
+
+std::string
+stripCommentsAndStrings(std::string_view text)
+{
+    std::string out(text);
+    for (const Token& t : lex(text)) {
+        if (t.kind != Tok::kComment && t.kind != Tok::kString &&
+            t.kind != Tok::kChar) {
+            continue;
+        }
+        for (std::size_t i = t.begin; i < t.end && i < out.size();
+             ++i) {
+            if (out[i] != '\n') {
+                out[i] = ' ';
+            }
+        }
+        if (t.kind != Tok::kComment) {
+            // Keep the delimiting quotes so the residue still scans
+            // as balanced code.
+            if (t.begin < out.size() && text[t.begin] != '\n') {
+                // restore prefix + opening quote up to the first quote
+                const char q = t.kind == Tok::kString ? '"' : '\'';
+                for (std::size_t i = t.begin;
+                     i < t.end && i < out.size(); ++i) {
+                    out[i] = text[i];
+                    if (text[i] == q) {
+                        break;
+                    }
+                }
+                if (t.end > t.begin && t.end <= out.size() &&
+                    text[t.end - 1] == q) {
+                    out[t.end - 1] = q;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace crono::staticlint

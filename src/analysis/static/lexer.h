@@ -1,0 +1,75 @@
+/**
+ * @file
+ * crono_analyze lexer — a real C++ tokenizer for the static-analysis
+ * framework (DESIGN.md §16).
+ *
+ * The token linter it supersedes (PR 4's crono_lint) worked on
+ * stripped lines, which made it blind to anything that crosses a line
+ * boundary and fragile around literal syntax: a digit separator
+ * (`1'000'000`) looked like an opening char literal and blanked the
+ * rest of the line, and a macro continuation split a statement the
+ * rules never reassembled. This lexer produces a proper token stream
+ * instead:
+ *
+ *  - tokens carry a kind, their text, the 1-based line they start on,
+ *    and their [begin, end) byte range in the original source;
+ *  - backslash-newline splicing is handled everywhere (macro bodies
+ *    keep their logical structure, line numbers stay physical);
+ *  - raw strings (`R"delim(...)delim"`, with encoding prefixes),
+ *    digit separators, hex floats and UDL suffixes lex as single
+ *    literal tokens;
+ *  - preprocessor directives are recognized at line starts; an
+ *    `#include` yields a HeaderName token (`<atomic>` or
+ *    `"graph/graph.h"`) so include-oriented passes never re-parse
+ *    text;
+ *  - comments are kept as tokens: the `// crono-lint: allow(...)`
+ *    suppression contract is parsed from them downstream.
+ *
+ * Passes run over this stream; none of them look at raw text again
+ * except to extract a finding's snippet line.
+ */
+
+#ifndef CRONO_ANALYSIS_STATIC_LEXER_H_
+#define CRONO_ANALYSIS_STATIC_LEXER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crono::staticlint {
+
+enum class Tok {
+    kIdent,      ///< identifiers and keywords
+    kNumber,     ///< pp-numbers incl. digit separators / hex floats
+    kString,     ///< string literal incl. prefix/suffix, raw strings
+    kChar,       ///< character literal incl. prefix
+    kPunct,      ///< operators and punctuation, longest-match
+    kComment,    ///< // or /* */ comment, full text
+    kPpDirective,///< directive name token: "include", "define", ...
+    kHeaderName, ///< the <...> or "..." of an #include
+};
+
+struct Token {
+    Tok kind = Tok::kPunct;
+    std::string text;      ///< spliced text (continuations removed)
+    int line = 0;          ///< 1-based physical line the token starts on
+    std::size_t begin = 0; ///< byte range in the original source,
+    std::size_t end = 0;   ///< continuations included
+};
+
+/** Tokenize @p text. Never throws; unterminated literals end at EOF. */
+std::vector<Token> lex(std::string_view text);
+
+/**
+ * Replace comment bodies and string/char-literal contents of C++
+ * source @p text with spaces, preserving the line structure so line
+ * numbers survive. Kept from the token linter (tests and external
+ * tooling use it), now implemented on the lexer so raw strings,
+ * digit separators, and macro continuations are handled correctly.
+ */
+std::string stripCommentsAndStrings(std::string_view text);
+
+} // namespace crono::staticlint
+
+#endif // CRONO_ANALYSIS_STATIC_LEXER_H_

@@ -1,0 +1,356 @@
+#include "analysis/static/parser.h"
+
+#include <algorithm>
+
+namespace crono::staticlint {
+
+namespace {
+
+bool
+isPunct(const Token& t, std::string_view s)
+{
+    return t.kind == Tok::kPunct && t.text == s;
+}
+
+bool
+isIdent(const Token& t, std::string_view s)
+{
+    return t.kind == Tok::kIdent && t.text == s;
+}
+
+/** Match (), [] and {} pairs over the code-token stream. */
+std::vector<CodeIdx>
+matchBrackets(const Ast& ast)
+{
+    std::vector<CodeIdx> match(ast.size(), kNoIdx);
+    std::vector<CodeIdx> parens, squares, braces;
+    for (CodeIdx i = 0; i < ast.size(); ++i) {
+        const Token& t = ast.tok(i);
+        if (t.kind != Tok::kPunct) {
+            continue;
+        }
+        if (t.text == "(") {
+            parens.push_back(i);
+        } else if (t.text == "[") {
+            squares.push_back(i);
+        } else if (t.text == "{") {
+            braces.push_back(i);
+        } else if (t.text == ")" && !parens.empty()) {
+            match[i] = parens.back();
+            match[parens.back()] = i;
+            parens.pop_back();
+        } else if (t.text == "]" && !squares.empty()) {
+            match[i] = squares.back();
+            match[squares.back()] = i;
+            squares.pop_back();
+        } else if (t.text == "}" && !braces.empty()) {
+            match[i] = braces.back();
+            match[braces.back()] = i;
+            braces.pop_back();
+        }
+    }
+    return match;
+}
+
+/** Split the capture list [lo+1, hi) at depth-0 commas and classify. */
+void
+parseCaptures(const Ast& ast, CodeIdx lo, CodeIdx hi, Lambda* lam)
+{
+    std::vector<std::vector<CodeIdx>> items(1);
+    int depth = 0;
+    for (CodeIdx i = lo + 1; i < hi; ++i) {
+        const Token& t = ast.tok(i);
+        if (t.kind == Tok::kPunct) {
+            if (t.text == "(" || t.text == "[" || t.text == "{" ||
+                t.text == "<") {
+                ++depth;
+            } else if (t.text == ")" || t.text == "]" ||
+                       t.text == "}" || t.text == ">") {
+                --depth;
+            } else if (t.text == "," && depth == 0) {
+                items.emplace_back();
+                continue;
+            }
+        }
+        items.back().push_back(i);
+    }
+    for (const std::vector<CodeIdx>& item : items) {
+        if (item.empty()) {
+            continue;
+        }
+        const Token& first = ast.tok(item.front());
+        if (isPunct(first, "&")) {
+            if (item.size() == 1) {
+                lam->default_ref = true;
+            } else if (ast.tok(item[1]).kind == Tok::kIdent) {
+                lam->ref_captures.push_back(ast.tok(item[1]).text);
+            }
+        } else if (isPunct(first, "=")) {
+            lam->default_copy = true;
+        } else if (isIdent(first, "this") ||
+                   (isPunct(first, "*") && item.size() > 1 &&
+                    isIdent(ast.tok(item[1]), "this"))) {
+            // this / *this: member writes resolve via fields, which
+            // the capture-escape pass treats as non-local names.
+        } else if (first.kind == Tok::kIdent) {
+            lam->val_captures.push_back(first.text);
+        }
+    }
+}
+
+/** Last identifier of each depth-0 comma chunk in (lo, hi). */
+void
+parseParams(const Ast& ast, CodeIdx lo, CodeIdx hi, Lambda* lam)
+{
+    int depth = 0;
+    CodeIdx last_ident = kNoIdx;
+    bool past_default = false;
+    for (CodeIdx i = lo + 1; i < hi; ++i) {
+        const Token& t = ast.tok(i);
+        if (t.kind == Tok::kPunct) {
+            if (t.text == "(" || t.text == "[" || t.text == "{" ||
+                t.text == "<") {
+                ++depth;
+            } else if (t.text == ")" || t.text == "]" ||
+                       t.text == "}" || t.text == ">") {
+                --depth;
+            } else if (t.text == "," && depth == 0) {
+                if (last_ident != kNoIdx) {
+                    lam->params.push_back(ast.tok(last_ident).text);
+                }
+                last_ident = kNoIdx;
+                past_default = false;
+                continue;
+            } else if (t.text == "=" && depth == 0) {
+                past_default = true; // default argument follows
+                continue;
+            }
+        }
+        if (t.kind == Tok::kIdent && depth == 0 && !past_default) {
+            last_ident = i;
+        }
+    }
+    if (last_ident != kNoIdx) {
+        lam->params.push_back(ast.tok(last_ident).text);
+    }
+}
+
+/**
+ * Try to read a lambda whose introducer '[' is at @p i. Returns the
+ * body '{' code index, or kNoIdx if this is not a lambda with a body.
+ */
+CodeIdx
+lambdaBody(const Ast& ast, CodeIdx i, Lambda* lam)
+{
+    // Subscripts and attributes are not introducers.
+    if (i > 0) {
+        const Token& prev = ast.tok(i - 1);
+        if (prev.kind == Tok::kIdent || prev.kind == Tok::kString ||
+            prev.kind == Tok::kNumber || isPunct(prev, "]") ||
+            isPunct(prev, ")")) {
+            return kNoIdx;
+        }
+    }
+    if (i + 1 < ast.size() && isPunct(ast.tok(i + 1), "[")) {
+        return kNoIdx; // [[attribute]]
+    }
+    const CodeIdx close = ast.match[i];
+    if (close == kNoIdx) {
+        return kNoIdx;
+    }
+    parseCaptures(ast, i, close, lam);
+    CodeIdx p = close + 1;
+    if (p < ast.size() && isPunct(ast.tok(p), "(")) {
+        const CodeIdx pclose = ast.match[p];
+        if (pclose == kNoIdx) {
+            return kNoIdx;
+        }
+        parseParams(ast, p, pclose, lam);
+        p = pclose + 1;
+    }
+    // Skip specifiers and a trailing return type up to the body '{'.
+    // Bail at tokens that cannot appear there (expression context).
+    int angle = 0;
+    for (int guard = 0; p < ast.size() && guard < 64; ++p, ++guard) {
+        const Token& t = ast.tok(p);
+        if (t.kind == Tok::kPunct) {
+            if (t.text == "{" && angle == 0) {
+                lam->intro = i;
+                lam->body_open = p;
+                lam->body_close = ast.match[p];
+                return p;
+            }
+            if (t.text == "<") {
+                ++angle;
+                continue;
+            }
+            if (t.text == ">") {
+                --angle;
+                continue;
+            }
+            if (t.text == ">>") {
+                angle -= 2;
+                continue;
+            }
+            if (t.text == "(") { // noexcept(...) and the like
+                if (ast.match[p] == kNoIdx) {
+                    return kNoIdx;
+                }
+                p = ast.match[p];
+                continue;
+            }
+            if (t.text == "->" || t.text == "::" || t.text == "*" ||
+                t.text == "&" || t.text == "," || t.text == "...") {
+                continue;
+            }
+            return kNoIdx;
+        }
+        if (t.kind != Tok::kIdent) {
+            return kNoIdx;
+        }
+    }
+    return kNoIdx;
+}
+
+} // namespace
+
+int
+Ast::enclosingBody(int scope) const
+{
+    for (int s = scope; s >= 0; s = scopes[s].parent) {
+        if (scopes[s].kind == ScopeKind::kFunction ||
+            scopes[s].kind == ScopeKind::kLambda) {
+            return s;
+        }
+    }
+    return -1;
+}
+
+bool
+Ast::underConditional(int scope) const
+{
+    for (int s = scope; s >= 0; s = scopes[s].parent) {
+        switch (scopes[s].kind) {
+          case ScopeKind::kIf:
+          case ScopeKind::kElse:
+          case ScopeKind::kSwitch:
+            return true;
+          case ScopeKind::kFunction:
+          case ScopeKind::kLambda:
+            return false;
+          default:
+            break;
+        }
+    }
+    return false;
+}
+
+Ast
+parse(std::vector<Token> tokens)
+{
+    Ast ast;
+    ast.tokens = std::move(tokens);
+    for (std::size_t i = 0; i < ast.tokens.size(); ++i) {
+        if (ast.tokens[i].kind != Tok::kComment) {
+            ast.code.push_back(i);
+        }
+    }
+    ast.match = matchBrackets(ast);
+    ast.scope_at.assign(ast.size(), -1);
+
+    // Lambda pre-scan: record every introducer's body '{'.
+    std::vector<int> lambda_of_brace(ast.size(), -1);
+    for (CodeIdx i = 0; i < ast.size(); ++i) {
+        if (!isPunct(ast.tok(i), "[")) {
+            continue;
+        }
+        Lambda lam;
+        const CodeIdx body = lambdaBody(ast, i, &lam);
+        if (body != kNoIdx) {
+            lambda_of_brace[body] =
+                static_cast<int>(ast.lambdas.size());
+            ast.lambdas.push_back(std::move(lam));
+        }
+    }
+
+    // Scope tree: classify each '{' by what precedes it.
+    std::vector<int> stack;
+    for (CodeIdx i = 0; i < ast.size(); ++i) {
+        const Token& t = ast.tok(i);
+        ast.scope_at[i] = stack.empty() ? -1 : stack.back();
+        if (t.kind != Tok::kPunct) {
+            continue;
+        }
+        if (t.text == "{") {
+            Scope sc;
+            sc.parent = stack.empty() ? -1 : stack.back();
+            sc.open = i;
+            sc.close = ast.match[i];
+            if (lambda_of_brace[i] >= 0) {
+                sc.kind = ScopeKind::kLambda;
+                sc.lambda = lambda_of_brace[i];
+            } else if (i > 0) {
+                // Step back over trailing specifiers so
+                // `T f() const noexcept {` still sees its ')'.
+                CodeIdx pi = i - 1;
+                while (pi > 0 && ast.tok(pi).kind == Tok::kIdent &&
+                       (ast.tok(pi).text == "const" ||
+                        ast.tok(pi).text == "noexcept" ||
+                        ast.tok(pi).text == "override" ||
+                        ast.tok(pi).text == "final" ||
+                        ast.tok(pi).text == "mutable")) {
+                    --pi;
+                }
+                const Token& prev = ast.tok(pi);
+                if (isPunct(prev, ")") && ast.match[pi] != kNoIdx) {
+                    CodeIdx head = ast.match[pi];
+                    // `if constexpr (...)` — step over constexpr.
+                    if (head > 0 &&
+                        isIdent(ast.tok(head - 1), "constexpr")) {
+                        --head;
+                    }
+                    const Token* kw =
+                        head > 0 ? &ast.tok(head - 1) : nullptr;
+                    if (kw != nullptr && isIdent(*kw, "if")) {
+                        sc.kind = ScopeKind::kIf;
+                    } else if (kw != nullptr && isIdent(*kw, "switch")) {
+                        sc.kind = ScopeKind::kSwitch;
+                    } else if (kw != nullptr &&
+                               (isIdent(*kw, "for") ||
+                                isIdent(*kw, "while"))) {
+                        sc.kind = ScopeKind::kLoop;
+                    } else if (kw != nullptr && isIdent(*kw, "catch")) {
+                        sc.kind = ScopeKind::kBlock;
+                    } else {
+                        sc.kind = ScopeKind::kFunction;
+                    }
+                } else if (isIdent(prev, "else")) {
+                    sc.kind = ScopeKind::kElse;
+                } else if (isIdent(prev, "do")) {
+                    sc.kind = ScopeKind::kLoop;
+                } else if (isIdent(prev, "try")) {
+                    sc.kind = ScopeKind::kBlock;
+                } else {
+                    sc.kind = ScopeKind::kBlock;
+                }
+            }
+            // A constructor body after an init list `): x_(v) {` hits
+            // the ")" path and classifies as kFunction — correct.
+            const int idx = static_cast<int>(ast.scopes.size());
+            if (sc.kind == ScopeKind::kLambda && sc.lambda >= 0) {
+                ast.lambdas[static_cast<std::size_t>(sc.lambda)]
+                    .body_scope = idx;
+            }
+            ast.scopes.push_back(sc);
+            stack.push_back(idx);
+            ast.scope_at[i] = idx; // '{' belongs to the new scope
+        } else if (t.text == "}") {
+            if (!stack.empty()) {
+                stack.pop_back();
+            }
+        }
+    }
+    return ast;
+}
+
+} // namespace crono::staticlint

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * crono_analyze structural parser — scope tree, function and lambda
+ * boundaries, capture lists (DESIGN.md §16).
+ *
+ * This is deliberately not a C++ grammar. The flow-aware passes need
+ * exactly four structural facts, and this parser recovers them from
+ * the token stream with bracket matching plus local classification:
+ *
+ *  1. the brace scope tree, with each scope classified as If / Else /
+ *     Switch / Loop / Lambda / Function / Block (everything else:
+ *     class bodies, namespaces, init-lists);
+ *  2. lambda expressions: capture list (default &/=, explicit by-ref
+ *     and by-value names, init-captures), parameter names, and the
+ *     body scope;
+ *  3. bracket matches for (), [] and {} so passes can jump across
+ *     argument lists;
+ *  4. the enclosing scope of every token, for walks toward the
+ *     nearest function or lambda boundary.
+ *
+ * Classification is heuristic where C++ is ambiguous (a `{` after a
+ * `)` whose matching `(` is not headed by a control keyword is taken
+ * as a function body). The passes are written to degrade toward
+ * false negatives, never toward crashes: unmatched brackets simply
+ * truncate the walk.
+ */
+
+#ifndef CRONO_ANALYSIS_STATIC_PARSER_H_
+#define CRONO_ANALYSIS_STATIC_PARSER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/static/lexer.h"
+
+namespace crono::staticlint {
+
+/** Index into Ast::code (code-token stream). */
+using CodeIdx = std::size_t;
+inline constexpr CodeIdx kNoIdx = static_cast<CodeIdx>(-1);
+
+enum class ScopeKind {
+    kBlock,    ///< plain compound statement, init list, class body, ...
+    kIf,
+    kElse,
+    kSwitch,
+    kLoop,     ///< for / while / do
+    kLambda,
+    kFunction, ///< function (or constructor) body
+};
+
+struct Scope {
+    ScopeKind kind = ScopeKind::kBlock;
+    int parent = -1;        ///< index into Ast::scopes, -1 for root
+    CodeIdx open = kNoIdx;  ///< the '{' code token
+    CodeIdx close = kNoIdx; ///< the matching '}' (kNoIdx if unmatched)
+    int lambda = -1;        ///< index into Ast::lambdas for kLambda
+};
+
+struct Lambda {
+    CodeIdx intro = kNoIdx;      ///< the '[' code token
+    CodeIdx body_open = kNoIdx;  ///< the body '{'
+    CodeIdx body_close = kNoIdx;
+    bool default_ref = false;    ///< [&...]
+    bool default_copy = false;   ///< [=...]
+    std::vector<std::string> ref_captures; ///< [&name] / [&name = ...]
+    std::vector<std::string> val_captures; ///< [name] / [name = ...]
+    std::vector<std::string> params;       ///< declared parameter names
+    int body_scope = -1;
+};
+
+struct Ast {
+    std::vector<Token> tokens;
+    /** Indices of non-comment tokens, in order ("code tokens"). */
+    std::vector<std::size_t> code;
+    std::vector<Scope> scopes;
+    std::vector<Lambda> lambdas;
+    /** Enclosing scope per code token (-1: file scope). */
+    std::vector<int> scope_at;
+    /** Bracket partner per code token (kNoIdx when unmatched). */
+    std::vector<CodeIdx> match;
+
+    const Token& tok(CodeIdx i) const { return tokens[code[i]]; }
+    std::size_t size() const { return code.size(); }
+
+    /** Nearest enclosing Function/Lambda scope index, or -1. */
+    int enclosingBody(int scope) const;
+    /** True if a kIf/kElse/kSwitch scope sits between @p scope and the
+     *  nearest enclosing Function/Lambda boundary (inclusive walk). */
+    bool underConditional(int scope) const;
+};
+
+/** Build the structural view of @p tokens (tokens are copied in). */
+Ast parse(std::vector<Token> tokens);
+
+} // namespace crono::staticlint
+
+#endif // CRONO_ANALYSIS_STATIC_PARSER_H_

@@ -121,6 +121,7 @@ communityKernel(Ctx& ctx, CommunityState<Ctx>& s)
         ctx, s.weightSlots, local_weight,
         [](double a, double b) { return a + b; });
     if (two_m == 0.0) {
+        // crono-lint: allow(barrier-divergence): two_m is a reducePerThread result, identical on every thread — the early return is uniform
         return; // edgeless graph: everyone stays a singleton
     }
 

@@ -295,6 +295,7 @@ deltaSteppingKernel(Ctx& ctx, DeltaSsspState<Ctx>& s)
 {
     if (ctx.nthreads() == 1) {
         deltaSteppingSerial(ctx, s);
+        // crono-lint: allow(barrier-divergence): uniform early-out — nthreads() is the same on every thread, and with one thread there is no peer to desynchronize from
         return;
     }
     const int tid = ctx.tid();
@@ -390,6 +391,7 @@ deltaSteppingKernel(Ctx& ctx, DeltaSsspState<Ctx>& s)
             }
             lane.settled.clear();
             heavy_bucket = kNoBucket;
+            // crono-lint: allow(barrier-divergence): uniform branch — curr is the post-barrier global bucket minimum and heavy_bucket mirrors the previously agreed bucket, so every thread takes this path together
             ctx.barrier(); // quiesce heavy relaxations; free the slots
             continue;      // heavy pushes may have opened nearer buckets
         }

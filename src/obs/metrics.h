@@ -28,7 +28,9 @@
 #include <vector>
 
 #include "obs/telemetry.h"
+// crono-lint: allow(include-layering): MetricsReport is the one merge point that folds executor counters into report rows — a read-only view over the higher layer, linked only into tools/tests
 #include "runtime/executor.h"
+// crono-lint: allow(include-layering): same merge-point exception as executor.h above, for the simulator's stats block
 #include "sim/stats.h"
 
 namespace crono::obs {

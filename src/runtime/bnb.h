@@ -333,6 +333,7 @@ class Searcher {
                 if (emitted > 1 && donate_limit > 0 &&
                     shared_.below(ctx, donate_limit) &&
                     shared_.push(ctx, child)) {
+                    // crono-lint: allow(capture-escape): st is the calling thread's private SearchStats (declared in run()'s frame and only summed into shared counters after the search) — the emit lambda never leaves this thread
                     ++st.donations;
                 } else {
                     local.push_back(child);

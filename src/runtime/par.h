@@ -46,7 +46,9 @@
 
 #include "common/aligned.h"
 #include "common/macros.h"
+// crono-lint: allow(include-layering): the edgeMap primitives are defined over the CSR/blocked-CSR types themselves — this runtime→graph edge is the one acknowledged exception to the DAG (splitting traversal out of rt::par would fork the primitive set)
 #include "graph/blocked_csr.h"
+// crono-lint: allow(include-layering): same acknowledged runtime→graph exception as blocked_csr.h above
 #include "graph/graph.h"
 #include "obs/telemetry.h"
 #include "runtime/frontier.h"

@@ -4,6 +4,7 @@
 
 #include "common/macros.h"
 #include "obs/telemetry.h"
+// crono-lint: allow(include-layering): the instrumentation hooks fire from inside the simulated cores — same documented sim→runtime coupling as machine.h
 #include "runtime/instrumentation.h"
 
 namespace crono::sim {

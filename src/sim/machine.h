@@ -31,6 +31,7 @@
 #include <queue>
 #include <vector>
 
+// crono-lint: allow(include-layering): Machine embeds the Executor to schedule SPMD fibers over simulated cores — the sim→runtime coupling is the simulator's entry point and is documented in DESIGN.md
 #include "runtime/executor.h"
 #include "sim/config.h"
 #include "sim/core_model.h"

@@ -34,6 +34,10 @@
 #include "obs/telemetry.h"
 #include "runtime/executor.h"
 
+#ifdef CRONO_HAVE_STATICLINT
+#include "analysis/static/analyzer.h"
+#endif
+
 namespace crono {
 namespace {
 
@@ -213,6 +217,34 @@ checkProfileDoc(const obs::json::Value& doc)
     }
 }
 
+/** Validate one crono.lint.v1 document (crono_analyze --json). */
+void
+checkLintDoc(const obs::json::Value& doc)
+{
+    const obs::json::Value* schema = doc.find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->str, "crono.lint.v1");
+    expectString(doc, "root");
+    expectNumber(doc, "files_analyzed");
+    expectNumber(doc, "suppressed");
+    expectNumber(doc, "finding_count");
+    const obs::json::Value* findings = doc.find("findings");
+    ASSERT_NE(findings, nullptr);
+    ASSERT_TRUE(findings->isArray());
+    EXPECT_EQ(doc.find("finding_count")->num,
+              static_cast<double>(findings->arr.size()));
+    for (const obs::json::Value& f : findings->arr) {
+        ASSERT_TRUE(f.isObject());
+        expectString(f, "file");
+        expectNumber(f, "line");
+        expectString(f, "rule");
+        expectString(f, "severity");
+        expectString(f, "message");
+        expectString(f, "snippet");
+        EXPECT_GE(f.find("line")->num, 1.0);
+    }
+}
+
 /** Route a document to its schema's validator by tag. */
 void
 checkAnyReport(const obs::json::Value& doc, const std::string& label)
@@ -226,6 +258,8 @@ checkAnyReport(const obs::json::Value& doc, const std::string& label)
         checkMetricsDoc(doc);
     } else if (schema->str == "crono.profile.v1") {
         checkProfileDoc(doc);
+    } else if (schema->str == "crono.lint.v1") {
+        checkLintDoc(doc);
     } else {
         FAIL() << "unknown schema tag " << schema->str;
     }
@@ -383,6 +417,35 @@ TEST(ReportSchema, MetricsReportDocumentParses)
     EXPECT_NE(counters->find("block_fills"), nullptr);
 }
 
+#ifdef CRONO_HAVE_STATICLINT
+/** A lint run over in-memory sources with one finding and one
+ *  suppression, shaped like crono_analyze --json output. */
+std::string
+makeLintReportJson()
+{
+    const staticlint::AnalysisResult res = staticlint::analyzeSources(
+        {{"t.cpp",
+          "std::mutex bad;\n"
+          "// crono-lint: allow(volatile): exercised for the report\n"
+          "volatile int suppressed_one = 0;\n"}});
+    return staticlint::writeReportJson(res, "/root/repo");
+}
+
+TEST(ReportSchema, LintReportDocumentParses)
+{
+    const obs::json::Value doc =
+        parseOrFail(makeLintReportJson(), "lint report");
+    checkLintDoc(doc);
+    ASSERT_EQ(doc.find("findings")->arr.size(), 1u);
+    const obs::json::Value& f = doc.find("findings")->arr.front();
+    EXPECT_EQ(f.find("rule")->str, "raw-sync");
+    EXPECT_EQ(f.find("line")->num, 1.0);
+    EXPECT_EQ(f.find("severity")->str, "error");
+    EXPECT_EQ(doc.find("suppressed")->num, 1.0);
+    EXPECT_EQ(doc.find("files_analyzed")->num, 1.0);
+}
+#endif // CRONO_HAVE_STATICLINT
+
 TEST(ReportSchema, EveryEmittedReportParses)
 {
     fs::path dir;
@@ -404,6 +467,10 @@ TEST(ReportSchema, EveryEmittedReportParses)
             makeMetricsReport().writeJson((dir / "metrics.json").string()));
         ASSERT_TRUE(makeProfileReport().writeJson(
             (dir / "table_profile.json").string()));
+#ifdef CRONO_HAVE_STATICLINT
+        ASSERT_TRUE(obs::writeTextFile(
+            (dir / "lint_report.json").string(), makeLintReportJson()));
+#endif
     }
     ASSERT_TRUE(fs::is_directory(dir)) << dir;
     std::size_t checked = 0;

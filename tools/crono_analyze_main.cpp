@@ -1,0 +1,199 @@
+/**
+ * @file
+ * crono_analyze CLI — multi-pass static analysis over files or
+ * directories (DESIGN.md §16). Supersedes crono_lint.
+ *
+ * Usage:
+ *   crono_analyze [--list-rules] [--rules-md] [--root=DIR]
+ *                 [--json=FILE] [--suppressions=FILE]...
+ *                 <file-or-dir>...
+ *
+ * --root=DIR      repo root: paths are relativized against it for
+ *                 the layer policy, and scripts/suppressions/
+ *                 {detector.allow,tsan.supp} under it are hygiene-
+ *                 checked automatically.
+ * --json=FILE     also write the crono.lint.v1 report there.
+ * --rules-md      print the rule catalog as a markdown table (the
+ *                 source of DESIGN.md §16's table).
+ *
+ * Exit status: 0 clean, 1 findings, 2 usage error. The build wires
+ * `crono_analyze --root . src tools bench` in as an ALL target
+ * (tools/CMakeLists.txt), so a violation anywhere in the analyzed
+ * tree fails the build, not just CI. See analysis/static/passes.h
+ * for the rule catalog and the layer policy, and DESIGN.md §16 for
+ * the `// crono-lint: allow(rule): why` suppression lifecycle.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/static/analyzer.h"
+
+namespace {
+
+bool
+readFile(const std::string& path, std::string* out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    *out = buf.str();
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace crono::staticlint;
+
+    std::vector<std::string> paths;
+    std::vector<std::string> supp_paths;
+    std::string root;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        const auto valueOf = [&](const std::string& flag,
+                                 std::string* out) -> bool {
+            if (arg.rfind(flag + "=", 0) == 0) {
+                *out = arg.substr(flag.size() + 1);
+                return true;
+            }
+            if (arg == flag && i + 1 < argc) {
+                *out = argv[++i];
+                return true;
+            }
+            return false;
+        };
+        if (arg == "--list-rules") {
+            for (const RuleInfo& r : ruleCatalog()) {
+                std::printf("%-20s %s\n", std::string(r.id).c_str(),
+                            std::string(r.summary).c_str());
+            }
+            return 0;
+        }
+        if (arg == "--rules-md") {
+            std::printf("%s", ruleTableMarkdown().c_str());
+            return 0;
+        }
+        if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: crono_analyze [--list-rules] [--rules-md] "
+                "[--root=DIR] [--json=FILE] "
+                "[--suppressions=FILE]... <file-or-dir>...\n");
+            return 0;
+        }
+        std::string v;
+        if (valueOf("--root", &v)) {
+            root = v;
+            continue;
+        }
+        if (valueOf("--json", &v)) {
+            json_path = v;
+            continue;
+        }
+        if (valueOf("--suppressions", &v)) {
+            supp_paths.push_back(v);
+            continue;
+        }
+        if (!arg.empty() && arg.front() == '-') {
+            std::fprintf(stderr,
+                         "crono_analyze: unknown option '%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+        paths.push_back(arg);
+    }
+    if (paths.empty()) {
+        std::fprintf(stderr,
+                     "usage: crono_analyze [--list-rules] "
+                     "[--rules-md] [--root=DIR] [--json=FILE] "
+                     "[--suppressions=FILE]... <file-or-dir>...\n");
+        return 2;
+    }
+
+    // Auto-discover the repo suppression files under --root.
+    if (!root.empty() && supp_paths.empty()) {
+        namespace fs = std::filesystem;
+        for (const char* rel :
+             {"scripts/suppressions/detector.allow",
+              "scripts/suppressions/tsan.supp"}) {
+            std::error_code ec;
+            const fs::path p = fs::path(root) / rel;
+            if (fs::is_regular_file(p, ec)) {
+                supp_paths.push_back(p.string());
+            }
+        }
+    }
+
+    Options opt;
+    opt.root = root;
+    for (const std::string& sp : supp_paths) {
+        std::string text;
+        if (!readFile(sp, &text)) {
+            std::fprintf(stderr,
+                         "crono_analyze: cannot read suppression "
+                         "file '%s'\n",
+                         sp.c_str());
+            return 2;
+        }
+        opt.suppression_files.push_back({sp, std::move(text)});
+    }
+
+    std::vector<std::string> files;
+    for (const std::string& p : paths) {
+        std::vector<std::string> fs = collectSources(p);
+        if (fs.empty()) {
+            std::fprintf(stderr,
+                         "crono_analyze: no C++ sources under "
+                         "'%s'\n",
+                         p.c_str());
+            return 2;
+        }
+        files.insert(files.end(), fs.begin(), fs.end());
+    }
+
+    const AnalysisResult res = analyzeFiles(files, opt);
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr,
+                         "crono_analyze: cannot write report '%s'\n",
+                         json_path.c_str());
+            return 2;
+        }
+        out << writeReportJson(res, root) << "\n";
+    }
+
+    for (const Finding& f : res.findings) {
+        std::fprintf(stderr, "%s:%d: %s: [%s] %s\n", f.file.c_str(),
+                     f.line,
+                     f.severity == Severity::kError ? "error"
+                                                    : "warning",
+                     f.rule.c_str(), f.message.c_str());
+        if (!f.snippet.empty()) {
+            std::fprintf(stderr, "    %s\n", f.snippet.c_str());
+        }
+    }
+    if (!res.findings.empty()) {
+        std::fprintf(
+            stderr,
+            "crono_analyze: %zu finding(s) in %zu file(s) "
+            "(%zu suppressed by allows)\n",
+            res.findings.size(), res.files_analyzed, res.suppressed);
+        return 1;
+    }
+    std::printf("crono_analyze: %zu file(s) clean (%zu finding(s) "
+                "suppressed by justified allows)\n",
+                res.files_analyzed, res.suppressed);
+    return 0;
+}
