@@ -16,6 +16,11 @@
 #  4. The same coverage + stability legs for bench_bnb against
 #     bench/baselines/bnb_quick_t1.json (the branch-and-bound
 #     thread/mode scaling table).
+#  5. The same coverage + stability legs for bench_serve against
+#     bench/baselines/serve_quick.json — a serve run must keep
+#     emitting every request-class row (latency values are gated only
+#     against same-machine blowups; p50/p99 magnitudes are
+#     machine-specific).
 #
 # Usage: scripts/check_regression.sh [BUILD_DIR]   (default: build)
 set -eu
@@ -55,5 +60,14 @@ bnb_baseline="bench/baselines/bnb_quick_t1.json"
 "$bnb" --quick --threads=1 --json="$tmp/b" > /dev/null
 "$compare" --tolerance=4.0 --min-seconds=0.003 \
   "$tmp/a/table_bnb.json" "$tmp/b/table_bnb.json"
+
+echo "== 5. serve load-generator coverage + stability =="
+serve="$build/bench/bench_serve"
+serve_baseline="bench/baselines/serve_quick.json"
+"$serve" --quick --json="$tmp/a" > /dev/null
+"$compare" --names-only "$serve_baseline" "$tmp/a/table_serve.json"
+"$serve" --quick --json="$tmp/b" > /dev/null
+"$compare" --tolerance=4.0 --min-seconds=0.003 \
+  "$tmp/a/table_serve.json" "$tmp/b/table_serve.json"
 
 echo "check_regression: all gates passed"

@@ -112,7 +112,7 @@ ruleCatalog()
          "everywhere"},
         {"include-layering", Severity::kError,
          "#include against the layer DAG common → obs → sim → runtime "
-         "→ graph → analysis → core → tools/bench",
+         "→ graph → analysis → core → serve → tools/bench",
          "every file inside a known layer"},
         {"stale-suppression", Severity::kError,
          "an allow comment, detector.allow or tsan.supp entry that "
@@ -159,7 +159,8 @@ layerOf(std::string_view rel)
     static constexpr Entry kMap[] = {
         {"src/common/", 0}, {"src/obs/", 1},     {"src/sim/", 2},
         {"src/runtime/", 3}, {"src/graph/", 4},  {"src/analysis/", 5},
-        {"src/core/", 6},   {"tools/", 7},       {"bench/", 7},
+        {"src/core/", 6},   {"src/serve/", 7},   {"tools/", 8},
+        {"bench/", 8},
     };
     for (const Entry& e : kMap) {
         if (rel.substr(0, e.prefix.size()) == e.prefix) {
@@ -179,7 +180,7 @@ layerOfInclude(std::string_view inc)
     static constexpr Entry kMap[] = {
         {"common/", 0},  {"obs/", 1},   {"sim/", 2},
         {"runtime/", 3}, {"graph/", 4}, {"analysis/", 5},
-        {"core/", 6},
+        {"core/", 6},    {"serve/", 7},
     };
     for (const Entry& e : kMap) {
         if (inc.substr(0, e.prefix.size()) == e.prefix) {
@@ -200,7 +201,8 @@ layerName(int layer)
       case 4: return "src/graph";
       case 5: return "src/analysis";
       case 6: return "src/core";
-      case 7: return "tools|bench";
+      case 7: return "src/serve";
+      case 8: return "tools|bench";
       default: return "<unknown>";
     }
 }
@@ -1025,7 +1027,7 @@ passIncludeLayering(const FileUnit& u, std::vector<Finding>* out)
                " may not depend on " +
                std::string(layerName(inc_layer)) +
                " (common → obs → sim → runtime → graph → analysis → "
-               "core → tools/bench)",
+               "core → serve → tools/bench)",
                out);
     }
 }

@@ -76,6 +76,14 @@ counterName(Counter c)
         return "load_ms";
       case Counter::kBidomainSplits:
         return "bidomain_splits";
+      case Counter::kServeRequests:
+        return "serve_requests";
+      case Counter::kServeBatches:
+        return "serve_batches";
+      case Counter::kServeIngestEdges:
+        return "serve_ingest_edges";
+      case Counter::kServeCompactions:
+        return "serve_compactions";
     }
     return "unknown";
 }

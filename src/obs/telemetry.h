@@ -103,9 +103,13 @@ enum class Counter : std::uint8_t {
     kHeavyRelaxations, ///< delta-stepping heavy-edge relaxations tried
     kLoadMs,           ///< milliseconds spent parsing a graph file
     kBidomainSplits,   ///< MCS bidomain classes split during expansion
+    kServeRequests,    ///< serve: requests answered (any status)
+    kServeBatches,     ///< serve: per-shard batches drained by workers
+    kServeIngestEdges, ///< serve: logical edges accepted by ingest
+    kServeCompactions, ///< serve: delta compactions folded
 };
 
-inline constexpr int kNumCounters = 26;
+inline constexpr int kNumCounters = 30;
 
 /** Printable counter name, e.g. "steal_chunks". */
 const char* counterName(Counter c);

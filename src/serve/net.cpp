@@ -1,0 +1,229 @@
+/**
+ * @file
+ * TCP listener/client implementation. All socket errors degrade to
+ * clean connection teardown; nothing in here aborts the server.
+ */
+
+#include "serve/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace crono::serve {
+
+namespace {
+
+/** write() until done; false on any error. */
+bool
+sendAll(int fd, const std::uint8_t* data, std::size_t len)
+{
+    std::size_t sent = 0;
+    while (sent < len) {
+        const ssize_t n =
+            ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+TcpListener::TcpListener(Server& server, std::uint16_t port)
+    : server_(server)
+{
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        return;
+    }
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd_, 64) != 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&addr),
+                      &len) == 0) {
+        port_ = ntohs(addr.sin_port);
+    }
+}
+
+TcpListener::~TcpListener()
+{
+    stop();
+}
+
+bool
+TcpListener::start()
+{
+    if (listenFd_ < 0) {
+        return false;
+    }
+    acceptor_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+TcpListener::stop()
+{
+    if (stopping_.exchange(true)) {
+        return;
+    }
+    if (listenFd_ >= 0) {
+        ::shutdown(listenFd_, SHUT_RDWR);
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    if (acceptor_.joinable()) {
+        acceptor_.join();
+    }
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (const int fd : connFds_) {
+            ::shutdown(fd, SHUT_RDWR);
+        }
+        threads = std::move(connThreads_);
+    }
+    for (std::thread& t : threads) {
+        t.join();
+    }
+}
+
+void
+TcpListener::acceptLoop()
+{
+    while (!stopping_) {
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (stopping_) {
+                return;
+            }
+            continue;
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        std::lock_guard<std::mutex> lock(connMutex_);
+        if (stopping_) {
+            ::close(fd);
+            return;
+        }
+        connFds_.push_back(fd);
+        connThreads_.emplace_back(
+            [this, fd] { connectionLoop(fd); });
+    }
+}
+
+void
+TcpListener::connectionLoop(int fd)
+{
+    const std::shared_ptr<Session> session = server_.openSession();
+
+    // Writer: drain the session's output to the socket until the
+    // session is done (reader saw EOF / framing poisoned) or the
+    // socket dies.
+    std::thread writer([session, fd] {
+        while (true) {
+            const std::vector<std::uint8_t> bytes =
+                session->takeOutput(/*wait=*/true);
+            if (bytes.empty()) {
+                return; // done and drained
+            }
+            if (!sendAll(fd, bytes.data(), bytes.size())) {
+                return;
+            }
+        }
+    });
+
+    std::vector<std::uint8_t> buf(1 << 14);
+    while (!stopping_) {
+        const ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+        if (n <= 0) {
+            break;
+        }
+        server_.feed(session,
+                     {buf.data(), static_cast<std::size_t>(n)});
+        if (session->closing()) {
+            break; // oversized frame: error already queued
+        }
+    }
+    session->markDone();
+    ::shutdown(fd, SHUT_RDWR);
+    writer.join();
+    ::close(fd);
+}
+
+TcpClient::TcpClient(const std::string& host, std::uint16_t port)
+{
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        return;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+        return;
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+TcpClient::~TcpClient()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+    }
+}
+
+Response
+TcpClient::call(Request req)
+{
+    req.id = nextId_++;
+    if (fd_ < 0) {
+        return errorResponse(req.id, Status::kRejected);
+    }
+    std::vector<std::uint8_t> frame;
+    encodeRequest(req, &frame);
+    if (!sendAll(fd_, frame.data(), frame.size())) {
+        return errorResponse(req.id, Status::kRejected);
+    }
+    std::vector<std::uint8_t> buf(1 << 14);
+    while (true) {
+        while (auto payload = rx_.next()) {
+            Response r;
+            if (decodeResponse(*payload, &r) == Status::kOk &&
+                r.id == req.id) {
+                return r;
+            }
+        }
+        const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+        if (n <= 0) {
+            return errorResponse(req.id, Status::kRejected);
+        }
+        rx_.feed({buf.data(), static_cast<std::size_t>(n)});
+    }
+}
+
+} // namespace crono::serve

@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Wire codec implementation. Everything bounds-checks against the
+ * frame it was handed; nothing trusts a count field before checking
+ * it against both its own ceiling and the bytes actually present.
+ */
+
+#include "serve/protocol.h"
+
+#include <cstring>
+
+namespace crono::serve {
+
+const char*
+opName(Op op)
+{
+    switch (op) {
+      case Op::kPing: return "ping";
+      case Op::kBfsDist: return "bfs";
+      case Op::kSsspDist: return "sssp";
+      case Op::kSsspBatch: return "sssp_batch";
+      case Op::kComponent: return "component";
+      case Op::kRankScore: return "rank";
+      case Op::kTopDegree: return "top_degree";
+      case Op::kTopRank: return "top_rank";
+      case Op::kIngest: return "ingest";
+      case Op::kCompact: return "compact";
+      case Op::kStats: return "stats";
+    }
+    return "unknown";
+}
+
+const char*
+statusName(Status s)
+{
+    switch (s) {
+      case Status::kOk: return "ok";
+      case Status::kMalformed: return "malformed";
+      case Status::kUnknownOp: return "unknown-op";
+      case Status::kBadVertex: return "bad-vertex";
+      case Status::kTooLarge: return "too-large";
+      case Status::kRejected: return "rejected";
+    }
+    return "unknown";
+}
+
+Response
+errorResponse(std::uint32_t id, Status status, std::uint64_t epoch)
+{
+    Response r;
+    r.id = id;
+    r.status = status;
+    r.epoch = epoch;
+    return r;
+}
+
+namespace {
+
+// Little-endian primitive writers. Explicit byte stores keep the wire
+// format host-endianness-independent.
+
+void
+putU8(std::uint8_t v, std::vector<std::uint8_t>* out)
+{
+    out->push_back(v);
+}
+
+void
+putU32(std::uint32_t v, std::vector<std::uint8_t>* out)
+{
+    for (int i = 0; i < 4; ++i) {
+        out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+}
+
+void
+putU64(std::uint64_t v, std::vector<std::uint8_t>* out)
+{
+    for (int i = 0; i < 8; ++i) {
+        out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+}
+
+/** Bounds-checked little-endian reader over one frame payload. */
+class Cursor {
+  public:
+    explicit Cursor(std::span<const std::uint8_t> data) : data_(data) {}
+
+    bool
+    u8(std::uint8_t* v)
+    {
+        if (data_.size() - pos_ < 1) {
+            return false;
+        }
+        *v = data_[pos_++];
+        return true;
+    }
+
+    bool
+    u32(std::uint32_t* v)
+    {
+        if (data_.size() - pos_ < 4) {
+            return false;
+        }
+        *v = 0;
+        for (int i = 0; i < 4; ++i) {
+            *v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<
+                      std::size_t>(i)])
+                  << (8 * i);
+        }
+        pos_ += 4;
+        return true;
+    }
+
+    bool
+    u64(std::uint64_t* v)
+    {
+        if (data_.size() - pos_ < 8) {
+            return false;
+        }
+        *v = 0;
+        for (int i = 0; i < 8; ++i) {
+            *v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<
+                      std::size_t>(i)])
+                  << (8 * i);
+        }
+        pos_ += 8;
+        return true;
+    }
+
+    /** Remaining unread bytes. */
+    std::size_t left() const { return data_.size() - pos_; }
+
+    bool
+    bytes(std::size_t n, std::string* out)
+    {
+        if (left() < n) {
+            return false;
+        }
+        out->assign(reinterpret_cast<const char*>(data_.data() + pos_),
+                    n);
+        pos_ += n;
+        return true;
+    }
+
+  private:
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_ = 0;
+};
+
+/** Patch a frame's length prefix once its payload is fully appended. */
+class FrameScope {
+  public:
+    explicit FrameScope(std::vector<std::uint8_t>* out) : out_(out)
+    {
+        lenAt_ = out->size();
+        putU32(0, out);
+    }
+
+    ~FrameScope()
+    {
+        const auto len = static_cast<std::uint32_t>(
+            out_->size() - lenAt_ - 4);
+        for (int i = 0; i < 4; ++i) {
+            (*out_)[lenAt_ + static_cast<std::size_t>(i)] =
+                static_cast<std::uint8_t>(len >> (8 * i));
+        }
+    }
+
+  private:
+    std::vector<std::uint8_t>* out_;
+    std::size_t lenAt_;
+};
+
+} // namespace
+
+void
+encodeRequest(const Request& r, std::vector<std::uint8_t>* out)
+{
+    FrameScope frame(out);
+    putU32(r.id, out);
+    putU8(static_cast<std::uint8_t>(r.op), out);
+    switch (r.op) {
+      case Op::kPing:
+      case Op::kCompact:
+      case Op::kStats:
+        break;
+      case Op::kBfsDist:
+      case Op::kSsspDist:
+        putU32(r.source, out);
+        putU32(r.target, out);
+        break;
+      case Op::kSsspBatch:
+        putU32(r.source, out);
+        putU32(static_cast<std::uint32_t>(r.targets.size()), out);
+        for (const graph::VertexId t : r.targets) {
+            putU32(t, out);
+        }
+        break;
+      case Op::kComponent:
+      case Op::kRankScore:
+        putU32(r.source, out);
+        break;
+      case Op::kTopDegree:
+      case Op::kTopRank:
+        putU32(r.k, out);
+        break;
+      case Op::kIngest:
+        putU32(static_cast<std::uint32_t>(r.edges.size()), out);
+        for (const graph::Edge& e : r.edges) {
+            putU32(e.src, out);
+            putU32(e.dst, out);
+            putU32(e.weight, out);
+        }
+        break;
+    }
+}
+
+void
+encodeResponse(const Response& r, std::vector<std::uint8_t>* out)
+{
+    FrameScope frame(out);
+    putU32(r.id, out);
+    putU8(static_cast<std::uint8_t>(r.status), out);
+    putU64(r.epoch, out);
+    putU32(static_cast<std::uint32_t>(r.values.size()), out);
+    for (const std::uint64_t v : r.values) {
+        putU64(v, out);
+    }
+    putU32(static_cast<std::uint32_t>(r.vertices.size()), out);
+    for (const graph::VertexId v : r.vertices) {
+        putU32(v, out);
+    }
+    putU32(static_cast<std::uint32_t>(r.text.size()), out);
+    out->insert(out->end(), r.text.begin(), r.text.end());
+}
+
+Status
+decodeRequest(std::span<const std::uint8_t> payload, Request* out)
+{
+    *out = Request{};
+    Cursor c(payload);
+    std::uint8_t op = 0;
+    if (!c.u32(&out->id) || !c.u8(&op)) {
+        return Status::kMalformed;
+    }
+    if (op >= kNumOps) {
+        return Status::kUnknownOp;
+    }
+    out->op = static_cast<Op>(op);
+    switch (out->op) {
+      case Op::kPing:
+      case Op::kCompact:
+      case Op::kStats:
+        break;
+      case Op::kBfsDist:
+      case Op::kSsspDist:
+        if (!c.u32(&out->source) || !c.u32(&out->target)) {
+            return Status::kMalformed;
+        }
+        break;
+      case Op::kSsspBatch: {
+        std::uint32_t n = 0;
+        if (!c.u32(&out->source) || !c.u32(&n)) {
+            return Status::kMalformed;
+        }
+        if (n > kMaxBatchTargets) {
+            return Status::kTooLarge;
+        }
+        // Check the claimed count against the bytes actually present
+        // before reserving anything.
+        if (c.left() < static_cast<std::size_t>(n) * 4) {
+            return Status::kMalformed;
+        }
+        out->targets.resize(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            if (!c.u32(&out->targets[i])) {
+                return Status::kMalformed;
+            }
+        }
+        break;
+      }
+      case Op::kComponent:
+      case Op::kRankScore:
+        if (!c.u32(&out->source)) {
+            return Status::kMalformed;
+        }
+        break;
+      case Op::kTopDegree:
+      case Op::kTopRank:
+        if (!c.u32(&out->k)) {
+            return Status::kMalformed;
+        }
+        if (out->k > kMaxTopK) {
+            return Status::kTooLarge;
+        }
+        break;
+      case Op::kIngest: {
+        std::uint32_t n = 0;
+        if (!c.u32(&n)) {
+            return Status::kMalformed;
+        }
+        if (n > kMaxIngestEdges) {
+            return Status::kTooLarge;
+        }
+        if (c.left() < static_cast<std::size_t>(n) * 12) {
+            return Status::kMalformed;
+        }
+        out->edges.resize(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            graph::Edge& e = out->edges[i];
+            if (!c.u32(&e.src) || !c.u32(&e.dst) || !c.u32(&e.weight)) {
+                return Status::kMalformed;
+            }
+        }
+        break;
+      }
+    }
+    if (c.left() != 0) {
+        return Status::kMalformed; // trailing garbage
+    }
+    return Status::kOk;
+}
+
+Status
+decodeResponse(std::span<const std::uint8_t> payload, Response* out)
+{
+    *out = Response{};
+    Cursor c(payload);
+    std::uint8_t status = 0;
+    if (!c.u32(&out->id) || !c.u8(&status) || !c.u64(&out->epoch)) {
+        return Status::kMalformed;
+    }
+    out->status = static_cast<Status>(status);
+    std::uint32_t n = 0;
+    if (!c.u32(&n) || c.left() < static_cast<std::size_t>(n) * 8) {
+        return Status::kMalformed;
+    }
+    out->values.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (!c.u64(&out->values[i])) {
+            return Status::kMalformed;
+        }
+    }
+    if (!c.u32(&n) || c.left() < static_cast<std::size_t>(n) * 4) {
+        return Status::kMalformed;
+    }
+    out->vertices.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (!c.u32(&out->vertices[i])) {
+            return Status::kMalformed;
+        }
+    }
+    if (!c.u32(&n) || !c.bytes(n, &out->text)) {
+        return Status::kMalformed;
+    }
+    if (c.left() != 0) {
+        return Status::kMalformed;
+    }
+    return Status::kOk;
+}
+
+void
+FrameSplitter::feed(std::span<const std::uint8_t> data)
+{
+    if (poisoned_) {
+        return;
+    }
+    buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+std::optional<std::vector<std::uint8_t>>
+FrameSplitter::next()
+{
+    if (poisoned_ || buf_.size() - pos_ < 4) {
+        return std::nullopt;
+    }
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+        len |= static_cast<std::uint32_t>(
+                   buf_[pos_ + static_cast<std::size_t>(i)])
+               << (8 * i);
+    }
+    if (len > kMaxFrameBytes) {
+        poisoned_ = true;
+        return std::nullopt;
+    }
+    if (buf_.size() - pos_ - 4 < len) {
+        return std::nullopt;
+    }
+    std::vector<std::uint8_t> payload(
+        buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4),
+        buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4 + len));
+    pos_ += 4 + len;
+    // Reclaim consumed prefix once it dominates the buffer.
+    if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+        buf_.erase(buf_.begin(), buf_.begin() +
+                                     static_cast<std::ptrdiff_t>(pos_));
+        pos_ = 0;
+    }
+    return payload;
+}
+
+} // namespace crono::serve

@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Server implementation: routing, shard workers, the ingest thread,
+ * and the in-process client.
+ */
+
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/macros.h"
+#include "graph/reorder.h"
+#include "obs/telemetry.h"
+
+namespace crono::serve {
+
+namespace {
+
+/** Worker obs tracks sit above the kernel tids (single writer each). */
+constexpr int kWorkerTrackBase = 256;
+constexpr int kIngestTrackTid = 255;
+
+std::uint64_t
+steadyNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+Server::Server(GraphStore& store, rt::NativeExecutor& exec,
+               ServerConfig config)
+    : store_(store), engine_(store, exec, config.query),
+      config_(config),
+      shardQueues_(static_cast<std::size_t>(store.numShards())),
+      classes_(static_cast<std::size_t>(kNumOps))
+{
+    CRONO_REQUIRE(config_.num_workers >= 1, "server needs a worker");
+    CRONO_REQUIRE(config_.batch_max >= 1, "batch_max must be >= 1");
+    config_.num_workers =
+        std::min(config_.num_workers, store.numShards());
+    nextShard_.assign(static_cast<std::size_t>(config_.num_workers), 0);
+    engine_.setStatsProvider([this] { return statsJson(); });
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+void
+Server::start()
+{
+    CRONO_REQUIRE(!running_, "server already started");
+    stopping_ = false;
+    running_ = true;
+    start_ns_ = steadyNs();
+    workers_.reserve(static_cast<std::size_t>(config_.num_workers));
+    for (int w = 0; w < config_.num_workers; ++w) {
+        workers_.emplace_back([this, w] { workerLoop(w); });
+    }
+    ingestThread_ = std::thread([this] { ingestLoop(); });
+}
+
+void
+Server::stop()
+{
+    if (!running_.exchange(false)) {
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        stopping_ = true;
+        queueCv_.notify_all();
+    }
+    {
+        std::lock_guard<std::mutex> lock(ingestMutex_);
+        stopping_ = true;
+        ingestCv_.notify_all();
+    }
+    for (std::thread& t : workers_) {
+        t.join();
+    }
+    workers_.clear();
+    if (ingestThread_.joinable()) {
+        ingestThread_.join();
+    }
+    // Workers are gone: anything still queued is answered kRejected.
+    for (std::deque<Pending>& q : shardQueues_) {
+        drainReject(&q);
+    }
+    drainReject(&ingestQueue_);
+    {
+        std::lock_guard<std::mutex> lock(sessionMutex_);
+        for (const std::shared_ptr<Session>& s : sessions_) {
+            s->markDone();
+        }
+    }
+}
+
+void
+Server::drainReject(std::deque<Pending>* queue)
+{
+    while (!queue->empty()) {
+        Pending p = std::move(queue->front());
+        queue->pop_front();
+        finish(p, errorResponse(p.req.id, Status::kRejected,
+                                store_.snapshot()->epoch()));
+    }
+}
+
+std::shared_ptr<Session>
+Server::openSession()
+{
+    std::lock_guard<std::mutex> lock(sessionMutex_);
+    auto s = std::make_shared<Session>(nextSessionId_++);
+    sessions_.push_back(s);
+    return s;
+}
+
+void
+Server::feed(const std::shared_ptr<Session>& session,
+             std::span<const std::uint8_t> data)
+{
+    std::vector<Request> requests;
+    session->feed(data, &requests);
+    for (Request& req : requests) {
+        route(session, std::move(req));
+    }
+}
+
+void
+Server::route(const std::shared_ptr<Session>& session, Request&& req)
+{
+    Pending p{session, std::move(req), steadyNs()};
+    if (!running_ || stopping_) {
+        finish(p, errorResponse(p.req.id, Status::kRejected,
+                                store_.snapshot()->epoch()));
+        return;
+    }
+    if (p.req.op == Op::kIngest || p.req.op == Op::kCompact) {
+        std::lock_guard<std::mutex> lock(ingestMutex_);
+        ingestQueue_.push_back(std::move(p));
+        ingestCv_.notify_one();
+        return;
+    }
+    // Shard by the source vertex's *internal* id so a batch walks one
+    // contiguous range of the reordered layout. Global queries (and
+    // invalid sources — the worker will answer kBadVertex) spread by
+    // request id.
+    const std::shared_ptr<const Snapshot> snap = store_.snapshot();
+    std::size_t shard;
+    const bool pointQuery =
+        p.req.op == Op::kBfsDist || p.req.op == Op::kSsspDist ||
+        p.req.op == Op::kSsspBatch || p.req.op == Op::kComponent ||
+        p.req.op == Op::kRankScore;
+    if (pointQuery && p.req.source < snap->numVertices()) {
+        shard = static_cast<std::size_t>(
+            store_.shardOfInternal(snap->toInternal(p.req.source)));
+    } else {
+        shard = p.req.id % shardQueues_.size();
+    }
+    std::lock_guard<std::mutex> lock(queueMutex_);
+    shardQueues_[shard].push_back(std::move(p));
+    queueCv_.notify_all();
+}
+
+void
+Server::workerLoop(int w)
+{
+    obs::Track* const track = obs::trackFor(
+        obs::sink(), obs::TrackKind::kHost, kWorkerTrackBase + w);
+    const std::size_t num_shards = shardQueues_.size();
+    const auto workers = static_cast<std::size_t>(config_.num_workers);
+    const auto me = static_cast<std::size_t>(w);
+
+    std::vector<Pending> batch;
+    while (true) {
+        batch.clear();
+        {
+            std::unique_lock<std::mutex> lock(queueMutex_);
+            queueCv_.wait(lock, [&] {
+                if (stopping_) {
+                    return true;
+                }
+                for (std::size_t s = me; s < num_shards; s += workers) {
+                    if (!shardQueues_[s].empty()) {
+                        return true;
+                    }
+                }
+                return false;
+            });
+            // Round-robin over owned shards so one hot shard cannot
+            // starve the others; drain at most batch_max from the
+            // chosen shard (one snapshot pin per batch).
+            std::size_t& cursor = nextShard_[me];
+            std::size_t chosen = num_shards;
+            const std::size_t owned = (num_shards - me + workers - 1) /
+                                      workers;
+            for (std::size_t i = 0; i < owned; ++i) {
+                const std::size_t s =
+                    me + ((cursor + i) % owned) * workers;
+                if (s < num_shards && !shardQueues_[s].empty()) {
+                    chosen = s;
+                    cursor = (cursor + i + 1) % owned;
+                    break;
+                }
+            }
+            if (chosen == num_shards) {
+                if (stopping_) {
+                    return;
+                }
+                continue;
+            }
+            std::deque<Pending>& q = shardQueues_[chosen];
+            const auto take = std::min<std::size_t>(
+                q.size(), static_cast<std::size_t>(config_.batch_max));
+            for (std::size_t i = 0; i < take; ++i) {
+                batch.push_back(std::move(q.front()));
+                q.pop_front();
+            }
+        }
+        // One epoch for the whole batch: every response in it carries
+        // the same epoch, computed against one immutable graph.
+        const std::shared_ptr<const Snapshot> snap = store_.snapshot();
+        for (const Pending& p : batch) {
+            finish(p, engine_.executeOn(p.req, snap));
+        }
+        obs::counterBump(track, obs::Counter::kServeBatches, 1);
+        obs::counterBump(track, obs::Counter::kServeRequests,
+                         batch.size());
+    }
+}
+
+void
+Server::ingestLoop()
+{
+    obs::Track* const track = obs::trackFor(
+        obs::sink(), obs::TrackKind::kHost, kIngestTrackTid);
+    while (true) {
+        Pending p;
+        {
+            std::unique_lock<std::mutex> lock(ingestMutex_);
+            ingestCv_.wait(lock, [&] {
+                return stopping_ || !ingestQueue_.empty();
+            });
+            if (ingestQueue_.empty()) {
+                return; // stopping
+            }
+            p = std::move(ingestQueue_.front());
+            ingestQueue_.pop_front();
+        }
+        const Response r = engine_.execute(p.req);
+        if (r.status == Status::kOk) {
+            if (p.req.op == Op::kIngest) {
+                obs::counterBump(track,
+                                 obs::Counter::kServeIngestEdges,
+                                 p.req.edges.size());
+            } else if (p.req.op == Op::kCompact) {
+                obs::counterBump(track,
+                                 obs::Counter::kServeCompactions, 1);
+            }
+        }
+        obs::counterBump(track, obs::Counter::kServeRequests, 1);
+        finish(p, r);
+    }
+}
+
+void
+Server::finish(const Pending& p, const Response& r)
+{
+    const std::uint64_t latency = steadyNs() - p.enqueue_ns;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ClassAgg& agg = classes_[static_cast<std::size_t>(p.req.op)];
+        ++agg.count;
+        if (r.status != Status::kOk) {
+            ++agg.errors;
+        }
+        agg.latency_ns.add(latency);
+    }
+    p.session->sendResponse(r);
+}
+
+std::string
+Server::statsJson() const
+{
+    const std::shared_ptr<const Snapshot> snap = store_.snapshot();
+    const StoreStats st = store_.stats();
+
+    ServeInfo info;
+    info.num_shards = store_.numShards();
+    info.reordering =
+        graph::reorderingName(store_.config().reordering);
+    info.epoch = snap->epoch();
+    info.vertices = snap->numVertices();
+    info.edge_slots = snap->numEdges();
+    info.delta_edges = snap->deltaEdges();
+    info.delta_depth = snap->deltaDepth();
+    info.batches_ingested = st.batches_ingested;
+    info.edges_ingested = st.edges_ingested;
+    info.compactions = st.compactions;
+
+    std::vector<ClassStats> classes;
+    ServeTotals totals;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        for (int op = 0; op < kNumOps; ++op) {
+            const ClassAgg& agg =
+                classes_[static_cast<std::size_t>(op)];
+            ClassStats c;
+            c.op = opName(static_cast<Op>(op));
+            c.count = agg.count;
+            c.errors = agg.errors;
+            c.latency_ns = agg.latency_ns;
+            classes.push_back(std::move(c));
+            totals.requests += agg.count;
+            totals.errors += agg.errors;
+        }
+    }
+    totals.seconds =
+        static_cast<double>(steadyNs() -
+                            (start_ns_ != 0 ? start_ns_ : steadyNs())) /
+        1e9;
+    return serveReportJson(info, classes, totals, nullptr);
+}
+
+Client::Client(Server& server)
+    : server_(server), session_(server.openSession())
+{
+}
+
+Response
+Client::call(Request req)
+{
+    req.id = nextId_++;
+    std::vector<std::uint8_t> frame;
+    encodeRequest(req, &frame);
+    server_.feed(session_, frame);
+    while (true) {
+        const std::vector<std::uint8_t> bytes =
+            session_->takeOutput(/*wait=*/true);
+        if (bytes.empty()) {
+            // Server shut down with our request unanswered.
+            return errorResponse(req.id, Status::kRejected);
+        }
+        rx_.feed(bytes);
+        while (auto payload = rx_.next()) {
+            Response r;
+            if (decodeResponse(*payload, &r) == Status::kOk &&
+                r.id == req.id) {
+                return r;
+            }
+        }
+    }
+}
+
+} // namespace crono::serve

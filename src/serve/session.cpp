@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Session framing/decode glue and the thread-safe output buffer.
+ */
+
+#include "serve/session.h"
+
+#include <utility>
+
+namespace crono::serve {
+
+void
+Session::feed(std::span<const std::uint8_t> data,
+              std::vector<Request>* out)
+{
+    if (closing_) {
+        return;
+    }
+    splitter_.feed(data);
+    while (auto payload = splitter_.next()) {
+        Request req;
+        const Status s = decodeRequest(*payload, &req);
+        if (s == Status::kOk) {
+            out->push_back(std::move(req));
+        } else {
+            // Answer the bad frame right here: the id is whatever
+            // parsed (0 otherwise), the epoch 0 — no snapshot was
+            // consulted on behalf of a frame that never became a
+            // request.
+            sendResponse(errorResponse(req.id, s));
+        }
+    }
+    if (splitter_.poisoned()) {
+        sendResponse(errorResponse(0, Status::kTooLarge));
+        closing_ = true;
+    }
+}
+
+void
+Session::sendResponse(const Response& r)
+{
+    std::lock_guard<std::mutex> lock(outMutex_);
+    encodeResponse(r, &out_);
+    outCv_.notify_all();
+}
+
+std::vector<std::uint8_t>
+Session::takeOutput(bool wait)
+{
+    std::unique_lock<std::mutex> lock(outMutex_);
+    if (wait) {
+        outCv_.wait(lock, [this] { return !out_.empty() || done_; });
+    }
+    return std::exchange(out_, {});
+}
+
+void
+Session::markDone()
+{
+    std::lock_guard<std::mutex> lock(outMutex_);
+    done_ = true;
+    outCv_.notify_all();
+}
+
+} // namespace crono::serve

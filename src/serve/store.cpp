@@ -1,0 +1,160 @@
+/**
+ * @file
+ * GraphStore: epoch publication, ingest validation/mirroring, and the
+ * compaction that folds the overlay back through the PR-5 reordering
+ * machinery.
+ */
+
+#include "serve/store.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace crono::serve {
+
+GraphStore::GraphStore(graph::Graph external, StoreConfig config)
+    : config_(config)
+{
+    CRONO_REQUIRE(config_.num_shards >= 1,
+                  "store needs at least one shard");
+    numVertices_ = external.numVertices();
+    undirected_ = external.undirected();
+    graph::ReorderedGraph rg = graph::reorderGraph(
+        external, config_.reordering, config_.blocked_layout);
+    base_ = std::make_shared<const graph::Graph>(std::move(rg.graph));
+    perm_ = std::make_shared<const graph::VertexPermutation>(
+        std::move(rg.perm));
+    publish(std::make_shared<const Snapshot>(1, base_, perm_, nullptr));
+}
+
+std::shared_ptr<const Snapshot>
+GraphStore::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(snapMutex_);
+    return current_;
+}
+
+void
+GraphStore::publish(std::shared_ptr<const Snapshot> snap)
+{
+    std::lock_guard<std::mutex> lock(snapMutex_);
+    current_ = std::move(snap);
+}
+
+Status
+GraphStore::ingestBatch(std::span<const graph::Edge> edges,
+                        std::uint64_t* epoch_out)
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+
+    // Validate the whole batch in external space before touching
+    // anything: an ingest is atomic — all of it lands or none does.
+    std::uint64_t accepted = 0;
+    for (const graph::Edge& e : edges) {
+        if (e.src >= numVertices_ || e.dst >= numVertices_) {
+            return Status::kBadVertex;
+        }
+        if (e.src != e.dst) {
+            ++accepted;
+        }
+    }
+    if (accepted == 0) {
+        return Status::kRejected;
+    }
+
+    const std::shared_ptr<const Snapshot> cur = snapshot();
+
+    // Map into the current internal id space, mirroring as the base
+    // does so the overlay slots compose with CSR rows seamlessly.
+    std::vector<graph::Edge> internal;
+    internal.reserve(static_cast<std::size_t>(accepted) *
+                     (undirected_ ? 2 : 1));
+    for (const graph::Edge& e : edges) {
+        if (e.src == e.dst) {
+            continue;
+        }
+        const graph::VertexId s = cur->toInternal(e.src);
+        const graph::VertexId d = cur->toInternal(e.dst);
+        internal.push_back({s, d, e.weight});
+        if (undirected_) {
+            internal.push_back({d, s, e.weight});
+        }
+    }
+
+    auto batch = std::make_shared<const DeltaBatch>(std::move(internal),
+                                                    cur->deltaChain());
+    const std::uint64_t epoch = cur->epoch() + 1;
+    publish(std::make_shared<const Snapshot>(epoch, base_, perm_,
+                                             std::move(batch)));
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    edges_.fetch_add(accepted, std::memory_order_relaxed);
+    if (epoch_out != nullptr) {
+        *epoch_out = epoch;
+    }
+
+    const std::shared_ptr<const Snapshot> now = snapshot();
+    if (now->deltaEdges() >= config_.compact_delta_edges ||
+        now->deltaDepth() >= config_.compact_batches) {
+        compactLocked();
+    }
+    return Status::kOk;
+}
+
+std::uint64_t
+GraphStore::compact()
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    return compactLocked();
+}
+
+std::uint64_t
+GraphStore::compactLocked()
+{
+    const std::shared_ptr<const Snapshot> cur = snapshot();
+    const graph::Graph& mat = cur->materialized();
+
+    // Reconstruct the logical edge list in external ids. Undirected
+    // bases store both directions of every logical edge, so emitting
+    // the v < dst slot of each pair (self loops cannot exist) yields
+    // each parallel edge exactly once; the builder re-mirrors.
+    graph::GraphBuilder builder(numVertices_, undirected_);
+    for (graph::VertexId v = 0; v < mat.numVertices(); ++v) {
+        const graph::VertexId ext_src = cur->toExternal(v);
+        const std::span<const graph::VertexId> nbr = mat.neighbors(v);
+        const std::span<const graph::Weight> w = mat.weights(v);
+        for (std::size_t i = 0; i < nbr.size(); ++i) {
+            if (undirected_ && v >= nbr[i]) {
+                continue;
+            }
+            builder.addEdge(ext_src, cur->toExternal(nbr[i]), w[i]);
+        }
+    }
+    builder.withReordering(config_.reordering)
+        .withBlockedLayout(config_.blocked_layout);
+    graph::ReorderedGraph rg = std::move(builder).buildReordered(
+        graph::GraphBuilder::DedupPolicy::keepAll);
+
+    base_ = std::make_shared<const graph::Graph>(std::move(rg.graph));
+    perm_ = std::make_shared<const graph::VertexPermutation>(
+        std::move(rg.perm));
+    const std::uint64_t epoch = cur->epoch() + 1;
+    publish(std::make_shared<const Snapshot>(epoch, base_, perm_,
+                                             nullptr));
+    compactions_.fetch_add(1, std::memory_order_relaxed);
+    return epoch;
+}
+
+StoreStats
+GraphStore::stats() const
+{
+    StoreStats s;
+    s.epoch = snapshot()->epoch();
+    s.batches_ingested = batches_.load(std::memory_order_relaxed);
+    s.edges_ingested = edges_.load(std::memory_order_relaxed);
+    s.compactions = compactions_.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace crono::serve

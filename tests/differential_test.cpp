@@ -24,18 +24,25 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
 #include <cstdlib>
 #include <map>
 #include <numeric>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/sequential.h"
 #include "core/suite.h"
 #include "graph/generators.h"
 #include "graph/reorder.h"
 #include "runtime/executor.h"
+#include "serve/query.h"
+#include "serve/server.h"
+#include "serve/store.h"
 #include "tests/kernel_test_util.h"
 
 namespace crono {
@@ -605,6 +612,214 @@ TEST(DifferentialSimMatrix, ApspBetweennessTspMcs)
 
 INSTANTIATE_TEST_SUITE_P(Families, DifferentialSim,
                          ::testing::ValuesIn(kFamilies));
+
+// ------------------------------------------------ serve oracle sweeps
+
+/**
+ * The external-space graph a serve epoch must equal: the original
+ * edges plus every accepted ingest edge. Self-loops are dropped on
+ * both paths (GraphBuilder::addEdge and GraphStore::ingestBatch),
+ * parallel edges are kept on both (DedupPolicy::keepAll in the store's
+ * compaction), so this reconstruction is exact, not approximate.
+ */
+graph::Graph
+epochOracleGraph(const graph::Graph& original,
+                 std::span<const graph::Edge> ingested)
+{
+    graph::GraphBuilder b(original.numVertices(), /*undirected=*/true);
+    for (VertexId v = 0; v < original.numVertices(); ++v) {
+        const std::span<const VertexId> nbr = original.neighbors(v);
+        const std::span<const graph::Weight> w = original.weights(v);
+        for (std::size_t i = 0; i < nbr.size(); ++i) {
+            if (v < nbr[i]) { // each undirected edge once; re-mirrored
+                b.addEdge(v, nbr[i], w[i]);
+            }
+        }
+    }
+    for (const graph::Edge& e : ingested) {
+        if (e.src != e.dst) {
+            b.addEdge(e.src, e.dst, e.weight);
+        }
+    }
+    return std::move(b).build(graph::GraphBuilder::DedupPolicy::keepAll);
+}
+
+/** Top-k degree order with the wire tie-break (score desc, id asc). */
+std::vector<std::pair<std::uint64_t, VertexId>>
+oracleTopDegree(const graph::Graph& g, std::uint32_t k)
+{
+    std::vector<std::pair<std::uint64_t, VertexId>> order;
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        order.emplace_back(g.degree(v), v);
+    }
+    std::sort(order.begin(), order.end(),
+              [](const auto& a, const auto& b) {
+                  return a.first != b.first ? a.first > b.first
+                                            : a.second < b.second;
+              });
+    order.resize(std::min<std::size_t>(order.size(), k));
+    return order;
+}
+
+/**
+ * Every wire answer at one epoch must match the core::seq oracles run
+ * offline on that epoch's external-space graph — the serve analogue of
+ * the kernel sweeps above, proving the delta overlay, materialization,
+ * permutation plumbing and response encoding introduced no drift.
+ */
+void
+checkServeOracle(serve::Client& client, const graph::Graph& oracle_g,
+                 unsigned pr_iters)
+{
+    const VertexId n = oracle_g.numVertices();
+    const VertexId src = 1;
+    const std::vector<graph::Dist> sssp =
+        core::seq::sssp(oracle_g, src);
+    const std::vector<std::uint32_t> bfs =
+        core::seq::bfsLevels(oracle_g, src);
+    const std::vector<VertexId> comp =
+        core::seq::componentLabels(oracle_g);
+    const std::vector<double> rank =
+        core::seq::pageRank(oracle_g, pr_iters, 0.15);
+
+    Rng pick(2024);
+    for (int i = 0; i < 16; ++i) {
+        const auto t =
+            static_cast<VertexId>(pick.nextBelow(n));
+        serve::Request req;
+        req.op = serve::Op::kSsspDist;
+        req.source = src;
+        req.target = t;
+        serve::Response r = client.call(req);
+        ASSERT_EQ(r.status, serve::Status::kOk);
+        ASSERT_EQ(r.values.size(), 1u);
+        const std::uint64_t want = sssp[t] == graph::kInfDist
+                                       ? serve::kNoValue
+                                       : sssp[t];
+        ASSERT_EQ(r.values[0], want) << "sssp target " << t;
+
+        req = {};
+        req.op = serve::Op::kBfsDist;
+        req.source = src;
+        req.target = t;
+        r = client.call(req);
+        ASSERT_EQ(r.status, serve::Status::kOk);
+        const std::uint64_t want_bfs =
+            bfs[t] == core::kNoLevel ? serve::kNoValue : bfs[t];
+        ASSERT_EQ(r.values.at(0), want_bfs) << "bfs target " << t;
+
+        req = {};
+        req.op = serve::Op::kComponent;
+        req.source = t;
+        r = client.call(req);
+        ASSERT_EQ(r.status, serve::Status::kOk);
+        ASSERT_EQ(r.values.at(0), comp[t]) << "component of " << t;
+
+        req = {};
+        req.op = serve::Op::kRankScore;
+        req.source = t;
+        r = client.call(req);
+        ASSERT_EQ(r.status, serve::Status::kOk);
+        const double got =
+            std::bit_cast<double>(r.values.at(0));
+        // Reordering permutes the FP summation; same bound as the
+        // kernel-level PageRank differential above.
+        ASSERT_NEAR(got, rank[t], 1e-9) << "rank of " << t;
+    }
+
+    // Batch lookup: one wire round trip, every slot oracle-checked.
+    serve::Request batch;
+    batch.op = serve::Op::kSsspBatch;
+    batch.source = src;
+    for (int i = 0; i < 24; ++i) {
+        batch.targets.push_back(
+            static_cast<VertexId>(pick.nextBelow(n)));
+    }
+    const std::vector<VertexId> targets = batch.targets;
+    const serve::Response br = client.call(std::move(batch));
+    ASSERT_EQ(br.status, serve::Status::kOk);
+    ASSERT_EQ(br.values.size(), targets.size());
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        const graph::Dist d = sssp[targets[i]];
+        ASSERT_EQ(br.values[i],
+                  d == graph::kInfDist ? serve::kNoValue : d)
+            << "batch slot " << i;
+    }
+
+    // Top-k degree centrality: scores AND canonical id order.
+    serve::Request topk;
+    topk.op = serve::Op::kTopDegree;
+    topk.k = 12;
+    const serve::Response tr = client.call(topk);
+    ASSERT_EQ(tr.status, serve::Status::kOk);
+    const auto want_top = oracleTopDegree(oracle_g, topk.k);
+    ASSERT_EQ(tr.vertices.size(), want_top.size());
+    for (std::size_t i = 0; i < want_top.size(); ++i) {
+        EXPECT_EQ(tr.values[i], want_top[i].first) << "rank " << i;
+        EXPECT_EQ(tr.vertices[i], want_top[i].second) << "rank " << i;
+    }
+}
+
+TEST(DifferentialServe, WireAnswersMatchSequentialOracles)
+{
+    constexpr unsigned kPrIters = 5;
+    rt::NativeExecutor exec(2);
+
+    // The deterministic ingest batch applied mid-test (external ids;
+    // includes a self-loop both paths must drop).
+    std::vector<graph::Edge> batch;
+    Rng rng(123);
+    const graph::Graph original = gen::socialNetwork(8, 6, 11);
+    const VertexId n = original.numVertices();
+    batch.push_back({3, 3, 9}); // self-loop: dropped everywhere
+    for (int i = 0; i < 24; ++i) {
+        batch.push_back(
+            {static_cast<VertexId>(rng.nextBelow(n)),
+             static_cast<VertexId>(rng.nextBelow(n)),
+             static_cast<graph::Weight>(1 + rng.nextBelow(32))});
+    }
+    const graph::Graph after = epochOracleGraph(original, batch);
+
+    for (const Reordering r : graph::allReorderings()) {
+        SCOPED_TRACE(graph::reorderingName(r));
+        for (const int shards : {1, 3, 8}) {
+            SCOPED_TRACE("shards " + std::to_string(shards));
+            serve::StoreConfig cfg;
+            cfg.num_shards = shards;
+            cfg.reordering = r;
+            // Same generator call, same seed: the store serves an
+            // identical copy of `original`.
+            serve::GraphStore store(gen::socialNetwork(8, 6, 11), cfg);
+            serve::ServerConfig scfg;
+            scfg.num_workers = 2;
+            scfg.query.nthreads = 2;
+            scfg.query.pagerank_iterations = kPrIters;
+            serve::Server server(store, exec, scfg);
+            server.start();
+            serve::Client client(server);
+
+            checkServeOracle(client, original, kPrIters);
+
+            // Ingest over the wire, re-check against the offline
+            // reconstruction of the grown epoch...
+            serve::Request ingest;
+            ingest.op = serve::Op::kIngest;
+            ingest.edges = batch;
+            const serve::Response ir = client.call(std::move(ingest));
+            ASSERT_EQ(ir.status, serve::Status::kOk);
+            checkServeOracle(client, after, kPrIters);
+
+            // ...and once more after a forced compaction rebuilt the
+            // base under this reordering: same answers exactly.
+            serve::Request compact;
+            compact.op = serve::Op::kCompact;
+            ASSERT_EQ(client.call(compact).status, serve::Status::kOk);
+            checkServeOracle(client, after, kPrIters);
+
+            server.stop();
+        }
+    }
+}
 
 } // namespace
 } // namespace crono

@@ -28,11 +28,13 @@
 #include "core/suite.h"
 #include "graph/generators.h"
 #include "graph/reorder.h"
+#include "obs/histogram.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/profile_report.h"
 #include "obs/telemetry.h"
 #include "runtime/executor.h"
+#include "serve/report.h"
 
 #ifdef CRONO_HAVE_STATICLINT
 #include "analysis/static/analyzer.h"
@@ -245,6 +247,69 @@ checkLintDoc(const obs::json::Value& doc)
     }
 }
 
+/** Validate one crono.serve.v1 document (serve/report.h). */
+void
+checkServeDoc(const obs::json::Value& doc)
+{
+    const obs::json::Value* schema = doc.find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->str, "crono.serve.v1");
+    const obs::json::Value* server = doc.find("server");
+    ASSERT_NE(server, nullptr);
+    ASSERT_TRUE(server->isObject());
+    expectNumber(*server, "num_shards");
+    expectString(*server, "reordering");
+    expectNumber(*server, "epoch");
+    expectNumber(*server, "vertices");
+    expectNumber(*server, "edge_slots");
+    expectNumber(*server, "delta_edges");
+    expectNumber(*server, "delta_depth");
+    expectNumber(*server, "batches_ingested");
+    expectNumber(*server, "edges_ingested");
+    expectNumber(*server, "compactions");
+    // "workload" is the schema's only optional block: present in
+    // bench_serve reports, absent in the server's kStats documents.
+    const obs::json::Value* workload = doc.find("workload");
+    if (workload != nullptr) {
+        ASSERT_TRUE(workload->isObject());
+        expectString(*workload, "mode");
+        expectNumber(*workload, "clients");
+        expectNumber(*workload, "requests_per_client");
+        expectNumber(*workload, "target_rps");
+        expectNumber(*workload, "ingest_batches");
+        expectString(*workload, "graph");
+        expectNumber(*workload, "seed");
+    }
+    const obs::json::Value* classes = doc.find("classes");
+    ASSERT_NE(classes, nullptr);
+    ASSERT_TRUE(classes->isArray());
+    for (const obs::json::Value& c : classes->arr) {
+        ASSERT_TRUE(c.isObject());
+        expectString(c, "op");
+        expectNumber(c, "count");
+        expectNumber(c, "errors");
+        expectNumber(c, "mean_seconds");
+        expectNumber(c, "p50_seconds");
+        expectNumber(c, "p90_seconds");
+        expectNumber(c, "p99_seconds");
+        expectNumber(c, "min_seconds");
+        expectNumber(c, "max_seconds");
+        // Zero-count classes are skipped at render time, so every row
+        // present must describe real traffic with ordered quantiles.
+        EXPECT_GT(c.find("count")->num, 0.0) << c.find("op")->str;
+        EXPECT_LE(c.find("p50_seconds")->num,
+                  c.find("p99_seconds")->num)
+            << c.find("op")->str;
+    }
+    const obs::json::Value* totals = doc.find("totals");
+    ASSERT_NE(totals, nullptr);
+    ASSERT_TRUE(totals->isObject());
+    expectNumber(*totals, "requests");
+    expectNumber(*totals, "errors");
+    expectNumber(*totals, "seconds");
+    expectNumber(*totals, "throughput_rps");
+}
+
 /** Route a document to its schema's validator by tag. */
 void
 checkAnyReport(const obs::json::Value& doc, const std::string& label)
@@ -260,6 +325,8 @@ checkAnyReport(const obs::json::Value& doc, const std::string& label)
         checkProfileDoc(doc);
     } else if (schema->str == "crono.lint.v1") {
         checkLintDoc(doc);
+    } else if (schema->str == "crono.serve.v1") {
+        checkServeDoc(doc);
     } else {
         FAIL() << "unknown schema tag " << schema->str;
     }
@@ -332,6 +399,76 @@ makeGapRows()
         rows.push_back(std::move(row));
     }
     return rows;
+}
+
+/**
+ * A serve report shaped like bench_serve's output: two request
+ * classes with real histogram samples, plus the workload block. The
+ * same renderer produces the server's kStats document (workload
+ * omitted), exercised via the nullptr overload below.
+ */
+std::string
+makeServeReportJson(bool with_workload)
+{
+    serve::ServeInfo info;
+    info.num_shards = 4;
+    info.reordering = "degree";
+    info.epoch = 7;
+    info.vertices = 4096;
+    info.edge_slots = 65536;
+    info.batches_ingested = 3;
+    info.edges_ingested = 96;
+    info.compactions = 1;
+    std::vector<serve::ClassStats> classes(3);
+    classes[0].op = "sssp";
+    classes[0].count = 40;
+    for (int i = 1; i <= 40; ++i) {
+        classes[0].latency_ns.add(
+            static_cast<std::uint64_t>(i) * 10000);
+    }
+    classes[1].op = "ingest";
+    classes[1].count = 3;
+    classes[1].errors = 1;
+    for (const std::uint64_t ns : {50000, 70000, 90000}) {
+        classes[1].latency_ns.add(ns);
+    }
+    classes[2].op = "never_requested"; // count 0: must be skipped
+    serve::ServeTotals totals;
+    totals.requests = 43;
+    totals.errors = 1;
+    totals.seconds = 0.5;
+    serve::WorkloadDesc workload;
+    workload.mode = "closed";
+    workload.clients = 8;
+    workload.requests_per_client = 5;
+    workload.ingest_batches = 3;
+    workload.graph = "kron-12";
+    workload.seed = 42;
+    workload.quick = true;
+    return serve::serveReportJson(info, classes, totals,
+                                  with_workload ? &workload : nullptr);
+}
+
+TEST(ReportSchema, ServeReportDocumentParses)
+{
+    const obs::json::Value doc =
+        parseOrFail(makeServeReportJson(true), "serve report");
+    checkServeDoc(doc);
+    EXPECT_EQ(doc.find("server")->find("num_shards")->num, 4.0);
+    EXPECT_EQ(doc.find("server")->find("reordering")->str, "degree");
+    // The zero-count class was skipped, the real ones kept.
+    ASSERT_EQ(doc.find("classes")->arr.size(), 2u);
+    EXPECT_EQ(doc.find("classes")->arr[0].find("op")->str, "sssp");
+    EXPECT_EQ(doc.find("classes")->arr[1].find("errors")->num, 1.0);
+    EXPECT_NE(doc.find("workload"), nullptr);
+    EXPECT_DOUBLE_EQ(
+        doc.find("totals")->find("throughput_rps")->num, 86.0);
+
+    // The kStats shape: same schema, no workload block.
+    const obs::json::Value stats =
+        parseOrFail(makeServeReportJson(false), "serve stats");
+    checkServeDoc(stats);
+    EXPECT_EQ(stats.find("workload"), nullptr);
 }
 
 /** A real profiled run, whatever counter tier this host lands on. */
@@ -467,6 +604,9 @@ TEST(ReportSchema, EveryEmittedReportParses)
             makeMetricsReport().writeJson((dir / "metrics.json").string()));
         ASSERT_TRUE(makeProfileReport().writeJson(
             (dir / "table_profile.json").string()));
+        ASSERT_TRUE(obs::writeTextFile(
+            (dir / "serve_report.json").string(),
+            makeServeReportJson(true)));
 #ifdef CRONO_HAVE_STATICLINT
         ASSERT_TRUE(obs::writeTextFile(
             (dir / "lint_report.json").string(), makeLintReportJson()));

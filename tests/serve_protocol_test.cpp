@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Wire-codec conformance + robustness tests for serve/protocol.h:
+ * round-trips for every opcode, the malformed-frame taxonomy from the
+ * header's robustness contract (truncation, count-field overruns,
+ * unknown opcodes, trailing garbage, oversized length prefixes), and
+ * a deterministic fuzz loop over random and mutated frames. The fuzz
+ * loop's real teeth are the ASan/UBSan jobs in analysis.yml: a decoder
+ * that over-reads, leaks, or trips UB on attacker bytes fails there
+ * even when the status codes happen to look right.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "serve/protocol.h"
+#include "serve/session.h"
+
+namespace crono::serve {
+namespace {
+
+/** One representative request per opcode, every field exercised. */
+std::vector<Request>
+sampleRequests()
+{
+    std::vector<Request> reqs;
+    Request r;
+    r.id = 1;
+    r.op = Op::kPing;
+    reqs.push_back(r);
+
+    r = {};
+    r.id = 2;
+    r.op = Op::kBfsDist;
+    r.source = 7;
+    r.target = 11;
+    reqs.push_back(r);
+
+    r = {};
+    r.id = 3;
+    r.op = Op::kSsspDist;
+    r.source = 0;
+    r.target = 0xffffff00u;
+    reqs.push_back(r);
+
+    r = {};
+    r.id = 4;
+    r.op = Op::kSsspBatch;
+    r.source = 5;
+    r.targets = {0, 1, 2, 0xdeadbeefu};
+    reqs.push_back(r);
+
+    r = {};
+    r.id = 5;
+    r.op = Op::kComponent;
+    r.source = 42;
+    reqs.push_back(r);
+
+    r = {};
+    r.id = 6;
+    r.op = Op::kRankScore;
+    r.source = 9;
+    reqs.push_back(r);
+
+    r = {};
+    r.id = 7;
+    r.op = Op::kTopDegree;
+    r.k = 10;
+    reqs.push_back(r);
+
+    r = {};
+    r.id = 8;
+    r.op = Op::kTopRank;
+    r.k = kMaxTopK;
+    reqs.push_back(r);
+
+    r = {};
+    r.id = 9;
+    r.op = Op::kIngest;
+    r.edges = {{0, 1, 3}, {5, 5, 1}, {2, 7, 64}};
+    reqs.push_back(r);
+
+    r = {};
+    r.id = 10;
+    r.op = Op::kCompact;
+    reqs.push_back(r);
+
+    r = {};
+    r.id = 11;
+    r.op = Op::kStats;
+    reqs.push_back(r);
+    return reqs;
+}
+
+/** Strip the 4-byte length prefix off a single encoded frame. */
+std::vector<std::uint8_t>
+payloadOf(const std::vector<std::uint8_t>& frame)
+{
+    EXPECT_GE(frame.size(), 4u);
+    return {frame.begin() + 4, frame.end()};
+}
+
+TEST(ServeProtocol, RequestRoundTripEveryOp)
+{
+    for (const Request& in : sampleRequests()) {
+        std::vector<std::uint8_t> frame;
+        encodeRequest(in, &frame);
+        Request out;
+        ASSERT_EQ(decodeRequest(payloadOf(frame), &out), Status::kOk)
+            << opName(in.op);
+        EXPECT_EQ(out.id, in.id);
+        EXPECT_EQ(out.op, in.op);
+        EXPECT_EQ(out.source, in.source);
+        EXPECT_EQ(out.target, in.target);
+        EXPECT_EQ(out.k, in.k);
+        EXPECT_EQ(out.targets, in.targets);
+        ASSERT_EQ(out.edges.size(), in.edges.size());
+        for (std::size_t i = 0; i < in.edges.size(); ++i) {
+            EXPECT_EQ(out.edges[i].src, in.edges[i].src);
+            EXPECT_EQ(out.edges[i].dst, in.edges[i].dst);
+            EXPECT_EQ(out.edges[i].weight, in.edges[i].weight);
+        }
+    }
+}
+
+TEST(ServeProtocol, ResponseRoundTrip)
+{
+    Response in;
+    in.id = 77;
+    in.status = Status::kOk;
+    in.epoch = 12345678901234ull;
+    in.values = {0, 42, kNoValue};
+    in.vertices = {3, 1, 4, 1, 5};
+    in.text = "{\"schema\":\"crono.serve.v1\"}";
+    std::vector<std::uint8_t> frame;
+    encodeResponse(in, &frame);
+    Response out;
+    ASSERT_EQ(decodeResponse(payloadOf(frame), &out), Status::kOk);
+    EXPECT_EQ(out.id, in.id);
+    EXPECT_EQ(out.status, in.status);
+    EXPECT_EQ(out.epoch, in.epoch);
+    EXPECT_EQ(out.values, in.values);
+    EXPECT_EQ(out.vertices, in.vertices);
+    EXPECT_EQ(out.text, in.text);
+}
+
+TEST(ServeProtocol, EveryTruncationRejected)
+{
+    // Every proper prefix of a valid payload must decode to an error:
+    // a count field that promises more bytes than remain is malformed,
+    // never a short read or a partial fill.
+    for (const Request& in : sampleRequests()) {
+        std::vector<std::uint8_t> frame;
+        encodeRequest(in, &frame);
+        const std::vector<std::uint8_t> payload = payloadOf(frame);
+        for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+            Request out;
+            const Status s = decodeRequest(
+                std::span(payload.data(), cut), &out);
+            EXPECT_NE(s, Status::kOk)
+                << opName(in.op) << " truncated to " << cut;
+        }
+    }
+}
+
+TEST(ServeProtocol, TrailingGarbageRejected)
+{
+    for (const Request& in : sampleRequests()) {
+        std::vector<std::uint8_t> frame;
+        encodeRequest(in, &frame);
+        std::vector<std::uint8_t> payload = payloadOf(frame);
+        payload.push_back(0xcc);
+        Request out;
+        EXPECT_EQ(decodeRequest(payload, &out), Status::kMalformed)
+            << opName(in.op);
+    }
+}
+
+TEST(ServeProtocol, UnknownOpcodeAttributed)
+{
+    std::vector<std::uint8_t> payload;
+    // [id=99][opcode=200]
+    payload = {99, 0, 0, 0, 200};
+    Request out;
+    EXPECT_EQ(decodeRequest(payload, &out), Status::kUnknownOp);
+    EXPECT_EQ(out.id, 99u); // error can be attributed to the request
+}
+
+TEST(ServeProtocol, CountCeilingsEnforcedBeforeAllocation)
+{
+    // A claimed count over its ceiling is kTooLarge even when the
+    // frame carries no bytes to back it — the decoder must not trust
+    // the count enough to reserve for it.
+    const auto put32 = [](std::uint32_t v,
+                          std::vector<std::uint8_t>* out) {
+        for (int i = 0; i < 4; ++i) {
+            out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+        }
+    };
+
+    std::vector<std::uint8_t> payload;
+    put32(1, &payload);
+    payload.push_back(static_cast<std::uint8_t>(Op::kSsspBatch));
+    put32(0, &payload);                    // source
+    put32(kMaxBatchTargets + 1, &payload); // count over ceiling
+    Request out;
+    EXPECT_EQ(decodeRequest(payload, &out), Status::kTooLarge);
+
+    payload.clear();
+    put32(2, &payload);
+    payload.push_back(static_cast<std::uint8_t>(Op::kIngest));
+    put32(kMaxIngestEdges + 1, &payload);
+    EXPECT_EQ(decodeRequest(payload, &out), Status::kTooLarge);
+
+    payload.clear();
+    put32(3, &payload);
+    payload.push_back(static_cast<std::uint8_t>(Op::kTopDegree));
+    put32(kMaxTopK + 1, &payload);
+    EXPECT_EQ(decodeRequest(payload, &out), Status::kTooLarge);
+
+    // Under the ceiling but over the bytes present: malformed.
+    payload.clear();
+    put32(4, &payload);
+    payload.push_back(static_cast<std::uint8_t>(Op::kSsspBatch));
+    put32(0, &payload);
+    put32(100, &payload); // claims 400 bytes; zero follow
+    EXPECT_EQ(decodeRequest(payload, &out), Status::kMalformed);
+}
+
+TEST(ServeProtocol, FrameSplitterByteAtATime)
+{
+    std::vector<std::uint8_t> wire;
+    const std::vector<Request> reqs = sampleRequests();
+    for (const Request& r : reqs) {
+        encodeRequest(r, &wire);
+    }
+    FrameSplitter splitter;
+    std::size_t decoded = 0;
+    for (const std::uint8_t byte : wire) {
+        splitter.feed(std::span(&byte, 1));
+        while (auto payload = splitter.next()) {
+            Request out;
+            ASSERT_EQ(decodeRequest(*payload, &out), Status::kOk);
+            EXPECT_EQ(out.op, reqs[decoded].op);
+            ++decoded;
+        }
+    }
+    EXPECT_EQ(decoded, reqs.size());
+    EXPECT_EQ(splitter.pending(), 0u);
+    EXPECT_FALSE(splitter.poisoned());
+}
+
+TEST(ServeProtocol, OversizedLengthPrefixPoisons)
+{
+    FrameSplitter splitter;
+    const std::uint32_t evil = kMaxFrameBytes + 1;
+    std::vector<std::uint8_t> wire;
+    for (int i = 0; i < 4; ++i) {
+        wire.push_back(static_cast<std::uint8_t>(evil >> (8 * i)));
+    }
+    splitter.feed(wire);
+    EXPECT_FALSE(splitter.next().has_value());
+    EXPECT_TRUE(splitter.poisoned());
+    // Poisoned is terminal: further feeds are dropped, next() never
+    // yields again, and in particular nothing the size of the claimed
+    // length was ever allocated.
+    Request valid;
+    valid.op = Op::kPing;
+    std::vector<std::uint8_t> frame;
+    encodeRequest(valid, &frame);
+    splitter.feed(frame);
+    EXPECT_FALSE(splitter.next().has_value());
+    EXPECT_TRUE(splitter.poisoned());
+}
+
+TEST(ServeProtocol, SessionAnswersMalformedFramesAndCloses)
+{
+    Session session(/*id=*/1);
+
+    // A frame carrying an unknown opcode: decoded, answered with an
+    // error response, not surfaced as a request.
+    std::vector<std::uint8_t> wire = {5, 0, 0, 0, // len prefix
+                                      9, 0, 0, 0, // id = 9
+                                      250};       // opcode 250
+    std::vector<Request> requests;
+    session.feed(wire, &requests);
+    EXPECT_TRUE(requests.empty());
+    EXPECT_FALSE(session.closing());
+    std::vector<std::uint8_t> out = session.takeOutput();
+    ASSERT_GE(out.size(), 4u);
+    Response resp;
+    ASSERT_EQ(decodeResponse(payloadOf(out), &resp), Status::kOk);
+    EXPECT_EQ(resp.id, 9u);
+    EXPECT_EQ(resp.status, Status::kUnknownOp);
+
+    // An oversized length prefix: one kTooLarge response, then the
+    // session reports closing and drops everything after.
+    wire.clear();
+    const std::uint32_t evil = kMaxFrameBytes + 7;
+    for (int i = 0; i < 4; ++i) {
+        wire.push_back(static_cast<std::uint8_t>(evil >> (8 * i)));
+    }
+    session.feed(wire, &requests);
+    EXPECT_TRUE(requests.empty());
+    EXPECT_TRUE(session.closing());
+    out = session.takeOutput();
+    ASSERT_GE(out.size(), 4u);
+    ASSERT_EQ(decodeResponse(payloadOf(out), &resp), Status::kOk);
+    EXPECT_EQ(resp.status, Status::kTooLarge);
+}
+
+TEST(ServeProtocol, FuzzRandomBytesNeverCrash)
+{
+    // Purely random payloads: the decoders must return *some* status
+    // without reading out of bounds (ASan's job) and without leaving
+    // partially-filled junk claiming to be valid.
+    Rng rng(20260808);
+    for (int round = 0; round < 2000; ++round) {
+        const std::size_t len = rng.nextBelow(96);
+        std::vector<std::uint8_t> payload(len);
+        for (std::uint8_t& b : payload) {
+            b = static_cast<std::uint8_t>(rng.next());
+        }
+        Request req;
+        const Status rs = decodeRequest(payload, &req);
+        if (rs == Status::kOk) {
+            // Whatever decoded must re-encode to the same payload.
+            std::vector<std::uint8_t> frame;
+            encodeRequest(req, &frame);
+            EXPECT_EQ(payloadOf(frame), payload);
+        }
+        Response resp;
+        (void)decodeResponse(payload, &resp);
+    }
+}
+
+TEST(ServeProtocol, FuzzMutatedValidFramesNeverCrash)
+{
+    // Start from valid frames, flip bytes and truncate: decoders and
+    // splitter must survive; whenever the mutant still decodes kOk it
+    // must round-trip byte-identically (no field silently ignored).
+    Rng rng(424242);
+    const std::vector<Request> reqs = sampleRequests();
+    for (int round = 0; round < 2000; ++round) {
+        const Request& base =
+            reqs[rng.nextBelow(reqs.size())];
+        std::vector<std::uint8_t> frame;
+        encodeRequest(base, &frame);
+        std::vector<std::uint8_t> payload = payloadOf(frame);
+        const int flips = 1 + static_cast<int>(rng.nextBelow(4));
+        for (int f = 0; f < flips && !payload.empty(); ++f) {
+            payload[rng.nextBelow(payload.size())] =
+                static_cast<std::uint8_t>(rng.next());
+        }
+        if (rng.nextBelow(4) == 0 && !payload.empty()) {
+            payload.resize(rng.nextBelow(payload.size()));
+        }
+        Request out;
+        const Status s = decodeRequest(payload, &out);
+        if (s == Status::kOk) {
+            std::vector<std::uint8_t> re;
+            encodeRequest(out, &re);
+            EXPECT_EQ(payloadOf(re), payload);
+        }
+    }
+}
+
+TEST(ServeProtocol, FuzzSplitterRandomChunksNeverCrash)
+{
+    // Random transport chunks (valid frames interleaved with garbage
+    // at random chunk boundaries) through FrameSplitter + Session: no
+    // crash, no unbounded buffering, and after a poison the session
+    // stays closed.
+    Rng rng(7);
+    for (int round = 0; round < 200; ++round) {
+        Session session(static_cast<std::uint64_t>(round));
+        std::vector<std::uint8_t> wire;
+        for (int i = 0; i < 8; ++i) {
+            if (rng.nextBelow(2) == 0) {
+                Request r;
+                r.id = static_cast<std::uint32_t>(i);
+                r.op = static_cast<Op>(rng.nextBelow(kNumOps));
+                encodeRequest(r, &wire);
+            } else {
+                const std::size_t n = rng.nextBelow(24);
+                for (std::size_t b = 0; b < n; ++b) {
+                    wire.push_back(
+                        static_cast<std::uint8_t>(rng.next()));
+                }
+            }
+        }
+        std::size_t pos = 0;
+        std::vector<Request> requests;
+        while (pos < wire.size() && !session.closing()) {
+            const std::size_t n = std::min(
+                wire.size() - pos, 1 + rng.nextBelow(16));
+            session.feed(std::span(wire.data() + pos, n), &requests);
+            pos += n;
+        }
+        (void)session.takeOutput();
+        session.markDone();
+    }
+}
+
+} // namespace
+} // namespace crono::serve
